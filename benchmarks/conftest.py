@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper table/figure and saves its formatted
+output under ``benchmarks/out/`` (consumed by EXPERIMENTS.md).  Set
+``REPRO_FAST=1`` to cut repetition counts for a quick pass.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    """Persist an experiment's formatted output for the record."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+def pytest_configure(config):
+    # Benchmarks are long-running experiment regenerations; one round each.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_max_time = 0.000001
+    config.option.benchmark_warmup = False

@@ -1,0 +1,32 @@
+"""Regenerates the DESIGN.md ablation index — design-choice sensitivity.
+
+Expected shapes:
+* merge carver beats Simple Convex on precision (Figure 6/8 rationale);
+* boundary-EE matches or beats plain EE on recall (Figure 4 rationale);
+* tiny cells under-merge (recall dips), huge cells over-merge (precision
+  dips) relative to the default.
+"""
+
+from repro.experiments import run_ablations
+
+
+def test_ablations(benchmark, save_output):
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    save_output("ablations", result.format())
+
+    merge = result.row("carver", "merge (default)")
+    sc = result.row("carver", "simple-convex")
+    assert merge.mean_precision > sc.mean_precision
+
+    bee = result.row("schedule", "boundary-EE (default)")
+    pee = result.row("schedule", "plain-EE")
+    assert bee.mean_recall >= pee.mean_recall - 0.02
+
+    default_cell = result.row("cell-size", "16 (default)")
+    huge_cell = result.row("cell-size", "64")
+    assert default_cell.mean_precision >= huge_cell.mean_precision - 0.05
+
+    or_mode = result.row("close-mode", "or (default)")
+    and_mode = result.row("close-mode", "and")
+    # AND merges less aggressively: precision >=, recall <= (roughly).
+    assert and_mode.mean_precision >= or_mode.mean_precision - 0.02

@@ -1,0 +1,24 @@
+"""Regenerates Section V-D6 — I/O event-audit overhead.
+
+Expected shape (paper): auditing adds measurable overhead (paper average
+~31%), growing with a program's I/O intensity.
+"""
+
+import os
+
+from repro.experiments import run_audit_overhead
+
+
+def test_audit_overhead(benchmark, save_output):
+    fast = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+    sizes = (32, 64) if fast else (32, 48, 64, 96, 128)
+    result = benchmark.pedantic(
+        run_audit_overhead, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    save_output("audit_overhead", result.format())
+
+    assert len(result.reports) == 3 * len(sizes)
+    # Auditing costs something, but not an order of magnitude.
+    assert 0.0 < result.average_overhead < 3.0
+    for r in result.reports:
+        assert r.n_io_calls > 0

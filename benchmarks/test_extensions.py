@@ -1,0 +1,56 @@
+"""Benchmarks for the Section VI extensions (beyond the paper's tables).
+
+* chunk-granular debloating: bytes-kept inflation vs element granularity;
+* hybrid consultation (future work): recall gained by consulting secondary
+  schedules after Kondo's campaign;
+* content-defined Merkle delivery: image-level dedup between original and
+  debloated releases;
+* the VPIC threshold idiom: Kondo on data-dependent sparse subsets.
+"""
+
+from repro.experiments.extensions import (
+    run_chunk_granularity,
+    run_hybrid_consultation,
+    run_merkle_delivery,
+    run_vpic,
+)
+
+
+def test_chunk_granularity_tradeoff(benchmark, save_output):
+    """Chunk-rounded subsets cost extra bytes but fetch whole chunks."""
+    result = benchmark.pedantic(run_chunk_granularity, rounds=1, iterations=1)
+    save_output("ext_chunk_granularity", result.format())
+    inflations = [r.inflation for r in result.rows]
+    assert all(x >= 1.0 for x in inflations)
+    assert inflations == sorted(inflations)  # bigger chunks, more inflation
+
+
+def test_hybrid_consultation_gain(benchmark, save_output):
+    """Future work (Section VI): consulting other schedules adds recall."""
+    result = benchmark.pedantic(
+        run_hybrid_consultation, rounds=1, iterations=1
+    )
+    save_output("ext_hybrid", result.format())
+    for row in result.rows:
+        assert row.hybrid_raw_recall >= row.kondo_raw_recall
+        assert row.extra_offsets >= 0
+
+
+def test_merkle_delivery_dedup(benchmark, save_output):
+    """Image-level delivery: debloating only touches the data entry, so a
+    receiver holding the original image fetches little; successive
+    debloated releases dedup even more."""
+    result = benchmark.pedantic(run_merkle_delivery, rounds=1, iterations=1)
+    save_output("ext_merkle", result.format())
+    assert result.row("cold").dedup_fraction == 0.0
+    warm = result.row("warm-original").dedup_fraction
+    assert warm > 0.5
+    assert result.row("previous-release").dedup_fraction > warm
+
+
+def test_vpic_threshold_idiom(benchmark, save_output):
+    """Kondo on the VPIC data-dependent threshold subsetting idiom."""
+    result = benchmark.pedantic(run_vpic, rounds=1, iterations=1)
+    save_output("ext_vpic", result.format())
+    assert result.accuracy.recall > 0.9
+    assert result.n_hulls >= 2  # disjoint energy blobs stay separate hulls

@@ -1,0 +1,31 @@
+"""Regenerates Figure 10 — time for baselines to reach Kondo's recall.
+
+Expected shape (paper): BF eventually reaches Kondo's recall but takes
+substantially longer (e.g. 11.2 s vs 338 s on PRL); AFL takes far longer
+still and often plateaus below Kondo's recall.
+"""
+
+import os
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_time_to_recall(benchmark, save_output):
+    fast = os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"bf_cap_s": 10.0 if fast else 45.0,
+                "afl_cap_s": 5.0 if fast else 20.0},
+        rounds=1, iterations=1,
+    )
+    save_output("fig10_time", result.format())
+
+    slower_bf = sum(1 for r in result.rows if r.bf_seconds > r.kondo_seconds)
+    assert slower_bf >= 3, "BF should be slower than Kondo on most families"
+    for row in result.rows:
+        # AFL never beats Kondo: either it is slower to the target recall
+        # or it plateaued below it.
+        assert (
+            row.afl_seconds > row.kondo_seconds
+            or row.afl_recall < row.kondo_recall
+        ), row

@@ -1,0 +1,59 @@
+"""Regenerates Figure 11 — file-size scaling and merge-threshold sweeps.
+
+Expected shapes (paper):
+* (a) recall stays fairly stable as the data file grows 128^2 -> 2048^2;
+  precision improves (and its variance shrinks) because disjoint regions
+  separate more clearly.
+* (b, c) raising ``center_d_thresh`` merges more hulls: recall rises (or
+  holds) while precision falls; recall stays above ~0.75 throughout.
+"""
+
+import os
+
+from repro.experiments import run_fig11a, run_fig11bc
+
+
+def _fast():
+    return os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+def test_fig11a_file_size_scaling(benchmark, save_output):
+    sizes = (128, 256, 512) if _fast() else (128, 256, 512, 1024, 2048)
+    result = benchmark.pedantic(
+        run_fig11a, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    save_output("fig11a_scaling", result.format())
+
+    recalls = [r.mean_recall for r in result.rows]
+    # Recall stable: no collapse at larger sizes.
+    assert min(recalls) > max(recalls) - 0.25
+    # Precision at the largest size at least matches the smallest.
+    assert result.rows[-1].mean_precision >= result.rows[0].mean_precision - 0.1
+
+
+def test_fig11bc_threshold_sweep(benchmark, save_output):
+    result = benchmark.pedantic(run_fig11bc, rounds=1, iterations=1)
+    save_output("fig11bc_threshold", result.format())
+
+    first, last = result.rows[0], result.rows[-1]
+    # Larger thresholds merge more: precision falls, recall does not fall.
+    assert last.mean_precision <= first.mean_precision
+    assert last.mean_recall >= first.mean_recall - 0.02
+    # Paper: recall remains above 0.75 across the sweep.
+    assert all(r.mean_recall > 0.7 for r in result.rows)
+
+
+def test_fig11_bound_threshold_sweep(benchmark, save_output):
+    """The paper states bound_d_thresh "shows similar trends" (no plot)."""
+    result = benchmark.pedantic(
+        run_fig11bc,
+        kwargs={"parameter": "bound_d_thresh",
+                "thresholds": (2.0, 20.0, 45.0, 70.0, 95.0, 130.0),
+                "repetitions": 3},
+        rounds=1, iterations=1,
+    )
+    save_output("fig11_bound_threshold", result.format())
+
+    first, last = result.rows[0], result.rows[-1]
+    assert last.mean_precision <= first.mean_precision + 0.02
+    assert all(r.mean_recall > 0.7 for r in result.rows)

@@ -1,0 +1,27 @@
+"""Regenerates Figure 4 — EE vs boundary-based EE seed scatter.
+
+Expected shape (paper): at equal run counts, the boundary-based schedule
+concentrates a visibly larger share of its evaluations near the subset
+boundaries in parameter space.
+"""
+
+from repro.experiments import ascii_scatter, run_fig4
+
+
+def test_fig4_schedule_comparison(benchmark, save_output):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    text = "\n".join([
+        result.format(),
+        "",
+        f"--- {result.plain.schedule} ---",
+        ascii_scatter(result.plain),
+        "",
+        f"--- {result.boundary.schedule} ---",
+        ascii_scatter(result.boundary),
+    ])
+    save_output("fig4_schedules", text)
+
+    assert result.plain.n_runs == result.boundary.n_runs
+    assert (
+        result.boundary.boundary_fraction > result.plain.boundary_fraction
+    ), "boundary-EE must concentrate evaluations near the boundary"

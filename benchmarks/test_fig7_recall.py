@@ -1,0 +1,21 @@
+"""Regenerates Figure 7 — average recall at a fixed time budget.
+
+Expected shape (paper): Kondo's recall is consistently highest with small
+variance; BF beats AFL; 3-D members depress BF's family averages.
+"""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_recall(benchmark, save_output):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_output("fig7_recall", result.format())
+
+    kondo_avg = result.average_recall("Kondo")
+    bf_avg = result.average_recall("BF")
+    afl_avg = result.average_recall("AFL")
+    # Paper shape: Kondo > BF > AFL at the shared budget; Kondo ~0.98.
+    assert kondo_avg > bf_avg > afl_avg
+    assert kondo_avg > 0.9
+    for family in ("CS", "PRL", "LDC", "RDC"):
+        assert result.recall_of(family, "Kondo") >= result.recall_of(family, "AFL")

@@ -1,0 +1,34 @@
+"""Regenerates Figure 8 — per-program precision.
+
+Expected shape (paper): BF and AFL precision are exactly 1 (they never
+include unaccessed data); Kondo trades some precision for recall — full
+precision on the cleanly separated LDC/RDC subsets, depressed precision on
+the hole (PRL) and sparse/irregular (CS variants) programs; SC is far
+worse than Kondo wherever subsets are disjoint or holed.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_precision(benchmark, save_output):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_output("fig8_precision", result.format())
+
+    for row in result.rows:
+        if row.engine in ("BF", "AFL"):
+            assert row.mean_precision == 1.0, row
+
+    # LDC/RDC: clear separation of the two subsets -> Kondo precision 1.
+    for prog in ("LDC2D", "RDC2D", "LDC3D", "RDC3D"):
+        assert result.precision_of(prog, "Kondo") >= 0.95, prog
+
+    # SC's single global hull over-covers on disjoint/holed programs.
+    for prog in ("LDC2D", "RDC2D", "CS1", "CS5"):
+        assert (
+            result.precision_of(prog, "SC")
+            < result.precision_of(prog, "Kondo")
+        ), prog
+
+    # Average Kondo precision in the paper's ballpark (0.87).
+    avg = result.average_precision("Kondo")
+    assert 0.75 <= avg <= 1.0

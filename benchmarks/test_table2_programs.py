@@ -1,0 +1,15 @@
+"""Regenerates Table II — the benchmark-program inventory."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_inventory(benchmark, save_output):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_output("table2_programs", result.format())
+
+    assert len(result.rows) == 11
+    # Every program's Theta dwarfs Kondo's 2000-iteration budget rationale:
+    # brute force has real work to do.
+    for row in result.rows:
+        assert row.theta_cardinality > 2000, row
+        assert 0.0 < row.gt_bloat < 1.0, row

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Figure 4: plain exploit-explore vs boundary-based EE, as ASCII scatter.
+
+Runs both schedules for 1500 iterations on CS1 (two distant valid regions)
+and renders where each schedule spent its debloat tests: '|' marks useful
+parameter values, '-' non-useful ones.  Boundary-based EE visibly
+concentrates evaluations along the validity boundaries.
+
+Run:  python examples/schedule_comparison.py
+"""
+
+from repro.experiments import ascii_scatter, run_fig4
+
+
+def main() -> None:
+    result = run_fig4(program_name="CS1", iterations=1500)
+    print(result.format())
+    for scatter in (result.plain, result.boundary):
+        print(f"\n--- {scatter.schedule} "
+              f"({scatter.n_runs} runs; '|' useful, '-' non-useful) ---")
+        print(ascii_scatter(scatter))
+
+
+if __name__ == "__main__":
+    main()

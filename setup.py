@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation``, once wheel is present) installs the package from
+the declarative metadata in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Array data model substrate: KND files, layouts, and debloated subsets.
+
+This package is the stand-in for HDF5/NetCDF in the reproduction (see
+DESIGN.md, substitution #2).  It provides:
+
+* :class:`~repro.arraymodel.schema.ArraySchema` — self-describing metadata.
+* :class:`~repro.arraymodel.layout.RowMajorLayout` /
+  :class:`~repro.arraymodel.chunked.ChunkedLayout` — index<->offset maps.
+* :class:`~repro.arraymodel.datafile.ArrayFile` — the KND on-disk format.
+* :class:`~repro.arraymodel.debloated.DebloatedArrayFile` — the KNDS sparse
+  subset format (``D_Theta`` of Definition 1).
+* :class:`~repro.arraymodel.runtime.KondoRuntime` — user-side read serving
+  with "data missing" semantics.
+"""
+
+from repro.arraymodel.bundle import BundleFile, BundleMember, member_path
+from repro.arraymodel.chunk_debloat import (
+    ChunkGranularityReport,
+    chunk_granularity_report,
+    chunks_for_flat_indices,
+)
+from repro.arraymodel.chunked import ChunkedLayout, make_layout
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.debloated import (
+    DebloatedArrayFile,
+    extents_from_flat_indices,
+    merge_extents,
+)
+from repro.arraymodel.layout import (
+    Layout,
+    RowMajorLayout,
+    flatten_index,
+    flatten_many,
+    unflatten_index,
+    unflatten_many,
+)
+from repro.arraymodel.runtime import KondoRuntime, RuntimeStats
+from repro.arraymodel.schema import DTYPE_SIZES, ArraySchema
+
+__all__ = [
+    "ArraySchema",
+    "DTYPE_SIZES",
+    "Layout",
+    "RowMajorLayout",
+    "ChunkedLayout",
+    "make_layout",
+    "ArrayFile",
+    "DebloatedArrayFile",
+    "KondoRuntime",
+    "RuntimeStats",
+    "flatten_index",
+    "unflatten_index",
+    "flatten_many",
+    "unflatten_many",
+    "merge_extents",
+    "extents_from_flat_indices",
+    "BundleFile",
+    "BundleMember",
+    "member_path",
+    "ChunkGranularityReport",
+    "chunk_granularity_report",
+    "chunks_for_flat_indices",
+]

@@ -1,0 +1,214 @@
+"""KNB bundles: multiple named data arrays in one self-describing file.
+
+The paper's introduction notes that "HDF5 and Avro data formats allow
+multiple data files to be bundled together", and its Section VI footnote
+that a real application "may use multiple data files, each self-describing,
+and represented by multiple data arrays".  A KNB bundle is the KND
+equivalent of that container: a member table followed by the members'
+payloads, each member carrying its own :class:`ArraySchema`.
+
+Layout on disk::
+
+    bytes 0..3   magic b"KNB1"
+    bytes 4..7   header length H (uint32 LE)
+    8..8+H       JSON {"members": {name: {"schema":..., "offset":..,
+                                           "nbytes":..}}}
+    8+H ..       member payloads, concatenated in table order
+
+Member reads are audited with the pseudo-path ``<bundle>::<member>``, so a
+single audit session cleanly separates per-member lineage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraymodel.chunked import make_layout
+from repro.arraymodel.datafile import ArrayFile, Recorder, _numpy_dtype
+from repro.arraymodel.schema import ArraySchema
+from repro.errors import FileFormatError, LayoutError
+
+MAGIC = b"KNB1"
+
+
+def member_path(bundle_path: str, name: str) -> str:
+    """The audit identity used for a bundle member's events."""
+    return f"{bundle_path}::{name}"
+
+
+class BundleMember:
+    """A read view over one member array of an open bundle."""
+
+    def __init__(self, bundle: "BundleFile", name: str,
+                 schema: ArraySchema, payload_start: int):
+        self.bundle = bundle
+        self.name = name
+        self.schema = schema
+        self.layout = make_layout(schema)
+        self._payload_start = payload_start
+
+    @property
+    def audit_path(self) -> str:
+        return member_path(self.bundle.path, self.name)
+
+    def read_point(self, index: Sequence[int]) -> float:
+        off = self.layout.offset_of(index)
+        raw = self.bundle._read(
+            self._payload_start + off, self.schema.itemsize,
+            self.audit_path, off,
+        )
+        dt = _numpy_dtype(self.schema.dtype)
+        if dt.kind == "V":
+            return float(np.frombuffer(raw[:8], dtype="f8")[0])
+        return float(np.frombuffer(raw, dtype=dt)[0])
+
+    def read_extent(self, offset: int, size: int) -> bytes:
+        """Member-payload-relative byte range read."""
+        if offset < 0 or size < 0 or offset + size > self.layout.payload_nbytes:
+            raise LayoutError(
+                f"extent [{offset}, {offset + size}) outside member "
+                f"{self.name!r} payload"
+            )
+        return self.bundle._read(
+            self._payload_start + offset, size, self.audit_path, offset
+        )
+
+
+class BundleFile:
+    """An open KNB bundle of named arrays."""
+
+    def __init__(self, path: str, members: Dict[str, Tuple[ArraySchema, int, int]],
+                 recorder: Optional[Recorder] = None):
+        self.path = path
+        self._recorder = recorder
+        self._fh = open(path, "rb", buffering=0)
+        self._members: Dict[str, BundleMember] = {}
+        self._tables = members
+        for name, (schema, offset, _nbytes) in members.items():
+            self._members[name] = BundleMember(self, name, schema, offset)
+        self._closed = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str,
+               members: Dict[str, Tuple[ArraySchema, Optional[np.ndarray]]],
+               ) -> "BundleFile":
+        """Write a bundle from ``{name: (schema, data-or-None)}``."""
+        if not members:
+            raise FileFormatError("a bundle needs at least one member")
+        payloads: List[bytes] = []
+        table: Dict[str, dict] = {}
+        offset = 0
+        for name, (schema, data) in members.items():
+            # Reuse the KND encoder by writing a throwaway single file's
+            # payload through its (static) encoding path.
+            np_dtype = _numpy_dtype(schema.dtype)
+            if data is None:
+                arr = np.zeros(schema.dims, dtype="f8")
+            else:
+                arr = np.asarray(data)
+                if tuple(arr.shape) != schema.dims:
+                    raise FileFormatError(
+                        f"member {name!r}: data shape {arr.shape} != "
+                        f"schema dims {schema.dims}"
+                    )
+            if np_dtype.kind == "V":
+                from repro.arraymodel.datafile import _pack_void
+
+                arr = _pack_void(np.asarray(arr, dtype="f8"), np_dtype)
+            else:
+                arr = np.ascontiguousarray(arr, dtype=np_dtype)
+            payload = ArrayFile._encode_payload(arr, schema, np_dtype, 0.0)
+            payloads.append(payload)
+            table[name] = {
+                "schema": schema.to_dict(),
+                "offset": offset,
+                "nbytes": len(payload),
+            }
+            offset += len(payload)
+        header = json.dumps({"members": table}).encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(header).to_bytes(4, "little"))
+            fh.write(header)
+            for payload in payloads:
+                fh.write(payload)
+        return cls.open(path)
+
+    @classmethod
+    def open(cls, path: str, recorder: Optional[Recorder] = None
+             ) -> "BundleFile":
+        with open(path, "rb") as fh:
+            if fh.read(4) != MAGIC:
+                raise FileFormatError(f"{path}: not a KNB bundle")
+            hlen = int.from_bytes(fh.read(4), "little")
+            raw = fh.read(hlen)
+            if len(raw) != hlen:
+                raise FileFormatError(f"{path}: truncated bundle header")
+            try:
+                table = json.loads(raw.decode("utf-8"))["members"]
+            except (ValueError, KeyError) as exc:
+                raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+        payload_base = 8 + hlen
+        members: Dict[str, Tuple[ArraySchema, int, int]] = {}
+        for name, entry in table.items():
+            schema = ArraySchema.from_dict(entry["schema"])
+            members[name] = (
+                schema,
+                payload_base + int(entry["offset"]),
+                int(entry["nbytes"]),
+            )
+        bundle = cls(path, members, recorder=recorder)
+        end = max(off + nb for _s, off, nb in members.values())
+        if os.path.getsize(path) < end:
+            bundle.close()
+            raise FileFormatError(f"{path}: truncated bundle payload")
+        return bundle
+
+    # -- access -----------------------------------------------------------
+
+    def member_names(self) -> List[str]:
+        return sorted(self._members)
+
+    def member(self, name: str) -> BundleMember:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise FileFormatError(
+                f"{self.path}: no member {name!r}; "
+                f"have {self.member_names()}"
+            ) from None
+
+    def member_nbytes(self, name: str) -> int:
+        self.member(name)
+        return self._tables[name][2]
+
+    def _read(self, abs_offset: int, size: int,
+              audit_path: str, member_offset: int) -> bytes:
+        if self._closed:
+            raise FileFormatError(f"{self.path}: bundle is closed")
+        self._fh.seek(abs_offset)
+        data = self._fh.read(size)
+        if self._recorder is not None:
+            self._recorder(audit_path, "read", member_offset, len(data))
+        return data
+
+    @property
+    def file_nbytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "BundleFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

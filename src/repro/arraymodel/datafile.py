@@ -1,0 +1,265 @@
+"""The KND array file format: a minimal self-describing HDF5 stand-in.
+
+The paper's prototype targets HDF5 and NetCDF.  Offline we cannot link the
+HDF5 C library, so KND provides the properties Kondo actually relies on
+(DESIGN.md substitution #2): self-describing dims/dtype/chunking metadata in
+a header, and a deterministic index<->byte-offset bijection for the payload.
+
+Layout on disk::
+
+    bytes 0..3    magic  b"KND1"
+    bytes 4..7    header length H (little-endian uint32)
+    bytes 8..8+H  JSON header {"dims": [...], "dtype": "...", "chunks": ...}
+    8+H ..        payload (row-major or chunk-padded, per the schema)
+
+Reads issue real ``seek``/``read`` syscalls on the underlying file object,
+so a fine-grained audit recorder attached via :meth:`ArrayFile.open` sees
+genuine I/O events (Section IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.arraymodel.chunked import make_layout
+from repro.arraymodel.layout import Layout
+from repro.arraymodel.schema import ArraySchema
+from repro.errors import FileFormatError, LayoutError
+
+MAGIC = b"KND1"
+
+#: Signature of an audit recorder callback: (path, op, offset, size).
+Recorder = Callable[[str, str, int, int], None]
+
+
+def _numpy_dtype(code: str) -> np.dtype:
+    """Map a schema dtype code to a numpy dtype of the same width."""
+    if code == "f16":
+        dt = np.dtype(np.longdouble)
+        if dt.itemsize == 16:
+            return dt
+        # Platforms without 16-byte long double: store as 16 raw bytes.
+        return np.dtype("V16")
+    return np.dtype(code)
+
+
+class ArrayFile:
+    """A readable (and creatable) KND data file.
+
+    Use :meth:`create` to write a file and :meth:`open` to read one.  All
+    element reads go through the (optional) audit recorder, which is how
+    Kondo's fine-grained lineage observes which byte ranges a run touches.
+    """
+
+    def __init__(self, path: str, schema: ArraySchema, header_size: int,
+                 recorder: Optional[Recorder] = None):
+        self.path = path
+        self.schema = schema
+        self.layout: Layout = make_layout(schema)
+        self._payload_start = header_size
+        self._recorder = recorder
+        self._fh = open(path, "rb", buffering=0)
+        self._closed = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        schema: ArraySchema,
+        data: Optional[np.ndarray] = None,
+        fill: float = 0.0,
+    ) -> "ArrayFile":
+        """Write a KND file and return it opened for reading.
+
+        Args:
+            path: destination file path.
+            schema: array metadata; decides payload layout.
+            data: optional array of shape ``schema.dims``; filled with
+                ``fill`` when omitted.
+            fill: value used for omitted data and chunk padding.
+        """
+        header = json.dumps({"schema": schema.to_dict()}).encode("utf-8")
+        np_dtype = _numpy_dtype(schema.dtype)
+        if data is None:
+            arr = np.full(schema.dims, fill, dtype=np_dtype if np_dtype.kind != "V" else "f8")
+            if np_dtype.kind == "V":
+                arr = _pack_void(arr, np_dtype)
+        else:
+            data = np.asarray(data)
+            if tuple(data.shape) != schema.dims:
+                raise FileFormatError(
+                    f"data shape {data.shape} != schema dims {schema.dims}"
+                )
+            if np_dtype.kind == "V":
+                arr = _pack_void(data.astype("f8"), np_dtype)
+            else:
+                arr = np.ascontiguousarray(data, dtype=np_dtype)
+        payload = cls._encode_payload(arr, schema, np_dtype, fill)
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(header).to_bytes(4, "little"))
+            fh.write(header)
+            fh.write(payload)
+        return cls.open(path)
+
+    @staticmethod
+    def _encode_payload(arr: np.ndarray, schema: ArraySchema,
+                        np_dtype: np.dtype, fill: float) -> bytes:
+        if schema.chunks is None:
+            return arr.tobytes(order="C")
+        # Chunk-padded encoding: iterate the chunk grid row-major, pad edges.
+        from repro.arraymodel.chunked import ChunkedLayout
+
+        layout = ChunkedLayout(schema)
+        parts = []
+        pad_scalar = (
+            np.zeros((), dtype=np_dtype)
+            if np_dtype.kind == "V"
+            else np.asarray(fill, dtype=np_dtype)
+        )
+        for num in range(layout.n_chunks):
+            coord = np.unravel_index(num, layout.grid)
+            sl = tuple(
+                slice(c * cs, min((c + 1) * cs, d))
+                for c, cs, d in zip(coord, schema.chunks, schema.dims)
+            )
+            block = arr[sl]
+            if block.shape != schema.chunks:
+                padded = np.full(schema.chunks, pad_scalar, dtype=np_dtype)
+                padded[tuple(slice(0, s) for s in block.shape)] = block
+                block = padded
+            parts.append(np.ascontiguousarray(block).tobytes(order="C"))
+        return b"".join(parts)
+
+    @classmethod
+    def open(cls, path: str, recorder: Optional[Recorder] = None) -> "ArrayFile":
+        """Open an existing KND file, optionally attaching an audit recorder."""
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+            if magic != MAGIC:
+                raise FileFormatError(f"{path}: bad magic {magic!r}")
+            hlen_bytes = fh.read(4)
+            if len(hlen_bytes) != 4:
+                raise FileFormatError(f"{path}: truncated header length")
+            hlen = int.from_bytes(hlen_bytes, "little")
+            raw = fh.read(hlen)
+            if len(raw) != hlen:
+                raise FileFormatError(f"{path}: truncated header")
+            try:
+                header = json.loads(raw.decode("utf-8"))
+                schema = ArraySchema.from_dict(header["schema"])
+            except (ValueError, KeyError) as exc:
+                raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+        f = cls(path, schema, header_size=8 + hlen, recorder=recorder)
+        expected = f._payload_start + f.layout.payload_nbytes
+        actual = os.path.getsize(path)
+        if actual < expected:
+            f.close()
+            raise FileFormatError(
+                f"{path}: payload truncated ({actual} < {expected} bytes)"
+            )
+        return f
+
+    # -- reading -----------------------------------------------------------
+
+    def _read_payload(self, offset: int, size: int, op: str = "read") -> bytes:
+        """Issue a real seek+read at a payload-relative offset, auditing it."""
+        if self._closed:
+            raise FileFormatError(f"{self.path}: file is closed")
+        self._fh.seek(self._payload_start + offset)
+        buf = self._fh.read(size)
+        if self._recorder is not None:
+            self._recorder(self.path, op, offset, len(buf))
+        return buf
+
+    def read_point(self, index: Sequence[int]):
+        """Read the single element at a d-dimensional ``index``."""
+        off = self.layout.offset_of(index)
+        raw = self._read_payload(off, self.schema.itemsize)
+        return self._decode_scalar(raw)
+
+    def read_extent(self, offset: int, size: int) -> bytes:
+        """Read an arbitrary payload byte range (chunk reads, mmap-style)."""
+        if offset < 0 or size < 0 or offset + size > self.layout.payload_nbytes:
+            raise LayoutError(
+                f"extent [{offset}, {offset + size}) outside payload of "
+                f"{self.layout.payload_nbytes} bytes"
+            )
+        return self._read_payload(offset, size)
+
+    def read_box(self, lo: Sequence[int], hi: Sequence[int]) -> np.ndarray:
+        """Read the hyper-rectangular block ``[lo, hi)`` (exclusive upper).
+
+        Rows contiguous along the last axis are fetched with one read each,
+        which mirrors how HDF5 hyperslab selections hit the file.
+        """
+        lo = tuple(int(x) for x in lo)
+        hi = tuple(int(x) for x in hi)
+        if len(lo) != self.schema.ndim or len(hi) != self.schema.ndim:
+            raise LayoutError("box rank mismatch")
+        if any(a < 0 or b > d or a >= b
+               for a, b, d in zip(lo, hi, self.schema.dims)):
+            raise LayoutError(f"box [{lo}, {hi}) out of bounds")
+        shape = tuple(b - a for a, b in zip(lo, hi))
+        out = np.empty(shape, dtype="f8")
+        it = np.ndindex(*shape[:-1]) if len(shape) > 1 else iter([()])
+        for prefix in it:
+            index = tuple(a + p for a, p in zip(lo, prefix)) + (lo[-1],)
+            run_start = self.layout.offset_of(index)
+            # Only row-major flat rows are guaranteed contiguous; chunked
+            # layouts fall back to element reads across chunk boundaries.
+            if self.schema.chunks is None:
+                raw = self._read_payload(
+                    run_start, shape[-1] * self.schema.itemsize
+                )
+                out[prefix] = self._decode_vector(raw)
+            else:
+                for k in range(shape[-1]):
+                    idx = index[:-1] + (lo[-1] + k,)
+                    out[prefix + (k,)] = self.read_point(idx)
+        return out
+
+    def _decode_scalar(self, raw: bytes) -> float:
+        dt = _numpy_dtype(self.schema.dtype)
+        if dt.kind == "V":
+            return float(np.frombuffer(raw[:8], dtype="f8")[0])
+        return float(np.frombuffer(raw, dtype=dt)[0])
+
+    def _decode_vector(self, raw: bytes) -> np.ndarray:
+        dt = _numpy_dtype(self.schema.dtype)
+        if dt.kind == "V":
+            return np.frombuffer(raw, dtype="V16").view("f8")[::2].astype("f8")
+        return np.frombuffer(raw, dtype=dt).astype("f8")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def file_nbytes(self) -> int:
+        """Total on-disk size of the file."""
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "ArrayFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _pack_void(arr: np.ndarray, void_dt: np.dtype) -> np.ndarray:
+    """Pack float64 data into 16-byte void cells (f16 fallback encoding)."""
+    flat = np.ascontiguousarray(arr, dtype="f8")
+    out = np.zeros(arr.shape, dtype=void_dt)
+    raw = out.view("u1").reshape(arr.size, 16)
+    raw[:, :8] = flat.view("u1").reshape(arr.size, 8)
+    return out

@@ -1,0 +1,237 @@
+"""Debloated data subsets: the KNDS sparse array file format.
+
+Definition 1 of the paper: the data subset ``D_Theta`` keeps ``D(i)`` for
+``i`` in the (approximated) index subset and maps every other index to the
+designated *Null* value.  KNDS materializes that: it stores only the kept
+byte extents, plus an extent directory, so the on-disk size shrinks by the
+bloat fraction while every kept element remains readable at its original
+logical index.
+
+Layout on disk::
+
+    bytes 0..3   magic  b"KNDS"
+    bytes 4..7   header length H (uint32 LE)
+    8..8+H       JSON header {"schema": ..., "extents": [[src_off, size], ...]}
+    8+H ..       concatenation of the kept source-payload extents, in order
+
+Reading an index resolves its source byte offset, binary-searches the extent
+directory, and either reads the relocated bytes or raises
+:class:`~repro.errors.DataMissingError` — the run-time exception of
+Section III.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraymodel.chunked import make_layout
+from repro.arraymodel.datafile import ArrayFile, Recorder, _numpy_dtype
+from repro.arraymodel.schema import ArraySchema
+from repro.errors import DataMissingError, FileFormatError, LayoutError
+
+MAGIC = b"KNDS"
+
+
+def merge_extents(extents: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and coalesce overlapping/adjacent ``(start, size)`` extents."""
+    merged: List[Tuple[int, int]] = []
+    for start, size in sorted((int(s), int(z)) for s, z in extents):
+        if size <= 0:
+            continue
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            end = max(merged[-1][0] + merged[-1][1], start + size)
+            merged[-1] = (merged[-1][0], end - merged[-1][0])
+        else:
+            merged.append((start, size))
+    return merged
+
+
+def extents_from_flat_indices(
+    flat: np.ndarray, itemsize: int
+) -> List[Tuple[int, int]]:
+    """Collapse a set of flat element numbers into merged byte extents."""
+    flat = np.unique(np.asarray(flat, dtype=np.int64))
+    if flat.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(flat) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [flat.size - 1]))
+    return [
+        (int(flat[s]) * itemsize, int(flat[e] - flat[s] + 1) * itemsize)
+        for s, e in zip(starts, ends)
+    ]
+
+
+class DebloatedArrayFile:
+    """A KNDS sparse subset of a KND source array, readable by index."""
+
+    def __init__(self, path: str, schema: ArraySchema,
+                 extents: List[Tuple[int, int]], payload_start: int,
+                 recorder: Optional[Recorder] = None):
+        self.path = path
+        self.schema = schema
+        self.layout = make_layout(schema)
+        self.extents = extents
+        self._starts = [s for s, _ in extents]
+        # Cumulative placement of each extent inside the KNDS payload.
+        self._placement = []
+        pos = 0
+        for _, size in extents:
+            self._placement.append(pos)
+            pos += size
+        self._kept_nbytes = pos
+        self._payload_start = payload_start
+        self._recorder = recorder
+        self._fh = open(path, "rb", buffering=0)
+        self._closed = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        source: ArrayFile,
+        keep_flat_indices: Optional[np.ndarray] = None,
+        keep_extents: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> "DebloatedArrayFile":
+        """Carve a debloated copy of ``source`` keeping only given elements.
+
+        Exactly one of ``keep_flat_indices`` (layout-flat element numbers —
+        i.e. payload offset / itemsize) or ``keep_extents`` (payload byte
+        ranges) must be provided.
+        """
+        if (keep_flat_indices is None) == (keep_extents is None):
+            raise FileFormatError(
+                "provide exactly one of keep_flat_indices / keep_extents"
+            )
+        if keep_extents is None:
+            extents = extents_from_flat_indices(
+                keep_flat_indices, source.schema.itemsize
+            )
+        else:
+            extents = merge_extents(keep_extents)
+        payload_limit = source.layout.payload_nbytes
+        for start, size in extents:
+            if start < 0 or start + size > payload_limit:
+                raise LayoutError(
+                    f"extent [{start}, {start + size}) outside source payload"
+                )
+        header = json.dumps(
+            {"schema": source.schema.to_dict(),
+             "extents": [[s, z] for s, z in extents]}
+        ).encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(header).to_bytes(4, "little"))
+            fh.write(header)
+            for start, size in extents:
+                fh.write(source.read_extent(start, size))
+        return cls.open(path)
+
+    @classmethod
+    def open(cls, path: str, recorder: Optional[Recorder] = None
+             ) -> "DebloatedArrayFile":
+        """Open an existing KNDS file."""
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+            if magic != MAGIC:
+                raise FileFormatError(f"{path}: bad magic {magic!r}")
+            hlen = int.from_bytes(fh.read(4), "little")
+            raw = fh.read(hlen)
+            if len(raw) != hlen:
+                raise FileFormatError(f"{path}: truncated header")
+            try:
+                header = json.loads(raw.decode("utf-8"))
+                schema = ArraySchema.from_dict(header["schema"])
+                extents = [(int(s), int(z)) for s, z in header["extents"]]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+        f = cls(path, schema, extents, payload_start=8 + hlen,
+                recorder=recorder)
+        expected = f._payload_start + f._kept_nbytes
+        if os.path.getsize(path) < expected:
+            f.close()
+            raise FileFormatError(f"{path}: payload truncated")
+        return f
+
+    # -- reading -----------------------------------------------------------
+
+    def _locate(self, src_offset: int, size: int) -> Tuple[int, int]:
+        """Map a source payload range to its KNDS payload position.
+
+        Raises :class:`DataMissingError` if the range is not fully kept.
+        """
+        pos = bisect.bisect_right(self._starts, src_offset) - 1
+        if pos < 0:
+            raise DataMissingError(
+                f"offset {src_offset} was debloated away", path=self.path
+            )
+        start, ext_size = self.extents[pos]
+        if src_offset + size > start + ext_size:
+            raise DataMissingError(
+                f"range [{src_offset}, {src_offset + size}) not fully kept",
+                path=self.path,
+            )
+        return pos, self._placement[pos] + (src_offset - start)
+
+    def contains_index(self, index: Sequence[int]) -> bool:
+        """Whether the element at ``index`` was kept in this subset."""
+        try:
+            self._locate(self.layout.offset_of(index), self.schema.itemsize)
+            return True
+        except DataMissingError:
+            return False
+
+    def read_point(self, index: Sequence[int]) -> float:
+        """Read a kept element; raise :class:`DataMissingError` on Null."""
+        src_off = self.layout.offset_of(index)
+        try:
+            _, local = self._locate(src_off, self.schema.itemsize)
+        except DataMissingError as exc:
+            raise DataMissingError(
+                f"index {tuple(index)} maps to Null in {self.path}",
+                index=tuple(index), path=self.path,
+            ) from exc
+        self._fh.seek(self._payload_start + local)
+        raw = self._fh.read(self.schema.itemsize)
+        if self._recorder is not None:
+            self._recorder(self.path, "read", src_off, len(raw))
+        dt = _numpy_dtype(self.schema.dtype)
+        if dt.kind == "V":
+            return float(np.frombuffer(raw[:8], dtype="f8")[0])
+        return float(np.frombuffer(raw, dtype=dt)[0])
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def kept_nbytes(self) -> int:
+        """Bytes of source payload preserved in this subset."""
+        return self._kept_nbytes
+
+    @property
+    def file_nbytes(self) -> int:
+        """Total on-disk size of the KNDS file."""
+        return os.path.getsize(self.path)
+
+    def reduction_vs(self, source_payload_nbytes: int) -> float:
+        """Fractional size reduction against the original payload."""
+        if source_payload_nbytes <= 0:
+            return 0.0
+        return 1.0 - (self._kept_nbytes / source_payload_nbytes)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "DebloatedArrayFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

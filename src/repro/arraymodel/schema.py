@@ -1,0 +1,120 @@
+"""Array schemas: the self-describing metadata of a KND data file.
+
+The paper (Section III) models a data file as a d-dimensional *data array*
+``D``: a map from a logical index space ``I`` to values.  Section IV-C adds
+that Kondo "assumes knowledge of metadata of the data file such as the
+dimensions of the data file, the layout of the array, and the type of data
+values, to maintain a one-one mapping between index tuples and byte
+offsets".  :class:`ArraySchema` is exactly that metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import SchemaError
+
+#: Supported element dtypes mapped to their size in bytes.  The paper's
+#: experiments assume a 16-byte ``long double`` ("f16"); we also support the
+#: common numeric widths so tests can use small files.
+DTYPE_SIZES = {
+    "u1": 1,
+    "i4": 4,
+    "i8": 8,
+    "f4": 4,
+    "f8": 8,
+    "f16": 16,
+}
+
+
+@dataclass(frozen=True)
+class ArraySchema:
+    """Shape, element type, and optional chunking of a data array.
+
+    Args:
+        dims: extent along each dimension, e.g. ``(128, 128)``.
+        dtype: one of :data:`DTYPE_SIZES` (default ``"f16"``, matching the
+            paper's long-double experiments).
+        chunks: optional chunk shape; ``None`` means a flat row-major file.
+    """
+
+    dims: Tuple[int, ...]
+    dtype: str = "f16"
+    chunks: Optional[Tuple[int, ...]] = field(default=None)
+
+    def __post_init__(self):
+        if not self.dims:
+            raise SchemaError("dims must be a non-empty tuple")
+        dims = tuple(int(d) for d in self.dims)
+        object.__setattr__(self, "dims", dims)
+        if any(d <= 0 for d in dims):
+            raise SchemaError(f"all dims must be positive, got {dims}")
+        if self.dtype not in DTYPE_SIZES:
+            raise SchemaError(
+                f"unsupported dtype {self.dtype!r}; "
+                f"expected one of {sorted(DTYPE_SIZES)}"
+            )
+        if self.chunks is not None:
+            chunks = tuple(int(c) for c in self.chunks)
+            object.__setattr__(self, "chunks", chunks)
+            if len(chunks) != len(dims):
+                raise SchemaError(
+                    f"chunk rank {len(chunks)} != array rank {len(dims)}"
+                )
+            if any(c <= 0 for c in chunks):
+                raise SchemaError(f"all chunk extents must be positive, got {chunks}")
+
+    @property
+    def ndim(self) -> int:
+        """Rank of the array (the paper's ``d``)."""
+        return len(self.dims)
+
+    @property
+    def itemsize(self) -> int:
+        """Size of one element in bytes."""
+        return DTYPE_SIZES[self.dtype]
+
+    @property
+    def n_elements(self) -> int:
+        """Total number of elements in the logical index space ``I``."""
+        return math.prod(self.dims)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical payload size in bytes (excluding chunk padding)."""
+        return self.n_elements * self.itemsize
+
+    @property
+    def chunk_grid(self) -> Tuple[int, ...]:
+        """Number of chunks along each dimension (ceil-divided)."""
+        if self.chunks is None:
+            raise SchemaError("schema has no chunking")
+        return tuple(
+            -(-d // c) for d, c in zip(self.dims, self.chunks)
+        )
+
+    def contains_index(self, index: Tuple[int, ...]) -> bool:
+        """Whether ``index`` lies inside the logical index space."""
+        return len(index) == self.ndim and all(
+            0 <= i < d for i, d in zip(index, self.dims)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, used in KND file headers."""
+        return {
+            "dims": list(self.dims),
+            "dtype": self.dtype,
+            "chunks": list(self.chunks) if self.chunks is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArraySchema":
+        """Inverse of :meth:`to_dict`."""
+        chunks = d.get("chunks")
+        return cls(
+            dims=tuple(d["dims"]),
+            dtype=d.get("dtype", "f16"),
+            chunks=tuple(chunks) if chunks is not None else None,
+        )

@@ -1,0 +1,53 @@
+"""Fine-grained I/O auditing substrate (paper Sections II and IV-C).
+
+Implements the paper's auditing system ``AS``: event capture
+(:mod:`~repro.audit.events`), interval-B-tree indexing
+(:mod:`~repro.audit.interval_btree`), per-process range merging and index
+resolution (:mod:`~repro.audit.session`), in-process function interposition
+(:mod:`~repro.audit.interposer`), strace trace ingestion
+(:mod:`~repro.audit.strace`), and overhead measurement
+(:mod:`~repro.audit.overhead`).
+"""
+
+from repro.audit.events import ACCESS_TYPES, Event, EventType
+from repro.audit.interposer import AuditedFile, audited_open
+from repro.audit.interval_btree import IntervalBTree
+from repro.audit.overhead import OverheadReport, measure_overhead, summarize
+from repro.audit.replay import (
+    FileAccessRecord,
+    ReplayReport,
+    RunManifest,
+    capture_manifest,
+    subset_range_reader,
+    verify_manifest,
+)
+from repro.audit.session import AuditSession
+from repro.audit.strace import (
+    StraceParser,
+    parse_strace_text,
+    strace_available,
+    trace_command,
+)
+
+__all__ = [
+    "Event",
+    "EventType",
+    "ACCESS_TYPES",
+    "IntervalBTree",
+    "AuditSession",
+    "AuditedFile",
+    "audited_open",
+    "StraceParser",
+    "parse_strace_text",
+    "strace_available",
+    "trace_command",
+    "OverheadReport",
+    "measure_overhead",
+    "summarize",
+    "RunManifest",
+    "FileAccessRecord",
+    "ReplayReport",
+    "capture_manifest",
+    "verify_manifest",
+    "subset_range_reader",
+]

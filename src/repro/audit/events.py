@@ -1,0 +1,90 @@
+"""I/O audit events.
+
+Definition 4 of the paper: an event is a four-tuple ``<id, c, l, sz>``:
+
+* ``id`` identifies the event using the process identifier that generated
+  the system call and the file it affects,
+* ``c`` is the type of event (read, mmap, ...),
+* ``l`` is the start byte offset location in file which the event affects,
+* ``sz`` is the size of the affected file starting from ``l``.
+
+The offset range of an event is ``[l, l + sz)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import AuditError
+
+
+class EventType(str, Enum):
+    """System-call classes a fine-grained audit distinguishes."""
+
+    READ = "read"
+    PREAD = "pread"
+    MMAP = "mmap"
+    WRITE = "write"
+    OPEN = "open"
+    CLOSE = "close"
+
+    @classmethod
+    def parse(cls, name: str) -> "EventType":
+        """Map a syscall name (e.g. ``pread64``) to an event type."""
+        name = name.lower()
+        if name.startswith("pread"):
+            return cls.PREAD
+        if name.startswith("read") or name == "readv":
+            return cls.READ
+        if name.startswith("mmap"):
+            return cls.MMAP
+        if name.startswith("write") or name == "writev" or name.startswith("pwrite"):
+            return cls.WRITE
+        if name.startswith("open"):
+            return cls.OPEN
+        if name == "close":
+            return cls.CLOSE
+        raise AuditError(f"unknown syscall/event type {name!r}")
+
+
+#: Event types that constitute a data *access* Kondo tracks for debloating.
+ACCESS_TYPES = frozenset({EventType.READ, EventType.PREAD, EventType.MMAP})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One audited system-call event (the paper's ``<id, c, l, sz>``)."""
+
+    pid: int
+    path: str
+    c: EventType
+    l: int
+    sz: int
+
+    def __post_init__(self):
+        if self.l < 0:
+            raise AuditError(f"negative start offset {self.l}")
+        if self.sz < 0:
+            raise AuditError(f"negative size {self.sz}")
+
+    @property
+    def id(self) -> Tuple[int, str]:
+        """The event identity: (process id, affected file)."""
+        return (self.pid, self.path)
+
+    @property
+    def offset_range(self) -> Tuple[int, int]:
+        """Half-open accessed byte range ``[l, l + sz)``."""
+        return (self.l, self.l + self.sz)
+
+    @property
+    def is_access(self) -> bool:
+        """Whether this event reads data (vs. write/open/close)."""
+        return self.c in ACCESS_TYPES
+
+    @property
+    def is_write(self) -> bool:
+        """Writes invalidate Kondo's read-only assumption (Section III)."""
+        return self.c is EventType.WRITE

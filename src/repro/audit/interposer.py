@@ -1,0 +1,110 @@
+"""Function interposition: the in-process half of the audit substitution.
+
+The paper's prototype uses the Sciunit ptrace engine to intercept syscalls.
+ptrace needs privileges and an OS contract we cannot assume offline, so this
+module interposes at the file-object boundary instead (DESIGN.md
+substitution #1): :class:`AuditedFile` wraps a raw binary file and emits the
+exact event tuples of Definition 4 for every ``read``/``seek``/``mmap``-like
+operation, into an :class:`~repro.audit.session.AuditSession`.
+
+:func:`audited_open` is the drop-in replacement for ``open`` that workload
+programs use when running under audit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.audit.events import Event, EventType
+from repro.audit.session import AuditSession
+from repro.errors import AuditError
+
+
+class AuditedFile:
+    """A read-only binary file handle whose I/O is audited.
+
+    Mirrors the subset of the io API the workloads use: ``seek``, ``tell``,
+    ``read``, ``pread``, ``mmap_region``, ``close``; context-manager
+    protocol included.
+    """
+
+    def __init__(self, path: str, session: AuditSession,
+                 pid: Optional[int] = None):
+        self.path = path
+        self.session = session
+        self.pid = pid if pid is not None else os.getpid()
+        self._fh = open(path, "rb", buffering=0)
+        self._closed = False
+        session.record_event(
+            Event(pid=self.pid, path=path, c=EventType.OPEN, l=0, sz=0)
+        )
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise AuditError(f"{self.path}: operation on closed AuditedFile")
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        """lseek(2): repositions without emitting an access event."""
+        self._require_open()
+        return self._fh.seek(offset, whence)
+
+    def tell(self) -> int:
+        self._require_open()
+        return self._fh.tell()
+
+    def read(self, size: int = -1) -> bytes:
+        """read(2): audited with the pre-read position and actual count."""
+        self._require_open()
+        start = self._fh.tell()
+        data = self._fh.read() if size is None or size < 0 else self._fh.read(size)
+        self.session.record_event(
+            Event(pid=self.pid, path=self.path, c=EventType.READ,
+                  l=start, sz=len(data))
+        )
+        return data
+
+    def pread(self, size: int, offset: int) -> bytes:
+        """pread(2): positional read that does not move the file cursor."""
+        self._require_open()
+        data = os.pread(self._fh.fileno(), size, offset)
+        self.session.record_event(
+            Event(pid=self.pid, path=self.path, c=EventType.PREAD,
+                  l=offset, sz=len(data))
+        )
+        return data
+
+    def mmap_region(self, offset: int, length: int) -> bytes:
+        """mmap(2)-equivalent: maps (here: reads) a whole region.
+
+        A fine-grained auditor conservatively treats the mapped range as
+        accessed, exactly as the paper's event model does for ``mmap``.
+        """
+        self._require_open()
+        data = os.pread(self._fh.fileno(), length, offset)
+        self.session.record_event(
+            Event(pid=self.pid, path=self.path, c=EventType.MMAP,
+                  l=offset, sz=length)
+        )
+        return data
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+            self.session.record_event(
+                Event(pid=self.pid, path=self.path, c=EventType.CLOSE,
+                      l=0, sz=0)
+            )
+
+    def __enter__(self) -> "AuditedFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def audited_open(path: str, session: AuditSession,
+                 pid: Optional[int] = None) -> AuditedFile:
+    """Open ``path`` read-only with every access audited into ``session``."""
+    return AuditedFile(path, session, pid=pid)

@@ -1,0 +1,243 @@
+"""An interval B-tree for indexing audited offset ranges.
+
+Section IV-C: "Generally, events are large in number from a data-intensive
+process.  Kondo uses interval-based B-trees to index events and performs
+per-process lookup."
+
+This is a classic B-tree (minimum degree ``t``) keyed on interval start
+offsets, augmented per-node with the maximum interval end in the node's
+subtree — the standard interval-tree augmentation transplanted onto a
+B-tree, which keeps fan-out high for the event volumes data-intensive
+processes generate.  Supported operations:
+
+* :meth:`IntervalBTree.insert` — O(log_t n)
+* :meth:`IntervalBTree.overlapping` — stabbing/range query, output-sensitive
+* :meth:`IntervalBTree.iter_intervals` — in-order traversal
+* :meth:`IntervalBTree.merged` — coalesced coverage of all intervals
+
+Intervals are half-open ``[start, end)`` and may carry an arbitrary payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Tuple
+
+from repro.errors import AuditError
+
+
+@dataclass
+class _Node:
+    """A B-tree node: ``keys[i]`` are (start, end, payload) triples."""
+
+    leaf: bool
+    keys: List[Tuple[int, int, Any]] = field(default_factory=list)
+    children: List["_Node"] = field(default_factory=list)
+    max_end: int = -1
+
+    def recompute_max_end(self) -> None:
+        m = max((k[1] for k in self.keys), default=-1)
+        if not self.leaf:
+            for ch in self.children:
+                if ch.max_end > m:
+                    m = ch.max_end
+        self.max_end = m
+
+
+class IntervalBTree:
+    """B-tree of half-open intervals with subtree max-end augmentation.
+
+    Args:
+        t: minimum degree; nodes hold between ``t - 1`` and ``2t - 1`` keys
+            (root excepted).  The default 16 gives fan-out 32.
+    """
+
+    def __init__(self, t: int = 16):
+        if t < 2:
+            raise AuditError(f"B-tree minimum degree must be >= 2, got {t}")
+        self.t = t
+        self.root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, start: int, end: int, payload: Any = None) -> None:
+        """Insert interval ``[start, end)`` with an optional payload."""
+        if end < start:
+            raise AuditError(f"interval end {end} < start {start}")
+        key = (int(start), int(end), payload)
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False, children=[root])
+            self._split_child(new_root, 0)
+            self.root = new_root
+            root = new_root
+        self._insert_nonfull(root, key)
+        self._size += 1
+
+    def _split_child(self, parent: _Node, i: int) -> None:
+        t = self.t
+        child = parent.children[i]
+        sibling = _Node(leaf=child.leaf)
+        mid = child.keys[t - 1]
+        sibling.keys = child.keys[t:]
+        child.keys = child.keys[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(i + 1, sibling)
+        parent.keys.insert(i, mid)
+        child.recompute_max_end()
+        sibling.recompute_max_end()
+        parent.recompute_max_end()
+
+    def _insert_nonfull(self, node: _Node, key: Tuple[int, int, Any]) -> None:
+        while True:
+            if node.leaf:
+                if key[1] > node.max_end:
+                    node.max_end = key[1]
+                # Insert in sorted position by (start, end).
+                i = len(node.keys)
+                node.keys.append(key)
+                while i > 0 and node.keys[i - 1][:2] > key[:2]:
+                    node.keys[i] = node.keys[i - 1]
+                    i -= 1
+                node.keys[i] = key
+                return
+            i = len(node.keys)
+            while i > 0 and node.keys[i - 1][:2] > key[:2]:
+                i -= 1
+            if len(node.children[i].keys) == 2 * self.t - 1:
+                self._split_child(node, i)
+                if node.keys[i][:2] < key[:2]:
+                    i += 1
+            # Bump only after any split, which recomputes max_end from the
+            # current (pre-insert) contents and would otherwise erase it.
+            if key[1] > node.max_end:
+                node.max_end = key[1]
+            node = node.children[i]
+
+    # -- queries --------------------------------------------------------------
+
+    def overlapping(self, start: int, end: int) -> List[Tuple[int, int, Any]]:
+        """All stored intervals overlapping the half-open ``[start, end)``.
+
+        Overlap is strict half-open intersection: a stored ``[s, e)``
+        overlaps iff ``s < end and e > start``.  Use ``(p, p + 1)`` for a
+        stabbing query at point ``p``.
+        """
+        if end < start:
+            raise AuditError(f"query end {end} < start {start}")
+        out: List[Tuple[int, int, Any]] = []
+        if end > start:
+            self._collect_overlaps(self.root, start, end, out)
+        return out
+
+    def _collect_overlaps(self, node: _Node, qs: int, qe: int,
+                          out: List[Tuple[int, int, Any]]) -> None:
+        if node.max_end <= qs:
+            return  # nothing in this subtree ends past the query start
+        for i, (s, e, payload) in enumerate(node.keys):
+            if not node.leaf:
+                child = node.children[i]
+                if child.max_end > qs:
+                    self._collect_overlaps(child, qs, qe, out)
+            if s >= qe:
+                # This key and everything to its right (keys and child
+                # subtrees) start at >= qe, so none can overlap.
+                return
+            if e > qs:
+                out.append((s, e, payload))
+        if not node.leaf:
+            child = node.children[-1]
+            if child.max_end > qs:
+                self._collect_overlaps(child, qs, qe, out)
+
+    def iter_intervals(self) -> Iterator[Tuple[int, int, Any]]:
+        """In-order (sorted by start, then end) traversal of all intervals."""
+        yield from self._iter(self.root)
+
+    def _iter(self, node: _Node) -> Iterator[Tuple[int, int, Any]]:
+        if node.leaf:
+            yield from node.keys
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter(node.children[i])
+            yield key
+        yield from self._iter(node.children[-1])
+
+    def merged(self) -> List[Tuple[int, int]]:
+        """Coalesced coverage: merged, sorted ``(start, end)`` ranges.
+
+        This implements the paper's event-merging semantics (Section IV-C
+        example): overlapping or touching accessed ranges collapse into one.
+        """
+        out: List[Tuple[int, int]] = []
+        for s, e, _ in self.iter_intervals():
+            if s == e:
+                continue
+            if out and s <= out[-1][1]:
+                if e > out[-1][1]:
+                    out[-1] = (out[-1][0], e)
+            else:
+                out.append((s, e))
+        return out
+
+    def covers(self, point: int) -> bool:
+        """Whether any stored interval contains ``point``."""
+        return any(s <= point < e for s, e, _ in self.overlapping(point, point + 1))
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def height(self) -> int:
+        """Tree height (root-only tree has height 1)."""
+        h, node = 1, self.root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Validate B-tree ordering, occupancy, and max-end augmentation.
+
+        Raises :class:`AuditError` on any violation; used by tests.
+        """
+        self._check(self.root, is_root=True, lo=None, hi=None)
+
+    def _check(self, node: _Node, is_root: bool, lo, hi) -> int:
+        t = self.t
+        if not is_root and len(node.keys) < t - 1:
+            raise AuditError("underfull non-root node")
+        if len(node.keys) > 2 * t - 1:
+            raise AuditError("overfull node")
+        starts = [k[:2] for k in node.keys]
+        if starts != sorted(starts):
+            raise AuditError("keys out of order within node")
+        for k in node.keys:
+            if lo is not None and k[:2] < lo:
+                raise AuditError("key below subtree lower bound")
+            if hi is not None and k[:2] > hi:
+                raise AuditError("key above subtree upper bound")
+        max_end = max((k[1] for k in node.keys), default=-1)
+        if node.leaf:
+            if node.children:
+                raise AuditError("leaf with children")
+            if node.max_end != max_end:
+                raise AuditError("stale max_end on leaf")
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise AuditError("child count != keys + 1")
+        depths = set()
+        bounds = [lo] + [k[:2] for k in node.keys] + [hi]
+        for i, ch in enumerate(node.children):
+            depths.add(self._check(ch, False, bounds[i], bounds[i + 1]))
+            if ch.max_end > max_end:
+                max_end = ch.max_end
+        if len(depths) != 1:
+            raise AuditError("unbalanced children")
+        if node.max_end != max_end:
+            raise AuditError("stale max_end on internal node")
+        return depths.pop() + 1

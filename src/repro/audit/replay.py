@@ -1,0 +1,176 @@
+"""Run manifests and replay verification (the Sciunit re-execution story).
+
+The paper's prototype rides on Sciunit: "During re-execution of the
+debloated container, Sciunit maps a system call's arguments to the
+appropriate offset of the file.  This is achieved via hashing [31] and
+lineage methods [32]."  This module implements that provenance layer:
+
+* a :class:`RunManifest` records, for one audited run, the parameter
+  value, the per-file merged offset ranges, and a content hash of every
+  accessed extent;
+* :func:`capture_manifest` produces one from an audit session;
+* :func:`verify_manifest` re-reads the (original or debloated) data and
+  checks the hashes — certifying that a re-execution against the
+  debloated file observes byte-identical data, which is precisely the
+  guarantee Definition 1 demands.
+
+Manifests serialize to JSON so they can ship inside the container next to
+the debloated data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.audit.session import AuditSession
+from repro.errors import AuditError
+
+#: Reads an absolute byte range of a logical file: (offset, size) -> bytes.
+RangeReader = Callable[[int, int], bytes]
+
+
+def _sha(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class FileAccessRecord:
+    """Merged accessed ranges of one file, with per-range content hashes."""
+
+    path: str
+    ranges: List[Tuple[int, int]]          # half-open [start, end)
+    hashes: List[str]
+
+    @property
+    def accessed_nbytes(self) -> int:
+        return sum(end - start for start, end in self.ranges)
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to certify a re-execution of one run."""
+
+    parameter_value: Tuple[float, ...]
+    files: Dict[str, FileAccessRecord] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "parameter_value": list(self.parameter_value),
+            "files": {
+                path: {"ranges": rec.ranges, "hashes": rec.hashes}
+                for path, rec in self.files.items()
+            },
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        try:
+            raw = json.loads(text)
+            manifest = cls(
+                parameter_value=tuple(float(x) for x in raw["parameter_value"])
+            )
+            for path, rec in raw["files"].items():
+                ranges = [(int(s), int(e)) for s, e in rec["ranges"]]
+                hashes = [str(h) for h in rec["hashes"]]
+                if len(ranges) != len(hashes):
+                    raise AuditError(f"{path}: ranges/hashes length mismatch")
+                manifest.files[path] = FileAccessRecord(
+                    path=path, ranges=ranges, hashes=hashes
+                )
+            return manifest
+        except (KeyError, ValueError, TypeError) as exc:
+            raise AuditError(f"malformed manifest: {exc}") from exc
+
+    @property
+    def digest(self) -> str:
+        """A stable identity for the whole run (CHEX-style)."""
+        return _sha(self.to_json().encode("utf-8"))
+
+
+def capture_manifest(
+    session: AuditSession,
+    v: Sequence[float],
+    readers: Dict[str, RangeReader],
+) -> RunManifest:
+    """Build a manifest from an audited run.
+
+    Args:
+        session: the audit session that observed the run.
+        v: the parameter value the run used.
+        readers: per-path range readers over the data the run consumed
+            (typically ``ArrayFile.read_extent`` bound to each file).
+    """
+    manifest = RunManifest(parameter_value=tuple(float(x) for x in v))
+    for path, reader in readers.items():
+        ranges = session.accessed_ranges(path)
+        hashes = [
+            _sha(reader(start, end - start)) for start, end in ranges
+        ]
+        manifest.files[path] = FileAccessRecord(
+            path=path, ranges=ranges, hashes=hashes
+        )
+    return manifest
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of verifying one manifest against (possibly new) data."""
+
+    ok: bool
+    checked_ranges: int
+    mismatches: List[Tuple[str, Tuple[int, int]]]
+    missing: List[Tuple[str, Tuple[int, int]]]
+
+
+def verify_manifest(
+    manifest: RunManifest,
+    readers: Dict[str, RangeReader],
+) -> ReplayReport:
+    """Re-read every recorded extent and compare content hashes.
+
+    A reader may raise :class:`~repro.errors.DataMissingError` (debloated
+    range absent) — recorded as *missing* rather than a hash mismatch.
+    """
+    from repro.errors import DataMissingError
+
+    mismatches: List[Tuple[str, Tuple[int, int]]] = []
+    missing: List[Tuple[str, Tuple[int, int]]] = []
+    checked = 0
+    for path, record in manifest.files.items():
+        reader = readers.get(path)
+        if reader is None:
+            missing.extend((path, r) for r in record.ranges)
+            continue
+        for (start, end), expected in zip(record.ranges, record.hashes):
+            checked += 1
+            try:
+                payload = reader(start, end - start)
+            except DataMissingError:
+                missing.append((path, (start, end)))
+                continue
+            if _sha(payload) != expected:
+                mismatches.append((path, (start, end)))
+    return ReplayReport(
+        ok=not mismatches and not missing,
+        checked_ranges=checked,
+        mismatches=mismatches,
+        missing=missing,
+    )
+
+
+def subset_range_reader(subset) -> RangeReader:
+    """Adapt a :class:`DebloatedArrayFile` into a RangeReader.
+
+    Reads a source-payload byte range out of the kept extents; raises
+    :class:`DataMissingError` when any part of the range was debloated.
+    """
+
+    def read(offset: int, size: int) -> bytes:
+        _pos, local = subset._locate(offset, size)
+        subset._fh.seek(subset._payload_start + local)
+        return subset._fh.read(size)
+
+    return read

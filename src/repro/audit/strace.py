@@ -1,0 +1,281 @@
+"""strace output parsing: ingesting real syscall traces into audit sessions.
+
+The second half of the ptrace substitution (DESIGN.md #1): when a genuine
+trace is available — e.g. produced by::
+
+    strace -f -yy -e trace=openat,read,pread64,lseek,mmap,close,write <cmd>
+
+this module parses it into the Definition 4 event stream.  The parser keeps
+a per-process file-descriptor table (tracking ``openat``/``close``/cursor
+positions moved by ``lseek`` and sequential ``read``) so that plain
+``read(fd, ...)`` calls, whose offset is implicit, resolve to absolute byte
+ranges.  :func:`trace_command` runs a command under ``strace`` via
+``subprocess`` when the binary is present.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.audit.events import Event, EventType
+from repro.audit.session import AuditSession
+from repro.errors import TraceParseError
+
+# "1234  openat(AT_FDCWD, "/data/x.knd", O_RDONLY) = 3"  (pid prefix optional)
+_LINE_RE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?"
+    r"(?P<name>[a-z0-9_]+)\((?P<args>.*)\)\s*=\s*(?P<ret>-?\d+|0x[0-9a-f]+|\?)"
+)
+_PATH_RE = re.compile(r'"(?P<path>(?:[^"\\]|\\.)*)"')
+_UNFINISHED_RE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?(?P<name>[a-z0-9_]+)\((?P<args>.*)\s+<unfinished \.\.\.>$"
+)
+_RESUMED_RE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?<\.\.\. (?P<name>[a-z0-9_]+) resumed>\s*(?P<args>.*)\)"
+    r"\s*=\s*(?P<ret>-?\d+|0x[0-9a-f]+|\?)"
+)
+
+_SEEK_WHENCE = {"SEEK_SET": 0, "SEEK_CUR": 1, "SEEK_END": 2}
+
+
+@dataclass
+class _FdState:
+    """Tracked state of one open file descriptor in one process."""
+
+    path: str
+    pos: int = 0
+
+
+@dataclass
+class StraceParser:
+    """Stateful parser turning strace text into audit events.
+
+    Args:
+        session: destination audit session.
+        path_filter: when given, only events on paths containing this
+            substring are recorded (open/close bookkeeping still happens for
+            every fd so positions stay correct).
+        default_pid: pid to assume when lines carry no pid prefix
+            (single-process traces without ``-f``).
+    """
+
+    session: AuditSession
+    path_filter: Optional[str] = None
+    default_pid: int = 0
+    _fds: Dict[Tuple[int, int], _FdState] = field(default_factory=dict)
+    _pending: Dict[Tuple[int, str], str] = field(default_factory=dict)
+    n_parsed: int = 0
+    n_skipped: int = 0
+
+    def feed(self, lines: Iterable[str]) -> None:
+        """Parse an iterable of strace output lines."""
+        for line in lines:
+            self.feed_line(line)
+
+    def feed_line(self, line: str) -> None:
+        """Parse a single strace output line (ignores non-syscall noise)."""
+        line = line.rstrip("\n")
+        if not line or line.startswith(("+++", "---")):
+            return
+        unfinished = _UNFINISHED_RE.match(line)
+        if unfinished:
+            pid = int(unfinished.group("pid") or self.default_pid)
+            self._pending[(pid, unfinished.group("name"))] = unfinished.group("args")
+            return
+        resumed = _RESUMED_RE.match(line)
+        if resumed:
+            pid = int(resumed.group("pid") or self.default_pid)
+            name = resumed.group("name")
+            head = self._pending.pop((pid, name), "")
+            args = (head + " " + resumed.group("args")).strip()
+            self._dispatch(pid, name, args, resumed.group("ret"))
+            return
+        m = _LINE_RE.match(line)
+        if m is None:
+            self.n_skipped += 1
+            return
+        pid = int(m.group("pid") or self.default_pid)
+        self._dispatch(pid, m.group("name"), m.group("args"), m.group("ret"))
+
+    # -- per-syscall handling ------------------------------------------------
+
+    def _dispatch(self, pid: int, name: str, args: str, ret: str) -> None:
+        if ret == "?":
+            self.n_skipped += 1
+            return
+        retval = int(ret, 16) if ret.startswith("0x") else int(ret)
+        handler = getattr(self, f"_on_{name}", None)
+        if handler is None:
+            self.n_skipped += 1
+            return
+        handler(pid, args, retval)
+        self.n_parsed += 1
+
+    @staticmethod
+    def _split_args(args: str) -> List[str]:
+        """Split strace argument text at top-level commas."""
+        out, depth, cur, in_str, esc = [], 0, [], False, False
+        for ch in args:
+            if esc:
+                cur.append(ch)
+                esc = False
+                continue
+            if ch == "\\" and in_str:
+                cur.append(ch)
+                esc = True
+                continue
+            if ch == '"':
+                in_str = not in_str
+                cur.append(ch)
+                continue
+            if in_str:
+                cur.append(ch)
+                continue
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append("".join(cur).strip())
+                cur = []
+            else:
+                cur.append(ch)
+        if cur:
+            out.append("".join(cur).strip())
+        return out
+
+    @staticmethod
+    def _fd_of(token: str) -> int:
+        """Parse an fd argument, tolerating strace -yy '3</path>' decoration."""
+        token = token.strip()
+        m = re.match(r"^(-?\d+)", token)
+        if m is None:
+            raise TraceParseError(f"cannot parse fd from {token!r}")
+        return int(m.group(1))
+
+    def _record(self, pid: int, path: str, etype: EventType,
+                l: int, sz: int) -> None:
+        if self.path_filter is not None and self.path_filter not in path:
+            return
+        self.session.record_event(Event(pid=pid, path=path, c=etype, l=l, sz=sz))
+
+    def _on_openat(self, pid: int, args: str, ret: int) -> None:
+        if ret < 0:
+            return
+        m = _PATH_RE.search(args)
+        if m is None:
+            raise TraceParseError(f"openat without path: {args!r}")
+        path = m.group("path")
+        self._fds[(pid, ret)] = _FdState(path=path)
+        self._record(pid, path, EventType.OPEN, 0, 0)
+
+    def _on_open(self, pid: int, args: str, ret: int) -> None:
+        self._on_openat(pid, args, ret)
+
+    def _on_close(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if not parts:
+            return
+        fd = self._fd_of(parts[0])
+        state = self._fds.pop((pid, fd), None)
+        if state is not None and ret == 0:
+            self._record(pid, state.path, EventType.CLOSE, 0, 0)
+
+    def _on_lseek(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if len(parts) < 3 or ret < 0:
+            return
+        fd = self._fd_of(parts[0])
+        state = self._fds.get((pid, fd))
+        if state is not None:
+            # The return value of lseek is the resulting absolute offset.
+            state.pos = ret
+
+    def _on_read(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if not parts or ret < 0:
+            return
+        fd = self._fd_of(parts[0])
+        state = self._fds.get((pid, fd))
+        if state is None:
+            return  # fd opened before tracing started
+        self._record(pid, state.path, EventType.READ, state.pos, ret)
+        state.pos += ret
+
+    def _on_pread64(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if len(parts) < 4 or ret < 0:
+            return
+        fd = self._fd_of(parts[0])
+        offset = int(parts[3])
+        state = self._fds.get((pid, fd))
+        if state is None:
+            return
+        self._record(pid, state.path, EventType.PREAD, offset, ret)
+
+    def _on_mmap(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if len(parts) < 6:
+            return
+        fd_token = parts[4]
+        fd = self._fd_of(fd_token)
+        if fd < 0:
+            return  # anonymous mapping
+        length = int(parts[1])
+        offset = int(parts[5], 0)
+        state = self._fds.get((pid, fd))
+        if state is None:
+            return
+        self._record(pid, state.path, EventType.MMAP, offset, length)
+
+    def _on_write(self, pid: int, args: str, ret: int) -> None:
+        parts = self._split_args(args)
+        if not parts or ret < 0:
+            return
+        fd = self._fd_of(parts[0])
+        state = self._fds.get((pid, fd))
+        if state is None:
+            return
+        self._record(pid, state.path, EventType.WRITE, state.pos, ret)
+        state.pos += ret
+
+
+def parse_strace_text(text: str, session: Optional[AuditSession] = None,
+                      path_filter: Optional[str] = None) -> AuditSession:
+    """Parse a complete strace transcript into a (new) audit session."""
+    session = session if session is not None else AuditSession()
+    parser = StraceParser(session=session, path_filter=path_filter)
+    parser.feed(text.splitlines())
+    return session
+
+
+def strace_available() -> bool:
+    """Whether the strace binary is on PATH."""
+    return shutil.which("strace") is not None
+
+
+def trace_command(argv: List[str], session: Optional[AuditSession] = None,
+                  path_filter: Optional[str] = None,
+                  timeout: float = 120.0) -> AuditSession:
+    """Run ``argv`` under strace and ingest its trace.
+
+    Requires the ``strace`` binary; callers should guard with
+    :func:`strace_available`.  The traced program's stdout/stderr are
+    discarded; only the syscall trace is consumed.
+    """
+    if not strace_available():
+        raise TraceParseError("strace binary not available on PATH")
+    cmd = [
+        "strace", "-f", "-qq",
+        "-e", "trace=openat,open,read,pread64,lseek,mmap,close,write",
+        "-o", "/dev/stdout",
+    ] + list(argv)
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout, check=False
+    )
+    return parse_strace_text(proc.stdout, session=session,
+                             path_filter=path_filter)

@@ -1,0 +1,14 @@
+"""Baselines the paper compares Kondo against.
+
+* :class:`~repro.baselines.bruteforce.BruteForce` — exhaustive enumeration.
+* :class:`~repro.baselines.bruteforce.RandomSampling` — naive random runs.
+* :class:`~repro.baselines.miniafl.MiniAFL` — coverage-guided byte fuzzer
+  (the AFL substitute, DESIGN.md #3).
+* The Simple Convex carver baseline lives in
+  :mod:`repro.carving.simple_convex`.
+"""
+
+from repro.baselines.bruteforce import BaselineResult, BruteForce, RandomSampling
+from repro.baselines.miniafl import MiniAFL
+
+__all__ = ["BaselineResult", "BruteForce", "RandomSampling", "MiniAFL"]

@@ -1,0 +1,20 @@
+"""Carving subsystem: cell split, bottom-up hull merging, rasterization.
+
+Implements Section IV-B (Algorithm 2) plus the Simple Convex baseline of
+Section V-C.
+"""
+
+from repro.carving.carver import Carver, CarveResult
+from repro.carving.cells import split_into_cells
+from repro.carving.merge import MergeStats, close, merge_hulls
+from repro.carving.simple_convex import SimpleConvexCarver
+
+__all__ = [
+    "Carver",
+    "CarveResult",
+    "SimpleConvexCarver",
+    "split_into_cells",
+    "merge_hulls",
+    "close",
+    "MergeStats",
+]

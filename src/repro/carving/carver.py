@@ -1,0 +1,121 @@
+"""The Carver: from fuzz-discovered index points to the carved subset.
+
+Combines SPLIT (per-cell hulls), the bottom-up merge (Algorithm 2), and
+rasterization back to integer indices.  The carved subset always includes
+every directly-observed index, so carving can only *add* (interior/
+sandwiched) indices on top of what fuzzing proved accessible — precision
+may drop, recall never does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.arraymodel.layout import flatten_many, unflatten_many
+from repro.carving.cells import split_into_cells
+from repro.carving.merge import MergeStats, merge_hulls
+from repro.errors import GeometryError
+from repro.fuzzing.config import CarveConfig
+from repro.geometry.hull import Hull
+from repro.geometry.lattice import lattice_boundary_points
+from repro.geometry.raster import integer_points_in_hulls
+
+
+@dataclass
+class CarveResult:
+    """Output of one carving run.
+
+    Attributes:
+        hulls: the final set of merged hulls (the paper's ``H``).
+        flat_indices: sorted flat indices of the carved subset
+            ``I'_Theta`` (hull interiors plus all observed points).
+        merge_stats: diagnostics from the merge loop.
+        elapsed_seconds: wall-clock carving time.
+    """
+
+    hulls: List[Hull]
+    flat_indices: np.ndarray
+    merge_stats: MergeStats
+    elapsed_seconds: float
+
+    @property
+    def n_hulls(self) -> int:
+        return len(self.hulls)
+
+    @property
+    def n_indices(self) -> int:
+        return int(self.flat_indices.size)
+
+
+class Carver:
+    """Convex-hull-set carver over a d-dimensional index space.
+
+    Args:
+        dims: array extents (defines both the flat<->tuple index mapping
+            and the clip window for rasterization).
+        config: carve configuration (cell size, merge thresholds, ...).
+    """
+
+    def __init__(self, dims: Sequence[int], config: Optional[CarveConfig] = None):
+        self.dims = tuple(int(d) for d in dims)
+        self.config = config if config is not None else CarveConfig()
+
+    def build_cell_hulls(self, points: np.ndarray) -> List[Hull]:
+        """SPLIT the points into cells and hull each cell (Alg 2, l. 3-5).
+
+        Lattice-interior points of each cell are stripped first — they can
+        never be hull vertices, and dense 3-D cells shrink by an order of
+        magnitude.
+        """
+        cells = split_into_cells(points, self.config.cell_size)
+        return [
+            Hull.from_points(lattice_boundary_points(cell_points))
+            for cell_points in cells.values()
+        ]
+
+    def carve_points(self, points: np.ndarray) -> CarveResult:
+        """Carve from an ``(n, d)`` array of index points."""
+        start = time.perf_counter()
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != len(self.dims):
+            raise GeometryError(
+                f"expected (n, {len(self.dims)}) points, got {points.shape}"
+            )
+        if points.shape[0] == 0:
+            return CarveResult(
+                hulls=[],
+                flat_indices=np.empty(0, dtype=np.int64),
+                merge_stats=MergeStats(0, 0, 0, 0),
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        initial = self.build_cell_hulls(points)
+        merged, stats = merge_hulls(initial, self.config)
+        raster = integer_points_in_hulls(
+            merged, dims=self.dims, tol=self.config.raster_tol
+        )
+        carved_flat = (
+            flatten_many(raster, self.dims)
+            if raster.size
+            else np.empty(0, dtype=np.int64)
+        )
+        observed_flat = flatten_many(np.round(points).astype(np.int64), self.dims)
+        flat = np.union1d(carved_flat, observed_flat)
+        return CarveResult(
+            hulls=merged,
+            flat_indices=flat.astype(np.int64),
+            merge_stats=stats,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def carve_flat(self, flat_indices: np.ndarray) -> CarveResult:
+        """Carve from flat offsets (the fuzz campaign's native output)."""
+        flat = np.asarray(flat_indices, dtype=np.int64).reshape(-1)
+        if flat.size == 0:
+            return self.carve_points(np.empty((0, len(self.dims))))
+        return self.carve_points(
+            unflatten_many(flat, self.dims).astype(np.float64)
+        )

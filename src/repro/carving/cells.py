@@ -1,0 +1,52 @@
+"""SPLIT: partition discovered index points into fixed-size cells.
+
+Algorithm 2, line 3: "The d-dimensional offset space is divided into fixed
+size cells.  Given a set of points that fall in cell i, a hull h_i is
+computed.  If no points fall in a cell, it is discarded."
+
+Computing several small per-cell hulls first (instead of one global hull)
+is what lets the carver approximate non-convex, disjoint, or holed subsets
+(paper Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def split_into_cells(points: np.ndarray, cell_size: float
+                     ) -> Dict[Tuple[int, ...], np.ndarray]:
+    """Group points by the fixed-size grid cell they fall into.
+
+    Args:
+        points: ``(n, d)`` array of index points.
+        cell_size: edge length of the (hyper-cubic) cells.
+
+    Returns:
+        Mapping from cell grid coordinate to the ``(m, d)`` points inside
+        it.  Empty cells simply do not appear (they are "discarded").
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise GeometryError(f"need a non-empty (n, d) point array, got {pts.shape}")
+    if cell_size <= 0:
+        raise GeometryError(f"cell_size must be positive, got {cell_size}")
+    coords = np.floor(pts / cell_size).astype(np.int64)
+    cells: Dict[Tuple[int, ...], list] = {}
+    # Sort by cell to slice contiguous groups without a python-level loop
+    # over every point.
+    order = np.lexsort(coords.T[::-1])
+    coords_sorted = coords[order]
+    pts_sorted = pts[order]
+    boundaries = np.flatnonzero((np.diff(coords_sorted, axis=0) != 0).any(axis=1))
+    starts = np.concatenate(([0], boundaries + 1))
+    ends = np.concatenate((boundaries + 1, [pts_sorted.shape[0]]))
+    out: Dict[Tuple[int, ...], np.ndarray] = {}
+    for s, e in zip(starts, ends):
+        key = tuple(int(c) for c in coords_sorted[s])
+        out[key] = pts_sorted[s:e]
+    return out

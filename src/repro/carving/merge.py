@@ -1,0 +1,101 @@
+"""Bottom-up hull merging — Algorithm 2 of the paper.
+
+Starting from per-cell hulls, repeatedly merge any two hulls that are
+CLOSE until no close pair remains.  CLOSE combines two measures
+(Section IV-B):
+
+* center distance — euclidean distance between hull centroids, and
+* boundary distance — minimum distance between the hulls' vertices.
+
+The paper's discussion motivates an asymmetric role: "Initially the small
+hulls are merged and boundary distance suffices, but as one hull keeps
+becoming larger, merging with small hulls can still continue since center
+distances are close."  The default ``close_mode="or"`` implements exactly
+that (either criterion triggers a merge); ``"and"`` is provided as an
+ablation.
+
+The merge itself is the union-of-vertices hull (paper: "equivalent to
+computing a hull with all respective points on which the original hulls
+were computed" [22]) — which makes the procedure output-sensitive, unlike
+classical divide-and-conquer hull merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.fuzzing.config import CarveConfig
+from repro.geometry.hull import Hull
+
+
+def close(h1: Hull, h2: Hull, config: CarveConfig) -> bool:
+    """The CLOSE predicate of Algorithm 2."""
+    # Cheap reject: if even the bounding boxes are farther apart than any
+    # threshold could bridge, skip the exact distance computations.
+    lo1, hi1 = h1.bounding_box()
+    lo2, hi2 = h2.bounding_box()
+    gap = np.maximum(0.0, np.maximum(lo1 - hi2, lo2 - hi1))
+    bbox_gap = float(np.linalg.norm(gap))
+    limit = max(config.center_d_thresh, config.bound_d_thresh)
+    if bbox_gap > limit:
+        # Boundary distance >= bbox gap always; center distance >= bbox gap
+        # too (centers lie inside the boxes).  Nothing can be close.
+        return False
+    center_ok = h1.center_distance(h2) <= config.center_d_thresh
+    boundary_ok = h1.boundary_distance(h2) <= config.bound_d_thresh
+    if config.close_mode == "and":
+        return center_ok and boundary_ok
+    return center_ok or boundary_ok
+
+
+@dataclass
+class MergeStats:
+    """Diagnostics from one merge run."""
+
+    initial_hulls: int
+    final_hulls: int
+    merges: int
+    passes: int
+
+
+def merge_hulls(hulls: List[Hull], config: CarveConfig
+                ) -> Tuple[List[Hull], MergeStats]:
+    """Iteratively merge CLOSE hulls until a fixed point (Alg 2 lines 6-11).
+
+    Each successful merge removes two hulls and inserts their union hull,
+    so the loop terminates after at most ``len(hulls) - 1`` merges.
+    """
+    work = list(hulls)
+    initial = len(work)
+    merges = 0
+    passes = 0
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        i = 0
+        while i < len(work):
+            j = i + 1
+            while j < len(work):
+                if close(work[i], work[j], config):
+                    merged = work[i].merge(work[j])
+                    # Remove j first (higher index) to keep i valid.
+                    work.pop(j)
+                    work.pop(i)
+                    work.append(merged)
+                    merges += 1
+                    changed = True
+                    # Restart the inner scan for the (moved) hull at i.
+                    j = i + 1
+                else:
+                    j += 1
+            i += 1
+    return work, MergeStats(
+        initial_hulls=initial,
+        final_hulls=len(work),
+        merges=merges,
+        passes=passes,
+    )

@@ -1,0 +1,251 @@
+"""The ``kondo`` command-line interface.
+
+Subcommands:
+
+* ``kondo programs`` — list the benchmark/real-application programs.
+* ``kondo analyze`` — run the fuzz+carve pipeline for a program, print the
+  analysis summary (and optionally precision/recall vs ground truth).
+* ``kondo debloat`` — analyze and write a debloated ``.knds`` subset of a
+  ``.knd`` data file.
+* ``kondo make-data`` — create a KND data file for experimentation.
+* ``kondo run`` — execute a program against a ``.knd``/``.knds`` file and
+  report hit/miss statistics (the user-side runtime).
+* ``kondo experiment`` — regenerate a paper table/figure by name (or
+  ``all`` for the complete evaluation).
+* ``kondo visualize`` — ASCII overlay of a carved subset vs ground truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile, KondoRuntime
+from repro.core import Kondo
+from repro.errors import KondoError
+from repro.fuzzing import FuzzConfig
+from repro.metrics import accuracy
+from repro.workloads import default_dims, get_program, program_names
+
+
+def _parse_dims(text: Optional[str], program) -> tuple:
+    if not text:
+        return default_dims(program)
+    dims = tuple(int(x) for x in text.split("x"))
+    return dims
+
+
+def cmd_programs(_args) -> int:
+    for name in program_names():
+        prog = get_program(name)
+        print(f"{name:8s} {prog.ndim}D  {prog.description}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = get_program(args.program)
+    dims = _parse_dims(args.dims, program)
+    kondo = Kondo(
+        program, dims,
+        fuzz_config=FuzzConfig(rng_seed=args.seed),
+        carver=args.carver,
+    )
+    result = kondo.analyze(time_budget_s=args.budget)
+    print(result.summary())
+    if args.save:
+        from repro.core.persistence import AnalysisArtifact
+
+        AnalysisArtifact.from_result(result).save(args.save)
+        print(f"saved analysis artifact to {args.save}")
+    if args.score:
+        acc = accuracy(program.ground_truth_flat(dims), result.carved_flat)
+        print(
+            f"vs ground truth: precision={acc.precision:.3f} "
+            f"recall={acc.recall:.3f}"
+        )
+    return 0
+
+
+def cmd_debloat(args) -> int:
+    program = get_program(args.program)
+    with ArrayFile.open(args.data) as f:
+        dims = f.schema.dims
+        original = f.file_nbytes
+    if args.analysis:
+        from repro.core.persistence import AnalysisArtifact
+
+        artifact = AnalysisArtifact.load(args.analysis)
+        subset = artifact.debloat_file(args.data, args.out,
+                                       granularity=args.granularity)
+        print(f"debloated from saved analysis {args.analysis} "
+              f"({artifact.iterations} tests, {artifact.n_hulls} hulls)")
+    else:
+        kondo = Kondo(program, dims,
+                      fuzz_config=FuzzConfig(rng_seed=args.seed))
+        result = kondo.analyze(time_budget_s=args.budget)
+        subset = kondo.debloat_file(args.data, args.out, result,
+                                    granularity=args.granularity)
+        print(result.summary())
+    print(
+        f"wrote {args.out}: {subset.file_nbytes} bytes "
+        f"({100 * (1 - subset.file_nbytes / original):.1f}% smaller than "
+        f"{original} bytes)"
+    )
+    subset.close()
+    return 0
+
+
+def cmd_make_data(args) -> int:
+    dims = tuple(int(x) for x in args.dims.split("x"))
+    rng = np.random.default_rng(args.seed)
+    data = rng.standard_normal(dims)
+    chunks = (
+        tuple(int(x) for x in args.chunks.split("x")) if args.chunks else None
+    )
+    f = ArrayFile.create(
+        args.out, ArraySchema(dims, args.dtype, chunks=chunks), data
+    )
+    print(f"wrote {args.out}: dims={dims} dtype={args.dtype} "
+          f"({f.file_nbytes} bytes)")
+    f.close()
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = get_program(args.program)
+    v = tuple(float(x) for x in args.value.split(","))
+    if args.data.endswith("knds"):
+        subset = DebloatedArrayFile.open(args.data)
+        runtime = KondoRuntime(subset)
+        stats = runtime.run_program(program, v, subset.schema.dims)
+        subset.close()
+        print(
+            f"{program.name}{v}: {stats.reads} reads, {stats.hits} hits, "
+            f"{stats.misses} data-missing"
+        )
+        return 0 if stats.misses == 0 else 2
+    with ArrayFile.open(args.data) as f:
+        reads = program.run(lambda idx: f.read_point(idx), v, f.schema.dims)
+    print(f"{program.name}{v}: {reads} reads, all served")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments.runall import experiment_runners, run_all
+
+    runners = experiment_runners()
+    if args.name == "all":
+        result = run_all()
+        print(result.format())
+        return 0 if not result.failed else 1
+    if args.name not in runners:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(runners) + ['all']}", file=sys.stderr)
+        return 1
+    print(runners[args.name]().format())
+    return 0
+
+
+def cmd_visualize(args) -> int:
+    from repro.metrics import accuracy as _accuracy
+    from repro.viz import render_comparison
+
+    program = get_program(args.program)
+    if program.ndim != 2:
+        print("error: visualize supports 2-D programs only", file=sys.stderr)
+        return 1
+    dims = _parse_dims(args.dims, program)
+    kondo = Kondo(program, dims, fuzz_config=FuzzConfig(rng_seed=args.seed))
+    result = kondo.analyze(time_budget_s=args.budget)
+    truth = program.ground_truth_flat(dims)
+    acc = _accuracy(truth, result.carved_flat)
+    print(f"{program.name}: precision={acc.precision:.3f} "
+          f"recall={acc.recall:.3f} hulls={result.carve.n_hulls}")
+    print(render_comparison(truth, result.carved_flat, dims,
+                            width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kondo",
+        description="Provenance-driven data debloating (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("programs", help="list available programs")
+
+    p = sub.add_parser("analyze", help="fuzz + carve a program's data subset")
+    p.add_argument("program")
+    p.add_argument("--dims", help="array shape, e.g. 128x128")
+    p.add_argument("--budget", type=float, help="time budget in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--carver", choices=("merge", "simple"), default="merge")
+    p.add_argument("--score", action="store_true",
+                   help="also report precision/recall vs ground truth")
+    p.add_argument("--save", help="persist the analysis artifact (.npz)")
+
+    p = sub.add_parser("debloat", help="write a debloated .knds subset")
+    p.add_argument("program")
+    p.add_argument("data", help="source .knd file")
+    p.add_argument("out", help="destination .knds file")
+    p.add_argument("--budget", type=float)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--analysis", help="reuse a saved analysis artifact")
+    p.add_argument("--granularity", choices=("element", "chunk"),
+                   default="element")
+
+    p = sub.add_parser("make-data", help="create a KND data file")
+    p.add_argument("out")
+    p.add_argument("--dims", required=True, help="e.g. 128x128")
+    p.add_argument("--dtype", default="f8")
+    p.add_argument("--chunks", help="e.g. 16x16")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("run", help="run a program against a data file")
+    p.add_argument("program")
+    p.add_argument("data", help=".knd or .knds file")
+    p.add_argument("--value", required=True, help="comma-separated v")
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", help="e.g. fig7, table3, ablations, or 'all'")
+
+    p = sub.add_parser("visualize",
+                       help="ASCII overlay of carved subset vs ground truth")
+    p.add_argument("program")
+    p.add_argument("--dims", help="array shape, e.g. 128x128")
+    p.add_argument("--budget", type=float)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--width", type=int, default=64)
+
+    return parser
+
+
+_COMMANDS = {
+    "programs": cmd_programs,
+    "visualize": cmd_visualize,
+    "analyze": cmd_analyze,
+    "debloat": cmd_debloat,
+    "make-data": cmd_make_data,
+    "run": cmd_run,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KondoError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

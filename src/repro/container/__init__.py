@@ -1,0 +1,34 @@
+"""Container model: specs with PARAM ranges, images, debloating, runtime."""
+
+from repro.container.image import (
+    ContainerImage,
+    DebloatReport,
+    ImageEntry,
+    build_image,
+    debloat_image,
+)
+from repro.container.merkle import (
+    MerkleTree,
+    TransferPlan,
+    gear_chunks,
+    transfer_plan,
+)
+from repro.container.runtime import ContainerRunResult, ContainerRuntime
+from repro.container.spec import ContainerSpec, parse_spec, parse_spec_file
+
+__all__ = [
+    "ContainerSpec",
+    "parse_spec",
+    "parse_spec_file",
+    "ContainerImage",
+    "ImageEntry",
+    "build_image",
+    "debloat_image",
+    "DebloatReport",
+    "ContainerRuntime",
+    "ContainerRunResult",
+    "MerkleTree",
+    "TransferPlan",
+    "gear_chunks",
+    "transfer_plan",
+]

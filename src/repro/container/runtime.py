@@ -1,0 +1,86 @@
+"""User-side container runtime.
+
+Simulates Bob's end of the paper's scenario: run the containerized
+application on a chosen parameter value against the (debloated) image.
+Data reads are served by :class:`~repro.arraymodel.runtime.KondoRuntime`,
+so accesses to debloated-away offsets surface as "data missing" events —
+optionally satisfied by a remote fetcher (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.debloated import DebloatedArrayFile
+from repro.arraymodel.runtime import KondoRuntime, RemoteFetcher, RuntimeStats
+from repro.container.image import ContainerImage
+from repro.container.spec import ContainerSpec
+from repro.errors import ContainerSpecError
+from repro.workloads.base import Program
+
+
+@dataclass
+class ContainerRunResult:
+    """Outcome of one containerized run."""
+
+    parameter_value: Tuple[float, ...]
+    stats: RuntimeStats
+
+    @property
+    def succeeded(self) -> bool:
+        """No access hit a Null region (or all were remotely recovered)."""
+        return self.stats.misses == self.stats.remote_fetches
+
+
+class ContainerRuntime:
+    """Executes a program inside a (possibly debloated) image."""
+
+    def __init__(
+        self,
+        image: ContainerImage,
+        program: Program,
+        data_file: str,
+        remote_fetcher: Optional[RemoteFetcher] = None,
+    ):
+        self.image = image
+        self.program = program
+        self.data_file = data_file
+        self.remote_fetcher = remote_fetcher
+        self._path = image.entry_path(data_file)
+        self._is_subset = self._path.endswith("knds")
+
+    def _validate(self, v: Sequence[float]) -> Tuple[float, ...]:
+        v = tuple(float(x) for x in v)
+        space = self.image.spec.param_space
+        if space is not None and not space.contains(v):
+            raise ContainerSpecError(
+                f"parameter value {v} outside the container's PARAM ranges"
+            )
+        return v
+
+    def run(self, v: Optional[Sequence[float]] = None) -> ContainerRunResult:
+        """Run the application; default to the spec's CMD valuation."""
+        if v is None:
+            v = self.image.spec.default_parameter_value()
+        v = self._validate(v)
+        if self._is_subset:
+            subset = DebloatedArrayFile.open(self._path)
+            dims = subset.schema.dims
+            runtime = KondoRuntime(subset, remote_fetcher=self.remote_fetcher)
+            try:
+                stats = runtime.run_program(self.program, v, dims)
+            finally:
+                subset.close()
+        else:
+            with ArrayFile.open(self._path) as f:
+                stats = RuntimeStats()
+
+                def access(index):
+                    stats.reads += 1
+                    stats.hits += 1
+                    return f.read_point(index)
+
+                self.program.run(access, v, f.schema.dims)
+        return ContainerRunResult(parameter_value=v, stats=stats)

@@ -1,0 +1,152 @@
+"""Container specifications (paper Figure 2a).
+
+A Kondo container spec is a Dockerfile-like text with one extension: the
+``PARAM`` directive declaring the supported input-parameter ranges
+(the paper's Theta) — the contract that makes data debloating sound.
+
+Supported directives::
+
+    FROM <base-image>
+    RUN <shell command>                 # environment dependencies (E's)
+    ADD <src> <dst>                     # data dependencies (D's)
+    PARAM [lo-hi, lo-hi, ...]           # parameter space Theta
+    ENTRYPOINT ["<path>", ...]          # the executable X
+    CMD [v1, v2, ..., <datafile>]       # default parameter value + file
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ContainerSpecError
+from repro.fuzzing.parameters import ParameterRange, ParameterSpace
+
+_RANGE_RE = re.compile(
+    r"^\s*(?P<lo>-?\d+(?:\.\d+)?)\s*-\s*(?P<hi>-?\d+(?:\.\d+)?)\s*$"
+)
+
+
+@dataclass
+class ContainerSpec:
+    """Parsed container specification."""
+
+    base_image: str = ""
+    run_commands: List[str] = field(default_factory=list)
+    adds: List[Tuple[str, str]] = field(default_factory=list)
+    param_space: Optional[ParameterSpace] = None
+    entrypoint: List[str] = field(default_factory=list)
+    cmd: List[str] = field(default_factory=list)
+
+    @property
+    def data_files(self) -> List[str]:
+        """Destination paths of all ADDed files (the D's and X's)."""
+        return [dst for _src, dst in self.adds]
+
+    def effective_param_space(self, program, dims) -> ParameterSpace:
+        """The PARAM space, or a default when the developer omitted one.
+
+        Section VI: "Kondo works with user specifying the ranges of
+        parameters.  If the developer does not specify any parameter
+        ranges, we take a default range over the parameters" — here, the
+        program's natural parameter space for the data shape.
+        """
+        if self.param_space is not None:
+            return self.param_space
+        return program.parameter_space(dims)
+
+    def default_parameter_value(self) -> Tuple[float, ...]:
+        """The CMD's leading numeric arguments (the default valuation)."""
+        values = []
+        for token in self.cmd:
+            try:
+                values.append(float(token))
+            except ValueError:
+                break
+        if self.param_space is not None and values:
+            if len(values) != self.param_space.ndim:
+                raise ContainerSpecError(
+                    f"CMD provides {len(values)} parameter values, PARAM "
+                    f"declares {self.param_space.ndim}"
+                )
+            if not self.param_space.contains(tuple(values)):
+                raise ContainerSpecError(
+                    f"CMD default value {tuple(values)} outside PARAM ranges"
+                )
+        return tuple(values)
+
+
+def _parse_range_list(text: str) -> ParameterSpace:
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise ContainerSpecError(f"PARAM expects [..] list, got {text!r}")
+    ranges = []
+    for part in text[1:-1].split(","):
+        m = _RANGE_RE.match(part)
+        if m is None:
+            raise ContainerSpecError(f"malformed PARAM range {part.strip()!r}")
+        lo, hi = float(m.group("lo")), float(m.group("hi"))
+        integer = "." not in part
+        if hi < lo:
+            raise ContainerSpecError(f"inverted PARAM range {part.strip()!r}")
+        ranges.append(ParameterRange(lo, hi, integer=integer))
+    if not ranges:
+        raise ContainerSpecError("PARAM declares no ranges")
+    return ParameterSpace(tuple(ranges))
+
+
+def _parse_json_list(text: str, directive: str) -> List[str]:
+    try:
+        values = json.loads(text)
+    except ValueError:
+        # Dockerfiles also allow bare [a, b] without quotes; tolerate it.
+        inner = text.strip()
+        if inner.startswith("[") and inner.endswith("]"):
+            return [t.strip().strip('"') for t in inner[1:-1].split(",") if t.strip()]
+        raise ContainerSpecError(f"{directive} expects a JSON list, got {text!r}")
+    if not isinstance(values, list):
+        raise ContainerSpecError(f"{directive} expects a list, got {text!r}")
+    return [str(v) for v in values]
+
+
+def parse_spec(text: str) -> ContainerSpec:
+    """Parse a container specification from text."""
+    spec = ContainerSpec()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        directive = parts[0].upper()
+        arg = parts[1] if len(parts) > 1 else ""
+        if directive == "FROM":
+            spec.base_image = arg.strip()
+        elif directive == "RUN":
+            spec.run_commands.append(arg.strip())
+        elif directive == "ADD":
+            tokens = arg.split()
+            if len(tokens) != 2:
+                raise ContainerSpecError(
+                    f"line {lineno}: ADD expects <src> <dst>, got {arg!r}"
+                )
+            spec.adds.append((tokens[0], tokens[1]))
+        elif directive == "PARAM":
+            spec.param_space = _parse_range_list(arg)
+        elif directive == "ENTRYPOINT":
+            spec.entrypoint = _parse_json_list(arg, "ENTRYPOINT")
+        elif directive == "CMD":
+            spec.cmd = _parse_json_list(arg, "CMD")
+        else:
+            raise ContainerSpecError(
+                f"line {lineno}: unknown directive {directive!r}"
+            )
+    if not spec.base_image:
+        raise ContainerSpecError("spec missing FROM directive")
+    return spec
+
+
+def parse_spec_file(path: str) -> ContainerSpec:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_spec(fh.read())

@@ -1,0 +1,16 @@
+"""Kondo core: the debloat test and the end-to-end pipeline (Figure 3)."""
+
+from repro.core.debloat_test import DebloatTest
+from repro.core.multifile import MultiArrayProgram, MultiKondo, MultiKondoResult
+from repro.core.persistence import AnalysisArtifact
+from repro.core.pipeline import Kondo, KondoResult
+
+__all__ = [
+    "DebloatTest",
+    "Kondo",
+    "KondoResult",
+    "MultiArrayProgram",
+    "MultiKondo",
+    "MultiKondoResult",
+    "AnalysisArtifact",
+]

@@ -1,0 +1,164 @@
+"""Analysis persistence: save and reload Kondo results as artifacts.
+
+The developer-side workflow the paper describes is asynchronous: Kondo's
+analysis happens once, and "the developer includes the corresponding
+debloated data file in the container" later.  This module makes the
+analysis a durable artifact — a compressed ``.npz`` with the carved and
+observed offsets plus a JSON metadata record — so debloating, accuracy
+scoring, and re-carving don't require re-fuzzing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.pipeline import KondoResult
+from repro.errors import KondoError
+
+#: Artifact format version (bump on incompatible layout changes).
+_VERSION = 1
+
+
+@dataclass
+class AnalysisArtifact:
+    """A persisted (possibly reloaded) Kondo analysis.
+
+    Carries everything debloating and evaluation need; the fuzz seed
+    history and hull geometry are analysis-time details that do not
+    persist.
+    """
+
+    program: str
+    dims: Tuple[int, ...]
+    carved_flat: np.ndarray
+    observed_flat: np.ndarray
+    iterations: int
+    stop_reason: str
+    n_hulls: int
+    elapsed_seconds: float
+    created_at: float
+
+    @classmethod
+    def from_result(cls, result: KondoResult) -> "AnalysisArtifact":
+        return cls(
+            program=result.program,
+            dims=tuple(result.dims),
+            carved_flat=np.asarray(result.carved_flat, dtype=np.int64),
+            observed_flat=np.asarray(result.observed_flat, dtype=np.int64),
+            iterations=result.fuzz.iterations,
+            stop_reason=result.fuzz.stop_reason,
+            n_hulls=result.carve.n_hulls,
+            elapsed_seconds=result.elapsed_seconds,
+            created_at=time.time(),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the artifact as a compressed npz."""
+        meta = json.dumps({
+            "version": _VERSION,
+            "program": self.program,
+            "dims": list(self.dims),
+            "iterations": self.iterations,
+            "stop_reason": self.stop_reason,
+            "n_hulls": self.n_hulls,
+            "elapsed_seconds": self.elapsed_seconds,
+            "created_at": self.created_at,
+        })
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+            carved_flat=self.carved_flat,
+            observed_flat=self.observed_flat,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "AnalysisArtifact":
+        """Reload an artifact; validates version and consistency."""
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+                carved = archive["carved_flat"].astype(np.int64)
+                observed = archive["observed_flat"].astype(np.int64)
+        except (OSError, ValueError, KeyError) as exc:
+            raise KondoError(f"{path}: not a Kondo analysis artifact: {exc}") from exc
+        if meta.get("version") != _VERSION:
+            raise KondoError(
+                f"{path}: artifact version {meta.get('version')} "
+                f"unsupported (expected {_VERSION})"
+            )
+        dims = tuple(int(d) for d in meta["dims"])
+        n = int(np.prod(dims))
+        for name, flat in (("carved", carved), ("observed", observed)):
+            if flat.size and (flat.min() < 0 or flat.max() >= n):
+                raise KondoError(
+                    f"{path}: {name} offsets out of range for dims {dims}"
+                )
+        if observed.size and not np.isin(observed, carved).all():
+            raise KondoError(
+                f"{path}: observed offsets missing from the carved subset"
+            )
+        return cls(
+            program=str(meta["program"]),
+            dims=dims,
+            carved_flat=carved,
+            observed_flat=observed,
+            iterations=int(meta["iterations"]),
+            stop_reason=str(meta["stop_reason"]),
+            n_hulls=int(meta["n_hulls"]),
+            elapsed_seconds=float(meta["elapsed_seconds"]),
+            created_at=float(meta["created_at"]),
+        )
+
+    def debloat_file(self, source_path: str, out_path: str,
+                     granularity: str = "element"):
+        """Materialize the subset from the persisted analysis.
+
+        Equivalent to :meth:`repro.core.pipeline.Kondo.debloat_file` but
+        driven by the artifact alone (no program or re-analysis needed —
+        dims come from the artifact and must match the file).
+        """
+        from repro.arraymodel.datafile import ArrayFile
+        from repro.arraymodel.debloated import DebloatedArrayFile
+
+        with ArrayFile.open(source_path) as source:
+            if source.schema.dims != self.dims:
+                raise KondoError(
+                    f"data file dims {source.schema.dims} != artifact dims "
+                    f"{self.dims}"
+                )
+            if granularity == "chunk":
+                if source.schema.chunks is None:
+                    raise KondoError(
+                        "chunk granularity requires a chunked data file"
+                    )
+                from repro.arraymodel.chunk_debloat import (
+                    chunk_keep_extents,
+                    chunks_for_flat_indices,
+                )
+
+                chunks = chunks_for_flat_indices(
+                    source.layout, self.carved_flat, self.dims
+                )
+                return DebloatedArrayFile.create(
+                    out_path, source,
+                    keep_extents=chunk_keep_extents(source.layout, chunks),
+                )
+            if granularity != "element":
+                raise KondoError(f"unknown granularity {granularity!r}")
+            if source.schema.chunks is None:
+                keep = self.carved_flat
+            else:
+                from repro.arraymodel.layout import unflatten_many
+
+                idx = unflatten_many(self.carved_flat, self.dims)
+                keep = (
+                    source.layout.offsets_of(idx) // source.schema.itemsize
+                )
+            return DebloatedArrayFile.create(
+                out_path, source, keep_flat_indices=keep
+            )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Kondo reproduction.
+
+Every error raised by this package derives from :class:`KondoError` so
+callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class KondoError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SchemaError(KondoError):
+    """An array schema is malformed (bad dims, dtype, or chunk shape)."""
+
+
+class LayoutError(KondoError):
+    """An index or byte offset is outside the layout's domain."""
+
+
+class FileFormatError(KondoError):
+    """A KND/KNDS file is corrupt or has an unsupported version."""
+
+
+class DataMissingError(KondoError):
+    """A read hit a Null (debloated-away) region of a data subset.
+
+    This is the run-time exception the paper describes in Section III:
+    accessing an offset ``v`` with ``D_Theta(v) == Null`` raises it.
+
+    Attributes:
+        index: the d-dimensional index that was requested, when known.
+        path:  the debloated file that was being read.
+    """
+
+    def __init__(self, message: str, index=None, path=None):
+        super().__init__(message)
+        self.index = index
+        self.path = path
+
+
+class AuditError(KondoError):
+    """The auditing subsystem was misused (e.g. event on a closed session)."""
+
+
+class TraceParseError(KondoError):
+    """An strace output line could not be parsed."""
+
+
+class GeometryError(KondoError):
+    """A hull operation received invalid input (e.g. empty point set)."""
+
+
+class FuzzConfigError(KondoError):
+    """A fuzzing/carving configuration value is out of range."""
+
+
+class ProgramError(KondoError):
+    """A workload program was invoked with an invalid parameter value."""
+
+
+class ContainerSpecError(KondoError):
+    """A container specification file could not be parsed."""

@@ -1,0 +1,72 @@
+"""Experiment drivers: one module per paper table/figure (DESIGN.md index)."""
+
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.audit_overhead import (
+    AuditOverheadResult,
+    run_audit_overhead,
+)
+from repro.experiments.common import (
+    EngineRun,
+    engine_runs,
+    fast_mode,
+    kondo_time_budget,
+    run_engine,
+)
+from repro.experiments.extensions import (
+    run_chunk_granularity,
+    run_hybrid_consultation,
+    run_merkle_delivery,
+    run_vpic,
+)
+from repro.experiments.fig4 import Fig4Result, ascii_scatter, run_fig4
+from repro.experiments.fig7 import FAMILIES, Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.fig11 import (
+    Fig11aResult,
+    Fig11bcResult,
+    run_fig11a,
+    run_fig11bc,
+)
+from repro.experiments.missed_access import MissedAccessResult, run_missed_access
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+
+__all__ = [
+    "run_engine",
+    "engine_runs",
+    "kondo_time_budget",
+    "fast_mode",
+    "EngineRun",
+    "run_fig4",
+    "ascii_scatter",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11a",
+    "run_fig11bc",
+    "run_table2",
+    "run_table3",
+    "run_audit_overhead",
+    "run_missed_access",
+    "run_ablations",
+    "run_chunk_granularity",
+    "run_hybrid_consultation",
+    "run_merkle_delivery",
+    "run_vpic",
+    "FAMILIES",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11aResult",
+    "Fig11bcResult",
+    "Table2Result",
+    "Table3Result",
+    "AuditOverheadResult",
+    "MissedAccessResult",
+    "AblationResult",
+]

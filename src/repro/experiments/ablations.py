@@ -1,0 +1,118 @@
+"""Ablations of Kondo's design choices (DESIGN.md ablation index).
+
+Each ablation flips one design decision and measures precision/recall on
+a representative program mix:
+
+* CLOSE predicate: "or" (default) vs "and" semantics — Section IV-B.
+* Carver: bottom-up merge vs Simple Convex — Figure 6/8.
+* Schedule: boundary-EE vs plain EE vs pure random sampling — Figure 4.
+* Random restarts: on vs off — Section IV-A2.
+* Cell size in SPLIT — Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.core.pipeline import Kondo
+from repro.experiments.report import format_table, mean
+from repro.fuzzing.config import CarveConfig, FuzzConfig
+from repro.metrics.accuracy import accuracy
+from repro.workloads.registry import default_dims, get_program
+
+#: Programs stressing disjoint subsets, holes, and irregular boundaries.
+DEFAULT_MIX: Tuple[str, ...] = ("CS", "CS1", "PRL2D", "LDC2D")
+
+
+@dataclass
+class AblationRow:
+    ablation: str
+    variant: str
+    mean_precision: float
+    mean_recall: float
+
+
+@dataclass
+class AblationResult:
+    rows: List[AblationRow]
+
+    def format(self) -> str:
+        return format_table(
+            ["ablation", "variant", "precision", "recall"],
+            [(r.ablation, r.variant, r.mean_precision, r.mean_recall)
+             for r in self.rows],
+            title="Ablations — design-choice sensitivity",
+        )
+
+    def row(self, ablation: str, variant: str) -> AblationRow:
+        for r in self.rows:
+            if r.ablation == ablation and r.variant == variant:
+                return r
+        raise KeyError((ablation, variant))
+
+
+def _evaluate(programs, fuzz_config, carve_config, carver="merge",
+              repetitions: int = 3) -> Tuple[float, float]:
+    precisions, recalls = [], []
+    for name in programs:
+        program = get_program(name)
+        dims = default_dims(program)
+        truth = program.ground_truth_flat(dims)
+        for seed in range(repetitions):
+            kondo = Kondo(
+                program, dims,
+                fuzz_config=replace(fuzz_config, rng_seed=seed),
+                carve_config=carve_config,
+                carver=carver,
+            )
+            acc = accuracy(truth, kondo.analyze().carved_flat)
+            precisions.append(acc.precision)
+            recalls.append(acc.recall)
+    return mean(precisions), mean(recalls)
+
+
+def run_ablations(
+    programs: Sequence[str] = DEFAULT_MIX,
+    repetitions: int = 3,
+) -> AblationResult:
+    rows: List[AblationRow] = []
+
+    def add(ablation, variant, fuzz=None, carve=None, carver="merge"):
+        p, r = _evaluate(
+            programs,
+            fuzz if fuzz is not None else FuzzConfig(),
+            carve if carve is not None else CarveConfig(),
+            carver=carver,
+            repetitions=repetitions,
+        )
+        rows.append(AblationRow(ablation, variant, p, r))
+
+    add("close-mode", "or (default)", carve=CarveConfig(close_mode="or"))
+    add("close-mode", "and", carve=CarveConfig(close_mode="and"))
+
+    add("carver", "merge (default)")
+    add("carver", "simple-convex", carver="simple")
+
+    add("schedule", "boundary-EE (default)")
+    add("schedule", "plain-EE", fuzz=FuzzConfig(plain_ee=True))
+
+    add("restart", "on (default)")
+    add("restart", "off", fuzz=FuzzConfig(enable_restart=False))
+
+    add("cell-size", "16 (default)", carve=CarveConfig(cell_size=16))
+    add("cell-size", "4", carve=CarveConfig(cell_size=4))
+    add("cell-size", "64", carve=CarveConfig(cell_size=64))
+
+    # Figure 5 fuzz-configuration sensitivity: mutation repetitions,
+    # epsilon decay speed, and initial seed count.
+    add("u-reps", "8 (default)", fuzz=FuzzConfig(u_reps=8))
+    add("u-reps", "2", fuzz=FuzzConfig(u_reps=2))
+    add("eps-decay", "0.97/200 (default)")
+    add("eps-decay", "never (pure uniform EE)", fuzz=FuzzConfig(decay=1.0))
+    add("eps-decay", "fast (0.5/50)",
+        fuzz=FuzzConfig(decay=0.5, decay_iter=50))
+    add("n-initial", "10 (default)", fuzz=FuzzConfig(n_initial=10))
+    add("n-initial", "100", fuzz=FuzzConfig(n_initial=100))
+
+    return AblationResult(rows=rows)

@@ -1,0 +1,183 @@
+"""Shared experiment machinery: engines, budgets, and run records.
+
+Every evaluation experiment compares *engines* — Kondo, Brute Force (BF),
+MiniAFL (AFL), and Simple Convex (SC) — on the same audited debloat test
+under the same wall-clock budget, then scores the produced index subset
+against the program's analytic ground truth.  This module centralizes that
+so each figure/table module stays a thin driver.
+
+Budget policy (paper Section V-C): per program, the budget is the time
+Kondo needs to reach (approximately) its eventual recall — computed here
+by running Kondo once to convergence and reading its discovery trace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.bruteforce import BruteForce, RandomSampling
+from repro.baselines.miniafl import MiniAFL
+from repro.core.debloat_test import DebloatTest
+from repro.core.pipeline import Kondo
+from repro.errors import ProgramError
+from repro.fuzzing.config import CarveConfig, FuzzConfig
+from repro.metrics.accuracy import Accuracy, accuracy
+from repro.workloads.base import Program
+from repro.workloads.registry import default_dims, get_program
+
+ENGINES = ("Kondo", "BF", "AFL", "SC", "Random")
+
+
+def fast_mode() -> bool:
+    """Honor REPRO_FAST=1: fewer repetitions for quick CI-style runs."""
+    return os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+def n_runs(default: int) -> int:
+    """Paper-default repetition count, reduced under REPRO_FAST."""
+    return min(default, 2) if fast_mode() else default
+
+
+@dataclass
+class EngineRun:
+    """One engine execution on one program."""
+
+    engine: str
+    program: str
+    dims: Tuple[int, ...]
+    accuracy: Accuracy
+    elapsed_seconds: float
+    executions: int
+    flat_indices: np.ndarray = field(repr=False)
+    n_hulls: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.accuracy.precision
+
+    @property
+    def recall(self) -> float:
+        return self.accuracy.recall
+
+
+def run_engine(
+    engine: str,
+    program: Program,
+    dims: Sequence[int],
+    time_budget_s: Optional[float] = None,
+    max_executions: Optional[int] = None,
+    rng_seed: int = 0,
+    fuzz_config: Optional[FuzzConfig] = None,
+    carve_config: Optional[CarveConfig] = None,
+) -> EngineRun:
+    """Run one engine on one program and score it against ground truth."""
+    dims = program.check_dims(dims)
+    truth = program.ground_truth_flat(dims)
+    start = time.perf_counter()
+    n_hulls = 0
+    if engine in ("Kondo", "SC"):
+        base_cfg = fuzz_config if fuzz_config is not None else FuzzConfig()
+        kondo = Kondo(
+            program,
+            dims,
+            fuzz_config=_with_seed(base_cfg, rng_seed),
+            carve_config=carve_config,
+            carver="merge" if engine == "Kondo" else "simple",
+        )
+        result = kondo.analyze(time_budget_s=time_budget_s)
+        flat = result.carved_flat
+        executions = result.fuzz.iterations
+        n_hulls = result.carve.n_hulls
+    elif engine == "BF":
+        test = DebloatTest(program, dims)
+        out = BruteForce(test, program.parameter_space(dims)).run(
+            time_budget_s=time_budget_s, max_executions=max_executions
+        )
+        flat, executions = out.flat_indices, out.executions
+    elif engine == "AFL":
+        test = DebloatTest(program, dims)
+        out = MiniAFL(
+            test, program.parameter_space(dims), rng_seed=rng_seed
+        ).run(time_budget_s=time_budget_s, max_executions=max_executions)
+        flat, executions = out.flat_indices, out.executions
+    elif engine == "Random":
+        test = DebloatTest(program, dims)
+        out = RandomSampling(
+            test, program.parameter_space(dims), rng_seed=rng_seed
+        ).run(time_budget_s=time_budget_s, max_executions=max_executions)
+        flat, executions = out.flat_indices, out.executions
+    else:
+        raise ProgramError(f"unknown engine {engine!r}; known: {ENGINES}")
+    return EngineRun(
+        engine=engine,
+        program=program.name,
+        dims=dims,
+        accuracy=accuracy(truth, flat),
+        elapsed_seconds=time.perf_counter() - start,
+        executions=executions,
+        flat_indices=flat,
+        n_hulls=n_hulls,
+    )
+
+
+def _with_seed(config: FuzzConfig, seed: int) -> FuzzConfig:
+    from dataclasses import replace
+
+    return replace(config, rng_seed=seed)
+
+
+_BUDGET_CACHE: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+
+
+def kondo_time_budget(program: Program, dims: Sequence[int],
+                      recall_fraction: float = 0.97,
+                      margin: float = 1.5) -> float:
+    """The paper's per-program budget: time for Kondo to near-converge.
+
+    Runs Kondo once (unbudgeted) and returns the wall-clock time at which
+    its discovery trace first reached ``recall_fraction`` of the final
+    offset count, padded by the carving cost and a safety ``margin`` (the
+    paper *chooses* budgets so Kondo reaches >= 97% of its eventual recall
+    — a budget equal to the exact crossing time would leave re-runs with
+    different seeds short of it).  Cached per (program, dims).
+    """
+    dims = program.check_dims(dims)
+    key = (program.name, dims)
+    cached = _BUDGET_CACHE.get(key)
+    if cached is not None:
+        return cached
+    kondo = Kondo(program, dims)
+    result = kondo.analyze()
+    target = recall_fraction * result.fuzz.n_offsets
+    budget = result.fuzz.elapsed_seconds
+    for _itr, elapsed, n in result.fuzz.discovery_trace:
+        if n >= target:
+            budget = elapsed
+            break
+    budget = max(budget, 0.05) * margin + result.carve.elapsed_seconds
+    _BUDGET_CACHE[key] = budget
+    return budget
+
+
+def engine_runs(
+    engine: str,
+    program_name: str,
+    repetitions: int,
+    time_budget_s: Optional[float] = None,
+    dims: Optional[Sequence[int]] = None,
+) -> List[EngineRun]:
+    """Repeat an engine with varying seeds (the paper's 10-run averaging)."""
+    program = get_program(program_name)
+    dims = dims if dims is not None else default_dims(program)
+    if time_budget_s is None:
+        time_budget_s = kondo_time_budget(program, dims)
+    return [
+        run_engine(engine, program, dims, time_budget_s=time_budget_s,
+                   rng_seed=seed)
+        for seed in range(repetitions)
+    ]

@@ -1,0 +1,261 @@
+"""Extension experiment drivers (DESIGN.md extension index).
+
+Reusable implementations of the Section VI / future-work experiments; the
+benchmark suite and the ``kondo experiment`` CLI both call these.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraymodel.chunk_debloat import chunk_granularity_report
+from repro.arraymodel.chunked import ChunkedLayout
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.schema import ArraySchema
+from repro.core.debloat_test import DebloatTest
+from repro.core.pipeline import Kondo
+from repro.experiments.report import format_table
+from repro.fuzzing.config import FuzzConfig
+from repro.fuzzing.hybrid import HybridSchedule
+from repro.metrics.accuracy import Accuracy, accuracy
+from repro.workloads.registry import default_dims, get_program
+
+
+# -- chunk granularity ---------------------------------------------------------
+
+
+@dataclass
+class ChunkGranularityRow:
+    chunk_shape: str
+    n_chunks_kept: int
+    n_chunks_total: int
+    element_nbytes: int
+    chunk_nbytes: int
+    inflation: float
+
+
+@dataclass
+class ChunkGranularityResult:
+    program: str
+    rows: List[ChunkGranularityRow]
+
+    def format(self) -> str:
+        return format_table(
+            ["chunk", "kept", "total", "element bytes", "chunk bytes",
+             "inflation"],
+            [(r.chunk_shape, r.n_chunks_kept, r.n_chunks_total,
+              r.element_nbytes, r.chunk_nbytes, f"{r.inflation:.2f}x")
+             for r in self.rows],
+            title=(
+                f"Extension — chunk-granularity debloating cost "
+                f"({self.program})"
+            ),
+        )
+
+
+def run_chunk_granularity(
+    program_name: str = "CS",
+    dims: Tuple[int, int] = (128, 128),
+    chunk_sizes: Sequence[int] = (4, 8, 16, 32),
+) -> ChunkGranularityResult:
+    """Bytes-kept inflation of whole-chunk vs element-exact subsets."""
+    program = get_program(program_name)
+    kondo = Kondo(program, dims)
+    result = kondo.analyze()
+    rows = []
+    for chunk in chunk_sizes:
+        layout = ChunkedLayout(
+            ArraySchema(dims, "f8", chunks=(chunk,) * len(dims))
+        )
+        rep = chunk_granularity_report(layout, result.carved_flat, dims)
+        rows.append(ChunkGranularityRow(
+            chunk_shape="x".join([str(chunk)] * len(dims)),
+            n_chunks_kept=rep.n_chunks_kept,
+            n_chunks_total=rep.n_chunks_total,
+            element_nbytes=rep.element_nbytes,
+            chunk_nbytes=rep.chunk_nbytes,
+            inflation=rep.inflation,
+        ))
+    return ChunkGranularityResult(program=program_name, rows=rows)
+
+
+# -- hybrid consultation ------------------------------------------------------
+
+
+@dataclass
+class HybridRow:
+    program: str
+    kondo_raw_recall: float
+    hybrid_raw_recall: float
+    extra_offsets: int
+
+
+@dataclass
+class HybridResultTable:
+    rows: List[HybridRow]
+
+    def format(self) -> str:
+        return format_table(
+            ["program", "kondo-only recall (raw)", "hybrid recall (raw)",
+             "extra offsets"],
+            [(r.program, f"{r.kondo_raw_recall:.3f}",
+              f"{r.hybrid_raw_recall:.3f}", r.extra_offsets)
+             for r in self.rows],
+            title="Extension — hybrid schedule consultation (Section VI)",
+        )
+
+
+def run_hybrid_consultation(
+    program_names: Sequence[str] = ("CS3", "CS5", "PRL2D"),
+    residual_fraction: float = 0.5,
+    rng_seed: int = 0,
+) -> HybridResultTable:
+    """Raw-offset recall gained by consulting secondary schedules."""
+    rows = []
+    for name in program_names:
+        program = get_program(name)
+        dims = default_dims(program)
+        gt = program.ground_truth_flat(dims)
+        test = DebloatTest(program, dims)
+        hybrid = HybridSchedule(
+            test, program.parameter_space(dims),
+            FuzzConfig(rng_seed=rng_seed), test.n_flat,
+            residual_fraction=residual_fraction,
+        )
+        out = hybrid.run()
+        rows.append(HybridRow(
+            program=name,
+            kondo_raw_recall=accuracy(gt, out.primary.flat_indices).recall,
+            hybrid_raw_recall=accuracy(gt, out.flat_indices).recall,
+            extra_offsets=out.extra_offsets,
+        ))
+    return HybridResultTable(rows=rows)
+
+
+# -- merkle delivery -----------------------------------------------------------
+
+
+@dataclass
+class MerkleRow:
+    receiver: str
+    missing_chunks: int
+    missing_nbytes: int
+    dedup_fraction: float
+
+
+@dataclass
+class MerkleDeliveryResult:
+    original_nbytes: int
+    debloated_nbytes: int
+    rows: List[MerkleRow]
+
+    def format(self) -> str:
+        return format_table(
+            ["receiver", "chunks to fetch", "bytes to fetch", "dedup"],
+            [(r.receiver, r.missing_chunks, r.missing_nbytes,
+              f"{100 * r.dedup_fraction:.1f}%") for r in self.rows],
+            title=(
+                "Extension — content-defined Merkle image delivery "
+                f"(original image {self.original_nbytes} B, "
+                f"debloated {self.debloated_nbytes} B)"
+            ),
+        )
+
+    def row(self, receiver: str) -> MerkleRow:
+        for r in self.rows:
+            if r.receiver == receiver:
+                return r
+        raise KeyError(receiver)
+
+
+def run_merkle_delivery(
+    program_name: str = "CS",
+    dims: Tuple[int, int] = (128, 128),
+    env_nbytes: int = 262_144,
+) -> MerkleDeliveryResult:
+    """Image-level dedup between original and debloated releases."""
+    from repro.container.merkle import MerkleTree, transfer_plan
+
+    workdir = tempfile.mkdtemp(prefix="kondo-merkle-")
+    program = get_program(program_name)
+    rng = np.random.default_rng(0)
+    env = os.path.join(workdir, "env.blob")
+    with open(env, "wb") as fh:
+        fh.write(rng.integers(0, 256, env_nbytes).astype("u1").tobytes())
+    code = os.path.join(workdir, "app.py")
+    with open(code, "wb") as fh:
+        fh.write(b"# application\n" * 512)
+    src = os.path.join(workdir, "d.knd")
+    ArrayFile.create(src, ArraySchema(dims, "f8"),
+                     rng.standard_normal(dims)).close()
+
+    kondo = Kondo(program, dims)
+    sub_a = os.path.join(workdir, "a.knds")
+    kondo.debloat_file(src, sub_a, kondo.analyze()).close()
+    kondo_b = Kondo(program, dims, fuzz_config=FuzzConfig(rng_seed=7))
+    sub_b = os.path.join(workdir, "b.knds")
+    kondo_b.debloat_file(src, sub_b, kondo_b.analyze()).close()
+
+    def stream(*paths):
+        return b"".join(open(p, "rb").read() for p in paths)
+
+    original = stream(env, code, src)
+    release_a = stream(env, code, sub_a)
+    release_b = stream(env, code, sub_b)
+    t_orig = MerkleTree.build(original, avg_bits=10, min_size=128)
+    t_a = MerkleTree.build(release_a, avg_bits=10, min_size=128)
+    t_b = MerkleTree.build(release_b, avg_bits=10, min_size=128)
+
+    def to_row(name, plan):
+        return MerkleRow(
+            receiver=name,
+            missing_chunks=plan.missing_chunks,
+            missing_nbytes=plan.missing_nbytes,
+            dedup_fraction=plan.dedup_fraction,
+        )
+
+    return MerkleDeliveryResult(
+        original_nbytes=len(original),
+        debloated_nbytes=len(release_a),
+        rows=[
+            to_row("cold", transfer_plan(t_a, release_a, held=None)),
+            to_row("warm-original",
+                   transfer_plan(t_a, release_a, held=t_orig)),
+            to_row("previous-release",
+                   transfer_plan(t_b, release_b, held=t_a)),
+        ],
+    )
+
+
+# -- VPIC ------------------------------------------------------------------------
+
+
+@dataclass
+class VPICResult:
+    accuracy: Accuracy
+    n_hulls: int
+
+    def format(self) -> str:
+        return format_table(
+            ["program", "precision", "recall", "hulls"],
+            [("VPIC", self.accuracy.precision, self.accuracy.recall,
+              self.n_hulls)],
+            title="Extension — VPIC threshold subsetting (Tang et al. idiom 4)",
+        )
+
+
+def run_vpic(dims: Tuple[int, int] = (128, 128)) -> VPICResult:
+    """Kondo on the data-dependent threshold-subsetting idiom."""
+    program = get_program("VPIC")
+    gt = program.ground_truth_flat(dims)
+    kondo = Kondo(program, dims)
+    result = kondo.analyze()
+    return VPICResult(
+        accuracy=accuracy(gt, result.carved_flat),
+        n_hulls=result.carve.n_hulls,
+    )

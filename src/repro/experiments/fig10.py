@@ -1,0 +1,162 @@
+"""Figure 10: time taken by the baselines to reach Kondo's recall.
+
+For each program family: run Kondo to convergence, note its recall and
+wall-clock time; then let BF and AFL run uncapped (up to a safety limit)
+and measure when they first match that recall.  AFL typically plateaus
+below Kondo's recall, in which case the time to its *stable* recall is
+reported instead (the paper uses the same convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.bruteforce import BruteForce
+from repro.baselines.miniafl import MiniAFL
+from repro.core.debloat_test import DebloatTest
+from repro.core.pipeline import Kondo
+from repro.experiments.fig7 import FAMILIES
+from repro.experiments.report import format_table, mean
+from repro.workloads.registry import default_dims, get_program
+
+
+@dataclass
+class Fig10Row:
+    family: str
+    kondo_seconds: float
+    kondo_recall: float
+    bf_seconds: float
+    bf_recall: float
+    afl_seconds: float
+    afl_recall: float
+
+    @property
+    def bf_slowdown(self) -> float:
+        return self.bf_seconds / self.kondo_seconds if self.kondo_seconds else 0.0
+
+    @property
+    def afl_slowdown(self) -> float:
+        return self.afl_seconds / self.kondo_seconds if self.kondo_seconds else 0.0
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]
+
+    def format(self) -> str:
+        return format_table(
+            ["family", "Kondo s (recall)", "BF s (recall)", "AFL s (recall)",
+             "BF x", "AFL x"],
+            [
+                (
+                    r.family,
+                    f"{r.kondo_seconds:.2f} ({r.kondo_recall:.2f})",
+                    f"{r.bf_seconds:.2f} ({r.bf_recall:.2f})",
+                    f"{r.afl_seconds:.2f} ({r.afl_recall:.2f})",
+                    f"{r.bf_slowdown:.0f}x",
+                    f"{r.afl_slowdown:.0f}x",
+                )
+                for r in self.rows
+            ],
+            title="Figure 10 — time to reach Kondo's recall",
+        )
+
+
+def _time_to_offsets(trace, target: int, fallback_s: float
+                     ) -> Tuple[float, bool]:
+    """Earliest trace time at which >= target offsets were discovered."""
+    for _execs, elapsed, n in trace:
+        if n >= target:
+            return elapsed, True
+    return fallback_s, False
+
+
+def _stable_time(trace) -> float:
+    """Time of the last recall improvement (AFL's 'stable recall' time)."""
+    last = 0.0
+    best = -1
+    for _execs, elapsed, n in trace:
+        if n > best:
+            best = n
+            last = elapsed
+    return last
+
+
+def measure_program(
+    name: str,
+    bf_cap_s: float,
+    afl_cap_s: float,
+    rng_seed: int = 0,
+) -> Dict[str, Tuple[float, float]]:
+    """Per-program (seconds, recall) for Kondo, BF, and AFL."""
+    program = get_program(name)
+    dims = default_dims(program)
+    truth = program.ground_truth_flat(dims)
+
+    kondo = Kondo(program, dims)
+    kres = kondo.analyze()
+    from repro.metrics.accuracy import accuracy
+
+    k_acc = accuracy(truth, kres.carved_flat)
+    k_time = kres.elapsed_seconds
+    # Baselines only ever discover true offsets, so recall at any trace
+    # point is n_offsets / |truth|; the target offset count corresponding
+    # to Kondo's recall:
+    target = int(k_acc.recall * truth.size)
+
+    bf_test = DebloatTest(program, dims)
+    bf_out = BruteForce(bf_test, program.parameter_space(dims)).run(
+        time_budget_s=bf_cap_s
+    )
+    bf_time, bf_hit = _time_to_offsets(
+        bf_out.discovery_trace, target, bf_out.elapsed_seconds
+    )
+    bf_recall = (
+        k_acc.recall if bf_hit else bf_out.n_offsets / max(1, truth.size)
+    )
+
+    afl_test = DebloatTest(program, dims)
+    afl_out = MiniAFL(
+        afl_test, program.parameter_space(dims), rng_seed=rng_seed
+    ).run(time_budget_s=afl_cap_s)
+    afl_time, afl_hit = _time_to_offsets(
+        afl_out.discovery_trace, target, _stable_time(afl_out.discovery_trace)
+    )
+    afl_recall = (
+        k_acc.recall if afl_hit else afl_out.n_offsets / max(1, truth.size)
+    )
+    return {
+        "Kondo": (k_time, k_acc.recall),
+        "BF": (bf_time, bf_recall),
+        "AFL": (afl_time, afl_recall),
+    }
+
+
+def run_fig10(
+    families: Optional[Dict[str, Tuple[str, ...]]] = None,
+    bf_cap_s: float = 60.0,
+    afl_cap_s: float = 30.0,
+) -> Fig10Result:
+    families = families if families is not None else FAMILIES
+    rows: List[Fig10Row] = []
+    for family, members in families.items():
+        per_engine: Dict[str, List[Tuple[float, float]]] = {
+            "Kondo": [], "BF": [], "AFL": []
+        }
+        for member in members:
+            measured = measure_program(member, bf_cap_s, afl_cap_s)
+            for engine, pair in measured.items():
+                per_engine[engine].append(pair)
+        rows.append(
+            Fig10Row(
+                family=family,
+                kondo_seconds=mean([t for t, _ in per_engine["Kondo"]]),
+                kondo_recall=mean([r for _, r in per_engine["Kondo"]]),
+                bf_seconds=mean([t for t, _ in per_engine["BF"]]),
+                bf_recall=mean([r for _, r in per_engine["BF"]]),
+                afl_seconds=mean([t for t, _ in per_engine["AFL"]]),
+                afl_recall=mean([r for _, r in per_engine["AFL"]]),
+            )
+        )
+    return Fig10Result(rows=rows)

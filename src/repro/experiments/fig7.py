@@ -1,0 +1,86 @@
+"""Figure 7: average recall of Kondo vs BF vs AFL at a fixed time budget.
+
+One bar group per micro-benchmark family (CS, PRL, LDC, RDC), averaging
+recall over the family's programs and over repeated runs (the paper uses
+10 runs for Kondo/BF, 2 for AFL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import engine_runs, n_runs
+from repro.experiments.report import format_table, mean, stdev
+
+#: Micro-benchmark families; each averages recall over its member programs.
+FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "CS": ("CS", "CS1", "CS2", "CS3", "CS5"),
+    "PRL": ("PRL2D", "PRL3D"),
+    "LDC": ("LDC2D", "LDC3D"),
+    "RDC": ("RDC2D", "RDC3D"),
+}
+
+#: Engine -> repetitions (paper Section V-C).
+REPETITIONS = {"Kondo": 10, "BF": 10, "AFL": 2}
+
+
+@dataclass
+class Fig7Row:
+    family: str
+    engine: str
+    mean_recall: float
+    std_recall: float
+    n_runs: int
+
+
+@dataclass
+class Fig7Result:
+    rows: List[Fig7Row]
+
+    def format(self) -> str:
+        return format_table(
+            ["family", "engine", "mean recall", "std", "runs"],
+            [
+                (r.family, r.engine, r.mean_recall, r.std_recall, r.n_runs)
+                for r in self.rows
+            ],
+            title="Figure 7 — average recall at fixed time budget",
+        )
+
+    def recall_of(self, family: str, engine: str) -> float:
+        for r in self.rows:
+            if r.family == family and r.engine == engine:
+                return r.mean_recall
+        raise KeyError((family, engine))
+
+    def average_recall(self, engine: str) -> float:
+        return mean([r.mean_recall for r in self.rows if r.engine == engine])
+
+
+def run_fig7(
+    families: Dict[str, Tuple[str, ...]] = None,
+    engines: Tuple[str, ...] = ("Kondo", "BF", "AFL"),
+) -> Fig7Result:
+    """Run every engine on every family member under the per-program
+    budget derived from Kondo's convergence time."""
+    families = families if families is not None else FAMILIES
+    rows: List[Fig7Row] = []
+    for family, members in families.items():
+        for engine in engines:
+            recalls: List[float] = []
+            for member in members:
+                runs = engine_runs(
+                    engine, member, repetitions=n_runs(REPETITIONS[engine])
+                )
+                recalls.extend(r.recall for r in runs)
+            rows.append(
+                Fig7Row(
+                    family=family,
+                    engine=engine,
+                    mean_recall=mean(recalls),
+                    std_recall=stdev(recalls),
+                    n_runs=len(recalls),
+                )
+            )
+    return Fig7Result(rows=rows)

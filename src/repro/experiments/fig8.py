@@ -1,0 +1,70 @@
+"""Figure 8: per-program precision of Kondo vs BF / AFL / Simple Convex.
+
+BF and AFL "never subset unaccessed data", so their precision is 1 by
+construction; Kondo trades some precision for recall via hull carving, and
+SC (one global hull) trades much more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.common import engine_runs, n_runs
+from repro.experiments.report import format_table, mean
+from repro.workloads.registry import ALL_BENCHMARKS
+
+REPETITIONS = {"Kondo": 10, "BF": 10, "AFL": 2, "SC": 10}
+
+
+@dataclass
+class Fig8Row:
+    program: str
+    engine: str
+    mean_precision: float
+    mean_recall: float
+
+
+@dataclass
+class Fig8Result:
+    rows: List[Fig8Row]
+
+    def format(self) -> str:
+        return format_table(
+            ["program", "engine", "precision", "recall"],
+            [(r.program, r.engine, r.mean_precision, r.mean_recall)
+             for r in self.rows],
+            title="Figure 8 — per-program precision at fixed time budget",
+        )
+
+    def precision_of(self, program: str, engine: str) -> float:
+        for r in self.rows:
+            if r.program == program and r.engine == engine:
+                return r.mean_precision
+        raise KeyError((program, engine))
+
+    def average_precision(self, engine: str) -> float:
+        return mean(
+            [r.mean_precision for r in self.rows if r.engine == engine]
+        )
+
+
+def run_fig8(
+    programs: Tuple[str, ...] = ALL_BENCHMARKS,
+    engines: Tuple[str, ...] = ("Kondo", "BF", "AFL", "SC"),
+) -> Fig8Result:
+    rows: List[Fig8Row] = []
+    for program in programs:
+        for engine in engines:
+            runs = engine_runs(
+                engine, program, repetitions=n_runs(REPETITIONS[engine])
+            )
+            rows.append(
+                Fig8Row(
+                    program=program,
+                    engine=engine,
+                    mean_precision=mean([r.precision for r in runs]),
+                    mean_recall=mean([r.recall for r in runs]),
+                )
+            )
+    return Fig8Result(rows=rows)

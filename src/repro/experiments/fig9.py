@@ -1,0 +1,67 @@
+"""Figure 9: fraction of data bloat identified by Kondo vs ground truth.
+
+Bloat identified is ``|I - I'_Theta| / |I|``; the ground-truth bound is
+``|I - I_Theta| / |I|``.  The paper reports Kondo identifying an average
+bloat of 63%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.common import engine_runs, n_runs
+from repro.experiments.report import format_table, mean
+from repro.metrics.accuracy import bloat_fraction
+from repro.workloads.registry import ALL_BENCHMARKS, default_dims, get_program
+
+
+@dataclass
+class Fig9Row:
+    program: str
+    kondo_bloat: float
+    truth_bloat: float
+
+
+@dataclass
+class Fig9Result:
+    rows: List[Fig9Row]
+
+    def format(self) -> str:
+        table = format_table(
+            ["program", "Kondo bloat", "ground-truth bloat"],
+            [(r.program, r.kondo_bloat, r.truth_bloat) for r in self.rows],
+            title="Figure 9 — fraction of data bloat identified",
+        )
+        return (
+            f"{table}\n"
+            f"average Kondo bloat identified: {self.average_bloat:.3f} "
+            f"(paper: 0.63)"
+        )
+
+    @property
+    def average_bloat(self) -> float:
+        return mean([r.kondo_bloat for r in self.rows])
+
+
+def run_fig9(programs: Tuple[str, ...] = ALL_BENCHMARKS,
+             repetitions: int = 10) -> Fig9Result:
+    rows: List[Fig9Row] = []
+    for name in programs:
+        program = get_program(name)
+        dims = default_dims(program)
+        n_total = int(np.prod(dims))
+        runs = engine_runs("Kondo", name, repetitions=n_runs(repetitions))
+        kondo_bloat = mean(
+            [bloat_fraction(r.flat_indices, n_total) for r in runs]
+        )
+        rows.append(
+            Fig9Row(
+                program=name,
+                kondo_bloat=kondo_bloat,
+                truth_bloat=program.bloat_fraction(dims),
+            )
+        )
+    return Fig9Result(rows=rows)

@@ -1,0 +1,101 @@
+"""Run every experiment and emit one combined report.
+
+``kondo experiment all`` (or :func:`run_all`) regenerates each paper
+table/figure in sequence, printing progress, and returns the concatenated
+formatted outputs — the text EXPERIMENTS.md is curated from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's formatted output and timing."""
+
+    name: str
+    seconds: float
+    text: str
+    error: Optional[str] = None
+
+
+@dataclass
+class RunAllResult:
+    outcomes: List[ExperimentOutcome]
+
+    @property
+    def failed(self) -> List[str]:
+        return [o.name for o in self.outcomes if o.error is not None]
+
+    def format(self) -> str:
+        parts = []
+        for o in self.outcomes:
+            parts.append("=" * 72)
+            parts.append(f"{o.name}  ({o.seconds:.1f}s)")
+            parts.append("=" * 72)
+            parts.append(o.text if o.error is None else f"ERROR: {o.error}")
+            parts.append("")
+        total = sum(o.seconds for o in self.outcomes)
+        parts.append(
+            f"{len(self.outcomes)} experiments in {total:.0f}s; "
+            f"failed: {self.failed or 'none'}"
+        )
+        return "\n".join(parts)
+
+
+def experiment_runners() -> Dict[str, Callable[[], object]]:
+    """Name -> runner for every table/figure experiment."""
+    from repro import experiments as ex
+
+    return {
+        "fig4": lambda: ex.run_fig4(),
+        "fig7": lambda: ex.run_fig7(),
+        "fig8": lambda: ex.run_fig8(),
+        "fig9": lambda: ex.run_fig9(),
+        "fig10": lambda: ex.run_fig10(),
+        "fig11a": lambda: ex.run_fig11a(),
+        "fig11bc": lambda: ex.run_fig11bc(),
+        "table2": lambda: ex.run_table2(),
+        "table3": lambda: ex.run_table3(),
+        "audit-overhead": lambda: ex.run_audit_overhead(),
+        "missed-access": lambda: ex.run_missed_access(),
+        "ablations": lambda: ex.run_ablations(),
+        "ext-chunk": lambda: ex.run_chunk_granularity(),
+        "ext-hybrid": lambda: ex.run_hybrid_consultation(),
+        "ext-merkle": lambda: ex.run_merkle_delivery(),
+        "ext-vpic": lambda: ex.run_vpic(),
+    }
+
+
+def run_all(
+    names: Optional[Tuple[str, ...]] = None,
+    progress: Optional[Callable[[str], None]] = print,
+) -> RunAllResult:
+    """Run the named experiments (default: all) and collect their reports."""
+    runners = experiment_runners()
+    names = names if names is not None else tuple(runners)
+    outcomes: List[ExperimentOutcome] = []
+    for name in names:
+        runner = runners[name]
+        if progress is not None:
+            progress(f"[runall] {name} ...")
+        start = time.perf_counter()
+        try:
+            result = runner()
+            text = result.format()
+            error = None
+        except Exception as exc:  # keep going; report at the end
+            text = ""
+            error = f"{type(exc).__name__}: {exc}"
+        outcomes.append(
+            ExperimentOutcome(
+                name=name,
+                seconds=time.perf_counter() - start,
+                text=text,
+                error=error,
+            )
+        )
+    return RunAllResult(outcomes=outcomes)

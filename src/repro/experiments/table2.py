@@ -1,0 +1,68 @@
+"""Table II: the benchmark-program inventory.
+
+Prints, for each of the eleven programs: dimensionality, number of
+parameters, the parameter space and its cardinality, the ground-truth
+subset size, and the ground-truth bloat fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.report import format_table
+from repro.workloads.registry import ALL_BENCHMARKS, default_dims, get_program
+
+
+@dataclass
+class Table2Row:
+    program: str
+    ndim: int
+    n_params: int
+    theta: str
+    theta_cardinality: int
+    dims: Tuple[int, ...]
+    gt_size: int
+    gt_bloat: float
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+    def format(self) -> str:
+        return format_table(
+            ["program", "d", "#params", "Theta", "|Theta|", "dims",
+             "|I_Theta|", "bloat"],
+            [
+                (r.program, r.ndim, r.n_params, r.theta,
+                 r.theta_cardinality, "x".join(map(str, r.dims)),
+                 r.gt_size, r.gt_bloat)
+                for r in self.rows
+            ],
+            title="Table II — benchmark programs",
+        )
+
+
+def run_table2(programs: Tuple[str, ...] = ALL_BENCHMARKS) -> Table2Result:
+    rows: List[Table2Row] = []
+    for name in programs:
+        program = get_program(name)
+        dims = default_dims(program)
+        space = program.parameter_space(dims)
+        theta = ", ".join(
+            f"{int(r.lo)}-{int(r.hi)}" for r in space.ranges
+        )
+        rows.append(
+            Table2Row(
+                program=name,
+                ndim=program.ndim,
+                n_params=space.ndim,
+                theta=theta,
+                theta_cardinality=space.cardinality,
+                dims=dims,
+                gt_size=int(program.ground_truth_flat(dims).size),
+                gt_bloat=program.bloat_fraction(dims),
+            )
+        )
+    return Table2Result(rows=rows)

@@ -1,0 +1,41 @@
+"""Fuzzing subsystem: schedules, mutation, clusters, configuration.
+
+Implements Section IV-A of the paper: the Exploit-and-Explore schedule,
+the Boundary-based EE schedule with useful/non-useful clustering, and the
+combined epsilon-greedy Algorithm 1.
+"""
+
+from repro.fuzzing.clusters import Cluster, ClusterSet
+from repro.fuzzing.config import (
+    PAPER_CARVE_CONFIG,
+    PAPER_FUZZ_CONFIG,
+    CarveConfig,
+    FuzzConfig,
+)
+from repro.fuzzing.hybrid import HybridResult, HybridSchedule
+from repro.fuzzing.mutation import greedy_mutations, uniform_mutations
+from repro.fuzzing.parameters import ParameterRange, ParameterSpace, Seed
+from repro.fuzzing.schedule import (
+    FuzzCampaignResult,
+    FuzzSchedule,
+    run_fuzz_schedule,
+)
+
+__all__ = [
+    "FuzzConfig",
+    "CarveConfig",
+    "PAPER_FUZZ_CONFIG",
+    "PAPER_CARVE_CONFIG",
+    "ParameterRange",
+    "ParameterSpace",
+    "Seed",
+    "Cluster",
+    "ClusterSet",
+    "uniform_mutations",
+    "greedy_mutations",
+    "FuzzSchedule",
+    "FuzzCampaignResult",
+    "run_fuzz_schedule",
+    "HybridSchedule",
+    "HybridResult",
+]

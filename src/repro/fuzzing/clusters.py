@@ -1,0 +1,74 @@
+"""Seed clusters for the boundary-based exploit-and-explore schedule.
+
+Section IV-A2: "the algorithm constructs two types of clusters, one of
+useful parameter values and other of non-useful values ... the
+ADD_TO_CLUSTER routine computes the minimum euclidean distance of a given
+parameter value with existing cluster centres of the same type.  If
+distance exceeds the configured cluster diameter, the value becomes a new
+cluster centre, else value is added to the nearest cluster."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Cluster:
+    """A spatial cluster of same-type parameter values.
+
+    The center is the running mean of its members, so it drifts as values
+    are added — clusters track where useful/non-useful mass accumulates.
+    """
+
+    center: np.ndarray
+    size: int = 1
+    useful: bool = True
+
+    def add(self, v: np.ndarray) -> None:
+        """Fold one value into the running-mean center."""
+        self.size += 1
+        self.center = self.center + (v - self.center) / self.size
+
+
+class ClusterSet:
+    """All clusters of one type (useful or non-useful), with fast lookup."""
+
+    def __init__(self, diameter: float, useful: bool):
+        self.diameter = diameter
+        self.useful = useful
+        self.clusters: List[Cluster] = []
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def _centers(self) -> np.ndarray:
+        return np.asarray([c.center for c in self.clusters])
+
+    def add(self, v: Sequence[float]) -> Cluster:
+        """ADD_TO_CLUSTER: join the nearest cluster or found a new one."""
+        v = np.asarray(v, dtype=np.float64)
+        if self.clusters:
+            dists = np.linalg.norm(self._centers() - v, axis=1)
+            nearest = int(dists.argmin())
+            if dists[nearest] <= self.diameter:
+                self.clusters[nearest].add(v)
+                return self.clusters[nearest]
+        cluster = Cluster(center=v.copy(), useful=self.useful)
+        self.clusters.append(cluster)
+        return cluster
+
+    def nearest(self, v: Sequence[float]) -> Optional[Tuple[Cluster, float]]:
+        """Nearest cluster (and its center distance) to ``v``, if any."""
+        if not self.clusters:
+            return None
+        v = np.asarray(v, dtype=np.float64)
+        dists = np.linalg.norm(self._centers() - v, axis=1)
+        i = int(dists.argmin())
+        return self.clusters[i], float(dists[i])
+
+    def reset(self) -> None:
+        self.clusters.clear()

@@ -1,0 +1,126 @@
+"""Hybrid schedules — the paper's Section VI future-work strategy.
+
+"One strategy is to let Kondo run for some more time and in parallel
+consult other fuzzing schedules, such as those available in AFL, to
+determine if any other missed offsets are detected."
+
+:class:`HybridSchedule` runs the boundary-based Kondo schedule first, then
+spends a configurable *residual* budget consulting secondary generators —
+uniform-random sampling and/or a MiniAFL campaign seeded with Kondo's
+useful valuations — and unions everything they discover.  The result
+reports how many offsets each stage contributed, so the recall gain of the
+consultation is directly measurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FuzzConfigError
+from repro.fuzzing.config import FuzzConfig
+from repro.fuzzing.parameters import ParameterSpace
+from repro.fuzzing.schedule import DebloatTestFn, FuzzCampaignResult, FuzzSchedule
+
+
+@dataclass
+class HybridResult:
+    """Union of a primary Kondo campaign and secondary consultations."""
+
+    primary: FuzzCampaignResult
+    flat_indices: np.ndarray
+    stage_new_offsets: Dict[str, int]
+    elapsed_seconds: float
+
+    @property
+    def extra_offsets(self) -> int:
+        """Offsets found only by the secondary schedules."""
+        return sum(
+            n for stage, n in self.stage_new_offsets.items()
+            if stage != "kondo"
+        )
+
+
+class HybridSchedule:
+    """Kondo's schedule plus secondary consultations on residual budget.
+
+    Args:
+        test: the audited debloat test.
+        space: the parameter space Theta.
+        config: primary (Kondo) schedule configuration.
+        n_flat: flat offset-space size.
+        consult: which secondary generators to run, in order; any of
+            "random" (uniform sampling) and "afl" (MiniAFL seeded from the
+            primary campaign's useful valuations).
+        residual_fraction: secondary budget as a fraction of the primary
+            campaign's executions (split evenly across consultants).
+    """
+
+    def __init__(
+        self,
+        test: DebloatTestFn,
+        space: ParameterSpace,
+        config: FuzzConfig,
+        n_flat: int,
+        consult: Tuple[str, ...] = ("random", "afl"),
+        residual_fraction: float = 0.25,
+    ):
+        for name in consult:
+            if name not in ("random", "afl"):
+                raise FuzzConfigError(f"unknown consultant {name!r}")
+        if residual_fraction < 0:
+            raise FuzzConfigError("residual_fraction must be >= 0")
+        self.test = test
+        self.space = space
+        self.config = config
+        self.n_flat = n_flat
+        self.consult = tuple(consult)
+        self.residual_fraction = residual_fraction
+
+    def run(self, time_budget_s: Optional[float] = None) -> HybridResult:
+        start = time.perf_counter()
+        schedule = FuzzSchedule(self.test, self.space, self.config, self.n_flat)
+        primary = schedule.run(time_budget_s=time_budget_s)
+        bitmap = np.zeros(self.n_flat, dtype=bool)
+        bitmap[primary.flat_indices] = True
+        stages = {"kondo": int(primary.flat_indices.size)}
+
+        budget = int(primary.iterations * self.residual_fraction)
+        per_consultant = budget // len(self.consult) if self.consult else 0
+        rng = np.random.default_rng(self.config.rng_seed + 1)
+
+        for name in self.consult:
+            if per_consultant <= 0:
+                stages[name] = 0
+                continue
+            before = int(bitmap.sum())
+            if name == "random":
+                for _ in range(per_consultant):
+                    flat = self.test(self.space.sample(rng))
+                    if flat.size:
+                        bitmap[flat] = True
+            else:  # afl
+                from repro.baselines.miniafl import MiniAFL
+
+                afl = MiniAFL(
+                    self.test, self.space,
+                    rng_seed=self.config.rng_seed + 2,
+                )
+                # Seed with the primary campaign's useful valuations (the
+                # "consult" coupling: AFL mutates from known-good inputs).
+                useful = [s.v for s in primary.seeds if s.useful][:16]
+                for v in useful:
+                    afl.queue.append(afl.encode(v))
+                out = afl.run(max_executions=per_consultant)
+                if out.flat_indices.size:
+                    bitmap[out.flat_indices] = True
+            stages[name] = int(bitmap.sum()) - before
+        return HybridResult(
+            primary=primary,
+            flat_indices=np.flatnonzero(bitmap).astype(np.int64),
+            stage_new_offsets=stages,
+            elapsed_seconds=time.perf_counter() - start,
+        )

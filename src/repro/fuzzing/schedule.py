@@ -1,0 +1,239 @@
+"""The fuzz schedule — Algorithm 1 of the paper.
+
+Drives debloat tests over the parameter space with the epsilon-greedy
+combination of plain Exploit-and-Explore (UNIFORM mutation) and
+Boundary-based EE (GREEDY mutation toward opposite-type clusters), with
+random restarts and the two stopping criteria (max iterations / no new
+offsets for ``stop_iter`` iterations).
+
+The schedule is agnostic to what a "debloat test" does: it receives a
+callable ``test(v) -> 1-D int64 array`` of *flat* offset indices accessed
+by the run with parameter value ``v`` (empty array = non-useful seed).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FuzzConfigError
+from repro.fuzzing.clusters import ClusterSet
+from repro.fuzzing.config import FuzzConfig
+from repro.fuzzing.mutation import greedy_mutations, uniform_mutations
+from repro.fuzzing.parameters import ParameterSpace, Seed
+
+#: A debloat test: parameter value -> flat offset indices accessed.
+DebloatTestFn = Callable[[Tuple[float, ...]], np.ndarray]
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Everything a fuzz campaign produced.
+
+    Attributes:
+        flat_indices: sorted unique flat offsets in ``IS`` (Alg 1's output).
+        seeds: every evaluated seed, in evaluation order (Fig 4's scatter).
+        iterations: number of debloat tests executed.
+        stop_reason: "max_iter", "stagnation", "time_budget", or "exhausted".
+        elapsed_seconds: wall-clock duration of the campaign.
+        discovery_trace: per-iteration ``(iteration, elapsed_s, n_offsets)``
+            samples — the raw series behind time-to-recall plots (Fig 10).
+        final_eps: epsilon after decay at campaign end.
+    """
+
+    flat_indices: np.ndarray
+    seeds: List[Seed]
+    iterations: int
+    stop_reason: str
+    elapsed_seconds: float
+    discovery_trace: List[Tuple[int, float, int]]
+    final_eps: float
+
+    @property
+    def n_useful(self) -> int:
+        return sum(1 for s in self.seeds if s.useful)
+
+    @property
+    def n_nonuseful(self) -> int:
+        return sum(1 for s in self.seeds if s.useful is False)
+
+    @property
+    def n_offsets(self) -> int:
+        return int(self.flat_indices.size)
+
+
+class FuzzSchedule:
+    """Stateful implementation of Algorithm 1.
+
+    Args:
+        test: the audited debloat test (Definition 2), returning the flat
+            offsets of ``I_v``.
+        space: the parameter space Theta.
+        config: Figure 5 configuration.
+        n_flat: size of the flat offset space (used to allocate the
+            discovered-offset bitmap).
+    """
+
+    def __init__(
+        self,
+        test: DebloatTestFn,
+        space: ParameterSpace,
+        config: FuzzConfig,
+        n_flat: int,
+    ):
+        if n_flat <= 0:
+            raise FuzzConfigError(f"n_flat must be positive, got {n_flat}")
+        self.test = test
+        self.space = space
+        self.config = config
+        self.n_flat = n_flat
+        self.rng = np.random.default_rng(config.rng_seed)
+        self.queue: deque = deque()
+        self.seen: set = set()
+        self.cl_u = ClusterSet(config.diameter, useful=True)
+        self.cl_n = ClusterSet(config.diameter, useful=False)
+        self.bitmap = np.zeros(n_flat, dtype=bool)
+        self.seeds: List[Seed] = []
+        self.eps = config.eps
+        self.itr = 0
+        self.new_itr = 0  # iterations since the last new offset
+
+    # -- Alg 1 subroutines ---------------------------------------------------
+
+    def random_restart(self) -> None:
+        """Discard the queue and refill with fresh uniform seeds.
+
+        Section IV-A2: "Every few iterations, the algorithm ... discards
+        the values in its queue and starts with a new set of seeds sampled
+        uniformly at random from the whole input space Theta."
+        """
+        self.queue.clear()
+        wanted = self.config.n_initial
+        attempts = 0
+        while wanted > 0 and attempts < 50 * self.config.n_initial:
+            v = self.space.sample(self.rng)
+            attempts += 1
+            if v not in self.seen:
+                self.queue.append(v)
+                self.seen.add(v)
+                wanted -= 1
+        if wanted > 0:
+            # Theta nearly exhausted; accept repeats rather than stall.
+            for _ in range(wanted):
+                self.queue.append(self.space.sample(self.rng))
+
+    def evaluate_seed(self, v: Tuple[float, ...]) -> Seed:
+        """Run the debloat test on ``v`` and fold ``I_v`` into ``IS``."""
+        flat = np.asarray(self.test(v), dtype=np.int64).reshape(-1)
+        seed = Seed(v=v, iteration=self.itr)
+        if flat.size:
+            fresh = ~self.bitmap[flat]
+            n_new = int(np.count_nonzero(fresh))
+            if n_new:
+                self.bitmap[flat[fresh]] = True
+            seed.n_new_offsets = n_new
+            seed.useful = True
+        else:
+            seed.useful = False
+        self.seeds.append(seed)
+        return seed
+
+    def mutate(self, seed: Seed) -> List[Tuple[float, ...]]:
+        """MUTATE(v, C): epsilon-greedy choice of UNIFORM vs GREEDY."""
+        cfg = self.config
+        dist = cfg.u_dist if seed.useful else cfg.n_dist
+        reps = cfg.u_reps if seed.useful else cfg.n_reps
+        prob = float(self.rng.uniform(0.0, 1.0))
+        if cfg.plain_ee or prob <= self.eps:
+            return uniform_mutations(seed.v, self.space, dist, reps, self.rng)
+        # Boundary-based: useful seeds walk toward the non-useful clusters
+        # (and vice versa) — i.e. toward the subset boundary.
+        opposite = self.cl_n if seed.useful else self.cl_u
+        found = opposite.nearest(seed.v)
+        if found is None:
+            return uniform_mutations(seed.v, self.space, dist, reps, self.rng)
+        cluster, distance = found
+        return greedy_mutations(
+            seed.v, self.space, cluster, distance, dist, reps, self.rng
+        )
+
+    def stopping_criteria(self, deadline: Optional[float]) -> Optional[str]:
+        """Why the schedule should stop now, or None to continue."""
+        if self.itr >= self.config.max_iter:
+            return "max_iter"
+        if self.new_itr >= self.config.stop_iter:
+            return "stagnation"
+        if deadline is not None and time.perf_counter() >= deadline:
+            return "time_budget"
+        return None
+
+    # -- the main loop ---------------------------------------------------------
+
+    def run(self, time_budget_s: Optional[float] = None) -> FuzzCampaignResult:
+        """Execute the fuzz schedule to completion.
+
+        Args:
+            time_budget_s: optional wall-clock cap (the paper's fixed time
+                budgets in Section V-C), checked between iterations.
+        """
+        cfg = self.config
+        start = time.perf_counter()
+        deadline = start + time_budget_s if time_budget_s is not None else None
+        trace: List[Tuple[int, float, int]] = []
+        n_offsets = 0
+        stop_reason = "exhausted"
+        while True:
+            reason = self.stopping_criteria(deadline)
+            if reason is not None:
+                stop_reason = reason
+                break
+            self.itr += 1
+            if (not self.queue) or (
+                cfg.enable_restart and self.itr % cfg.restart == 0
+            ):
+                self.random_restart()
+            if not self.queue:
+                stop_reason = "exhausted"
+                break
+            v = self.queue.popleft()
+            seed = self.evaluate_seed(v)
+            if seed.n_new_offsets > 0:
+                self.new_itr = 0
+                n_offsets += seed.n_new_offsets
+            else:
+                self.new_itr += 1
+            if seed.useful:
+                self.cl_u.add(seed.v)
+            else:
+                self.cl_n.add(seed.v)
+            for child in self.mutate(seed):
+                if child not in self.seen:
+                    self.seen.add(child)
+                    self.queue.append(child)
+            if self.itr % cfg.decay_iter == 0:
+                self.eps *= cfg.decay
+            trace.append((self.itr, time.perf_counter() - start, n_offsets))
+        return FuzzCampaignResult(
+            flat_indices=np.flatnonzero(self.bitmap).astype(np.int64),
+            seeds=self.seeds,
+            iterations=self.itr,
+            stop_reason=stop_reason,
+            elapsed_seconds=time.perf_counter() - start,
+            discovery_trace=trace,
+            final_eps=self.eps,
+        )
+
+
+def run_fuzz_schedule(
+    test: DebloatTestFn,
+    space: ParameterSpace,
+    config: FuzzConfig,
+    n_flat: int,
+    time_budget_s: Optional[float] = None,
+) -> FuzzCampaignResult:
+    """One-shot convenience wrapper around :class:`FuzzSchedule`."""
+    return FuzzSchedule(test, space, config, n_flat).run(time_budget_s)

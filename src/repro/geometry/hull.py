@@ -1,0 +1,235 @@
+"""The ``Hull`` facade: dimension-agnostic convex hulls with degeneracy.
+
+Fuzz-discovered index points routinely form rank-deficient clouds — a
+single point, a row of indices, a flat plane inside a 3-D array.  The
+carving algorithm (paper Alg 2) must still treat them as hulls: they have
+centroids, boundary distances, and can merge with neighbors.  ``Hull``
+handles every rank:
+
+* rank 0 — a point,
+* rank = d — a full-dimensional hull (own 2-D/3-D code, Qhull for d >= 4),
+* 0 < rank < d — points projected into their affine subspace, hulled there,
+  with containment requiring membership of the subspace too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.hull2d import monotone_chain, polygon_area, polygon_halfspaces
+from repro.geometry.hull3d import (
+    hull3d_halfspaces,
+    hull3d_vertices,
+    hull3d_volume,
+    incremental_hull3d,
+)
+from repro.geometry.hullnd import qhull_hull
+from repro.geometry.primitives import (
+    affine_basis,
+    as_points,
+    dedupe_points,
+    min_pairwise_distance,
+    project_to_subspace,
+    subspace_residual,
+)
+
+#: Containment slack: an index point within this distance of the hull
+#: boundary (or its affine subspace) counts as inside.  Half a grid cell is
+#: the natural unit — hull vertices *are* accessed integer indices.
+DEFAULT_TOL = 1e-7
+
+#: Backend for rank-3 hulls: "qhull" (scipy, fast C) or "own" (the
+#: from-scratch incremental implementation in
+#: :mod:`repro.geometry.hull3d`).  Both produce the same facade; tests
+#: cross-check them.  Qhull is the default because the carver hulls
+#: hundreds of dense 3-D cells per campaign.
+HULL3D_BACKEND = "qhull"
+
+
+@dataclass(frozen=True)
+class Hull:
+    """An immutable convex hull in ambient dimension ``ndim``.
+
+    Attributes:
+        vertices: ``(m, ndim)`` hull vertex coordinates.
+        rank: affine rank of the hull (0 = point, ndim = full).
+        n_points: how many input points this hull was built from (merged
+            hulls accumulate counts; used for diagnostics only).
+    """
+
+    vertices: np.ndarray
+    rank: int
+    n_points: int
+    # Full-rank halfspace form (in subspace coordinates when rank < ndim).
+    _normals: np.ndarray = field(repr=False)
+    _offsets: np.ndarray = field(repr=False)
+    _origin: np.ndarray = field(repr=False)
+    _basis: np.ndarray = field(repr=False)
+    _volume: float = field(repr=False)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points) -> "Hull":
+        """Build the convex hull of a point cloud, at whatever rank it has."""
+        pts = dedupe_points(as_points(points))
+        n, d = pts.shape
+        origin, basis, rank = affine_basis(pts)
+        if rank == 0:
+            return cls(
+                vertices=pts[:1].copy(), rank=0, n_points=n,
+                _normals=np.empty((0, 0)), _offsets=np.empty(0),
+                _origin=origin, _basis=basis, _volume=0.0,
+            )
+        coords = project_to_subspace(pts, origin, basis)  # (n, rank)
+        verts_sub, normals, offsets, volume = cls._full_rank_hull(coords)
+        # Lift subspace vertices back to ambient coordinates.
+        vertices = origin + verts_sub @ basis
+        return cls(
+            vertices=vertices, rank=rank, n_points=n,
+            _normals=normals, _offsets=offsets,
+            _origin=origin, _basis=basis, _volume=volume,
+        )
+
+    @staticmethod
+    def _full_rank_hull(coords: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Hull of full-rank ``coords``; returns (verts, A, b, volume)."""
+        r = coords.shape[1]
+        if r == 1:
+            lo, hi = float(coords.min()), float(coords.max())
+            verts = np.array([[lo], [hi]])
+            normals = np.array([[-1.0], [1.0]])
+            offsets = np.array([-lo, hi])
+            return verts, normals, offsets, hi - lo
+        try:
+            if r == 2:
+                verts = monotone_chain(coords)
+                if verts.shape[0] < 3:
+                    raise GeometryError("rank-2 subspace produced a flat hull")
+                normals, offsets = polygon_halfspaces(verts)
+                return verts, normals, offsets, polygon_area(verts)
+            if r == 3 and HULL3D_BACKEND == "own":
+                pts3, faces = incremental_hull3d(coords)
+                normals, offsets = hull3d_halfspaces(pts3, faces)
+                return (hull3d_vertices(pts3, faces), normals, offsets,
+                        hull3d_volume(pts3, faces))
+            return qhull_hull(coords)
+        except GeometryError:
+            # Numerically marginal rank (affine_basis said full rank, the
+            # hull code disagreed): fall back to the conservative axis-
+            # aligned bounding box, which over- rather than under-covers.
+            return Hull._bbox_hull(coords)
+
+    @staticmethod
+    def _bbox_hull(coords: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Axis-aligned bounding-box fallback in halfspace form."""
+        r = coords.shape[1]
+        lo, hi = coords.min(axis=0), coords.max(axis=0)
+        corners = np.stack(
+            np.meshgrid(*[[lo[k], hi[k]] for k in range(r)], indexing="ij"),
+            axis=-1,
+        ).reshape(-1, r)
+        eye = np.eye(r)
+        normals = np.vstack([eye, -eye])
+        offsets = np.concatenate([hi, -lo])
+        volume = float(np.prod(hi - lo))
+        return np.unique(corners, axis=0), normals, offsets, volume
+
+    # -- basic geometry ------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Ambient dimension."""
+        return self.vertices.shape[1]
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Centroid of the hull vertices — the paper's "hull center"."""
+        return self.vertices.mean(axis=0)
+
+    @property
+    def volume(self) -> float:
+        """rank-dimensional measure (length/area/volume); 0 for points."""
+        return self._volume
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the hull spans fewer dimensions than the ambient space."""
+        return self.rank < self.ndim
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Componentwise (min, max) corners of the hull vertices."""
+        return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    # -- containment -----------------------------------------------------------
+
+    def contains(self, points, tol: float = DEFAULT_TOL) -> np.ndarray:
+        """Boolean mask: which ``points`` lie in the hull (within ``tol``).
+
+        For degenerate hulls a point must additionally lie within ``tol``
+        of the hull's affine subspace.
+        """
+        pts = as_points(points, ndim=self.ndim)
+        mask = np.ones(pts.shape[0], dtype=bool)
+        if self.rank < self.ndim:
+            mask &= subspace_residual(pts, self._origin, self._basis) <= tol
+            if self.rank == 0:
+                return mask
+        coords = project_to_subspace(pts, self._origin, self._basis)
+        # All halfspaces: A @ x <= b (+ tol).
+        slack = coords @ self._normals.T - self._offsets[None, :]
+        mask &= (slack <= tol).all(axis=1)
+        return mask
+
+    def contains_point(self, point, tol: float = DEFAULT_TOL) -> bool:
+        """Scalar convenience for :meth:`contains`."""
+        return bool(self.contains(np.asarray(point).reshape(1, -1), tol)[0])
+
+    # -- the paper's closeness measures -----------------------------------------
+
+    def center_distance(self, other: "Hull") -> float:
+        """Distance between hull centroids (Alg 2's center distance)."""
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+    def boundary_distance(self, other: "Hull") -> float:
+        """Minimum vertex-to-vertex distance (Alg 2's boundary distance)."""
+        return min_pairwise_distance(self.vertices, other.vertices)
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "Hull") -> "Hull":
+        """Hull of the union of both hulls' vertices.
+
+        Paper Section IV-B: "The merge is achieved by considering the union
+        of vertices of both hulls as the points in space around which a new
+        convex hull is desired.  This merge is equivalent to computing a
+        hull with all respective points on which the original hulls were
+        computed."
+        """
+        if other.ndim != self.ndim:
+            raise GeometryError(
+                f"cannot merge hulls of dimension {self.ndim} and {other.ndim}"
+            )
+        merged = Hull.from_points(
+            np.vstack([self.vertices, other.vertices])
+        )
+        object.__setattr__(merged, "n_points",
+                           self.n_points + other.n_points)
+        return merged
+
+    def __hash__(self) -> int:
+        return hash((self.vertices.tobytes(), self.rank))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Hull)
+            and self.rank == other.rank
+            and self.vertices.shape == other.vertices.shape
+            and np.array_equal(self.vertices, other.vertices)
+        )

@@ -1,0 +1,151 @@
+"""3-D convex hulls from scratch: randomized incremental construction.
+
+Used for the paper's 3-D benchmark programs (PRL3D/LDC3D/RDC3D, ARD, MSI).
+Maintains a triangle soup with outward orientation; each insertion finds the
+visible faces, extracts the horizon loop, and re-triangulates against the
+new point.  Worst case O(n^2), plenty for cell-sized hull inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import as_points, dedupe_points
+
+_EPS = 1e-9
+
+
+def _face_normal(pts: np.ndarray, face: Tuple[int, int, int]) -> np.ndarray:
+    a, b, c = pts[face[0]], pts[face[1]], pts[face[2]]
+    return np.cross(b - a, c - a)
+
+
+def _orient_outward(pts: np.ndarray, face: Tuple[int, int, int],
+                    interior: np.ndarray) -> Tuple[int, int, int]:
+    n = _face_normal(pts, face)
+    if np.dot(n, interior - pts[face[0]]) > 0:
+        return (face[0], face[2], face[1])
+    return face
+
+
+def _initial_tetrahedron(pts: np.ndarray) -> List[int]:
+    """Pick four affinely independent points spanning the cloud."""
+    n = pts.shape[0]
+    i0 = 0
+    d = np.linalg.norm(pts - pts[i0], axis=1)
+    i1 = int(d.argmax())
+    if d[i1] < _EPS:
+        raise GeometryError("all points coincide; rank-0 input to 3-D hull")
+    # Farthest from the line (i0, i1).
+    u = pts[i1] - pts[i0]
+    u = u / np.linalg.norm(u)
+    rel = pts - pts[i0]
+    perp = rel - np.outer(rel @ u, u)
+    dist_line = np.linalg.norm(perp, axis=1)
+    i2 = int(dist_line.argmax())
+    if dist_line[i2] < _EPS:
+        raise GeometryError("collinear input to 3-D hull (rank 1)")
+    # Farthest from the plane (i0, i1, i2).
+    normal = np.cross(pts[i1] - pts[i0], pts[i2] - pts[i0])
+    normal = normal / np.linalg.norm(normal)
+    dist_plane = np.abs(rel @ normal)
+    i3 = int(dist_plane.argmax())
+    if dist_plane[i3] < _EPS:
+        raise GeometryError("coplanar input to 3-D hull (rank 2)")
+    return [i0, i1, i2, i3]
+
+
+def incremental_hull3d(points: np.ndarray
+                       ) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
+    """Convex hull of full-rank 3-D points.
+
+    Returns ``(pts, faces)`` — the deduplicated input points and outward-
+    oriented triangular faces as index triples into ``pts``.  Raises
+    :class:`GeometryError` for rank-deficient input (callers should have
+    projected those into a lower dimension first).
+    """
+    pts = dedupe_points(as_points(points, ndim=3))
+    if pts.shape[0] < 4:
+        raise GeometryError(
+            f"3-D hull needs >= 4 distinct points, got {pts.shape[0]}"
+        )
+    tet = _initial_tetrahedron(pts)
+    interior = pts[tet].mean(axis=0)
+    faces: Set[Tuple[int, int, int]] = set()
+    for skip in range(4):
+        tri = tuple(tet[j] for j in range(4) if j != skip)
+        faces.add(_orient_outward(pts, tri, interior))
+
+    # Deterministic insertion order: remaining points by index.
+    scale = float(np.linalg.norm(pts.max(axis=0) - pts.min(axis=0))) or 1.0
+    tol = _EPS * scale
+    remaining = [i for i in range(pts.shape[0]) if i not in set(tet)]
+    for i in remaining:
+        p = pts[i]
+        visible = []
+        for face in faces:
+            n = _face_normal(pts, face)
+            nn = np.linalg.norm(n)
+            if nn < _EPS:
+                continue
+            if np.dot(n / nn, p - pts[face[0]]) > tol:
+                visible.append(face)
+        if not visible:
+            continue  # p is inside (or on) the current hull
+        visible_set = set(visible)
+        # Horizon: directed edges of visible faces whose reverse edge
+        # belongs to an invisible face.
+        edge_count: Dict[Tuple[int, int], int] = {}
+        for (a, b, c) in visible_set:
+            for e in ((a, b), (b, c), (c, a)):
+                edge_count[e] = edge_count.get(e, 0) + 1
+        horizon = [
+            e for e in edge_count
+            if (e[1], e[0]) not in edge_count
+        ]
+        faces -= visible_set
+        for (a, b) in horizon:
+            faces.add(_orient_outward(pts, (a, b, i), interior))
+    return pts, sorted(faces)
+
+
+def hull3d_halfspaces(pts: np.ndarray, faces: List[Tuple[int, int, int]]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Outward halfspace form ``A @ x <= b`` from oriented faces."""
+    if not faces:
+        raise GeometryError("no faces")
+    normals = []
+    offsets = []
+    for face in faces:
+        n = _face_normal(pts, face)
+        nn = np.linalg.norm(n)
+        if nn < _EPS:
+            continue  # sliver face; neighbors carry the constraint
+        n = n / nn
+        normals.append(n)
+        offsets.append(float(n @ pts[face[0]]))
+    if not normals:
+        raise GeometryError("all faces degenerate")
+    return np.asarray(normals), np.asarray(offsets)
+
+
+def hull3d_volume(pts: np.ndarray, faces: List[Tuple[int, int, int]]) -> float:
+    """Volume via signed tetrahedra against the vertex centroid."""
+    if not faces:
+        return 0.0
+    used = sorted({i for f in faces for i in f})
+    ref = pts[used].mean(axis=0)
+    vol = 0.0
+    for (a, b, c) in faces:
+        vol += abs(np.dot(np.cross(pts[a] - ref, pts[b] - ref), pts[c] - ref))
+    return vol / 6.0
+
+
+def hull3d_vertices(pts: np.ndarray, faces: List[Tuple[int, int, int]]
+                    ) -> np.ndarray:
+    """Unique vertex coordinates referenced by the face list."""
+    used = sorted({i for f in faces for i in f})
+    return pts[used]

@@ -1,0 +1,49 @@
+"""General-dimension convex hulls (d >= 4) via Qhull.
+
+The paper's benchmarks are 2-D and 3-D, where this package uses its own
+from-scratch implementations (:mod:`~repro.geometry.hull2d`,
+:mod:`~repro.geometry.hull3d`).  For completeness the same facade also
+supports arbitrary dimension, delegating to scipy's Qhull bindings behind
+an identical (vertices, halfspaces, volume) interface.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import as_points, dedupe_points
+
+try:  # scipy is a declared dependency; guard anyway for partial installs.
+    from scipy.spatial import ConvexHull as _QhullHull
+    from scipy.spatial import QhullError as _QhullError
+except ImportError:  # pragma: no cover - scipy is installed in this env
+    _QhullHull = None
+    _QhullError = Exception
+
+
+def qhull_hull(points: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Full-rank hull in any dimension.
+
+    Returns ``(vertices, normals, offsets, volume)`` with outward unit
+    normals such that interior points satisfy ``normals @ x <= offsets``.
+    """
+    if _QhullHull is None:  # pragma: no cover
+        raise GeometryError("scipy unavailable; d>=4 hulls unsupported")
+    pts = dedupe_points(as_points(points))
+    try:
+        hull = _QhullHull(pts)
+    except _QhullError as exc:
+        raise GeometryError(f"Qhull failed (degenerate input?): {exc}") from exc
+    vertices = pts[hull.vertices]
+    eqs = hull.equations  # rows: [normal..., offset], normal @ x + offset <= 0
+    normals = eqs[:, :-1]
+    offsets = -eqs[:, -1]
+    norms = np.linalg.norm(normals, axis=1)
+    keep = norms > 1e-12
+    normals = normals[keep] / norms[keep, None]
+    offsets = offsets[keep] / norms[keep]
+    return vertices, normals, offsets, float(hull.volume)

@@ -1,0 +1,91 @@
+"""Rasterization: enumerate the integer index points covered by hulls.
+
+The carver's output hulls live in the continuous index space, but the data
+subset ``I'_Theta`` is a set of *array indices*.  This module converts back:
+all integer lattice points inside a hull (clipped to the array dims) — the
+indices Kondo will keep in the debloated file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.hull import Hull
+
+#: Rasterize in batches of this many candidate lattice points to bound
+#: peak memory on large 3-D boxes.
+_BATCH = 262_144
+
+
+def _lattice_bounds(hull: Hull, dims: Optional[Sequence[int]],
+                    pad: float) -> Optional[tuple]:
+    lo, hi = hull.bounding_box()
+    lo = np.floor(lo - pad).astype(np.int64)
+    hi = np.ceil(hi + pad).astype(np.int64)
+    if dims is not None:
+        lo = np.maximum(lo, 0)
+        hi = np.minimum(hi, np.asarray(dims, dtype=np.int64) - 1)
+    if (lo > hi).any():
+        return None
+    return lo, hi
+
+
+def integer_points_in_hull(
+    hull: Hull,
+    dims: Optional[Sequence[int]] = None,
+    tol: float = 0.5,
+) -> np.ndarray:
+    """All integer points inside ``hull``, optionally clipped to ``dims``.
+
+    Args:
+        hull: the hull to rasterize.
+        dims: array extents; when given, only indices within
+            ``[0, dims)`` are returned.
+        tol: containment slack.  The default of half a lattice step makes
+            degenerate hulls (points, segments, planes) still cover the
+            integer points they were built from, and fattens full-rank
+            hulls by half a cell — matching the carver's intent that hull
+            vertices are accessed indices, not exclusive boundaries.
+
+    Returns:
+        ``(n, d)`` int64 array of lattice points, lexicographically sorted.
+    """
+    d = hull.ndim
+    bounds = _lattice_bounds(hull, dims, pad=tol)
+    if bounds is None:
+        return np.empty((0, d), dtype=np.int64)
+    lo, hi = bounds
+    extents = (hi - lo + 1).astype(np.int64)
+    total = int(np.prod(extents))
+    out = []
+    for start in range(0, total, _BATCH):
+        stop = min(start + _BATCH, total)
+        flat = np.arange(start, stop, dtype=np.int64)
+        pts = np.empty((flat.size, d), dtype=np.int64)
+        rem = flat
+        for axis in range(d - 1, -1, -1):
+            pts[:, axis] = rem % extents[axis] + lo[axis]
+            rem = rem // extents[axis]
+        mask = hull.contains(pts.astype(np.float64), tol=tol)
+        if mask.any():
+            out.append(pts[mask])
+    if not out:
+        return np.empty((0, d), dtype=np.int64)
+    return np.concatenate(out, axis=0)
+
+
+def integer_points_in_hulls(
+    hulls: Iterable[Hull],
+    dims: Optional[Sequence[int]] = None,
+    tol: float = 0.5,
+) -> np.ndarray:
+    """Union of :func:`integer_points_in_hull` over several hulls."""
+    hull_list = list(hulls)
+    parts = [integer_points_in_hull(h, dims=dims, tol=tol) for h in hull_list]
+    parts = [p for p in parts if p.size]
+    if not parts:
+        d = hull_list[0].ndim if hull_list else 0
+        return np.empty((0, d), dtype=np.int64)
+    return np.unique(np.concatenate(parts, axis=0), axis=0)

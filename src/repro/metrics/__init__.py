@@ -1,0 +1,12 @@
+"""Evaluation metrics: precision, recall, bloat, missed-access rate."""
+
+from repro.metrics.accuracy import Accuracy, accuracy, bloat_fraction
+from repro.metrics.missed import MissedAccessReport, missed_valuations
+
+__all__ = [
+    "Accuracy",
+    "accuracy",
+    "bloat_fraction",
+    "MissedAccessReport",
+    "missed_valuations",
+]

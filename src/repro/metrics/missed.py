@@ -1,0 +1,76 @@
+"""User-impact metric: valuations with at least one missed access.
+
+Paper Section V-D1: "we computed the percentage of parameter valuations
+that result in at least one missed access.  We report that for different
+programs, between 0.0%-0.8% of total number of parameter valuations result
+in a missed access."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.base import Program
+
+
+@dataclass(frozen=True)
+class MissedAccessReport:
+    """Outcome of replaying parameter valuations against a carved subset."""
+
+    program: str
+    n_valuations: int
+    n_missed: int
+    exhaustive: bool
+
+    @property
+    def missed_rate(self) -> float:
+        """Fraction of valuations hitting >= 1 debloated-away offset."""
+        if self.n_valuations == 0:
+            return 0.0
+        return self.n_missed / self.n_valuations
+
+
+def missed_valuations(
+    program: Program,
+    dims: Sequence[int],
+    carved_flat: np.ndarray,
+    max_valuations: Optional[int] = 20000,
+    rng_seed: int = 0,
+) -> MissedAccessReport:
+    """Measure how many valuations would raise "data missing" at runtime.
+
+    Enumerates Theta exhaustively when it is small enough, otherwise
+    samples ``max_valuations`` values uniformly.  A valuation counts as
+    missed if any offset it accesses is absent from ``carved_flat``.
+    """
+    dims = program.check_dims(dims)
+    n_flat = int(np.prod(dims))
+    kept = np.zeros(n_flat, dtype=bool)
+    carved = np.asarray(carved_flat, dtype=np.int64)
+    if carved.size:
+        kept[carved] = True
+    space = program.parameter_space(dims)
+    exhaustive = (
+        max_valuations is None or space.cardinality <= max_valuations
+    )
+    if exhaustive:
+        valuations = space.grid()
+        n_total = space.cardinality
+    else:
+        rng = np.random.default_rng(rng_seed)
+        valuations = (space.sample(rng) for _ in range(max_valuations))
+        n_total = max_valuations
+    n_missed = 0
+    for v in valuations:
+        flat = program.access_flat(v, dims)
+        if flat.size and not kept[flat].all():
+            n_missed += 1
+    return MissedAccessReport(
+        program=program.name,
+        n_valuations=n_total,
+        n_missed=n_missed,
+        exhaustive=exhaustive,
+    )

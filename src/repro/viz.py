@@ -1,0 +1,104 @@
+"""ASCII visualization of index subsets (terminal-friendly "figures").
+
+Renders 2-D masks and carve results the way the paper's figures do
+visually: ground truth vs carved subset, overlaid so over- and
+under-approximation are immediately visible.
+
+Legend for :func:`render_comparison`:
+
+* ``#`` — in both ground truth and the carved subset (correct keep),
+* ``+`` — carved but not ground truth (precision loss),
+* ``.`` — ground truth but not carved (recall loss),
+* `` `` — in neither (correctly debloated).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import KondoError
+
+
+def _to_mask(flat: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    n = int(np.prod(dims))
+    mask = np.zeros(n, dtype=bool)
+    flat = np.asarray(flat, dtype=np.int64)
+    if flat.size:
+        if flat.min() < 0 or flat.max() >= n:
+            raise KondoError("flat offsets out of range for dims")
+        mask[flat] = True
+    return mask.reshape(dims)
+
+
+def _downsample(mask: np.ndarray, width: int) -> np.ndarray:
+    """Max-pool a boolean 2-D mask to at most ``width`` columns."""
+    h, w = mask.shape
+    step = max(1, int(np.ceil(max(h, w) / width)))
+    out_h, out_w = int(np.ceil(h / step)), int(np.ceil(w / step))
+    pooled = np.zeros((out_h, out_w), dtype=bool)
+    for i in range(out_h):
+        for j in range(out_w):
+            pooled[i, j] = mask[
+                i * step:(i + 1) * step, j * step:(j + 1) * step
+            ].any()
+    return pooled
+
+
+def render_mask(flat: np.ndarray, dims: Sequence[int],
+                width: int = 64, char: str = "#") -> str:
+    """Render one 2-D index subset as ASCII art."""
+    if len(dims) != 2:
+        raise KondoError(f"render_mask is 2-D only, got dims {tuple(dims)}")
+    mask = _downsample(_to_mask(flat, dims), width)
+    return "\n".join(
+        "".join(char if cell else " " for cell in row) for row in mask
+    )
+
+
+def render_comparison(
+    truth_flat: np.ndarray,
+    carved_flat: np.ndarray,
+    dims: Sequence[int],
+    width: int = 64,
+) -> str:
+    """Overlay ground truth and a carved subset (see module legend)."""
+    if len(dims) != 2:
+        raise KondoError(
+            f"render_comparison is 2-D only, got dims {tuple(dims)}"
+        )
+    truth = _downsample(_to_mask(truth_flat, dims), width)
+    carved = _downsample(_to_mask(carved_flat, dims), width)
+    rows = []
+    for t_row, c_row in zip(truth, carved):
+        line = []
+        for t, c in zip(t_row, c_row):
+            if t and c:
+                line.append("#")
+            elif c:
+                line.append("+")
+            elif t:
+                line.append(".")
+            else:
+                line.append(" ")
+        rows.append("".join(line))
+    legend = "legend: '#' correct keep, '+' over-kept, '.' missed, ' ' debloated"
+    return "\n".join(rows + [legend])
+
+
+def render_slice(flat: np.ndarray, dims: Sequence[int], axis: int,
+                 index: int, width: int = 64) -> str:
+    """Render one 2-D slice of a 3-D subset."""
+    if len(dims) != 3:
+        raise KondoError(f"render_slice is 3-D only, got dims {tuple(dims)}")
+    if not 0 <= axis < 3:
+        raise KondoError(f"axis {axis} out of range")
+    if not 0 <= index < dims[axis]:
+        raise KondoError(f"slice index {index} out of range")
+    mask = _to_mask(flat, dims)
+    sliced = np.take(mask, index, axis=axis)
+    pooled = _downsample(sliced, width)
+    return "\n".join(
+        "".join("#" if cell else " " for cell in row) for row in pooled
+    )

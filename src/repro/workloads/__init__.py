@@ -1,0 +1,77 @@
+"""Workload programs: the paper's benchmark and real-application suites."""
+
+from repro.workloads.base import AccessFn, Program, dilate_mask
+from repro.workloads.h5bench_config import (
+    BenchmarkPlan,
+    load_h5bench_config,
+    load_h5bench_config_file,
+)
+from repro.workloads.multi import WeatherCoupled
+from repro.workloads.realapps import AtmosphericRiver, MassSpectroscopy
+from repro.workloads.vpic import VPICThreshold, synthetic_energy_field
+from repro.workloads.rectprograms import CornerBlocks, PeripheralRing
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    DEFAULT_DIMS_2D,
+    DEFAULT_DIMS_3D,
+    MICRO_BENCHMARKS,
+    EXTENSION_PROGRAMS,
+    REAL_APPLICATIONS,
+    SYNTHETIC_PROGRAMS,
+    all_benchmarks,
+    default_dims,
+    get_program,
+    micro_benchmarks,
+    program_names,
+    real_applications,
+    synthetic_programs,
+)
+from repro.workloads.stencils import Stencil, block_with_hole, cross, solid_block
+from repro.workloads.stepwalk import (
+    CS1DistantSparse,
+    CS2Band,
+    CS3ThinStrip,
+    CS5SparseWithHole,
+    CrossStencil,
+    StepWalkProgram,
+)
+
+__all__ = [
+    "Program",
+    "AccessFn",
+    "dilate_mask",
+    "Stencil",
+    "solid_block",
+    "block_with_hole",
+    "cross",
+    "StepWalkProgram",
+    "CrossStencil",
+    "CS1DistantSparse",
+    "CS2Band",
+    "CS3ThinStrip",
+    "CS5SparseWithHole",
+    "PeripheralRing",
+    "CornerBlocks",
+    "AtmosphericRiver",
+    "MassSpectroscopy",
+    "get_program",
+    "program_names",
+    "default_dims",
+    "all_benchmarks",
+    "micro_benchmarks",
+    "synthetic_programs",
+    "real_applications",
+    "ALL_BENCHMARKS",
+    "MICRO_BENCHMARKS",
+    "SYNTHETIC_PROGRAMS",
+    "REAL_APPLICATIONS",
+    "EXTENSION_PROGRAMS",
+    "WeatherCoupled",
+    "VPICThreshold",
+    "synthetic_energy_field",
+    "BenchmarkPlan",
+    "load_h5bench_config",
+    "load_h5bench_config_file",
+    "DEFAULT_DIMS_2D",
+    "DEFAULT_DIMS_3D",
+]

@@ -1,0 +1,130 @@
+"""h5bench-style configuration loading.
+
+The paper configures its micro-benchmarks from h5bench's JSON
+(Section V-A: "We used the 'sync' mode configuration of H5bench with
+default settings of data dimensions set to 128 by 128 (256 KB) and
+blocksize of 2").  This module accepts a configuration document of the
+same spirit and instantiates the corresponding benchmark campaign plan:
+which programs, at which array dims, with which element size/chunking.
+
+Example document::
+
+    {
+      "mode": "sync",
+      "dims": [128, 128],
+      "blocksize": 2,
+      "dtype": "f16",
+      "benchmarks": ["CS", "PRL2D", "LDC2D", "RDC2D"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arraymodel.schema import DTYPE_SIZES, ArraySchema
+from repro.errors import ProgramError
+from repro.workloads.base import Program
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    MICRO_BENCHMARKS,
+    get_program,
+)
+
+
+@dataclass
+class BenchmarkPlan:
+    """A resolved h5bench-style campaign: programs + data geometry."""
+
+    mode: str
+    dims: Tuple[int, ...]
+    blocksize: int
+    dtype: str
+    chunks: Optional[Tuple[int, ...]]
+    program_names: Tuple[str, ...] = field(default=MICRO_BENCHMARKS)
+
+    @property
+    def data_nbytes(self) -> int:
+        """Logical data size (the paper quotes 256 KB for 128x128 f16)."""
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n * DTYPE_SIZES[self.dtype]
+
+    def programs(self) -> List[Program]:
+        return [get_program(name) for name in self.program_names]
+
+    def schema(self) -> ArraySchema:
+        return ArraySchema(self.dims, self.dtype, chunks=self.chunks)
+
+    def dims_for(self, program: Program) -> Tuple[int, ...]:
+        """The plan's dims adapted to a program's rank.
+
+        2-D plans drive 3-D programs at the cubic equivalent the paper
+        uses (64^3 next to 128^2), preserving the same order of elements.
+        """
+        if program.ndim == len(self.dims):
+            return self.dims
+        if program.ndim == 3 and len(self.dims) == 2:
+            side = max(8, int(round((self.dims[0] * self.dims[1]) ** 0.5 / 2)))
+            return (side, side, side)
+        raise ProgramError(
+            f"cannot adapt dims {self.dims} to {program.ndim}-D program "
+            f"{program.name}"
+        )
+
+
+_DEFAULTS = {
+    "mode": "sync",
+    "dims": [128, 128],
+    "blocksize": 2,
+    "dtype": "f16",
+    "chunks": None,
+    "benchmarks": list(MICRO_BENCHMARKS),
+}
+
+
+def load_h5bench_config(text: str) -> BenchmarkPlan:
+    """Parse an h5bench-style JSON document into a plan."""
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise ProgramError(f"malformed h5bench config: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ProgramError("h5bench config must be a JSON object")
+    merged = dict(_DEFAULTS)
+    merged.update(raw)
+    mode = str(merged["mode"])
+    if mode not in ("sync", "async"):
+        raise ProgramError(f"unknown h5bench mode {mode!r}")
+    dims = tuple(int(d) for d in merged["dims"])
+    if not dims or any(d <= 0 for d in dims):
+        raise ProgramError(f"bad dims {merged['dims']!r}")
+    blocksize = int(merged["blocksize"])
+    if blocksize <= 0:
+        raise ProgramError(f"blocksize must be positive, got {blocksize}")
+    dtype = str(merged["dtype"])
+    if dtype not in DTYPE_SIZES:
+        raise ProgramError(f"unknown dtype {dtype!r}")
+    chunks = merged.get("chunks")
+    chunks = tuple(int(c) for c in chunks) if chunks is not None else None
+    names = tuple(str(n) for n in merged["benchmarks"])
+    for name in names:
+        if name not in ALL_BENCHMARKS:
+            # get_program raises with the known-name list.
+            get_program(name)
+    return BenchmarkPlan(
+        mode=mode,
+        dims=dims,
+        blocksize=blocksize,
+        dtype=dtype,
+        chunks=chunks,
+        program_names=names,
+    )
+
+
+def load_h5bench_config_file(path: str) -> BenchmarkPlan:
+    with open(path, "r", encoding="utf-8") as fh:
+        return load_h5bench_config(fh.read())

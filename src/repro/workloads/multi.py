@@ -1,0 +1,112 @@
+"""Multi-array workload: the Figure 2 scenario with several data files.
+
+The paper's container spec bundles two data files (``mnist.h5`` and
+``fuji.h5``) of which the entry executable only touches one — the case
+coarse file-level lineage can already catch.  :class:`WeatherCoupled`
+extends that: it reads *subsets* of two arrays and never touches a third,
+so a single Kondo campaign simultaneously (a) carves offset-level subsets
+of the used arrays and (b) discovers that the unused one can be dropped
+wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.base import MultiArrayProgram
+from repro.fuzzing.parameters import ParameterSpace
+from repro.workloads.base import dilate_mask
+from repro.workloads.rectprograms import _box_cells
+
+
+class WeatherCoupled(MultiArrayProgram):
+    """A coupled weather analysis over temperature/pressure/terrain arrays.
+
+    Parameters ``(x, y)`` select an analysis cell:
+
+    * ``temperature`` — a cross-stencil walk constrained to the lower
+      triangle (``x <= y``), as in Listing 1;
+    * ``pressure`` — a fixed-size block around ``(x, y)`` when the cell
+      lies inside the supported analysis window;
+    * ``terrain`` — bundled in the container but never read by any run.
+    """
+
+    name = "WeatherCoupled"
+
+    def __init__(self, dims: Tuple[int, int] = (64, 64)):
+        self.dims = tuple(int(d) for d in dims)
+        self.arrays: Dict[str, Tuple[int, ...]] = {
+            "temperature": self.dims,
+            "pressure": self.dims,
+            "terrain": self.dims,
+        }
+        self._block = max(2, self.dims[0] // 16)
+        self._window = (self.dims[0] // 4, (3 * self.dims[0]) // 4)
+
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace.of(
+            (0, self.dims[0] - 2), (0, self.dims[1] - 2), integer=True
+        )
+
+    def access_indices_multi(self, v: Sequence[float]
+                             ) -> Dict[str, np.ndarray]:
+        space = self.parameter_space()
+        if not space.contains(tuple(v)):
+            return {}
+        x, y = int(v[0]), int(v[1])
+        out: Dict[str, np.ndarray] = {}
+        if 0 <= x <= y:
+            # Walk from the origin in (x, y)-steps, 2x2 block per anchor.
+            limits = (self.dims[0] - 2, self.dims[1] - 2)
+            if x == 0 and y == 0:
+                a_max = 0
+            else:
+                per = [lim // s for s, lim in zip((x, y), limits) if s > 0]
+                a_max = min(per) if per else 0
+            a = np.arange(a_max + 1, dtype=np.int64)
+            anchors = a[:, None] * np.array([x, y], dtype=np.int64)
+            offs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.int64)
+            cells = (anchors[:, None, :] + offs[None, :, :]).reshape(-1, 2)
+            out["temperature"] = np.unique(cells, axis=0)
+        lo, hi = self._window
+        if lo <= x < hi and lo <= y < hi:
+            b = self._block
+            out["pressure"] = _box_cells(
+                (x, y),
+                (min(x + b, self.dims[0]), min(y + b, self.dims[1])),
+            )
+        return out
+
+    def ground_truth_multi(self) -> Dict[str, np.ndarray]:
+        d0, d1 = self.dims
+        # temperature: same dilation construction as the CS program.
+        base = np.zeros(self.dims, dtype=bool)
+        base[0, 0] = True
+        pairs = np.array(
+            [(i, j) for j in range(1, d1 - 1) for i in range(0, min(j, d0 - 2) + 1)],
+            dtype=np.int64,
+        )
+        moving = pairs[(pairs != 0).any(axis=1)]
+        a = 1
+        limits = np.array([d0 - 2, d1 - 2])
+        while moving.size:
+            anchors = a * moving
+            keep = (anchors <= limits).all(axis=1)
+            moving, anchors = moving[keep], anchors[keep]
+            if anchors.size:
+                base[tuple(anchors.T)] = True
+            a += 1
+        temp = dilate_mask(base, ((0, 0), (0, 1), (1, 0), (1, 1)))
+
+        lo, hi = self._window
+        b = self._block
+        pres = np.zeros(self.dims, dtype=bool)
+        pres[lo:min(hi - 1 + b, d0), lo:min(hi - 1 + b, d1)] = True
+
+        return {
+            "temperature": np.flatnonzero(temp.reshape(-1)).astype(np.int64),
+            "pressure": np.flatnonzero(pres.reshape(-1)).astype(np.int64),
+            "terrain": np.empty(0, dtype=np.int64),
+        }

@@ -1,0 +1,103 @@
+"""Program registry: the paper's benchmark suites by name.
+
+Section V-A: four micro-benchmark programs (CS, PRL, LDC, RDC, from
+h5bench's subsetting-related kernels) plus seven synthetic programs (four
+CS constraint variants and one 3-D modification each of PRL/LDC/RDC) —
+eleven in total — and the two real-application programs (ARD, MSI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ProgramError
+from repro.workloads.base import Program
+from repro.workloads.realapps import AtmosphericRiver, MassSpectroscopy
+from repro.workloads.rectprograms import CornerBlocks, PeripheralRing
+from repro.workloads.stepwalk import (
+    CS1DistantSparse,
+    CS2Band,
+    CS3ThinStrip,
+    CS5SparseWithHole,
+    CrossStencil,
+)
+
+#: Default data-array shape per rank (paper Section V-B: 128 x 128 in 2-D
+#: and 64 x 64 x 64 in 3-D for baseline comparisons).
+DEFAULT_DIMS_2D: Tuple[int, int] = (128, 128)
+DEFAULT_DIMS_3D: Tuple[int, int, int] = (64, 64, 64)
+
+
+def _build_registry() -> Dict[str, Program]:
+    from repro.workloads.vpic import VPICThreshold
+
+    programs: List[Program] = [
+        CrossStencil(),
+        CS1DistantSparse(),
+        CS2Band(),
+        CS3ThinStrip(),
+        CS5SparseWithHole(),
+        PeripheralRing(ndim=2),
+        PeripheralRing(ndim=3),
+        CornerBlocks(ndim=2, anti_diagonal=False),
+        CornerBlocks(ndim=3, anti_diagonal=False),
+        CornerBlocks(ndim=2, anti_diagonal=True),
+        CornerBlocks(ndim=3, anti_diagonal=True),
+        AtmosphericRiver(),
+        MassSpectroscopy(),
+        VPICThreshold(),
+    ]
+    return {p.name: p for p in programs}
+
+
+_REGISTRY = _build_registry()
+
+#: The paper's four micro-benchmarks (2-D h5bench kernels).
+MICRO_BENCHMARKS = ("CS", "PRL2D", "LDC2D", "RDC2D")
+#: The seven synthetic programs derived from them.
+SYNTHETIC_PROGRAMS = ("CS1", "CS2", "CS3", "CS5", "PRL3D", "LDC3D", "RDC3D")
+#: All eleven Table II programs.
+ALL_BENCHMARKS = MICRO_BENCHMARKS + SYNTHETIC_PROGRAMS
+#: Programs derived from real applications (Table III).
+REAL_APPLICATIONS = ("ARD", "MSI")
+#: Extension workloads beyond the paper's suites (DESIGN.md extensions).
+EXTENSION_PROGRAMS = ("VPIC",)
+
+
+def get_program(name: str) -> Program:
+    """Look up a program by its Table II / Table III name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ProgramError(
+            f"unknown program {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def program_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def default_dims(program: Program) -> Tuple[int, ...]:
+    """The evaluation's default array shape for a program."""
+    explicit = getattr(program, "default_dims", None)
+    if explicit is not None:
+        return tuple(explicit)
+    return DEFAULT_DIMS_2D if program.ndim == 2 else DEFAULT_DIMS_3D
+
+
+def micro_benchmarks() -> List[Program]:
+    return [get_program(n) for n in MICRO_BENCHMARKS]
+
+
+def synthetic_programs() -> List[Program]:
+    return [get_program(n) for n in SYNTHETIC_PROGRAMS]
+
+
+def all_benchmarks() -> List[Program]:
+    """The eleven programs of Table II, micro first."""
+    return [get_program(n) for n in ALL_BENCHMARKS]
+
+
+def real_applications() -> List[Program]:
+    return [get_program(n) for n in REAL_APPLICATIONS]

@@ -1,0 +1,128 @@
+"""Unit tests for KNB multi-array bundles."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArraySchema
+from repro.arraymodel.bundle import BundleFile, member_path
+from repro.audit import AuditSession
+from repro.errors import FileFormatError, LayoutError
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    temp = np.arange(64, dtype="f8").reshape(8, 8)
+    pres = np.arange(64, 128, dtype="f8").reshape(8, 8)
+    b = BundleFile.create(
+        str(tmp_path / "w.knb"),
+        {
+            "temperature": (ArraySchema((8, 8), "f8"), temp),
+            "pressure": (ArraySchema((8, 8), "f8"), pres),
+            "terrain": (ArraySchema((4, 4), "f4"), None),
+        },
+    )
+    yield b
+    b.close()
+
+
+class TestBundle:
+    def test_member_names(self, bundle):
+        assert bundle.member_names() == ["pressure", "temperature", "terrain"]
+
+    def test_member_values(self, bundle):
+        assert bundle.member("temperature").read_point((0, 0)) == 0.0
+        assert bundle.member("temperature").read_point((7, 7)) == 63.0
+        assert bundle.member("pressure").read_point((0, 0)) == 64.0
+        assert bundle.member("terrain").read_point((3, 3)) == 0.0
+
+    def test_unknown_member(self, bundle):
+        with pytest.raises(FileFormatError):
+            bundle.member("wind")
+
+    def test_member_nbytes(self, bundle):
+        assert bundle.member_nbytes("temperature") == 64 * 8
+        assert bundle.member_nbytes("terrain") == 16 * 4
+
+    def test_read_extent_bounds(self, bundle):
+        m = bundle.member("temperature")
+        assert len(m.read_extent(0, 16)) == 16
+        with pytest.raises(LayoutError):
+            m.read_extent(0, 10_000)
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            BundleFile.create(str(tmp_path / "e.knb"), {})
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            BundleFile.create(
+                str(tmp_path / "s.knb"),
+                {"x": (ArraySchema((4, 4), "f8"), np.zeros((3, 3)))},
+            )
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.knb"
+        p.write_bytes(b"XXXX" + b"\x00" * 64)
+        with pytest.raises(FileFormatError):
+            BundleFile.open(str(p))
+
+    def test_truncated_payload(self, tmp_path, bundle):
+        raw = open(bundle.path, "rb").read()
+        p = tmp_path / "trunc.knb"
+        p.write_bytes(raw[:-32])
+        with pytest.raises(FileFormatError):
+            BundleFile.open(str(p))
+
+    def test_closed_rejects(self, tmp_path):
+        b = BundleFile.create(
+            str(tmp_path / "c.knb"),
+            {"x": (ArraySchema((2, 2), "f8"), np.zeros((2, 2)))},
+        )
+        m = b.member("x")
+        b.close()
+        with pytest.raises(FileFormatError):
+            m.read_point((0, 0))
+
+    def test_chunked_member(self, tmp_path):
+        data = np.arange(100, dtype="f8").reshape(10, 10)
+        b = BundleFile.create(
+            str(tmp_path / "ch.knb"),
+            {"x": (ArraySchema((10, 10), "f8", chunks=(4, 4)), data)},
+        )
+        for idx in [(0, 0), (9, 9), (4, 7)]:
+            assert b.member("x").read_point(idx) == data[idx]
+        b.close()
+
+    def test_f16_member(self, tmp_path):
+        data = np.arange(16).reshape(4, 4)
+        b = BundleFile.create(
+            str(tmp_path / "ld.knb"),
+            {"x": (ArraySchema((4, 4), "f16"), data)},
+        )
+        assert b.member("x").read_point((3, 2)) == 14.0
+        b.close()
+
+
+class TestBundleAudit:
+    def test_per_member_lineage(self, tmp_path):
+        temp = np.zeros((8, 8))
+        b = BundleFile.create(
+            str(tmp_path / "a.knb"),
+            {
+                "used": (ArraySchema((8, 8), "f8"), temp),
+                "unused": (ArraySchema((8, 8), "f8"), temp),
+            },
+        )
+        b.close()
+        session = AuditSession()
+        b = BundleFile.open(str(tmp_path / "a.knb"), recorder=session.record)
+        b.member("used").read_point((2, 3))
+        b.member("used").read_point((2, 4))
+        used_path = member_path(b.path, "used")
+        unused_path = member_path(b.path, "unused")
+        # Offsets are member-relative, so lineage is per member.
+        assert session.accessed_ranges(used_path) == [(19 * 8, 21 * 8)]
+        assert session.accessed_ranges(unused_path) == []
+        idx = session.accessed_indices(used_path, b.member("used").layout)
+        assert idx.tolist() == [[2, 3], [2, 4]]
+        b.close()

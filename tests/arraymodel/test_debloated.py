@@ -1,0 +1,156 @@
+"""Unit + property tests for the KNDS debloated file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile
+from repro.arraymodel.debloated import extents_from_flat_indices, merge_extents
+from repro.errors import DataMissingError, FileFormatError, LayoutError
+
+
+class TestMergeExtents:
+    def test_disjoint_sorted(self):
+        assert merge_extents([(0, 10), (20, 5)]) == [(0, 10), (20, 5)]
+
+    def test_overlap_merges(self):
+        # The paper's Section IV-C example: reads (0,110), (70,30),
+        # (130,20), (90,30) merge into (0,120) and (130,150).
+        events = [(0, 110), (70, 30), (130, 20), (90, 30)]
+        assert merge_extents(events) == [(0, 120), (130, 20)]
+
+    def test_adjacent_merges(self):
+        assert merge_extents([(0, 10), (10, 10)]) == [(0, 20)]
+
+    def test_unsorted_input(self):
+        assert merge_extents([(20, 5), (0, 10)]) == [(0, 10), (20, 5)]
+
+    def test_zero_size_dropped(self):
+        assert merge_extents([(5, 0), (1, 2)]) == [(1, 2)]
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 50)), max_size=20
+    ))
+    @settings(max_examples=80)
+    def test_merged_coverage_equals_union(self, extents):
+        merged = merge_extents(extents)
+        covered = set()
+        for s, z in extents:
+            covered.update(range(s, s + z))
+        merged_cover = set()
+        for s, z in merged:
+            assert z > 0
+            merged_cover.update(range(s, s + z))
+        assert merged_cover == covered
+        # Merged extents are sorted and non-touching.
+        for (s1, z1), (s2, _z2) in zip(merged, merged[1:]):
+            assert s1 + z1 < s2
+
+
+class TestExtentsFromFlat:
+    def test_contiguous_run(self):
+        assert extents_from_flat_indices(np.array([3, 4, 5]), 8) == [(24, 24)]
+
+    def test_gap(self):
+        assert extents_from_flat_indices(np.array([0, 2]), 8) == [(0, 8), (16, 8)]
+
+    def test_duplicates(self):
+        assert extents_from_flat_indices(np.array([1, 1, 2]), 4) == [(4, 8)]
+
+    def test_empty(self):
+        assert extents_from_flat_indices(np.array([]), 8) == []
+
+
+@pytest.fixture
+def subset(tmp_path, knd_file):
+    keep = np.array([0, 1, 2, 55, 56, 99])
+    path = str(tmp_path / "s.knds")
+    db = DebloatedArrayFile.create(path, knd_file, keep_flat_indices=keep)
+    yield db
+    db.close()
+
+
+class TestDebloatedFile:
+    def test_kept_elements_readable(self, subset, small_data):
+        assert subset.read_point((0, 0)) == small_data[0, 0]
+        assert subset.read_point((5, 5)) == small_data[5, 5]
+        assert subset.read_point((9, 9)) == small_data[9, 9]
+
+    def test_missing_raises_with_index(self, subset):
+        with pytest.raises(DataMissingError) as exc:
+            subset.read_point((4, 4))
+        assert exc.value.index == (4, 4)
+
+    def test_contains_index(self, subset):
+        assert subset.contains_index((5, 6))
+        assert not subset.contains_index((7, 7))
+
+    def test_kept_nbytes(self, subset):
+        assert subset.kept_nbytes == 6 * 8
+
+    def test_reduction(self, subset):
+        assert subset.reduction_vs(100 * 8) == pytest.approx(0.94)
+
+    def test_file_smaller_than_source(self, subset, knd_file):
+        assert subset.file_nbytes < knd_file.file_nbytes
+
+    def test_create_requires_exactly_one_selector(self, tmp_path, knd_file):
+        with pytest.raises(FileFormatError):
+            DebloatedArrayFile.create(str(tmp_path / "x.knds"), knd_file)
+        with pytest.raises(FileFormatError):
+            DebloatedArrayFile.create(
+                str(tmp_path / "y.knds"), knd_file,
+                keep_flat_indices=np.array([0]), keep_extents=[(0, 8)],
+            )
+
+    def test_extent_out_of_payload_rejected(self, tmp_path, knd_file):
+        with pytest.raises(LayoutError):
+            DebloatedArrayFile.create(
+                str(tmp_path / "z.knds"), knd_file,
+                keep_extents=[(0, 10_000)],
+            )
+
+    def test_open_roundtrip(self, subset, small_data):
+        reopened = DebloatedArrayFile.open(subset.path)
+        assert reopened.read_point((5, 6)) == small_data[5, 6]
+        reopened.close()
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.knds"
+        p.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(FileFormatError):
+            DebloatedArrayFile.open(str(p))
+
+    def test_extent_selector(self, tmp_path, knd_file, small_data):
+        db = DebloatedArrayFile.create(
+            str(tmp_path / "e.knds"), knd_file,
+            keep_extents=[(0, 80)],  # first row
+        )
+        for j in range(10):
+            assert db.read_point((0, j)) == small_data[0, j]
+        with pytest.raises(DataMissingError):
+            db.read_point((1, 0))
+        db.close()
+
+    @given(st.sets(st.integers(0, 99), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_membership_matches_keep_set(self, tmp_path_factory, keep):
+        tmp = tmp_path_factory.mktemp("prop")
+        data = np.arange(100, dtype="f8").reshape(10, 10)
+        src = ArrayFile.create(
+            str(tmp / "src.knd"), ArraySchema((10, 10), "f8"), data
+        )
+        db = DebloatedArrayFile.create(
+            str(tmp / "s.knds"), src,
+            keep_flat_indices=np.array(sorted(keep), dtype=np.int64),
+        )
+        for flat in range(100):
+            idx = (flat // 10, flat % 10)
+            if flat in keep:
+                assert db.read_point(idx) == data[idx]
+            else:
+                with pytest.raises(DataMissingError):
+                    db.read_point(idx)
+        db.close()
+        src.close()

@@ -1,0 +1,103 @@
+"""Failure injection: corrupted KND/KNDS/KNB files must fail cleanly.
+
+Whatever bytes we throw at the openers, they must either succeed or raise
+a :class:`KondoError` subclass — never an uncontrolled exception type.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile
+from repro.arraymodel.bundle import BundleFile
+from repro.errors import KondoError
+
+
+def make_valid_knd(tmp_path):
+    path = str(tmp_path / "v.knd")
+    ArrayFile.create(
+        path, ArraySchema((6, 6), "f8"),
+        np.arange(36, dtype="f8").reshape(6, 6),
+    ).close()
+    return path
+
+
+class TestCorruptedFiles:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes_never_crash_knd(self, tmp_path_factory, data):
+        tmp = tmp_path_factory.mktemp("fuzzknd")
+        path = str(tmp / "x.knd")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        try:
+            f = ArrayFile.open(path)
+            f.close()
+        except KondoError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes_never_crash_knds(self, tmp_path_factory, data):
+        tmp = tmp_path_factory.mktemp("fuzzknds")
+        path = str(tmp / "x.knds")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        try:
+            f = DebloatedArrayFile.open(path)
+            f.close()
+        except KondoError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes_never_crash_knb(self, tmp_path_factory, data):
+        tmp = tmp_path_factory.mktemp("fuzzknb")
+        path = str(tmp / "x.knb")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        try:
+            b = BundleFile.open(path)
+            b.close()
+        except KondoError:
+            pass
+
+    @given(st.integers(0, 400), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_corruption_of_valid_file(
+        self, tmp_path_factory, pos, value
+    ):
+        """Flip one byte of a valid KND file: open either succeeds (payload
+        corruption is not detectable without checksums) or raises a
+        KondoError — reads must still be well-formed floats."""
+        tmp = tmp_path_factory.mktemp("flip")
+        path = make_valid_knd(tmp)
+        raw = bytearray(open(path, "rb").read())
+        pos = pos % len(raw)
+        raw[pos] = value
+        with open(path, "wb") as fh:
+            fh.write(raw)
+        try:
+            f = ArrayFile.open(path)
+        except KondoError:
+            return
+        try:
+            out = f.read_point((3, 3))
+            assert isinstance(out, float)
+        except KondoError:
+            pass
+        finally:
+            f.close()
+
+    def test_header_schema_with_hostile_values(self, tmp_path):
+        """A header declaring absurd dims must be rejected, not allocate."""
+        import json
+
+        header = json.dumps(
+            {"schema": {"dims": [0], "dtype": "f8", "chunks": None}}
+        ).encode()
+        path = tmp_path / "h.knd"
+        path.write_bytes(b"KND1" + len(header).to_bytes(4, "little") + header)
+        with pytest.raises(KondoError):
+            ArrayFile.open(str(path))

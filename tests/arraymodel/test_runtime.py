@@ -1,0 +1,68 @@
+"""Unit tests for the Kondo user-side runtime."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import DebloatedArrayFile, KondoRuntime
+from repro.errors import DataMissingError
+
+
+@pytest.fixture
+def runtime_pair(tmp_path, knd_file):
+    keep = np.arange(50)  # first five rows
+    db = DebloatedArrayFile.create(
+        str(tmp_path / "r.knds"), knd_file, keep_flat_indices=keep
+    )
+    yield db
+    db.close()
+
+
+class TestKondoRuntime:
+    def test_hit_returns_value(self, runtime_pair, small_data):
+        rt = KondoRuntime(runtime_pair)
+        assert rt.read((2, 3)) == small_data[2, 3]
+        assert rt.stats.hits == 1
+        assert rt.stats.misses == 0
+
+    def test_miss_raises_without_fetcher(self, runtime_pair):
+        rt = KondoRuntime(runtime_pair)
+        with pytest.raises(DataMissingError):
+            rt.read((9, 9))
+        assert rt.stats.misses == 1
+        assert rt.stats.missed_indices == [(9, 9)]
+
+    def test_remote_fetcher_recovers(self, runtime_pair, small_data):
+        rt = KondoRuntime(
+            runtime_pair,
+            remote_fetcher=lambda idx: float(small_data[idx]),
+        )
+        assert rt.read((9, 9)) == small_data[9, 9]
+        assert rt.stats.remote_fetches == 1
+        assert rt.stats.misses == 1
+
+    def test_miss_rate(self, runtime_pair):
+        rt = KondoRuntime(runtime_pair)
+        rt.read((0, 0))
+        for idx in [(9, 9), (8, 8), (7, 7)]:
+            with pytest.raises(DataMissingError):
+                rt.read(idx)
+        assert rt.stats.reads == 4
+        assert rt.stats.miss_rate == pytest.approx(0.75)
+
+    def test_record_misses_off(self, runtime_pair):
+        rt = KondoRuntime(runtime_pair, record_misses=False)
+        with pytest.raises(DataMissingError):
+            rt.read((9, 9))
+        assert rt.stats.missed_indices == []
+
+    def test_run_program_counts_misses(self, runtime_pair):
+        from repro.workloads import get_program
+
+        # CS on 10x10: small steps access early rows (kept) and later rows
+        # (debloated away) -> stats should show both hits and misses.
+        prog = get_program("CS")
+        rt = KondoRuntime(runtime_pair)
+        stats = rt.run_program(prog, (1, 1), dims=(10, 10))
+        assert stats.reads > 0
+        assert stats.hits > 0
+        assert stats.misses > 0

@@ -1,0 +1,89 @@
+"""Unit tests for ArraySchema."""
+
+import pytest
+
+from repro.arraymodel import DTYPE_SIZES, ArraySchema
+from repro.errors import SchemaError
+
+
+class TestArraySchemaValidation:
+    def test_basic_2d(self):
+        s = ArraySchema((128, 128), "f8")
+        assert s.ndim == 2
+        assert s.n_elements == 128 * 128
+        assert s.itemsize == 8
+        assert s.nbytes == 128 * 128 * 8
+
+    def test_default_dtype_is_long_double(self):
+        # The paper's experiments assume 16-byte long double elements.
+        assert ArraySchema((4, 4)).itemsize == 16
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema(())
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema((4, 0))
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema((-1, 4))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema((4, 4), "f2")
+
+    def test_all_dtypes_have_positive_sizes(self):
+        for code, size in DTYPE_SIZES.items():
+            assert size > 0
+            assert ArraySchema((4,), code).itemsize == size
+
+    def test_chunk_rank_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema((4, 4), "f8", chunks=(2,))
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema((4, 4), "f8", chunks=(0, 2))
+
+    def test_dims_coerced_to_ints(self):
+        s = ArraySchema((4.0, 8.0), "f8")
+        assert s.dims == (4, 8)
+        assert all(isinstance(d, int) for d in s.dims)
+
+
+class TestArraySchemaDerived:
+    def test_chunk_grid_exact(self):
+        s = ArraySchema((8, 8), "f8", chunks=(4, 4))
+        assert s.chunk_grid == (2, 2)
+
+    def test_chunk_grid_ceil(self):
+        s = ArraySchema((10, 10), "f8", chunks=(4, 4))
+        assert s.chunk_grid == (3, 3)
+
+    def test_chunk_grid_without_chunks_raises(self):
+        with pytest.raises(SchemaError):
+            _ = ArraySchema((4, 4), "f8").chunk_grid
+
+    def test_contains_index(self):
+        s = ArraySchema((4, 6), "f8")
+        assert s.contains_index((0, 0))
+        assert s.contains_index((3, 5))
+        assert not s.contains_index((4, 0))
+        assert not s.contains_index((0, 6))
+        assert not s.contains_index((-1, 0))
+        assert not s.contains_index((0,))
+
+    def test_roundtrip_dict(self):
+        s = ArraySchema((10, 20, 30), "f4", chunks=(5, 5, 5))
+        assert ArraySchema.from_dict(s.to_dict()) == s
+
+    def test_roundtrip_dict_no_chunks(self):
+        s = ArraySchema((7,), "i8")
+        assert ArraySchema.from_dict(s.to_dict()) == s
+
+    def test_3d_elements(self):
+        s = ArraySchema((64, 64, 64), "f16")
+        assert s.n_elements == 64 ** 3
+        assert s.nbytes == 64 ** 3 * 16

@@ -1,0 +1,65 @@
+"""Unit tests for audit events (Definition 4)."""
+
+import pytest
+
+from repro.audit import ACCESS_TYPES, Event, EventType
+from repro.errors import AuditError
+
+
+class TestEventType:
+    @pytest.mark.parametrize("name,expected", [
+        ("read", EventType.READ),
+        ("readv", EventType.READ),
+        ("pread64", EventType.PREAD),
+        ("mmap", EventType.MMAP),
+        ("mmap2", EventType.MMAP),
+        ("write", EventType.WRITE),
+        ("pwrite64", EventType.WRITE),
+        ("openat", EventType.OPEN),
+        ("open", EventType.OPEN),
+        ("close", EventType.CLOSE),
+    ])
+    def test_parse(self, name, expected):
+        assert EventType.parse(name) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(AuditError):
+            EventType.parse("ioctl")
+
+    def test_access_types(self):
+        assert EventType.READ in ACCESS_TYPES
+        assert EventType.PREAD in ACCESS_TYPES
+        assert EventType.MMAP in ACCESS_TYPES
+        assert EventType.WRITE not in ACCESS_TYPES
+        assert EventType.OPEN not in ACCESS_TYPES
+
+
+class TestEvent:
+    def test_four_tuple_fields(self):
+        e = Event(pid=42, path="/d/a.knd", c=EventType.READ, l=100, sz=16)
+        assert e.id == (42, "/d/a.knd")
+        assert e.offset_range == (100, 116)
+        assert e.is_access
+        assert not e.is_write
+
+    def test_write_flag(self):
+        e = Event(pid=1, path="x", c=EventType.WRITE, l=0, sz=4)
+        assert e.is_write
+        assert not e.is_access
+
+    def test_open_close_not_access(self):
+        for c in (EventType.OPEN, EventType.CLOSE):
+            assert not Event(pid=1, path="x", c=c, l=0, sz=0).is_access
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(AuditError):
+            Event(pid=1, path="x", c=EventType.READ, l=-1, sz=4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(AuditError):
+            Event(pid=1, path="x", c=EventType.READ, l=0, sz=-4)
+
+    def test_frozen(self):
+        e = Event(pid=1, path="x", c=EventType.READ, l=0, sz=4)
+        with pytest.raises(AttributeError):
+            e.l = 5

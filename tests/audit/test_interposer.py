@@ -1,0 +1,102 @@
+"""Unit tests for in-process file interposition."""
+
+import os
+
+import pytest
+
+from repro.audit import AuditSession, audited_open
+from repro.audit.events import EventType
+from repro.errors import AuditError
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    p = tmp_path / "blob.bin"
+    p.write_bytes(bytes(range(256)))
+    return str(p)
+
+
+class TestAuditedFile:
+    def test_open_close_events(self, data_file):
+        s = AuditSession()
+        f = audited_open(data_file, s)
+        f.close()
+        types = [e.c for e in s.events]
+        assert types == [EventType.OPEN, EventType.CLOSE]
+
+    def test_sequential_reads_tracked_with_position(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            assert f.read(10) == bytes(range(10))
+            assert f.read(5) == bytes(range(10, 15))
+        assert s.accessed_ranges(data_file) == [(0, 15)]
+
+    def test_seek_then_read(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            f.seek(100)
+            assert f.tell() == 100
+            f.read(10)
+        assert s.accessed_ranges(data_file) == [(100, 110)]
+
+    def test_seek_does_not_emit_access(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            f.seek(50)
+        assert s.accessed_ranges(data_file) == []
+
+    def test_pread_does_not_move_cursor(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            f.seek(10)
+            assert f.pread(4, 200) == bytes(range(200, 204))
+            assert f.tell() == 10
+        assert s.accessed_ranges(data_file) == [(200, 204)]
+
+    def test_mmap_region(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            data = f.mmap_region(64, 32)
+        assert data == bytes(range(64, 96))
+        assert s.accessed_ranges(data_file) == [(64, 96)]
+        assert any(e.c is EventType.MMAP for e in s.events)
+
+    def test_short_read_at_eof_records_actual_bytes(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            f.seek(250)
+            data = f.read(100)
+        assert len(data) == 6
+        assert s.accessed_ranges(data_file) == [(250, 256)]
+
+    def test_read_all(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s) as f:
+            assert len(f.read()) == 256
+        assert s.accessed_ranges(data_file) == [(0, 256)]
+
+    def test_closed_raises(self, data_file):
+        s = AuditSession()
+        f = audited_open(data_file, s)
+        f.close()
+        with pytest.raises(AuditError):
+            f.read(1)
+        f.close()  # idempotent
+
+    def test_custom_pid(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s, pid=777) as f:
+            f.read(8)
+        assert s.accessed_ranges(data_file, pid=777) == [(0, 8)]
+        assert s.accessed_ranges(data_file, pid=os.getpid()) == []
+
+    def test_two_handles_two_processes(self, data_file):
+        s = AuditSession()
+        with audited_open(data_file, s, pid=1) as f1, \
+                audited_open(data_file, s, pid=2) as f2:
+            f1.read(10)
+            f2.seek(50)
+            f2.read(10)
+        assert s.accessed_ranges(data_file, pid=1) == [(0, 10)]
+        assert s.accessed_ranges(data_file, pid=2) == [(50, 60)]
+        assert s.accessed_ranges(data_file) == [(0, 10), (50, 60)]

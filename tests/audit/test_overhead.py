@@ -1,0 +1,57 @@
+"""Unit tests for audit-overhead measurement."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+from repro.audit.overhead import OverheadReport, measure_overhead, summarize
+
+
+@pytest.fixture
+def knd(tmp_path):
+    path = str(tmp_path / "o.knd")
+    ArrayFile.create(
+        path, ArraySchema((16, 16), "f8"),
+        np.arange(256, dtype="f8").reshape(16, 16),
+    ).close()
+    return path
+
+
+def row_reader(f):
+    calls = 0
+    for i in range(16):
+        for j in range(16):
+            f.read_point((i, j))
+            calls += 1
+    return calls
+
+
+class TestMeasureOverhead:
+    def test_report_fields(self, knd):
+        report = measure_overhead("toy", knd, row_reader)
+        assert report.program == "toy"
+        assert report.n_io_calls == 256
+        assert report.plain_seconds > 0
+        assert report.audited_seconds > 0
+        assert report.merge_seconds >= 0
+        assert report.lookup_seconds >= 0
+        assert report.file_nbytes > 256 * 8
+
+    def test_overhead_fraction_sane(self, knd):
+        report = measure_overhead("toy", knd, row_reader)
+        # Auditing costs something but stays within an order of magnitude.
+        assert -0.5 < report.overhead_fraction < 10.0
+
+    def test_summarize(self):
+        reports = [
+            OverheadReport("a", 1, 1, 1.0, 1.2, 0.05, 0.05),
+            OverheadReport("b", 1, 1, 1.0, 1.4, 0.0, 0.0),
+        ]
+        assert summarize(reports) == pytest.approx((0.3 + 0.4) / 2)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == 0.0
+
+    def test_zero_plain_seconds(self):
+        r = OverheadReport("z", 1, 1, 0.0, 1.0, 0.0, 0.0)
+        assert r.overhead_fraction == 0.0

@@ -1,0 +1,123 @@
+"""Unit + integration tests for run manifests and replay verification."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile
+from repro.audit import AuditSession
+from repro.audit.replay import (
+    RunManifest,
+    capture_manifest,
+    subset_range_reader,
+    verify_manifest,
+)
+from repro.core import Kondo
+from repro.errors import AuditError
+from repro.fuzzing import FuzzConfig
+from repro.workloads import get_program
+
+
+@pytest.fixture
+def audited_run(tmp_path):
+    """Run CS(1,2) against a real file under audit; return the pieces."""
+    dims = (16, 16)
+    program = get_program("CS")
+    data = np.arange(256, dtype="f8").reshape(dims)
+    path = str(tmp_path / "r.knd")
+    ArrayFile.create(path, ArraySchema(dims, "f8"), data).close()
+    session = AuditSession()
+    f = ArrayFile.open(path, recorder=session.record)
+    program.run(lambda idx: f.read_point(idx), (1, 2), dims)
+    return program, dims, path, f, session
+
+
+class TestManifestCapture:
+    def test_capture_and_digest(self, audited_run):
+        _prog, _dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        assert manifest.parameter_value == (1.0, 2.0)
+        record = manifest.files[path]
+        assert record.ranges == session.accessed_ranges(path)
+        assert len(record.hashes) == len(record.ranges)
+        assert record.accessed_nbytes > 0
+        assert len(manifest.digest) == 64
+        f.close()
+
+    def test_json_roundtrip(self, audited_run):
+        _prog, _dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone.digest == manifest.digest
+        assert clone.files[path].ranges == manifest.files[path].ranges
+        f.close()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(AuditError):
+            RunManifest.from_json("{}")
+        with pytest.raises(AuditError):
+            RunManifest.from_json(
+                '{"parameter_value": [1], '
+                '"files": {"f": {"ranges": [[0, 8]], "hashes": []}}}'
+            )
+
+
+class TestReplayVerification:
+    def test_verify_against_original(self, audited_run):
+        _prog, _dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        report = verify_manifest(manifest, {path: f.read_extent})
+        assert report.ok
+        assert report.checked_ranges == len(manifest.files[path].ranges)
+        f.close()
+
+    def test_verify_against_debloated_subset(self, audited_run, tmp_path):
+        """The central guarantee: the debloated file serves byte-identical
+        data for every range a supported run accesses."""
+        program, dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        kondo = Kondo(program, dims, fuzz_config=FuzzConfig(max_iter=600))
+        result = kondo.analyze()
+        subset = kondo.debloat_file(path, str(tmp_path / "r.knds"), result)
+        report = verify_manifest(
+            manifest, {path: subset_range_reader(subset)}
+        )
+        assert report.ok, (report.mismatches, report.missing)
+        subset.close()
+        f.close()
+
+    def test_tampered_data_detected(self, audited_run, tmp_path):
+        _prog, dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        f.close()
+        tampered = np.arange(256, dtype="f8").reshape(dims)
+        tampered[0, 0] = -999.0
+        path2 = str(tmp_path / "t.knd")
+        ArrayFile.create(path2, ArraySchema(dims, "f8"), tampered).close()
+        f2 = ArrayFile.open(path2)
+        report = verify_manifest(manifest, {path: f2.read_extent})
+        assert not report.ok
+        assert report.mismatches
+        f2.close()
+
+    def test_over_debloated_subset_reports_missing(self, audited_run, tmp_path):
+        _prog, _dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        # Keep almost nothing: every manifest range comes back missing.
+        tiny = DebloatedArrayFile.create(
+            str(tmp_path / "tiny.knds"), f,
+            keep_flat_indices=np.array([255]),
+        )
+        report = verify_manifest(manifest, {path: subset_range_reader(tiny)})
+        assert not report.ok
+        assert report.missing
+        assert not report.mismatches
+        tiny.close()
+        f.close()
+
+    def test_absent_reader_counts_missing(self, audited_run):
+        _prog, _dims, path, f, session = audited_run
+        manifest = capture_manifest(session, (1, 2), {path: f.read_extent})
+        report = verify_manifest(manifest, {})
+        assert not report.ok
+        assert len(report.missing) == len(manifest.files[path].ranges)
+        f.close()

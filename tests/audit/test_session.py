@@ -1,0 +1,122 @@
+"""Unit tests for AuditSession."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArraySchema, RowMajorLayout
+from repro.audit import AuditSession, Event, EventType
+from repro.errors import AuditError
+
+
+def ev(pid, path, c, l, sz):
+    return Event(pid=pid, path=path, c=c, l=l, sz=sz)
+
+
+class TestRecording:
+    def test_paper_example_two_processes(self):
+        # Section IV-C: events e1(P1,R,0,110), e2(P2,R,70,30),
+        # e3(P1,R,130,20), e4(P1,R,90,30) on one file ->
+        # accessed offsets (0,120) and (130,150).
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.READ, 0, 110))
+        s.record_event(ev(2, "f", EventType.READ, 70, 30))
+        s.record_event(ev(1, "f", EventType.READ, 130, 20))
+        s.record_event(ev(1, "f", EventType.READ, 90, 30))
+        assert s.accessed_ranges("f") == [(0, 120), (130, 150)]
+
+    def test_per_process_lookup(self):
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.READ, 0, 10))
+        s.record_event(ev(2, "f", EventType.READ, 100, 10))
+        assert s.accessed_ranges("f", pid=1) == [(0, 10)]
+        assert s.accessed_ranges("f", pid=2) == [(100, 110)]
+        assert s.accessed_ranges("f") == [(0, 10), (100, 110)]
+
+    def test_per_file_isolation(self):
+        s = AuditSession()
+        s.record_event(ev(1, "a", EventType.READ, 0, 10))
+        s.record_event(ev(1, "b", EventType.READ, 50, 10))
+        assert s.accessed_ranges("a") == [(0, 10)]
+        assert s.accessed_ranges("b") == [(50, 60)]
+
+    def test_writes_tracked_not_merged(self):
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.WRITE, 0, 10))
+        assert s.had_writes
+        assert s.accessed_ranges("f") == []
+
+    def test_open_close_not_accesses(self):
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.OPEN, 0, 0))
+        s.record_event(ev(1, "f", EventType.CLOSE, 0, 0))
+        assert s.accessed_ranges("f") == []
+        assert s.n_events == 2
+
+    def test_zero_size_read_ignored_in_ranges(self):
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.READ, 10, 0))
+        assert s.accessed_ranges("f") == []
+
+    def test_mmap_counts_as_access(self):
+        s = AuditSession()
+        s.record_event(ev(1, "f", EventType.MMAP, 0, 4096))
+        assert s.accessed_ranges("f") == [(0, 4096)]
+
+    def test_record_callback_form(self):
+        s = AuditSession()
+        s.record("f", "read", 8, 16, pid=7)
+        assert s.accessed_ranges("f", pid=7) == [(8, 24)]
+
+    def test_closed_session_rejects(self):
+        s = AuditSession()
+        s.close()
+        with pytest.raises(AuditError):
+            s.record("f", "read", 0, 8)
+
+    def test_reset(self):
+        s = AuditSession()
+        s.record("f", "read", 0, 8)
+        s.reset()
+        assert s.n_events == 0
+        assert s.accessed_ranges("f") == []
+
+    def test_identities(self):
+        s = AuditSession()
+        s.record("a", "read", 0, 8, pid=2)
+        s.record("b", "read", 0, 8, pid=1)
+        assert s.identities() == [(1, "b"), (2, "a")]
+
+    def test_accessed_nbytes(self):
+        s = AuditSession()
+        s.record("f", "read", 0, 10)
+        s.record("f", "read", 5, 10)
+        s.record("f", "read", 100, 10)
+        assert s.accessed_nbytes("f") == 25
+
+
+class TestIndexResolution:
+    def test_accessed_indices(self):
+        s = AuditSession()
+        layout = RowMajorLayout(ArraySchema((4, 4), "f8"))
+        s.record("f", "read", 0, 16)       # elements 0, 1
+        s.record("f", "read", 15 * 8, 8)   # element 15
+        idx = s.accessed_indices("f", layout)
+        assert idx.tolist() == [[0, 0], [0, 1], [3, 3]]
+
+    def test_accessed_indices_empty(self):
+        s = AuditSession()
+        layout = RowMajorLayout(ArraySchema((4, 4), "f8"))
+        assert s.accessed_indices("f", layout).shape == (0, 2)
+
+    def test_partial_element_read_maps_to_index(self):
+        s = AuditSession()
+        layout = RowMajorLayout(ArraySchema((4, 4), "f8"))
+        s.record("f", "read", 4, 2)  # straddles element 0 only
+        assert s.accessed_indices("f", layout).tolist() == [[0, 0]]
+
+    def test_range_overlaps(self):
+        s = AuditSession()
+        s.record("f", "read", 0, 10)
+        s.record("f", "read", 50, 10)
+        hits = s.range_overlaps("f", 5, 55)
+        assert [(h[0], h[1]) for h in hits] == [(0, 10), (50, 60)]

@@ -1,0 +1,162 @@
+"""Unit tests for the strace output parser."""
+
+import pytest
+
+from repro.audit import AuditSession, StraceParser, parse_strace_text
+from repro.audit.events import EventType
+
+
+def parse(text, **kw):
+    return parse_strace_text(text, **kw)
+
+
+class TestBasicParsing:
+    def test_open_seek_read_close(self):
+        trace = """\
+1234  openat(AT_FDCWD, "/data/a.knd", O_RDONLY) = 3
+1234  lseek(3, 880, SEEK_SET) = 880
+1234  read(3, "...", 16) = 16
+1234  read(3, "...", 16) = 16
+1234  close(3) = 0
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/data/a.knd") == [(880, 912)]
+
+    def test_sequential_reads_without_seek(self):
+        trace = """\
+openat(AT_FDCWD, "/f", O_RDONLY) = 5
+read(5, "", 100) = 100
+read(5, "", 100) = 50
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/f") == [(0, 150)]
+
+    def test_pread_positional(self):
+        trace = """\
+openat(AT_FDCWD, "/f", O_RDONLY) = 4
+pread64(4, "", 64, 4096) = 64
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/f") == [(4096, 4160)]
+
+    def test_mmap_file_backed(self):
+        trace = """\
+openat(AT_FDCWD, "/lib.so", O_RDONLY) = 3
+mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 3, 4096) = 0x7f0000000000
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/lib.so") == [(4096, 12288)]
+
+    def test_anonymous_mmap_ignored(self):
+        trace = "mmap(NULL, 8192, PROT_READ, MAP_ANONYMOUS, -1, 0) = 0x7f0000000000\n"
+        s = parse(trace)
+        assert s.identities() == []
+
+    def test_write_recorded_as_write(self):
+        trace = """\
+openat(AT_FDCWD, "/f", O_RDONLY) = 3
+write(3, "", 10) = 10
+"""
+        s = parse(trace)
+        assert s.had_writes
+        assert s.accessed_ranges("/f") == []
+
+    def test_failed_syscall_ignored(self):
+        trace = 'openat(AT_FDCWD, "/nope", O_RDONLY) = -1\n'
+        s = parse(trace)
+        assert s.identities() == []
+
+    def test_read_on_untracked_fd_ignored(self):
+        s = parse('read(9, "", 100) = 100\n')
+        assert s.identities() == []
+
+    def test_fd_decorated_by_strace_yy(self):
+        trace = """\
+openat(AT_FDCWD, "/f", O_RDONLY) = 3</f>
+read(3</f>, "", 32) = 32
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/f") == [(0, 32)]
+
+    def test_noise_lines_skipped(self):
+        trace = """\
++++ exited with 0 +++
+--- SIGCHLD {si_signo=SIGCHLD} ---
+some garbage line
+"""
+        s = parse(trace)
+        assert s.n_events == 0
+
+
+class TestMultiProcess:
+    def test_pid_prefixes_separate_fd_tables(self):
+        trace = """\
+100  openat(AT_FDCWD, "/f", O_RDONLY) = 3
+200  openat(AT_FDCWD, "/f", O_RDONLY) = 3
+100  lseek(3, 1000, SEEK_SET) = 1000
+100  read(3, "", 10) = 10
+200  read(3, "", 10) = 10
+"""
+        s = parse(trace)
+        assert s.accessed_ranges("/f", pid=100) == [(1000, 1010)]
+        assert s.accessed_ranges("/f", pid=200) == [(0, 10)]
+
+    def test_unfinished_resumed(self):
+        trace = """\
+100  read(3,  <unfinished ...>
+200  openat(AT_FDCWD, "/g", O_RDONLY) = 3
+100  <... read resumed> "", 16) = 16
+200  read(3, "", 8) = 8
+"""
+        session = AuditSession()
+        parser = StraceParser(session=session)
+        # Give pid 100 an fd table entry first.
+        parser.feed_line('100  openat(AT_FDCWD, "/f", O_RDONLY) = 3')
+        parser.feed(trace.splitlines())
+        assert session.accessed_ranges("/f", pid=100) == [(0, 16)]
+        assert session.accessed_ranges("/g", pid=200) == [(0, 8)]
+
+
+class TestFiltering:
+    def test_path_filter(self):
+        trace = """\
+openat(AT_FDCWD, "/data/a.knd", O_RDONLY) = 3
+openat(AT_FDCWD, "/lib/lib.so", O_RDONLY) = 4
+read(3, "", 10) = 10
+read(4, "", 10) = 10
+"""
+        s = parse(trace, path_filter=".knd")
+        assert s.accessed_ranges("/data/a.knd") == [(0, 10)]
+        assert s.accessed_ranges("/lib/lib.so") == []
+
+    def test_parse_counts(self):
+        session = AuditSession()
+        parser = StraceParser(session=session)
+        parser.feed_line('openat(AT_FDCWD, "/f", O_RDONLY) = 3')
+        parser.feed_line("unknown_call(1, 2) = 0")
+        assert parser.n_parsed == 1
+        assert parser.n_skipped == 1
+
+
+class TestRoundtripWithInterposer:
+    def test_equivalent_event_streams(self, tmp_path):
+        """An strace transcript and the interposer produce the same ranges."""
+        p = tmp_path / "x.bin"
+        p.write_bytes(bytes(128))
+        from repro.audit import audited_open
+
+        s_interp = AuditSession()
+        with audited_open(str(p), s_interp, pid=1) as f:
+            f.seek(16)
+            f.read(32)
+        trace = (
+            f'1  openat(AT_FDCWD, "{p}", O_RDONLY) = 3\n'
+            "1  lseek(3, 16, SEEK_SET) = 16\n"
+            '1  read(3, "", 32) = 32\n'
+            "1  close(3) = 0\n"
+        )
+        s_trace = parse(trace)
+        assert (
+            s_interp.accessed_ranges(str(p))
+            == s_trace.accessed_ranges(str(p))
+        )

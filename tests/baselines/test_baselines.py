@@ -1,0 +1,149 @@
+"""Unit tests for the BF, Random, and MiniAFL baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BruteForce, MiniAFL, RandomSampling
+from repro.core import DebloatTest
+from repro.metrics import accuracy
+from repro.workloads import get_program
+
+
+def make_test(dims=(16, 16)):
+    return DebloatTest(get_program("CS"), dims)
+
+
+class TestBruteForce:
+    def test_exhaustive_reaches_ground_truth(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        test = DebloatTest(prog, dims)
+        out = BruteForce(test, prog.parameter_space(dims)).run()
+        assert out.exhausted
+        assert np.array_equal(out.flat_indices, prog.ground_truth_flat(dims))
+        acc = accuracy(prog.ground_truth_flat(dims), out.flat_indices)
+        assert acc.precision == 1.0 and acc.recall == 1.0
+
+    def test_execution_budget(self):
+        prog = get_program("CS")
+        test = make_test()
+        out = BruteForce(test, prog.parameter_space((16, 16))).run(
+            max_executions=10
+        )
+        assert out.executions == 10
+        assert not out.exhausted
+
+    def test_partial_recall_lower(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        test = make_test(dims)
+        out = BruteForce(test, prog.parameter_space(dims)).run(
+            max_executions=20
+        )
+        acc = accuracy(prog.ground_truth_flat(dims), out.flat_indices)
+        assert acc.precision == 1.0  # BF never over-approximates
+        assert acc.recall < 1.0
+
+    def test_trace_monotone(self):
+        prog = get_program("CS")
+        test = make_test()
+        out = BruteForce(test, prog.parameter_space((16, 16))).run(
+            max_executions=50
+        )
+        counts = [n for _, _, n in out.discovery_trace]
+        assert counts == sorted(counts)
+
+
+class TestRandomSampling:
+    def test_requires_budget(self):
+        prog = get_program("CS")
+        with pytest.raises(ValueError):
+            RandomSampling(make_test(), prog.parameter_space((16, 16))).run()
+
+    def test_precision_one(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        test = make_test(dims)
+        out = RandomSampling(test, prog.parameter_space(dims)).run(
+            max_executions=100
+        )
+        acc = accuracy(prog.ground_truth_flat(dims), out.flat_indices)
+        assert acc.precision == 1.0
+        assert out.executions == 100
+
+    def test_seed_reproducible(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        a = RandomSampling(make_test(dims), prog.parameter_space(dims),
+                           rng_seed=5).run(max_executions=50)
+        b = RandomSampling(make_test(dims), prog.parameter_space(dims),
+                           rng_seed=5).run(max_executions=50)
+        assert np.array_equal(a.flat_indices, b.flat_indices)
+
+
+class TestMiniAFL:
+    def test_encode_decode_roundtrip(self):
+        prog = get_program("CS")
+        afl = MiniAFL(make_test(), prog.parameter_space((16, 16)))
+        for v in [(0.0, 0.0), (14.0, 3.0), (7.0, 7.0)]:
+            assert afl.decode(afl.encode(v)) == v
+
+    def test_decode_short_buffer_padded(self):
+        prog = get_program("CS")
+        afl = MiniAFL(make_test(), prog.parameter_space((16, 16)))
+        assert afl.decode(b"\x05") == (5.0, 0.0)
+
+    def test_requires_budget(self):
+        prog = get_program("CS")
+        with pytest.raises(ValueError):
+            MiniAFL(make_test(), prog.parameter_space((16, 16))).run()
+
+    def test_campaign_finds_offsets(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        test = make_test(dims)
+        out = MiniAFL(test, prog.parameter_space(dims), rng_seed=0).run(
+            max_executions=600
+        )
+        assert out.name == "AFL"
+        assert out.n_offsets > 0
+        acc = accuracy(prog.ground_truth_flat(dims), out.flat_indices)
+        assert acc.precision == 1.0  # only observed offsets, no carving
+
+    def test_coverage_novelty_grows_queue(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        afl = MiniAFL(make_test(dims), prog.parameter_space(dims), rng_seed=1)
+        afl.run(max_executions=400)
+        assert len(afl.queue) >= 10  # seeds plus coverage-novel mutants
+
+    def test_wasted_executions_dominate(self):
+        """AFL's byte mutations mostly produce out-of-range valuations —
+        the mechanism behind its poor recall in the paper."""
+        prog = get_program("CS")
+        dims = (16, 16)
+        test = make_test(dims)
+        afl = MiniAFL(test, prog.parameter_space(dims), rng_seed=2)
+        afl.run(max_executions=500)
+        useful_fraction = test.useful_executions / test.executions
+        assert useful_fraction < 0.5
+
+    def test_kondo_beats_afl_at_equal_executions(self):
+        """The paper's headline comparison at matched budgets."""
+        from repro.fuzzing import FuzzConfig, run_fuzz_schedule
+
+        prog = get_program("CS")
+        dims = (16, 16)
+        budget = 400
+        gt = prog.ground_truth_flat(dims)
+        afl_out = MiniAFL(
+            make_test(dims), prog.parameter_space(dims), rng_seed=0
+        ).run(max_executions=budget)
+        kondo_out = run_fuzz_schedule(
+            make_test(dims), prog.parameter_space(dims),
+            FuzzConfig(max_iter=budget, stop_iter=budget, rng_seed=0),
+            256,
+        )
+        afl_recall = accuracy(gt, afl_out.flat_indices).recall
+        kondo_recall = accuracy(gt, kondo_out.flat_indices).recall
+        assert kondo_recall > afl_recall

@@ -1,0 +1,139 @@
+"""Unit tests for the Carver and the Simple Convex baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arraymodel.layout import flatten_many
+from repro.carving import Carver, SimpleConvexCarver
+from repro.errors import GeometryError
+from repro.fuzzing import CarveConfig
+
+
+def solid_square_points(x0, y0, size):
+    return np.array(
+        [[x, y] for x in range(x0, x0 + size) for y in range(y0, y0 + size)],
+        dtype=float,
+    )
+
+
+class TestCarver:
+    def test_solid_square_carved_exactly(self):
+        carver = Carver((32, 32), CarveConfig(cell_size=8))
+        pts = solid_square_points(4, 4, 10)
+        result = carver.carve_points(pts)
+        got = set(result.flat_indices.tolist())
+        expect = set(flatten_many(pts.astype(np.int64), (32, 32)).tolist())
+        assert expect <= got           # recall 1 on observed points
+        assert len(got) <= len(expect) * 1.3  # no gross over-coverage
+
+    def test_fills_sandwiched_gap(self):
+        """Two nearby clusters merge; the gap between them is included."""
+        carver = Carver(
+            (64, 64),
+            CarveConfig(cell_size=8, center_d_thresh=20, bound_d_thresh=10),
+        )
+        pts = np.vstack([
+            solid_square_points(0, 0, 6),
+            solid_square_points(10, 0, 6),
+        ])
+        result = carver.carve_points(pts)
+        gap_flat = flatten_many(np.array([[8, 2]]), (64, 64))[0]
+        assert gap_flat in set(result.flat_indices.tolist())
+
+    def test_distant_clusters_stay_separate(self):
+        carver = Carver(
+            (64, 64),
+            CarveConfig(cell_size=8, center_d_thresh=10, bound_d_thresh=5),
+        )
+        pts = np.vstack([
+            solid_square_points(0, 0, 6),
+            solid_square_points(50, 50, 6),
+        ])
+        result = carver.carve_points(pts)
+        assert result.n_hulls == 2
+        mid_flat = flatten_many(np.array([[28, 28]]), (64, 64))[0]
+        assert mid_flat not in set(result.flat_indices.tolist())
+
+    def test_empty_input(self):
+        result = Carver((16, 16)).carve_points(np.empty((0, 2)))
+        assert result.n_hulls == 0
+        assert result.n_indices == 0
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Carver((16, 16)).carve_points(np.zeros((3, 3)))
+
+    def test_carve_flat_equivalent_to_points(self):
+        carver = Carver((32, 32), CarveConfig(cell_size=8))
+        pts = solid_square_points(2, 2, 8)
+        flat = flatten_many(pts.astype(np.int64), (32, 32))
+        by_points = carver.carve_points(pts)
+        by_flat = carver.carve_flat(flat)
+        assert np.array_equal(by_points.flat_indices, by_flat.flat_indices)
+
+    def test_single_point(self):
+        result = Carver((16, 16)).carve_points(np.array([[5.0, 5.0]]))
+        assert result.n_hulls == 1
+        assert result.flat_indices.tolist() == [5 * 16 + 5]
+
+    def test_indices_within_dims(self):
+        carver = Carver((20, 20), CarveConfig(cell_size=8, raster_tol=2.0))
+        pts = solid_square_points(15, 15, 5)  # touches the array edge
+        result = carver.carve_points(pts)
+        assert result.flat_indices.max() < 400
+        assert result.flat_indices.min() >= 0
+
+    @given(st.sets(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)),
+        min_size=1, max_size=80,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_observed_points_always_kept(self, pts):
+        """Soundness of carving: observed offsets are never dropped."""
+        carver = Carver((31, 31), CarveConfig(cell_size=8))
+        arr = np.asarray(sorted(pts), dtype=float)
+        result = carver.carve_points(arr)
+        observed = set(
+            flatten_many(arr.astype(np.int64), (31, 31)).tolist()
+        )
+        assert observed <= set(result.flat_indices.tolist())
+
+
+class TestSimpleConvexBaseline:
+    def test_single_hull_always(self):
+        sc = SimpleConvexCarver((64, 64))
+        pts = np.vstack([
+            solid_square_points(0, 0, 6),
+            solid_square_points(50, 50, 6),
+        ])
+        result = sc.carve_points(pts)
+        assert result.n_hulls == 1
+        # The global hull bridges the distant clusters -> over-coverage.
+        mid_flat = flatten_many(np.array([[28, 28]]), (64, 64))[0]
+        assert mid_flat in set(result.flat_indices.tolist())
+
+    def test_sc_coverage_superset_of_carver_on_disjoint(self):
+        """SC over-covers relative to Kondo's merge carver (paper Fig 6/8)."""
+        dims = (64, 64)
+        pts = np.vstack([
+            solid_square_points(0, 0, 8),
+            solid_square_points(40, 40, 8),
+        ])
+        kondo = Carver(
+            dims, CarveConfig(cell_size=8, center_d_thresh=10, bound_d_thresh=5)
+        ).carve_points(pts)
+        sc = SimpleConvexCarver(dims).carve_points(pts)
+        assert set(kondo.flat_indices.tolist()) <= set(sc.flat_indices.tolist())
+        assert sc.n_indices > kondo.n_indices
+
+    def test_empty(self):
+        result = SimpleConvexCarver((8, 8)).carve_points(np.empty((0, 2)))
+        assert result.n_indices == 0
+
+    def test_carve_flat(self):
+        sc = SimpleConvexCarver((16, 16))
+        flat = np.array([0, 5, 37])
+        result = sc.carve_flat(flat)
+        assert set(flat.tolist()) <= set(result.flat_indices.tolist())

@@ -1,0 +1,119 @@
+"""Unit tests for the CLOSE predicate and the bottom-up merge loop."""
+
+import numpy as np
+import pytest
+
+from repro.carving import close, merge_hulls
+from repro.fuzzing import CarveConfig
+from repro.geometry import Hull
+
+
+def square(x0, y0, size=4):
+    return Hull.from_points([
+        [x0, y0], [x0 + size, y0], [x0 + size, y0 + size], [x0, y0 + size]
+    ])
+
+
+class TestClose:
+    def test_adjacent_hulls_close_by_boundary(self):
+        cfg = CarveConfig(center_d_thresh=2.0, bound_d_thresh=10.0)
+        a, b = square(0, 0), square(8, 0)
+        # Centers are 8 apart (> 2) but boundaries 4 apart (<= 10).
+        assert close(a, b, cfg)
+
+    def test_close_by_center_despite_far_boundary(self):
+        """A large hull absorbing a small one: center distance carries."""
+        big = Hull.from_points([[0, 0], [40, 0], [40, 40], [0, 40]])
+        small = square(44, 18, 2)
+        cfg = CarveConfig(center_d_thresh=30.0, bound_d_thresh=1.0)
+        assert big.boundary_distance(small) > cfg.bound_d_thresh
+        assert close(big, small, cfg)
+
+    def test_far_hulls_not_close(self):
+        cfg = CarveConfig(center_d_thresh=20.0, bound_d_thresh=10.0)
+        assert not close(square(0, 0), square(100, 100), cfg)
+
+    def test_and_mode_requires_both(self):
+        a, b = square(0, 0), square(8, 0)
+        cfg_or = CarveConfig(center_d_thresh=2.0, bound_d_thresh=10.0,
+                             close_mode="or")
+        cfg_and = CarveConfig(center_d_thresh=2.0, bound_d_thresh=10.0,
+                              close_mode="and")
+        assert close(a, b, cfg_or)
+        assert not close(a, b, cfg_and)
+
+    def test_bbox_shortcut_consistent(self):
+        """The bbox reject must never flip a true CLOSE to False."""
+        cfg = CarveConfig(center_d_thresh=20.0, bound_d_thresh=10.0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = square(*rng.integers(0, 60, 2))
+            b = square(*rng.integers(0, 60, 2))
+            center_ok = a.center_distance(b) <= cfg.center_d_thresh
+            bound_ok = a.boundary_distance(b) <= cfg.bound_d_thresh
+            assert close(a, b, cfg) == (center_ok or bound_ok)
+
+
+class TestMergeHulls:
+    def test_no_merge_when_far(self):
+        cfg = CarveConfig(center_d_thresh=5.0, bound_d_thresh=2.0)
+        hulls, stats = merge_hulls([square(0, 0), square(50, 50)], cfg)
+        assert len(hulls) == 2
+        assert stats.merges == 0
+
+    def test_chain_merges_to_one(self):
+        """A chain of adjacent hulls collapses even when the ends are far."""
+        cfg = CarveConfig(center_d_thresh=1.0, bound_d_thresh=3.0)
+        chain = [square(i * 6, 0) for i in range(6)]
+        hulls, stats = merge_hulls(chain, cfg)
+        assert len(hulls) == 1
+        assert stats.merges == 5
+        assert hulls[0].contains_point((17, 2))  # sandwiched gap covered
+
+    def test_two_distant_groups_stay_separate(self):
+        cfg = CarveConfig(center_d_thresh=10.0, bound_d_thresh=5.0)
+        group_a = [square(0, 0), square(5, 0)]
+        group_b = [square(100, 100), square(105, 100)]
+        hulls, _ = merge_hulls(group_a + group_b, cfg)
+        assert len(hulls) == 2
+
+    def test_merge_preserves_coverage(self):
+        """Points covered by input hulls stay covered after merging."""
+        cfg = CarveConfig(center_d_thresh=50.0, bound_d_thresh=50.0)
+        inputs = [square(0, 0), square(10, 10), square(30, 0)]
+        merged, _ = merge_hulls(inputs, cfg)
+        probe = np.array(
+            [[x, y] for x in range(0, 36) for y in range(0, 16)], dtype=float
+        )
+        before = np.zeros(probe.shape[0], dtype=bool)
+        for h in inputs:
+            before |= h.contains(probe)
+        after = np.zeros(probe.shape[0], dtype=bool)
+        for h in merged:
+            after |= h.contains(probe)
+        assert (after >= before).all()
+
+    def test_empty_input(self):
+        hulls, stats = merge_hulls([], CarveConfig())
+        assert hulls == []
+        assert stats.initial_hulls == 0
+
+    def test_single_hull_untouched(self):
+        h = square(0, 0)
+        hulls, stats = merge_hulls([h], CarveConfig())
+        assert hulls == [h]
+        assert stats.passes >= 1
+
+    def test_degenerate_hulls_merge(self):
+        cfg = CarveConfig(center_d_thresh=10.0, bound_d_thresh=5.0)
+        points = [Hull.from_points([[float(i), 0.0]]) for i in range(5)]
+        hulls, _ = merge_hulls(points, cfg)
+        assert len(hulls) == 1
+        assert hulls[0].rank == 1  # a segment
+
+    def test_termination_bound(self):
+        """Merges can never exceed n - 1."""
+        cfg = CarveConfig(center_d_thresh=1000.0, bound_d_thresh=1000.0)
+        hulls, stats = merge_hulls([square(i * 3, 0) for i in range(10)], cfg)
+        assert len(hulls) == 1
+        assert stats.merges == 9

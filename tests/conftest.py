@@ -1,0 +1,40 @@
+"""Shared fixtures for the Kondo reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_data():
+    """A 10x10 float64 array with distinct values."""
+    return np.arange(100, dtype="f8").reshape(10, 10)
+
+
+@pytest.fixture
+def knd_file(tmp_path, small_data):
+    """A 10x10 row-major KND file on disk."""
+    path = str(tmp_path / "small.knd")
+    f = ArrayFile.create(path, ArraySchema((10, 10), "f8"), small_data)
+    yield f
+    f.close()
+
+
+@pytest.fixture
+def chunked_knd_file(tmp_path, small_data):
+    """A 10x10 KND file with 4x4 chunks (edge chunks padded)."""
+    path = str(tmp_path / "chunked.knd")
+    f = ArrayFile.create(
+        path, ArraySchema((10, 10), "f8", chunks=(4, 4)), small_data
+    )
+    yield f
+    f.close()

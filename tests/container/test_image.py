@@ -1,0 +1,127 @@
+"""Unit tests for image building, debloating, and the container runtime."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+from repro.container import (
+    ContainerRuntime,
+    build_image,
+    debloat_image,
+    parse_spec,
+)
+from repro.errors import ContainerSpecError
+from repro.fuzzing import FuzzConfig
+from repro.workloads import get_program
+
+DIMS = (32, 32)
+
+SPEC = """\
+FROM ubuntu:20.04
+ADD ./data.knd /app/data.knd
+ADD ./main.py /app/main.py
+PARAM [0-30, 0-30]
+ENTRYPOINT ["/app/main.py"]
+CMD [1, 2, /app/data.knd]
+"""
+
+
+@pytest.fixture
+def context(tmp_path):
+    ctx = tmp_path / "ctx"
+    ctx.mkdir()
+    rng = np.random.default_rng(0)
+    ArrayFile.create(
+        str(ctx / "data.knd"), ArraySchema(DIMS, "f8"),
+        rng.standard_normal(DIMS),
+    ).close()
+    (ctx / "main.py").write_text("# entrypoint\n")
+    return str(ctx)
+
+
+@pytest.fixture
+def image(tmp_path, context):
+    return build_image(parse_spec(SPEC), context, str(tmp_path / "img"))
+
+
+class TestBuildImage:
+    def test_entries_copied(self, image):
+        assert set(image.entries) == {"/app/data.knd", "/app/main.py"}
+        assert os.path.exists(image.entry_path("/app/data.knd"))
+        assert image.total_nbytes > DIMS[0] * DIMS[1] * 8
+
+    def test_missing_source_rejected(self, tmp_path, context):
+        spec = parse_spec("FROM b\nADD ./nope.bin /x\n")
+        with pytest.raises(ContainerSpecError):
+            build_image(spec, context, str(tmp_path / "img2"))
+
+    def test_unknown_entry_rejected(self, image):
+        with pytest.raises(ContainerSpecError):
+            image.entry_path("/nope")
+
+
+class TestDebloatImage:
+    def test_reduces_size(self, image):
+        program = get_program("CS")
+        before = image.total_nbytes
+        report = debloat_image(
+            image, program, "/app/data.knd",
+            fuzz_config=FuzzConfig(max_iter=600),
+        )
+        assert report.debloated_nbytes < report.original_nbytes
+        assert image.total_nbytes < before
+        assert 0 < report.file_reduction < 1
+        assert 0 < report.image_reduction <= report.file_reduction
+        # The image entry now points at the .knds subset.
+        assert image.entry_path("/app/data.knd").endswith("knds")
+
+    def test_unknown_data_file(self, image):
+        with pytest.raises(ContainerSpecError):
+            debloat_image(image, get_program("CS"), "/app/nope.knd")
+
+
+class TestContainerRuntime:
+    def test_run_on_full_image(self, image):
+        runtime = ContainerRuntime(image, get_program("CS"), "/app/data.knd")
+        result = runtime.run((1, 2))
+        assert result.succeeded
+        assert result.stats.reads > 0
+        assert result.stats.misses == 0
+
+    def test_run_default_cmd(self, image):
+        runtime = ContainerRuntime(image, get_program("CS"), "/app/data.knd")
+        result = runtime.run()
+        assert result.parameter_value == (1.0, 2.0)
+        assert result.succeeded
+
+    def test_out_of_param_range_rejected(self, image):
+        runtime = ContainerRuntime(image, get_program("CS"), "/app/data.knd")
+        with pytest.raises(ContainerSpecError):
+            runtime.run((99, 99))
+
+    def test_run_on_debloated_image(self, image):
+        program = get_program("CS")
+        debloat_image(image, program, "/app/data.knd",
+                      fuzz_config=FuzzConfig(max_iter=800))
+        runtime = ContainerRuntime(image, program, "/app/data.knd")
+        result = runtime.run((2, 3))
+        assert result.stats.reads > 0
+        # The subset serves supported runs (high recall on CS).
+        assert result.stats.misses == 0
+
+    def test_remote_fetcher_recovers_misses(self, image, context):
+        program = get_program("CS")
+        # Deliberately under-fuzz so some supported offsets get debloated.
+        debloat_image(image, program, "/app/data.knd",
+                      fuzz_config=FuzzConfig(max_iter=30, stop_iter=10))
+        with ArrayFile.open(os.path.join(context, "data.knd")) as full:
+            runtime = ContainerRuntime(
+                image, program, "/app/data.knd",
+                remote_fetcher=lambda idx: full.read_point(idx),
+            )
+            # Find some valuation that misses, if any; fetcher recovers it.
+            for v in [(1, 1), (3, 7), (0, 5), (2, 9)]:
+                result = runtime.run(v)
+                assert result.succeeded  # fetched misses count as success

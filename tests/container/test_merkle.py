@@ -1,0 +1,141 @@
+"""Unit + property tests for content-defined Merkle delivery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container.merkle import (
+    MerkleTree,
+    TransferPlan,
+    gear_chunks,
+    transfer_plan,
+)
+from repro.errors import KondoError
+
+
+def random_bytes(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, n).astype("u1").tobytes()
+
+
+class TestGearChunking:
+    def test_empty(self):
+        assert gear_chunks(b"") == []
+
+    def test_covers_exactly(self):
+        data = random_bytes(100_000)
+        chunks = gear_chunks(data)
+        assert chunks[0][0] == 0
+        pos = 0
+        for off, size in chunks:
+            assert off == pos
+            assert size > 0
+            pos += size
+        assert pos == len(data)
+
+    def test_deterministic(self):
+        data = random_bytes(50_000, seed=3)
+        assert gear_chunks(data) == gear_chunks(data)
+
+    def test_size_bounds(self):
+        data = random_bytes(200_000, seed=1)
+        for off, size in gear_chunks(data, min_size=256, max_size=4096)[:-1]:
+            assert 256 <= size <= 4096
+
+    def test_avg_size_tracks_bits(self):
+        data = random_bytes(400_000, seed=2)
+        small = gear_chunks(data, avg_bits=9, min_size=64, max_size=8192)
+        large = gear_chunks(data, avg_bits=13, min_size=64, max_size=65536)
+        assert len(small) > len(large)
+
+    def test_boundary_shift_locality(self):
+        """Content-defined: inserting bytes early only perturbs nearby
+        chunks — most chunk payloads (hence digests) survive."""
+        data = random_bytes(200_000, seed=4)
+        shifted = data[:1000] + b"INSERTED" + data[1000:]
+        t1 = MerkleTree.build(data)
+        t2 = MerkleTree.build(shifted)
+        shared = set(t1.leaves) & set(t2.leaves)
+        assert len(shared) > 0.8 * min(t1.n_chunks, t2.n_chunks)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(KondoError):
+            gear_chunks(b"xx", min_size=0)
+        with pytest.raises(KondoError):
+            gear_chunks(b"xx", min_size=100, max_size=50)
+
+
+class TestMerkleTree:
+    def test_root_deterministic(self):
+        data = random_bytes(30_000)
+        assert MerkleTree.build(data).root == MerkleTree.build(data).root
+
+    def test_root_changes_with_content(self):
+        a = MerkleTree.build(random_bytes(30_000, seed=0))
+        b = MerkleTree.build(random_bytes(30_000, seed=1))
+        assert a.root != b.root
+
+    def test_empty_data_has_root(self):
+        t = MerkleTree.build(b"")
+        assert len(t.root) == 32
+        assert t.n_chunks == 0
+
+    def test_proofs_verify(self):
+        data = random_bytes(150_000, seed=5)
+        t = MerkleTree.build(data)
+        for i in range(t.n_chunks):
+            proof = t.proof(i)
+            assert MerkleTree.verify_proof(t.leaves[i], proof, t.root)
+
+    def test_bad_proof_rejected(self):
+        data = random_bytes(150_000, seed=6)
+        t = MerkleTree.build(data)
+        proof = t.proof(0)
+        wrong_leaf = bytes(32)
+        assert not MerkleTree.verify_proof(wrong_leaf, proof, t.root)
+
+    def test_proof_index_bounds(self):
+        t = MerkleTree.build(random_bytes(10_000))
+        with pytest.raises(KondoError):
+            t.proof(t.n_chunks)
+
+    @given(st.binary(min_size=1, max_size=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_proofs_verify_property(self, data):
+        t = MerkleTree.build(data, avg_bits=8, min_size=16, max_size=1024)
+        for i in range(t.n_chunks):
+            assert MerkleTree.verify_proof(t.leaves[i], t.proof(i), t.root)
+
+
+class TestTransferPlan:
+    def test_cold_receiver_downloads_everything(self):
+        data = random_bytes(80_000)
+        t = MerkleTree.build(data)
+        plan = transfer_plan(t, data, held=None)
+        assert plan.missing_nbytes == len(data)
+        assert plan.dedup_fraction == 0.0
+
+    def test_identical_holder_downloads_nothing(self):
+        data = random_bytes(80_000)
+        t = MerkleTree.build(data)
+        plan = transfer_plan(t, data, held=t)
+        assert plan.missing_chunks == 0
+        assert plan.dedup_fraction == 1.0
+
+    def test_debloated_file_mostly_deduped(self):
+        """The Kondo delivery story: the debloated file shares most chunks
+        with the original, so users with the original fetch little."""
+        data = random_bytes(300_000, seed=7)
+        debloated = data[:100_000] + data[220_000:]  # middle carved out
+        t_orig = MerkleTree.build(data)
+        t_sub = MerkleTree.build(debloated)
+        plan = transfer_plan(t_sub, debloated, held=t_orig)
+        assert plan.dedup_fraction > 0.7
+
+    def test_plan_counts_consistent(self):
+        data = random_bytes(60_000, seed=8)
+        t = MerkleTree.build(data)
+        plan = transfer_plan(t, data, held=None)
+        assert isinstance(plan, TransferPlan)
+        assert plan.total_chunks == t.n_chunks
+        assert plan.missing_chunks == t.n_chunks

@@ -1,0 +1,106 @@
+"""Unit tests for container-spec parsing (Figure 2a)."""
+
+import pytest
+
+from repro.container import parse_spec
+from repro.errors import ContainerSpecError
+
+PAPER_SPEC = """\
+FROM ubuntu:20.04
+RUN apt-get install -y gcc
+RUN apt-get install -y libhdf5-dev
+RUN mkdir /stencil
+ADD ./mnist.knd /stencil/mnist.knd
+ADD ./fuji.knd /stencil/fuji.knd
+ADD Stencil.c /stencil/crossStencil.c
+RUN cd stencil
+PARAM [0-30, 300.00-1200.00, 0-50]
+ENTRYPOINT ["/stencil/CS"]
+CMD [30, 550.0, 10, /stencil/mnist.knd]
+"""
+
+
+class TestParse:
+    def test_paper_spec(self):
+        spec = parse_spec(PAPER_SPEC)
+        assert spec.base_image == "ubuntu:20.04"
+        assert len(spec.run_commands) == 4
+        assert ("./mnist.knd", "/stencil/mnist.knd") in spec.adds
+        assert spec.param_space.ndim == 3
+        assert spec.entrypoint == ["/stencil/CS"]
+        assert spec.cmd[0] == "30"
+
+    def test_param_ranges(self):
+        spec = parse_spec(PAPER_SPEC)
+        r0, r1, r2 = spec.param_space.ranges
+        assert (r0.lo, r0.hi, r0.integer) == (0.0, 30.0, True)
+        assert (r1.lo, r1.hi, r1.integer) == (300.0, 1200.0, False)
+        assert (r2.lo, r2.hi, r2.integer) == (0.0, 50.0, True)
+
+    def test_default_parameter_value(self):
+        spec = parse_spec(PAPER_SPEC)
+        assert spec.default_parameter_value() == (30.0, 550.0, 10.0)
+
+    def test_data_files(self):
+        spec = parse_spec(PAPER_SPEC)
+        assert "/stencil/mnist.knd" in spec.data_files
+        assert "/stencil/fuji.knd" in spec.data_files
+
+    def test_comments_and_blanks_ignored(self):
+        spec = parse_spec("# hi\n\nFROM base\n  # indented comment\n")
+        assert spec.base_image == "base"
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ContainerSpecError):
+            parse_spec("RUN echo hi\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nVOLUME /data\n")
+
+    def test_bad_add_rejected(self):
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nADD onlyone\n")
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nPARAM [abc]\n")
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nPARAM 0-30\n")
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nPARAM [30-0]\n")
+        with pytest.raises(ContainerSpecError):
+            parse_spec("FROM base\nPARAM []\n")
+
+    def test_cmd_value_count_mismatch(self):
+        spec = parse_spec("FROM base\nPARAM [0-10, 0-10]\nCMD [5]\n")
+        with pytest.raises(ContainerSpecError):
+            spec.default_parameter_value()
+
+    def test_cmd_value_out_of_range(self):
+        spec = parse_spec("FROM base\nPARAM [0-10]\nCMD [99]\n")
+        with pytest.raises(ContainerSpecError):
+            spec.default_parameter_value()
+
+    def test_entrypoint_json(self):
+        spec = parse_spec('FROM base\nENTRYPOINT ["/bin/x", "-v"]\n')
+        assert spec.entrypoint == ["/bin/x", "-v"]
+
+
+class TestEffectiveParamSpace:
+    def test_explicit_param_space_wins(self):
+        from repro.workloads import get_program
+
+        spec = parse_spec("FROM base\nPARAM [0-5, 0-5]\n")
+        space = spec.effective_param_space(get_program("CS"), (32, 32))
+        assert space is spec.param_space
+
+    def test_default_from_program_when_omitted(self):
+        """Section VI: no PARAM directive -> default ranges are derived."""
+        from repro.workloads import get_program
+
+        spec = parse_spec("FROM base\n")
+        program = get_program("CS")
+        space = spec.effective_param_space(program, (32, 32))
+        assert space.ndim == 2
+        assert space.ranges[0].hi == 30  # the program's natural 0..D-2

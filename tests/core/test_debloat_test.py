@@ -1,0 +1,71 @@
+"""Unit tests for the debloat test (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+from repro.core import DebloatTest
+from repro.errors import ProgramError
+from repro.workloads import get_program
+
+
+class TestDirectMode:
+    def test_flat_offsets_returned(self):
+        test = DebloatTest(get_program("CS"), (16, 16))
+        flat = test((1, 1))
+        assert flat.size > 0
+        assert flat.dtype == np.int64
+        assert flat.max() < 256
+
+    def test_nonuseful_value_empty(self):
+        test = DebloatTest(get_program("CS"), (16, 16))
+        assert test((5, 1)).size == 0  # stepX > stepY fails the guard
+
+    def test_execution_counters(self):
+        test = DebloatTest(get_program("CS"), (16, 16))
+        test((1, 1))
+        test((5, 1))
+        assert test.executions == 2
+        assert test.useful_executions == 1
+
+    def test_n_flat(self):
+        assert DebloatTest(get_program("CS"), (16, 16)).n_flat == 256
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ProgramError):
+            DebloatTest(get_program("CS"), (16, 16), mode="ptrace")
+
+    def test_audited_requires_path(self):
+        with pytest.raises(ProgramError):
+            DebloatTest(get_program("CS"), (16, 16), mode="audited")
+
+
+class TestAuditedMode:
+    def test_audited_agrees_with_direct(self, tmp_path):
+        """The real-I/O audited path must produce the same I_v as the
+        direct offset-replay path (the paper's simplifying transformation
+        'does not in any way affect the region computed')."""
+        dims = (16, 16)
+        prog = get_program("CS")
+        path = str(tmp_path / "d.knd")
+        ArrayFile.create(
+            path, ArraySchema(dims, "f8"),
+            np.arange(256, dtype="f8").reshape(dims),
+        ).close()
+        direct = DebloatTest(prog, dims, mode="direct")
+        audited = DebloatTest(prog, dims, mode="audited", data_path=path)
+        for v in [(1, 1), (2, 3), (0, 1), (5, 1), (3, 3)]:
+            assert np.array_equal(sorted(direct(v)), sorted(audited(v))), v
+
+    def test_audited_agrees_on_chunked_file(self, tmp_path):
+        dims = (16, 16)
+        prog = get_program("CS")
+        path = str(tmp_path / "c.knd")
+        ArrayFile.create(
+            path, ArraySchema(dims, "f8", chunks=(5, 5)),
+            np.arange(256, dtype="f8").reshape(dims),
+        ).close()
+        direct = DebloatTest(prog, dims, mode="direct")
+        audited = DebloatTest(prog, dims, mode="audited", data_path=path)
+        for v in [(1, 2), (4, 4)]:
+            assert np.array_equal(sorted(direct(v)), sorted(audited(v))), v

@@ -1,0 +1,90 @@
+"""Unit tests for multi-array Kondo analysis."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel.layout import flatten_many
+from repro.core.multifile import MultiArrayProgram, MultiKondo
+from repro.errors import ProgramError
+from repro.fuzzing import FuzzConfig
+from repro.metrics import accuracy
+from repro.workloads.multi import WeatherCoupled
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    program = WeatherCoupled((48, 48))
+    mk = MultiKondo(program, fuzz_config=FuzzConfig(rng_seed=0))
+    return program, mk.analyze()
+
+
+class TestWeatherCoupledGroundTruth:
+    def test_gt_matches_bruteforce_small(self):
+        program = WeatherCoupled((24, 24))
+        gt = program.ground_truth_multi()
+        space = program.parameter_space()
+        bitmaps = {
+            n: np.zeros(int(np.prod(d)), dtype=bool)
+            for n, d in program.arrays.items()
+        }
+        for v in space.grid():
+            for n, idx in program.access_indices_multi(v).items():
+                if idx.size:
+                    bitmaps[n][flatten_many(idx, program.arrays[n])] = True
+        for n in program.arrays:
+            assert np.array_equal(np.flatnonzero(bitmaps[n]), gt[n]), n
+
+    def test_terrain_never_accessed(self):
+        program = WeatherCoupled((24, 24))
+        assert program.ground_truth_multi()["terrain"].size == 0
+
+
+class TestMultiKondo:
+    def test_per_array_carves(self, analysis):
+        program, result = analysis
+        assert set(result.carves) == {"temperature", "pressure", "terrain"}
+        gt = program.ground_truth_multi()
+        for name in ("temperature", "pressure"):
+            acc = accuracy(gt[name], result.carved_flat(name))
+            assert acc.recall > 0.9, name
+            assert acc.precision > 0.8, name
+
+    def test_untouched_array_detected(self, analysis):
+        _, result = analysis
+        assert result.untouched_arrays == ["terrain"]
+        assert result.carved_flat("terrain").size == 0
+
+    def test_summary_mentions_drop(self, analysis):
+        _, result = analysis
+        assert "UNTOUCHED" in result.summary()
+
+    def test_offsets_namespaced_disjointly(self, analysis):
+        program, result = analysis
+        n = int(np.prod(program.arrays["temperature"]))
+        # Global fuzz offsets must stay within the 3-array namespace.
+        assert result.fuzz.flat_indices.max() < 3 * n
+
+    def test_program_without_arrays_rejected(self):
+        class Empty(MultiArrayProgram):
+            name = "empty"
+            arrays = {}
+
+        with pytest.raises(ProgramError):
+            MultiKondo(Empty())
+
+    def test_undeclared_array_access_rejected(self):
+        class Rogue(MultiArrayProgram):
+            name = "rogue"
+            arrays = {"a": (8, 8)}
+
+            def parameter_space(self):
+                from repro.fuzzing import ParameterSpace
+
+                return ParameterSpace.of((0, 7))
+
+            def access_indices_multi(self, v):
+                return {"ghost": np.array([[0, 0]])}
+
+        mk = MultiKondo(Rogue(), fuzz_config=FuzzConfig(max_iter=5, stop_iter=5))
+        with pytest.raises(ProgramError):
+            mk.analyze()

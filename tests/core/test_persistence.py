@@ -1,0 +1,111 @@
+"""Unit tests for analysis artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+from repro.core import Kondo
+from repro.core.persistence import AnalysisArtifact
+from repro.errors import DataMissingError, KondoError
+from repro.fuzzing import FuzzConfig
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    program = get_program("CS")
+    kondo = Kondo(program, (32, 32), fuzz_config=FuzzConfig(max_iter=500))
+    return program, kondo.analyze()
+
+
+class TestArtifactRoundtrip:
+    def test_save_load(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        path = str(tmp_path / "a.npz")
+        artifact.save(path)
+        loaded = AnalysisArtifact.load(path)
+        assert loaded.program == "CS"
+        assert loaded.dims == (32, 32)
+        assert np.array_equal(loaded.carved_flat, result.carved_flat)
+        assert np.array_equal(loaded.observed_flat, result.observed_flat)
+        assert loaded.iterations == result.fuzz.iterations
+        assert loaded.stop_reason == result.fuzz.stop_reason
+        assert loaded.n_hulls == result.carve.n_hulls
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(KondoError):
+            AnalysisArtifact.load(str(path))
+
+    def test_out_of_range_offsets_rejected(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        artifact.carved_flat = np.array([10**9])
+        artifact.observed_flat = np.array([], dtype=np.int64)
+        path = str(tmp_path / "bad.npz")
+        artifact.save(path)
+        with pytest.raises(KondoError):
+            AnalysisArtifact.load(path)
+
+    def test_observed_must_be_subset(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        artifact.observed_flat = np.array([0, 1, 2])
+        artifact.carved_flat = np.array([5, 6])
+        path = str(tmp_path / "sub.npz")
+        artifact.save(path)
+        with pytest.raises(KondoError):
+            AnalysisArtifact.load(path)
+
+
+class TestArtifactDebloat:
+    def test_debloat_without_reanalysis(self, tmp_path, analysis):
+        program, result = analysis
+        artifact_path = str(tmp_path / "a.npz")
+        AnalysisArtifact.from_result(result).save(artifact_path)
+
+        data = np.arange(1024, dtype="f8").reshape(32, 32)
+        src = str(tmp_path / "d.knd")
+        ArrayFile.create(src, ArraySchema((32, 32), "f8"), data).close()
+
+        artifact = AnalysisArtifact.load(artifact_path)
+        subset = artifact.debloat_file(src, str(tmp_path / "d.knds"))
+        # Serves the same subset the live pipeline would.
+        for flat in result.carved_flat[::29]:
+            idx = (int(flat) // 32, int(flat) % 32)
+            assert subset.read_point(idx) == data[idx]
+        with pytest.raises(DataMissingError):
+            subset.read_point((31, 0))
+        subset.close()
+
+    def test_dims_mismatch(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        src = str(tmp_path / "w.knd")
+        ArrayFile.create(src, ArraySchema((8, 8), "f8")).close()
+        with pytest.raises(KondoError):
+            artifact.debloat_file(src, str(tmp_path / "w.knds"))
+
+    def test_chunk_granularity_via_artifact(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        src = str(tmp_path / "c.knd")
+        ArrayFile.create(
+            src, ArraySchema((32, 32), "f8", chunks=(8, 8)),
+            np.zeros((32, 32)),
+        ).close()
+        subset = artifact.debloat_file(src, str(tmp_path / "c.knds"),
+                                       granularity="chunk")
+        assert subset.kept_nbytes % (64 * 8) == 0  # whole chunks only
+        subset.close()
+
+    def test_unknown_granularity(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        src = str(tmp_path / "g.knd")
+        ArrayFile.create(src, ArraySchema((32, 32), "f8")).close()
+        with pytest.raises(KondoError):
+            artifact.debloat_file(src, str(tmp_path / "g.knds"),
+                                  granularity="page")

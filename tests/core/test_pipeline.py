@@ -1,0 +1,120 @@
+"""Unit tests for the end-to-end Kondo pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile, KondoRuntime
+from repro.core import Kondo
+from repro.errors import DataMissingError, ProgramError
+from repro.fuzzing import CarveConfig, FuzzConfig
+from repro.metrics import accuracy
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def cs_result():
+    prog = get_program("CS")
+    kondo = Kondo(prog, (32, 32), fuzz_config=FuzzConfig(max_iter=600))
+    return prog, kondo, kondo.analyze()
+
+
+class TestAnalyze:
+    def test_result_fields(self, cs_result):
+        _, _, res = cs_result
+        assert res.program == "CS"
+        assert res.dims == (32, 32)
+        assert res.fuzz.iterations > 0
+        assert res.carve.n_hulls >= 1
+        assert res.carved_flat.size > 0
+
+    def test_high_recall_on_cs(self, cs_result):
+        prog, _, res = cs_result
+        acc = accuracy(prog.ground_truth_flat((32, 32)), res.carved_flat)
+        assert acc.recall > 0.9
+        assert acc.precision > 0.8
+
+    def test_observed_subset_of_carved(self, cs_result):
+        _, _, res = cs_result
+        assert set(res.observed_flat.tolist()) <= set(res.carved_flat.tolist())
+
+    def test_summary_readable(self, cs_result):
+        _, _, res = cs_result
+        text = res.summary()
+        assert "CS" in text and "hulls" in text and "debloated" in text
+
+    def test_unknown_carver_rejected(self):
+        with pytest.raises(ProgramError):
+            Kondo(get_program("CS"), (32, 32), carver="magic")
+
+    def test_simple_carver_selectable(self):
+        kondo = Kondo(
+            get_program("LDC2D"), (64, 64),
+            fuzz_config=FuzzConfig(max_iter=300), carver="simple",
+        )
+        res = kondo.analyze()
+        assert res.carve.n_hulls <= 1
+
+    def test_auto_scale_configs(self):
+        prog = get_program("CS")
+        k = Kondo(prog, (256, 256))
+        # 256-wide parameter extents double the frame distances.
+        assert k.fuzz_config.u_dist[0] > FuzzConfig().u_dist[0]
+        assert k.carve_config.cell_size > CarveConfig().cell_size
+
+    def test_auto_scale_off(self):
+        k = Kondo(get_program("CS"), (256, 256), auto_scale=False)
+        assert k.fuzz_config == FuzzConfig()
+
+    def test_3d_iteration_scaling(self):
+        k = Kondo(get_program("LDC3D"), (16, 16, 16))
+        assert k.fuzz_config.max_iter == 2 * FuzzConfig().max_iter
+
+
+class TestDebloatFile:
+    def test_roundtrip_with_runtime(self, tmp_path, cs_result):
+        prog, kondo, res = cs_result
+        dims = (32, 32)
+        data = np.arange(1024, dtype="f8").reshape(dims)
+        src = str(tmp_path / "d.knd")
+        out = str(tmp_path / "d.knds")
+        ArrayFile.create(src, ArraySchema(dims, "f8"), data).close()
+        subset = kondo.debloat_file(src, out, res)
+        # The debloated file is smaller and serves the program's reads.
+        with ArrayFile.open(src) as original:
+            assert subset.file_nbytes < original.file_nbytes
+        rt = KondoRuntime(subset)
+        stats = rt.run_program(prog, (1, 2), dims)
+        assert stats.reads > 0
+        assert stats.misses == 0  # recall high enough for this valuation
+        for idx in map(tuple, prog.access_indices((1, 2), dims)):
+            assert subset.read_point(idx) == data[idx]
+        subset.close()
+
+    def test_dims_mismatch_rejected(self, tmp_path, cs_result):
+        _, kondo, res = cs_result
+        src = str(tmp_path / "wrong.knd")
+        ArrayFile.create(src, ArraySchema((8, 8), "f8")).close()
+        with pytest.raises(ProgramError):
+            kondo.debloat_file(src, str(tmp_path / "w.knds"), res)
+
+    def test_chunked_source(self, tmp_path, cs_result):
+        prog, kondo, res = cs_result
+        dims = (32, 32)
+        data = np.arange(1024, dtype="f8").reshape(dims)
+        src = str(tmp_path / "c.knd")
+        ArrayFile.create(src, ArraySchema(dims, "f8", chunks=(8, 8)), data).close()
+        subset = kondo.debloat_file(src, str(tmp_path / "c.knds"), res)
+        for idx in map(tuple, prog.access_indices((2, 2), dims)):
+            assert subset.read_point(idx) == data[idx]
+        subset.close()
+
+    def test_never_accessed_is_missing(self, tmp_path, cs_result):
+        prog, kondo, res = cs_result
+        dims = (32, 32)
+        src = str(tmp_path / "m.knd")
+        ArrayFile.create(src, ArraySchema(dims, "f8")).close()
+        subset = kondo.debloat_file(src, str(tmp_path / "m.knds"), res)
+        # (31, 0) is deep in the never-accessed upper triangle.
+        with pytest.raises(DataMissingError):
+            subset.read_point((31, 0))
+        subset.close()

@@ -1,0 +1,78 @@
+"""Small-configuration tests for the remaining experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import measure_program, run_fig10
+from repro.experiments.fig11 import run_fig11a, run_fig11bc
+from repro.experiments.missed_access import run_missed_access
+from repro.experiments.table3 import run_table3
+
+
+class TestFig9Driver:
+    def test_small(self):
+        result = run_fig9(programs=("CS",), repetitions=1)
+        row = result.rows[0]
+        assert row.program == "CS"
+        assert 0 < row.kondo_bloat <= row.truth_bloat + 0.05
+        assert "bloat" in result.format()
+
+
+class TestFig10Driver:
+    def test_measure_program(self):
+        measured = measure_program("CS", bf_cap_s=5.0, afl_cap_s=2.0)
+        assert set(measured) == {"Kondo", "BF", "AFL"}
+        for engine, (seconds, recall) in measured.items():
+            assert seconds >= 0
+            assert 0 <= recall <= 1.0001, engine
+
+    def test_run_one_family(self):
+        result = run_fig10(
+            families={"CS": ("CS",)}, bf_cap_s=5.0, afl_cap_s=2.0
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.family == "CS"
+        assert "Figure 10" in result.format()
+
+
+class TestFig11Driver:
+    def test_fig11a_tiny(self):
+        result = run_fig11a(program_name="CS", sizes=(64,), repetitions=1)
+        assert len(result.rows) == 1
+        assert result.rows[0].size == 64
+        assert "file size" in result.format()
+
+    def test_fig11bc_bound_parameter(self):
+        result = run_fig11bc(
+            program_names=("LDC2D",), thresholds=(5.0,),
+            repetitions=1, parameter="bound_d_thresh",
+        )
+        assert result.parameter == "bound_d_thresh"
+        assert "bound_d_thresh" in result.format()
+
+    def test_fig11bc_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            run_fig11bc(parameter="magic_thresh")
+
+
+class TestTable3Driver:
+    def test_rows_and_format(self):
+        result = run_table3(programs=("MSI",), budget_scale=1.0)
+        row = result.rows[0]
+        assert row.program == "MSI"
+        assert row.bf_precision == 1.0
+        assert row.kondo_recall >= row.bf_recall
+        assert 0 < row.kondo_debloat < 1
+        assert "Table III" in result.format()
+
+
+class TestMissedAccessDriver:
+    def test_one_program(self):
+        result = run_missed_access(programs=("CS",), max_valuations=500)
+        name, report = result.reports[0]
+        assert name == "CS"
+        assert report.n_valuations == 500
+        assert 0 <= result.worst_rate <= 1
+        assert "missed" in result.format()

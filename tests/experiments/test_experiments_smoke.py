@@ -1,0 +1,112 @@
+"""Smoke tests for the experiment drivers (tiny configurations).
+
+Full regenerations live under benchmarks/; these verify the machinery —
+budgets, engine dispatch, row shapes, formatting — on minimal workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_scatter,
+    engine_runs,
+    kondo_time_budget,
+    run_ablations,
+    run_engine,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_fig11bc,
+    run_table2,
+)
+from repro.errors import ProgramError
+from repro.workloads import default_dims, get_program
+
+
+class TestCommon:
+    def test_run_engine_kondo(self):
+        run = run_engine("Kondo", get_program("CS"), (32, 32))
+        assert run.engine == "Kondo"
+        assert run.recall > 0.8
+        assert run.executions > 0
+        assert run.n_hulls >= 1
+
+    def test_run_engine_bf_budgeted(self):
+        run = run_engine(
+            "BF", get_program("CS"), (32, 32), max_executions=50
+        )
+        assert run.precision == 1.0
+        assert run.executions == 50
+
+    def test_run_engine_afl(self):
+        run = run_engine(
+            "AFL", get_program("CS"), (32, 32), max_executions=200
+        )
+        assert run.precision == 1.0
+
+    def test_run_engine_sc(self):
+        run = run_engine("SC", get_program("LDC2D"), (64, 64),
+                         max_executions=300)
+        assert run.n_hulls <= 1
+
+    def test_run_engine_random(self):
+        run = run_engine("Random", get_program("CS"), (32, 32),
+                         max_executions=100)
+        assert run.precision == 1.0
+
+    def test_unknown_engine(self):
+        with pytest.raises(ProgramError):
+            run_engine("Magic", get_program("CS"), (32, 32))
+
+    def test_budget_positive_and_cached(self):
+        program = get_program("CS")
+        dims = (32, 32)
+        b1 = kondo_time_budget(program, dims)
+        b2 = kondo_time_budget(program, dims)
+        assert b1 > 0
+        assert b1 == b2  # cached
+
+    def test_engine_runs_repetitions(self):
+        runs = engine_runs("Kondo", "CS", repetitions=2, dims=(32, 32))
+        assert len(runs) == 2
+        # Different seeds -> (almost surely) different fuzz campaigns.
+        assert runs[0].executions > 0
+
+
+class TestDrivers:
+    def test_fig4_small(self):
+        result = run_fig4(program_name="CS", iterations=120)
+        assert result.plain.n_runs == 120
+        assert result.boundary.n_runs == 120
+        art = ascii_scatter(result.boundary)
+        assert len(art.splitlines()) == 48
+        assert "|" in art or "-" in art
+        assert "Figure 4" in result.format()
+
+    def test_fig7_single_family(self):
+        result = run_fig7(families={"CS": ("CS",)}, engines=("Kondo", "BF"))
+        assert len(result.rows) == 2
+        assert 0 <= result.recall_of("CS", "Kondo") <= 1
+        assert "recall" in result.format()
+
+    def test_fig8_single_program(self):
+        result = run_fig8(programs=("CS",), engines=("Kondo", "SC"))
+        assert result.precision_of("CS", "Kondo") > 0
+        assert "precision" in result.format()
+
+    def test_fig11bc_two_thresholds(self):
+        result = run_fig11bc(
+            program_names=("LDC2D",), thresholds=(5.0, 40.0), repetitions=1
+        )
+        assert len(result.rows) == 2
+        assert "center_d_thresh" in result.format()
+
+    def test_table2_format(self):
+        result = run_table2(programs=("CS", "PRL2D"))
+        assert len(result.rows) == 2
+        assert "Theta" in result.format()
+
+    def test_ablations_tiny(self):
+        result = run_ablations(programs=("CS",), repetitions=1)
+        assert result.row("carver", "merge (default)").mean_recall > 0
+        assert "ablation" in result.format()

@@ -1,0 +1,48 @@
+"""Smoke tests for the extension experiment drivers."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_chunk_granularity,
+    run_hybrid_consultation,
+    run_merkle_delivery,
+    run_vpic,
+)
+
+
+class TestChunkGranularityDriver:
+    def test_small(self):
+        result = run_chunk_granularity(
+            program_name="CS", dims=(32, 32), chunk_sizes=(4, 8)
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0].inflation >= 1.0
+        assert "chunk" in result.format()
+
+
+class TestHybridDriver:
+    def test_single_program(self):
+        result = run_hybrid_consultation(
+            program_names=("CS",), residual_fraction=0.1
+        )
+        row = result.rows[0]
+        assert row.hybrid_raw_recall >= row.kondo_raw_recall
+        assert "hybrid" in result.format()
+
+
+class TestMerkleDriver:
+    def test_small(self):
+        result = run_merkle_delivery(dims=(48, 48), env_nbytes=32_768)
+        assert result.row("cold").dedup_fraction == 0.0
+        assert result.row("warm-original").dedup_fraction > 0.2
+        assert "Merkle" in result.format()
+        with pytest.raises(KeyError):
+            result.row("nobody")
+
+
+class TestVPICDriver:
+    def test_small(self):
+        result = run_vpic(dims=(64, 64))
+        assert result.accuracy.recall > 0.8
+        assert result.n_hulls >= 1
+        assert "VPIC" in result.format()

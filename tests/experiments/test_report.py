@@ -1,0 +1,43 @@
+"""Unit tests for the report/table formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import format_table, mean, stdev
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1.0), ("longer", 0.5)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines share the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456,)])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        text = format_table(["a"], [(17,), ("s",), (1.5,)])
+        assert "17" in text and "s" in text and "1.500" in text
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0]) == pytest.approx(2.0 ** 0.5)
+        assert stdev([5.0]) == 0.0
+        assert stdev([]) == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for the run-everything driver."""
+
+from repro.experiments.runall import (
+    ExperimentOutcome,
+    RunAllResult,
+    experiment_runners,
+    run_all,
+)
+
+
+class TestRunnersRegistry:
+    def test_all_experiments_present(self):
+        runners = experiment_runners()
+        expected = {
+            "fig4", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11bc",
+            "table2", "table3", "audit-overhead", "missed-access",
+            "ablations", "ext-chunk", "ext-hybrid", "ext-merkle",
+            "ext-vpic",
+        }
+        assert set(runners) == expected
+
+
+class TestRunAll:
+    def test_subset_run(self):
+        messages = []
+        result = run_all(names=("table2",), progress=messages.append)
+        assert result.failed == []
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].name == "table2"
+        assert "Table II" in result.outcomes[0].text
+        assert messages == ["[runall] table2 ..."]
+        assert "1 experiments" in result.format()
+
+    def test_failure_captured_not_raised(self, monkeypatch):
+        import repro.experiments as ex
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr(ex, "run_table2", boom)
+        result = run_all(names=("table2",), progress=None)
+        assert result.failed == ["table2"]
+        assert "kaput" in result.format()
+
+    def test_format_lists_failures(self):
+        result = RunAllResult(outcomes=[
+            ExperimentOutcome(name="x", seconds=1.0, text="", error="E"),
+            ExperimentOutcome(name="y", seconds=2.0, text="fine"),
+        ])
+        text = result.format()
+        assert "failed: ['x']" in text
+        assert "fine" in text
+
+
+class TestCliIntegration:
+    def test_cli_visualize(self, capsys):
+        from repro.cli import main
+
+        assert main(["visualize", "CS", "--dims", "32x32",
+                     "--width", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out
+        assert "legend" in out
+
+    def test_cli_visualize_rejects_3d(self, capsys):
+        from repro.cli import main
+
+        assert main(["visualize", "LDC3D"]) == 1
+        assert "2-D" in capsys.readouterr().err

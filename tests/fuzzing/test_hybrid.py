@@ -1,0 +1,71 @@
+"""Unit tests for the hybrid (future-work) schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import DebloatTest
+from repro.errors import FuzzConfigError
+from repro.fuzzing import FuzzConfig
+from repro.fuzzing.hybrid import HybridSchedule
+from repro.workloads import get_program
+
+
+def make(program="CS", dims=(32, 32), consult=("random", "afl"),
+         residual=0.25, max_iter=200):
+    prog = get_program(program)
+    test = DebloatTest(prog, dims)
+    return prog, HybridSchedule(
+        test, prog.parameter_space(dims),
+        FuzzConfig(max_iter=max_iter, stop_iter=max_iter, rng_seed=0),
+        test.n_flat, consult=consult, residual_fraction=residual,
+    )
+
+
+class TestHybridSchedule:
+    def test_unknown_consultant_rejected(self):
+        with pytest.raises(FuzzConfigError):
+            make(consult=("magic",))
+
+    def test_negative_residual_rejected(self):
+        with pytest.raises(FuzzConfigError):
+            make(residual=-0.1)
+
+    def test_union_superset_of_primary(self):
+        _, hybrid = make()
+        result = hybrid.run()
+        primary = set(result.primary.flat_indices.tolist())
+        union = set(result.flat_indices.tolist())
+        assert primary <= union
+        assert result.stage_new_offsets["kondo"] == len(primary)
+
+    def test_stage_accounting_sums(self):
+        _, hybrid = make()
+        result = hybrid.run()
+        assert sum(result.stage_new_offsets.values()) == result.flat_indices.size
+        assert result.extra_offsets == (
+            result.flat_indices.size - result.primary.flat_indices.size
+        )
+
+    def test_offsets_remain_sound(self):
+        prog, hybrid = make(program="CS", dims=(32, 32))
+        result = hybrid.run()
+        gt = set(prog.ground_truth_flat((32, 32)).tolist())
+        assert set(result.flat_indices.tolist()) <= gt
+
+    def test_zero_residual_is_pure_kondo(self):
+        _, hybrid = make(residual=0.0)
+        result = hybrid.run()
+        assert result.extra_offsets == 0
+        assert np.array_equal(result.flat_indices, result.primary.flat_indices)
+
+    def test_random_only_consultation(self):
+        _, hybrid = make(consult=("random",), residual=1.0)
+        result = hybrid.run()
+        assert set(result.stage_new_offsets) == {"kondo", "random"}
+
+    def test_consultation_never_reduces_recall(self):
+        """The whole point: consulting can only add offsets."""
+        prog, hybrid = make(program="CS3", dims=(64, 64), max_iter=400,
+                            residual=0.5)
+        result = hybrid.run()
+        assert result.flat_indices.size >= result.primary.flat_indices.size

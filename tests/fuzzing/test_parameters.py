@@ -1,0 +1,107 @@
+"""Unit tests for parameter ranges, spaces, and seeds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FuzzConfigError, ProgramError
+from repro.fuzzing import ParameterRange, ParameterSpace, Seed
+
+
+class TestParameterRange:
+    def test_inverted_rejected(self):
+        with pytest.raises(FuzzConfigError):
+            ParameterRange(5, 1)
+
+    def test_cardinality_integer(self):
+        assert ParameterRange(0, 9).cardinality == 10
+        assert ParameterRange(3, 3).cardinality == 1
+
+    def test_cardinality_real_rejected(self):
+        with pytest.raises(FuzzConfigError):
+            _ = ParameterRange(0.0, 1.0, integer=False).cardinality
+
+    def test_clip(self):
+        r = ParameterRange(0, 10)
+        assert r.clip(-5) == 0.0
+        assert r.clip(15) == 10.0
+        assert r.clip(5.4) == 5.0  # integer rounding
+
+    def test_clip_real(self):
+        r = ParameterRange(0.0, 10.0, integer=False)
+        assert r.clip(5.4) == 5.4
+
+    def test_contains(self):
+        r = ParameterRange(0, 10)
+        assert r.contains(5)
+        assert not r.contains(5.5)  # non-integer in integer range
+        assert not r.contains(11)
+
+    def test_sample_in_range(self, rng):
+        r = ParameterRange(3, 7)
+        for _ in range(50):
+            x = r.sample(rng)
+            assert 3 <= x <= 7
+            assert float(x).is_integer()
+
+
+class TestParameterSpace:
+    def test_of_shorthand(self):
+        s = ParameterSpace.of((0, 30), (0, 50))
+        assert s.ndim == 2
+        assert s.cardinality == 31 * 51
+
+    def test_empty_rejected(self):
+        with pytest.raises(FuzzConfigError):
+            ParameterSpace(())
+
+    def test_contains(self):
+        s = ParameterSpace.of((0, 10), (0, 10))
+        assert s.contains((5, 5))
+        assert not s.contains((5,))
+        assert not s.contains((11, 5))
+
+    def test_clip_rank_mismatch(self):
+        with pytest.raises(ProgramError):
+            ParameterSpace.of((0, 10)).clip((1, 2))
+
+    def test_grid_full_enumeration(self):
+        s = ParameterSpace.of((0, 2), (0, 1))
+        assert list(s.grid()) == [
+            (0.0, 0.0), (0.0, 1.0), (1.0, 0.0),
+            (1.0, 1.0), (2.0, 0.0), (2.0, 1.0),
+        ]
+
+    def test_grid_max_points(self):
+        s = ParameterSpace.of((0, 100), (0, 100))
+        assert len(list(s.grid(max_points=7))) == 7
+
+    def test_grid_matches_cardinality(self):
+        s = ParameterSpace.of((2, 5), (0, 3), (1, 2))
+        assert len(list(s.grid())) == s.cardinality
+
+    def test_max_extent(self):
+        s = ParameterSpace.of((0, 10), (0, 100))
+        assert s.max_extent == 100
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=30)
+    def test_samples_always_contained(self, seed):
+        rng = np.random.default_rng(seed)
+        s = ParameterSpace.of((0, 30), (-5, 5), (100, 200))
+        for _ in range(10):
+            assert s.contains(s.sample(rng))
+
+    def test_sample_many(self, rng):
+        s = ParameterSpace.of((0, 10))
+        assert len(s.sample_many(rng, 7)) == 7
+
+
+class TestSeed:
+    def test_lifecycle(self):
+        seed = Seed(v=(1.0, 2.0))
+        assert not seed.evaluated
+        seed.useful = True
+        assert seed.evaluated
+        assert seed.key() == (1.0, 2.0)

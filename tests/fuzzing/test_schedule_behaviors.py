@@ -1,0 +1,109 @@
+"""Behavioral tests for schedule internals: restarts, exhaustion, clusters."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzing import FuzzConfig, FuzzSchedule, ParameterSpace
+
+
+def always_empty(v):
+    return np.empty(0, dtype=np.int64)
+
+
+def always_one(v):
+    return np.array([0], dtype=np.int64)
+
+
+class TestRandomRestart:
+    def test_restart_clears_queue(self):
+        space = ParameterSpace.of((0, 200), (0, 200))
+        sched = FuzzSchedule(always_one, space, FuzzConfig(rng_seed=0), 10)
+        sched.queue.extend([(1.0, 1.0), (2.0, 2.0)])
+        sched.random_restart()
+        assert len(sched.queue) == sched.config.n_initial
+        assert (1.0, 1.0) not in sched.queue
+
+    def test_restart_avoids_seen(self):
+        space = ParameterSpace.of((0, 3))  # only 4 valuations
+        sched = FuzzSchedule(always_one, space, FuzzConfig(rng_seed=0,
+                                                           n_initial=4), 10)
+        sched.seen.update({(0.0,), (1.0,), (2.0,)})
+        sched.random_restart()
+        # Sampling avoids the seen ones first, then accepts repeats.
+        assert len(sched.queue) == 4
+
+    def test_restarts_disabled(self):
+        space = ParameterSpace.of((0, 500), (0, 500))
+        cfg = FuzzConfig(rng_seed=1, max_iter=300, stop_iter=300,
+                         enable_restart=False, restart=10)
+        sched = FuzzSchedule(always_one, space, cfg, 10)
+        result = sched.run()
+        # Without restarts the queue only refills when empty; the run
+        # still completes and evaluates every iteration.
+        assert result.iterations == 300
+
+    def test_tiny_space_exhaustion_does_not_hang(self):
+        space = ParameterSpace.of((0, 1))  # two valuations
+        cfg = FuzzConfig(rng_seed=0, max_iter=50, stop_iter=50)
+        result = FuzzSchedule(always_empty, space, cfg, 10).run()
+        assert result.iterations == 50  # repeats allowed rather than stall
+        assert result.n_offsets == 0
+
+
+class TestClusterFormation:
+    def test_useful_and_nonuseful_clusters_populate(self):
+        space = ParameterSpace.of((0, 63), (0, 63))
+
+        def half(v):
+            if v[0] < 32:
+                return np.array([int(v[0])], dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
+
+        cfg = FuzzConfig(rng_seed=3, max_iter=300, stop_iter=300)
+        sched = FuzzSchedule(half, space, cfg, 64)
+        sched.run()
+        assert len(sched.cl_u) > 0
+        assert len(sched.cl_n) > 0
+        # Useful cluster centers live on the useful side.
+        for cluster in sched.cl_u.clusters:
+            assert cluster.center[0] < 40  # mean drift stays left
+
+    def test_mutate_uses_opposite_cluster_when_greedy(self):
+        space = ParameterSpace.of((0, 63), (0, 63))
+        cfg = FuzzConfig(rng_seed=0, eps=0.0)  # always greedy when possible
+        sched = FuzzSchedule(always_one, space, cfg, 10)
+        from repro.fuzzing.parameters import Seed
+
+        seed = Seed(v=(10.0, 10.0))
+        seed.useful = True
+        # No opposite (non-useful) clusters yet: falls back to uniform.
+        children = sched.mutate(seed)
+        assert len(children) == cfg.u_reps
+        # Add a non-useful cluster far to the right; greedy walks toward it.
+        sched.cl_n.add((60.0, 10.0))
+        children = sched.mutate(seed)
+        assert np.mean([c[0] for c in children]) > 10.0
+
+
+class TestStoppingPriorities:
+    def test_max_iter_beats_stagnation_order(self):
+        space = ParameterSpace.of((0, 500), (0, 500))
+        cfg = FuzzConfig(rng_seed=0, max_iter=20, stop_iter=5)
+        result = FuzzSchedule(always_empty, space, cfg, 10).run()
+        # Stagnation (5) fires before max_iter (20).
+        assert result.stop_reason == "stagnation"
+        assert result.iterations <= 10
+
+    def test_useful_seed_resets_stagnation(self):
+        space = ParameterSpace.of((0, 500))
+        calls = {"n": 0}
+
+        def drip(v):
+            calls["n"] += 1
+            if calls["n"] % 4 == 0:  # a new offset every 4th run
+                return np.array([calls["n"]], dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
+
+        cfg = FuzzConfig(rng_seed=0, max_iter=40, stop_iter=6)
+        result = FuzzSchedule(drip, space, cfg, 1000).run()
+        assert result.stop_reason == "max_iter"

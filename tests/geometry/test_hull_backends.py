@@ -1,0 +1,71 @@
+"""Cross-check the two 3-D hull backends behind the Hull facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.geometry.hull as hull_mod
+from repro.geometry import Hull
+
+
+@pytest.fixture
+def own_backend():
+    saved = hull_mod.HULL3D_BACKEND
+    hull_mod.HULL3D_BACKEND = "own"
+    yield
+    hull_mod.HULL3D_BACKEND = saved
+
+
+points_3d = st.lists(
+    st.tuples(*[st.integers(0, 12)] * 3),
+    min_size=4, max_size=30,
+).map(lambda pts: np.asarray(sorted(set(pts)), dtype=float))
+
+
+class TestBackendEquivalence:
+    def test_own_backend_selected(self, own_backend):
+        corners = [[x, y, z] for x in (0, 2) for y in (0, 2) for z in (0, 2)]
+        h = Hull.from_points(corners)
+        assert h.volume == pytest.approx(8.0)
+
+    @given(points_3d)
+    @settings(max_examples=40, deadline=None)
+    def test_same_containment_both_backends(self, pts):
+        if pts.shape[0] < 4:
+            return
+        centered = pts - pts.mean(axis=0)
+        if np.linalg.matrix_rank(centered, tol=1e-8) < 3:
+            return
+        probe = np.array(
+            [[x, y, z] for x in range(0, 13, 3)
+             for y in range(0, 13, 3) for z in range(0, 13, 3)],
+            dtype=float,
+        )
+        saved = hull_mod.HULL3D_BACKEND
+        try:
+            hull_mod.HULL3D_BACKEND = "qhull"
+            qhull = Hull.from_points(pts).contains(probe, tol=1e-6)
+            hull_mod.HULL3D_BACKEND = "own"
+            own = Hull.from_points(pts).contains(probe, tol=1e-6)
+        finally:
+            hull_mod.HULL3D_BACKEND = saved
+        assert np.array_equal(qhull, own)
+
+    @given(points_3d)
+    @settings(max_examples=30, deadline=None)
+    def test_same_volume_both_backends(self, pts):
+        if pts.shape[0] < 4:
+            return
+        centered = pts - pts.mean(axis=0)
+        if np.linalg.matrix_rank(centered, tol=1e-8) < 3:
+            return
+        saved = hull_mod.HULL3D_BACKEND
+        try:
+            hull_mod.HULL3D_BACKEND = "qhull"
+            v1 = Hull.from_points(pts).volume
+            hull_mod.HULL3D_BACKEND = "own"
+            v2 = Hull.from_points(pts).volume
+        finally:
+            hull_mod.HULL3D_BACKEND = saved
+        assert v1 == pytest.approx(v2, rel=1e-6, abs=1e-9)

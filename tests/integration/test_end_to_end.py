@@ -1,0 +1,138 @@
+"""Integration tests: the whole pipeline across subsystems.
+
+These exercise fuzzer -> audit -> carver -> debloated file -> runtime on
+real files, and check the cross-cutting invariants the paper relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayFile,
+    ArraySchema,
+    Kondo,
+    KondoRuntime,
+    accuracy,
+    get_program,
+)
+from repro.errors import DataMissingError
+from repro.fuzzing import FuzzConfig
+
+
+@pytest.mark.parametrize("name,dims,min_recall", [
+    ("CS", (64, 64), 0.95),
+    ("PRL2D", (64, 64), 0.9),
+    ("LDC2D", (64, 64), 0.85),
+    ("RDC2D", (64, 64), 0.85),
+])
+def test_pipeline_accuracy_per_program(name, dims, min_recall):
+    program = get_program(name)
+    kondo = Kondo(program, dims, fuzz_config=FuzzConfig(rng_seed=1))
+    result = kondo.analyze()
+    acc = accuracy(program.ground_truth_flat(dims), result.carved_flat)
+    assert acc.recall >= min_recall
+    assert acc.precision >= 0.6
+
+
+def test_full_roundtrip_supported_runs_identical(tmp_path):
+    """Executions on D_Theta produce exactly the same values as on D for
+    supported valuations that were carved (the paper's Definition 1
+    equivalence)."""
+    dims = (48, 48)
+    program = get_program("CS")
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(dims)
+    src = str(tmp_path / "d.knd")
+    ArrayFile.create(src, ArraySchema(dims, "f8"), data).close()
+
+    kondo = Kondo(program, dims, fuzz_config=FuzzConfig(rng_seed=0))
+    result = kondo.analyze()
+    subset = kondo.debloat_file(src, str(tmp_path / "d.knds"), result)
+
+    space = program.parameter_space(dims)
+    checked = 0
+    for v in space.sample_many(np.random.default_rng(1), 40):
+        idx = program.access_indices(v, dims)
+        if idx.size == 0:
+            continue
+        values_full = [data[tuple(i)] for i in idx]
+        try:
+            values_subset = [subset.read_point(tuple(i)) for i in idx]
+        except DataMissingError:
+            continue  # an (expected, rare) under-carved valuation
+        assert values_full == pytest.approx(values_subset)
+        checked += 1
+    assert checked > 5
+    subset.close()
+
+
+def test_runtime_miss_rate_matches_metric(tmp_path):
+    """KondoRuntime's observed misses agree with metrics.missed_valuations."""
+    from repro.metrics import missed_valuations
+
+    dims = (32, 32)
+    program = get_program("CS")
+    src = str(tmp_path / "m.knd")
+    ArrayFile.create(src, ArraySchema(dims, "f8")).close()
+    kondo = Kondo(program, dims,
+                  fuzz_config=FuzzConfig(max_iter=120, stop_iter=60))
+    result = kondo.analyze()
+    subset = kondo.debloat_file(src, str(tmp_path / "m.knds"), result)
+
+    report = missed_valuations(program, dims, result.carved_flat)
+    # Replay every valuation through the runtime; count missing valuations.
+    space = program.parameter_space(dims)
+    observed = 0
+    for v in space.grid():
+        runtime = KondoRuntime(subset, record_misses=False)
+        stats = runtime.run_program(program, v, dims)
+        if stats.misses:
+            observed += 1
+    assert observed == report.n_missed
+    subset.close()
+
+
+def test_audited_fuzzing_end_to_end(tmp_path):
+    """Run the fuzz schedule through the real-file audited debloat test and
+    confirm it reaches the same offsets as the direct path."""
+    from repro.core import DebloatTest
+    from repro.fuzzing import run_fuzz_schedule
+
+    dims = (24, 24)
+    program = get_program("CS")
+    src = str(tmp_path / "a.knd")
+    ArrayFile.create(src, ArraySchema(dims, "f8")).close()
+    cfg = FuzzConfig(max_iter=120, stop_iter=120, rng_seed=3)
+    space = program.parameter_space(dims)
+
+    direct = run_fuzz_schedule(
+        DebloatTest(program, dims), space, cfg, 24 * 24
+    )
+    audited = run_fuzz_schedule(
+        DebloatTest(program, dims, mode="audited", data_path=src),
+        space, cfg, 24 * 24,
+    )
+    assert np.array_equal(direct.flat_indices, audited.flat_indices)
+
+
+def test_kondo_beats_random_sampling_on_recall():
+    """The paper's premise: naive random sampling under-approximates."""
+    from repro.baselines import RandomSampling
+    from repro.core import DebloatTest
+
+    program = get_program("LDC2D")
+    dims = (64, 64)
+    truth = program.ground_truth_flat(dims)
+    budget = 400
+
+    kondo = Kondo(
+        program, dims,
+        fuzz_config=FuzzConfig(max_iter=budget, stop_iter=budget, rng_seed=0),
+    )
+    k_acc = accuracy(truth, kondo.analyze().carved_flat)
+
+    rnd = RandomSampling(
+        DebloatTest(program, dims), program.parameter_space(dims), rng_seed=0
+    ).run(max_executions=budget)
+    r_acc = accuracy(truth, rnd.flat_indices)
+    assert k_acc.recall > r_acc.recall

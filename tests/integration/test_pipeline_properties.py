@@ -1,0 +1,116 @@
+"""Metamorphic / invariant properties of the whole pipeline.
+
+These don't assert specific accuracy numbers; they assert relations that
+must hold however the campaign unfolds — the soundness and monotonicity
+arguments the paper's design rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Kondo, accuracy, get_program
+from repro.fuzzing import CarveConfig, FuzzConfig
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_fuzz_offsets_always_sound(seed):
+    """Whatever the seed, fuzzing only ever reports truly accessible
+    offsets (they come from genuine debloat-test runs)."""
+    program = get_program("CS2")
+    dims = (48, 48)
+    gt = set(program.ground_truth_flat(dims).tolist())
+    kondo = Kondo(
+        program, dims,
+        fuzz_config=FuzzConfig(max_iter=150, stop_iter=150, rng_seed=seed),
+    )
+    result = kondo.analyze()
+    assert set(result.observed_flat.tolist()) <= gt
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_carve_superset_of_observed(seed):
+    """Carving may add interior points but never drops observed ones."""
+    program = get_program("CS1")
+    dims = (64, 64)
+    kondo = Kondo(
+        program, dims,
+        fuzz_config=FuzzConfig(max_iter=200, stop_iter=200, rng_seed=seed),
+    )
+    result = kondo.analyze()
+    observed = set(result.observed_flat.tolist())
+    carved = set(result.carved_flat.tolist())
+    assert observed <= carved
+
+
+def test_more_iterations_never_reduce_observed_coverage():
+    """Raw fuzz coverage is monotone in the iteration budget (same seed:
+    a longer campaign replays the shorter one's prefix)."""
+    program = get_program("CS")
+    dims = (48, 48)
+
+    def observed(max_iter):
+        kondo = Kondo(
+            program, dims,
+            fuzz_config=FuzzConfig(max_iter=max_iter, stop_iter=max_iter,
+                                   rng_seed=5),
+        )
+        return set(kondo.analyze().observed_flat.tolist())
+
+    small = observed(100)
+    large = observed(400)
+    assert small <= large
+
+
+def test_wider_merge_thresholds_monotone_in_coverage():
+    """A more permissive CLOSE can only grow the carved subset (the
+    precision/recall trade-off of Figure 11b/c, stated set-wise)."""
+    program = get_program("CS1")
+    dims = (64, 64)
+    fuzz = FuzzConfig(max_iter=400, stop_iter=400, rng_seed=0)
+
+    def carved(center, bound):
+        kondo = Kondo(
+            program, dims, fuzz_config=fuzz,
+            carve_config=CarveConfig(center_d_thresh=center,
+                                     bound_d_thresh=bound),
+            auto_scale=False,
+        )
+        return set(kondo.analyze().carved_flat.tolist())
+
+    tight = carved(5.0, 2.0)
+    loose = carved(120.0, 80.0)
+    assert tight <= loose
+
+
+def test_recall_beats_raw_fuzzing():
+    """Carving exists to lift recall above raw offset discovery."""
+    program = get_program("CS")
+    dims = (64, 64)
+    gt = program.ground_truth_flat(dims)
+    kondo = Kondo(
+        program, dims,
+        fuzz_config=FuzzConfig(max_iter=300, stop_iter=300, rng_seed=0),
+    )
+    result = kondo.analyze()
+    raw = accuracy(gt, result.observed_flat).recall
+    carved = accuracy(gt, result.carved_flat).recall
+    assert carved >= raw
+    assert carved > raw  # on CS the hull interior is a strict gain
+
+
+def test_identical_config_identical_results():
+    """The full pipeline is deterministic given (config, seed)."""
+    program = get_program("PRL2D")
+    dims = (64, 64)
+    cfg = FuzzConfig(max_iter=250, stop_iter=250, rng_seed=11)
+
+    def run():
+        return Kondo(program, dims, fuzz_config=cfg).analyze()
+
+    a, b = run(), run()
+    assert np.array_equal(a.carved_flat, b.carved_flat)
+    assert a.carve.n_hulls == b.carve.n_hulls

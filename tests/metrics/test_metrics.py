@@ -1,0 +1,97 @@
+"""Unit tests for accuracy and missed-access metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import accuracy, bloat_fraction, missed_valuations
+from repro.workloads import get_program
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        a = accuracy(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert a.precision == 1.0 and a.recall == 1.0 and a.f1 == 1.0
+
+    def test_over_approximation(self):
+        a = accuracy(np.array([1, 2]), np.array([1, 2, 3, 4]))
+        assert a.precision == 0.5
+        assert a.recall == 1.0
+
+    def test_under_approximation(self):
+        a = accuracy(np.array([1, 2, 3, 4]), np.array([1]))
+        assert a.precision == 1.0
+        assert a.recall == 0.25
+
+    def test_disjoint(self):
+        a = accuracy(np.array([1, 2]), np.array([3, 4]))
+        assert a.precision == 0.0 and a.recall == 0.0 and a.f1 == 0.0
+
+    def test_empty_approx(self):
+        a = accuracy(np.array([1, 2]), np.array([]))
+        assert a.precision == 1.0  # vacuous: nothing wrongly included
+        assert a.recall == 0.0
+
+    def test_empty_truth(self):
+        a = accuracy(np.array([]), np.array([1]))
+        assert a.recall == 1.0
+        assert a.precision == 0.0
+
+    def test_duplicates_ignored(self):
+        a = accuracy(np.array([1, 1, 2]), np.array([2, 2, 1]))
+        assert a.precision == 1.0 and a.recall == 1.0
+        assert a.n_truth == 2 and a.n_approx == 2
+
+    def test_counts(self):
+        a = accuracy(np.array([1, 2, 3]), np.array([2, 3, 4]))
+        assert a.n_common == 2
+
+
+class TestBloatFraction:
+    def test_basic(self):
+        assert bloat_fraction(np.arange(25), 100) == pytest.approx(0.75)
+
+    def test_full_keep(self):
+        assert bloat_fraction(np.arange(10), 10) == 0.0
+
+    def test_empty_keep(self):
+        assert bloat_fraction(np.array([]), 10) == 1.0
+
+    def test_zero_total(self):
+        assert bloat_fraction(np.array([]), 0) == 0.0
+
+
+class TestMissedValuations:
+    def test_full_ground_truth_never_misses(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        report = missed_valuations(prog, dims, prog.ground_truth_flat(dims))
+        assert report.exhaustive
+        assert report.n_missed == 0
+        assert report.missed_rate == 0.0
+
+    def test_empty_subset_misses_all_useful(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        report = missed_valuations(prog, dims, np.array([], dtype=np.int64))
+        space = prog.parameter_space(dims)
+        n_useful = sum(1 for v in space.grid() if prog.is_useful(v, dims))
+        assert report.n_missed == n_useful
+        assert 0 < report.missed_rate < 1
+
+    def test_partial_subset(self):
+        prog = get_program("CS")
+        dims = (16, 16)
+        gt = prog.ground_truth_flat(dims)
+        half = gt[: gt.size // 2]
+        report = missed_valuations(prog, dims, half)
+        assert 0 < report.n_missed <= report.n_valuations
+
+    def test_sampled_mode(self):
+        prog = get_program("CS")
+        dims = (32, 32)
+        report = missed_valuations(
+            prog, dims, prog.ground_truth_flat(dims), max_valuations=50
+        )
+        assert not report.exhaustive
+        assert report.n_valuations == 50
+        assert report.n_missed == 0

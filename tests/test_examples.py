@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["debloated", "DataMissingError"]),
+    ("hurricane_container.py", ["built image", "Bob runs"]),
+    ("real_applications.py", ["ARD", "MSI", "BF (same budget)"]),
+    ("schedule_comparison.py", ["boundary EE", "plain EE"]),
+    ("trace_ingestion.py", ["merged ranges", "per-pid"]),
+    ("multifile_bundle.py", ["UNTOUCHED", "droppable members"]),
+    ("carve_visualization.py", ["legend", "precision="]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES,
+                         ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in expected:
+        assert needle in proc.stdout, (
+            f"{script}: expected {needle!r} in output"
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for ASCII subset visualization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KondoError
+from repro.viz import render_comparison, render_mask, render_slice
+
+
+class TestRenderMask:
+    def test_small_exact(self):
+        flat = np.array([0, 3, 12, 15])  # corners of a 4x4
+        art = render_mask(flat, (4, 4), width=8)
+        lines = art.splitlines()
+        assert lines[0] == "#  #"
+        assert lines[3] == "#  #"
+
+    def test_empty(self):
+        art = render_mask(np.array([]), (4, 4))
+        assert set(art.replace("\n", "")) <= {" "}
+
+    def test_downsampling_bounds_width(self):
+        flat = np.arange(256 * 256)
+        art = render_mask(flat, (256, 256), width=32)
+        assert max(len(line) for line in art.splitlines()) <= 32
+
+    def test_3d_rejected(self):
+        with pytest.raises(KondoError):
+            render_mask(np.array([0]), (4, 4, 4))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(KondoError):
+            render_mask(np.array([99]), (4, 4))
+
+
+class TestRenderComparison:
+    def test_legend_characters(self):
+        truth = np.array([0, 1])        # (0,0), (0,1)
+        carved = np.array([1, 2])       # (0,1), (0,2)
+        art = render_comparison(truth, carved, (2, 4), width=8)
+        top = art.splitlines()[0]
+        assert top[0] == "."   # truth only: missed
+        assert top[1] == "#"   # both: correct keep
+        assert top[2] == "+"   # carved only: over-kept
+        assert top[3] == " "   # neither
+
+    def test_legend_line_present(self):
+        art = render_comparison(np.array([0]), np.array([0]), (2, 2))
+        assert "legend" in art.splitlines()[-1]
+
+
+class TestRenderSlice:
+    def test_plane_extraction(self):
+        # Mark the full z=1 plane of a 3x3x3 cube.
+        idx = [(x, y, 1) for x in range(3) for y in range(3)]
+        flat = np.array([x * 9 + y * 3 + z for x, y, z in idx])
+        art = render_slice(flat, (3, 3, 3), axis=2, index=1, width=8)
+        assert art.splitlines() == ["###", "###", "###"]
+        empty = render_slice(flat, (3, 3, 3), axis=2, index=0, width=8)
+        assert set(empty.replace("\n", "")) <= {" "}
+
+    def test_validation(self):
+        with pytest.raises(KondoError):
+            render_slice(np.array([0]), (3, 3), axis=0, index=0)
+        with pytest.raises(KondoError):
+            render_slice(np.array([0]), (3, 3, 3), axis=5, index=0)
+        with pytest.raises(KondoError):
+            render_slice(np.array([0]), (3, 3, 3), axis=0, index=9)

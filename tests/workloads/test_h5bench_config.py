@@ -1,0 +1,105 @@
+"""Unit tests for h5bench-style configuration loading."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.workloads import get_program
+from repro.workloads.h5bench_config import (
+    BenchmarkPlan,
+    load_h5bench_config,
+    load_h5bench_config_file,
+)
+
+
+class TestLoadConfig:
+    def test_paper_defaults(self):
+        plan = load_h5bench_config("{}")
+        assert plan.mode == "sync"
+        assert plan.dims == (128, 128)
+        assert plan.blocksize == 2
+        assert plan.dtype == "f16"
+        # Paper: "data dimensions set to 128 by 128 (256 KB)".
+        assert plan.data_nbytes == 256 * 1024
+        assert plan.program_names == ("CS", "PRL2D", "LDC2D", "RDC2D")
+
+    def test_explicit_document(self):
+        doc = """{
+          "mode": "sync",
+          "dims": [64, 64],
+          "blocksize": 4,
+          "dtype": "f8",
+          "chunks": [16, 16],
+          "benchmarks": ["CS", "CS3"]
+        }"""
+        plan = load_h5bench_config(doc)
+        assert plan.dims == (64, 64)
+        assert plan.chunks == (16, 16)
+        assert plan.schema().chunks == (16, 16)
+        assert [p.name for p in plan.programs()] == ["CS", "CS3"]
+
+    def test_malformed_json(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config("{nope")
+
+    def test_non_object(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config("[1, 2]")
+
+    def test_bad_mode(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config('{"mode": "turbo"}')
+
+    def test_bad_dims(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config('{"dims": [0, 4]}')
+
+    def test_bad_blocksize(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config('{"blocksize": 0}')
+
+    def test_bad_dtype(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config('{"dtype": "f2"}')
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ProgramError):
+            load_h5bench_config('{"benchmarks": ["NOPE"]}')
+
+    def test_file_loading(self, tmp_path):
+        p = tmp_path / "config.json"
+        p.write_text('{"dims": [32, 32], "dtype": "f8"}')
+        plan = load_h5bench_config_file(str(p))
+        assert plan.dims == (32, 32)
+
+
+class TestDimsAdaptation:
+    def test_2d_plan_matches_2d_program(self):
+        plan = load_h5bench_config("{}")
+        assert plan.dims_for(get_program("CS")) == (128, 128)
+
+    def test_2d_plan_adapts_to_3d_program(self):
+        # The paper pairs 128x128 2-D with 64^3 3-D defaults.
+        plan = load_h5bench_config("{}")
+        assert plan.dims_for(get_program("PRL3D")) == (64, 64, 64)
+
+    def test_unadaptable_rejected(self):
+        plan = load_h5bench_config('{"dims": [16, 16, 16, 16]}')
+        with pytest.raises(ProgramError):
+            plan.dims_for(get_program("CS"))
+
+
+class TestPlanEndToEnd:
+    def test_plan_drives_kondo(self):
+        from repro.core import Kondo
+        from repro.fuzzing import FuzzConfig
+        from repro.metrics import accuracy
+
+        plan = load_h5bench_config(
+            '{"dims": [32, 32], "benchmarks": ["CS"], "dtype": "f8"}'
+        )
+        program = plan.programs()[0]
+        dims = plan.dims_for(program)
+        kondo = Kondo(program, dims, fuzz_config=FuzzConfig(max_iter=400))
+        result = kondo.analyze()
+        acc = accuracy(program.ground_truth_flat(dims), result.carved_flat)
+        assert acc.recall > 0.85

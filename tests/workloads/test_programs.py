@@ -1,0 +1,195 @@
+"""Program-suite tests: determinism, guards, and ground-truth validation.
+
+The critical property: every program's analytic ``ground_truth_mask`` must
+equal the brute-force union of ``access_indices`` over its whole parameter
+space (checked on small arrays, where BF enumeration is exact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    REAL_APPLICATIONS,
+    all_benchmarks,
+    default_dims,
+    get_program,
+)
+
+SMALL_DIMS = {2: (24, 24), 3: (16, 16, 16)}
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestGroundTruthAgainstBruteForce:
+    def test_analytic_gt_matches_bf(self, name):
+        prog = get_program(name)
+        dims = SMALL_DIMS[prog.ndim]
+        analytic = prog.ground_truth_flat(dims)
+        brute = prog.ground_truth_brute_force(dims)
+        assert np.array_equal(analytic, brute), (
+            f"{name}: analytic ground truth disagrees with brute force "
+            f"(analytic {analytic.size}, bf {brute.size})"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS + REAL_APPLICATIONS)
+class TestProgramContracts:
+    def test_determinism(self, name):
+        prog = get_program(name)
+        dims = SMALL_DIMS.get(prog.ndim, default_dims(prog))
+        if name in REAL_APPLICATIONS:
+            dims = default_dims(prog)
+        space = prog.parameter_space(dims)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            v = space.sample(rng)
+            a = prog.access_indices(v, dims)
+            b = prog.access_indices(v, dims)
+            assert np.array_equal(a, b)
+
+    def test_indices_within_bounds(self, name):
+        prog = get_program(name)
+        dims = default_dims(prog)
+        space = prog.parameter_space(dims)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            idx = prog.access_indices(space.sample(rng), dims)
+            if idx.size:
+                assert idx.min() >= 0
+                assert (idx < np.asarray(dims)).all()
+
+    def test_out_of_space_value_is_nonuseful(self, name):
+        prog = get_program(name)
+        dims = default_dims(prog)
+        bad = tuple(-1000 for _ in range(prog.ndim))
+        assert prog.access_indices(bad, dims).size == 0
+
+    def test_accesses_subset_of_ground_truth(self, name):
+        prog = get_program(name)
+        dims = SMALL_DIMS.get(prog.ndim, default_dims(prog))
+        if name in REAL_APPLICATIONS:
+            dims = default_dims(prog)
+        gt = set(prog.ground_truth_flat(dims).tolist())
+        space = prog.parameter_space(dims)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            flat = prog.access_flat(space.sample(rng), dims)
+            assert set(flat.tolist()) <= gt
+
+    def test_some_valuation_useful(self, name):
+        prog = get_program(name)
+        dims = default_dims(prog)
+        space = prog.parameter_space(dims)
+        rng = np.random.default_rng(3)
+        assert any(
+            prog.is_useful(space.sample(rng), dims) for _ in range(300)
+        )
+
+    def test_wrong_rank_dims_rejected(self, name):
+        prog = get_program(name)
+        with pytest.raises(ProgramError):
+            prog.check_dims((8,) * (prog.ndim + 1))
+
+    def test_run_replays_accesses(self, name):
+        prog = get_program(name)
+        dims = default_dims(prog)
+        space = prog.parameter_space(dims)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            v = space.sample(rng)
+            expected = prog.access_indices(v, dims)
+            if expected.size:
+                seen = []
+                n = prog.run(lambda i: seen.append(i) or 1.0, v, dims)
+                assert n == expected.shape[0]
+                assert sorted(seen) == sorted(map(tuple, expected.tolist()))
+                break
+        else:
+            pytest.fail("no useful valuation found")
+
+
+class TestProgramShapes:
+    def test_cs_is_lower_triangular(self):
+        prog = get_program("CS")
+        mask = prog.ground_truth_mask((24, 24))
+        # Fully above the band x <= y + 1 nothing is accessed.
+        assert not mask[10, 0]
+        assert mask[0, 0]
+        assert mask[5, 10]
+
+    def test_ldc_two_separated_components(self):
+        prog = get_program("LDC2D")
+        mask = prog.ground_truth_mask((128, 128))
+        assert mask[0, 0] and mask[127, 127]
+        assert not mask[64, 64]
+        assert not mask[0, 127] and not mask[127, 0]
+
+    def test_rdc_anti_diagonal_components(self):
+        prog = get_program("RDC2D")
+        mask = prog.ground_truth_mask((128, 128))
+        assert mask[127, 0] and mask[0, 127]
+        assert not mask[0, 0] and not mask[127, 127]
+        assert not mask[64, 64]
+
+    def test_prl_has_central_hole(self):
+        prog = get_program("PRL2D")
+        mask = prog.ground_truth_mask((128, 128))
+        assert not mask[64, 64]       # hole center
+        assert mask[64 + 20, 64]      # within the ring band
+        assert not mask[0, 0]         # outside the ring
+
+    def test_prl3d_hole_relatively_larger(self):
+        p2 = get_program("PRL2D")
+        p3 = get_program("PRL3D")
+        m2 = p2.ground_truth_mask((64, 64))
+        m3 = p3.ground_truth_mask((64, 64, 64))
+        # Hole fraction relative to the covered bounding box.
+        def hole_fraction(mask):
+            idx = np.argwhere(mask)
+            lo, hi = idx.min(axis=0), idx.max(axis=0)
+            box = mask[tuple(slice(a, b + 1) for a, b in zip(lo, hi))]
+            return 1.0 - box.mean()
+        assert hole_fraction(m3) > hole_fraction(m2)
+
+    def test_cs5_has_hole_cs1_does_not(self):
+        gt1 = get_program("CS1").ground_truth_flat((128, 128)).size
+        gt5 = get_program("CS5").ground_truth_flat((128, 128)).size
+        assert gt5 < gt1
+
+    def test_ard_reads_full_temporal_extent(self):
+        prog = get_program("ARD")
+        dims = default_dims(prog)
+        idx = prog.access_indices((3, 5, 17), dims)
+        assert idx.size
+        assert set(np.unique(idx[:, 2]).tolist()) == set(range(dims[2]))
+
+    def test_ard_t_parameter_does_not_change_accesses(self):
+        prog = get_program("ARD")
+        dims = default_dims(prog)
+        a = prog.access_indices((3, 5, 0), dims)
+        b = prog.access_indices((3, 5, 4095), dims)
+        assert np.array_equal(a, b)
+
+    def test_msi_reads_full_planes(self):
+        prog = get_program("MSI")
+        dims = default_dims(prog)
+        space = prog.parameter_space(dims)
+        s = int(space.ranges[0].lo)
+        idx = prog.access_indices((s, 0, 0), dims)
+        assert np.unique(idx[:, 0]).size == dims[0]
+        assert np.unique(idx[:, 1]).size == dims[1]
+        zs = np.unique(idx[:, 2])
+        assert zs.size == prog.window
+        assert zs.min() == s
+
+    def test_bloat_fraction_realapps_high(self):
+        # Table III: ~97% debloat for ARD, ~96% for MSI.
+        ard = get_program("ARD")
+        msi = get_program("MSI")
+        assert ard.bloat_fraction(default_dims(ard)) > 0.9
+        assert msi.bloat_fraction(default_dims(msi)) > 0.9
+
+    def test_eleven_benchmarks(self):
+        assert len(all_benchmarks()) == 11
+        assert len({p.name for p in all_benchmarks()}) == 11

@@ -1,0 +1,71 @@
+"""Unit tests for the program registry."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    DEFAULT_DIMS_2D,
+    DEFAULT_DIMS_3D,
+    EXTENSION_PROGRAMS,
+    MICRO_BENCHMARKS,
+    REAL_APPLICATIONS,
+    SYNTHETIC_PROGRAMS,
+    all_benchmarks,
+    default_dims,
+    get_program,
+    micro_benchmarks,
+    program_names,
+    real_applications,
+    synthetic_programs,
+)
+
+
+class TestRegistry:
+    def test_suites_disjoint_and_complete(self):
+        assert len(MICRO_BENCHMARKS) == 4
+        assert len(SYNTHETIC_PROGRAMS) == 7
+        assert set(MICRO_BENCHMARKS) | set(SYNTHETIC_PROGRAMS) == set(
+            ALL_BENCHMARKS
+        )
+        assert not set(MICRO_BENCHMARKS) & set(SYNTHETIC_PROGRAMS)
+        assert not set(ALL_BENCHMARKS) & set(REAL_APPLICATIONS)
+        assert not set(ALL_BENCHMARKS) & set(EXTENSION_PROGRAMS)
+
+    def test_unknown_program(self):
+        with pytest.raises(ProgramError) as exc:
+            get_program("NOPE")
+        assert "known" in str(exc.value)
+
+    def test_lookup_is_stable_instance(self):
+        assert get_program("CS") is get_program("CS")
+
+    def test_program_names_sorted(self):
+        names = program_names()
+        assert names == sorted(names)
+        assert "CS" in names and "VPIC" in names
+
+    def test_default_dims_by_rank(self):
+        assert default_dims(get_program("CS")) == DEFAULT_DIMS_2D
+        assert default_dims(get_program("PRL3D")) == DEFAULT_DIMS_3D
+
+    def test_default_dims_explicit_override(self):
+        # Real applications carry their own scaled default shapes.
+        assert default_dims(get_program("ARD")) == (64, 96, 128)
+        assert default_dims(get_program("MSI")) == (24, 24, 2048)
+
+    def test_suite_helpers(self):
+        assert [p.name for p in micro_benchmarks()] == list(MICRO_BENCHMARKS)
+        assert [p.name for p in synthetic_programs()] == list(
+            SYNTHETIC_PROGRAMS
+        )
+        assert len(all_benchmarks()) == 11
+        assert [p.name for p in real_applications()] == list(
+            REAL_APPLICATIONS
+        )
+
+    def test_every_program_has_description(self):
+        for name in program_names():
+            prog = get_program(name)
+            assert prog.description
+            assert prog.ndim in (2, 3)

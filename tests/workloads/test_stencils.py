@@ -1,0 +1,83 @@
+"""Unit tests for stencil shapes (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.workloads import Stencil, block_with_hole, cross, solid_block
+
+
+class TestSolidBlock:
+    def test_2x2_in_2d(self):
+        s = solid_block(2, extent=2)
+        assert s.size == 4
+        assert set(s.offsets) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_2x2x2_in_3d(self):
+        assert solid_block(3, extent=2).size == 8
+
+    def test_extent_validation(self):
+        with pytest.raises(ProgramError):
+            solid_block(2, extent=0)
+
+
+class TestBlockWithHole:
+    def test_hole_removed(self):
+        s = block_with_hole(2, extent=4, hole=2)
+        assert s.size == 16 - 4
+        assert (1, 1) not in s.offsets
+        assert (2, 2) not in s.offsets
+        assert (0, 0) in s.offsets
+
+    def test_hole_validation(self):
+        with pytest.raises(ProgramError):
+            block_with_hole(2, extent=4, hole=4)
+        with pytest.raises(ProgramError):
+            block_with_hole(2, extent=4, hole=0)
+
+    def test_3d_hole(self):
+        s = block_with_hole(3, extent=4, hole=2)
+        assert s.size == 64 - 8
+
+
+class TestCross:
+    def test_radius_1(self):
+        s = cross(2, radius=1)
+        assert set(s.offsets) == {(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_radius_2_size(self):
+        assert cross(2, radius=2).size == 1 + 2 * 2 * 2
+        assert cross(3, radius=1).size == 7
+
+
+class TestApply:
+    def test_apply_clips_bounds(self):
+        s = solid_block(2, extent=2)
+        cells = s.apply(np.array([[9, 9]]), (10, 10))
+        assert {tuple(c) for c in cells} == {(9, 9)}
+
+    def test_apply_dedupes_overlap(self):
+        s = solid_block(2, extent=2)
+        cells = s.apply(np.array([[0, 0], [1, 1]]), (10, 10))
+        assert cells.shape[0] == 7  # 4 + 4 - 1 shared
+
+    def test_apply_empty_anchors(self):
+        s = solid_block(2)
+        assert s.apply(np.empty((0, 2)), (10, 10)).shape == (0, 2)
+
+    def test_negative_offsets_clip(self):
+        s = cross(2, radius=1)
+        cells = s.apply(np.array([[0, 0]]), (10, 10))
+        assert {tuple(c) for c in cells} == {(0, 0), (1, 0), (0, 1)}
+
+    def test_mixed_rank_rejected(self):
+        with pytest.raises(ProgramError):
+            Stencil("bad", ((0, 0), (0, 0, 0)))
+
+    def test_empty_stencil_rejected(self):
+        with pytest.raises(ProgramError):
+            Stencil("empty", ())
+
+    def test_max_extent(self):
+        assert solid_block(2, 3).max_extent() == (2, 2)
+        assert cross(2, 2).max_extent() == (2, 2)

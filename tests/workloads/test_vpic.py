@@ -1,0 +1,71 @@
+"""Unit tests for the VPIC threshold-subsetting extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import get_program
+from repro.workloads.registry import ALL_BENCHMARKS, EXTENSION_PROGRAMS
+from repro.workloads.vpic import synthetic_energy_field
+
+
+class TestEnergyField:
+    def test_deterministic(self):
+        a = synthetic_energy_field((32, 32))
+        b = synthetic_energy_field((32, 32))
+        assert np.array_equal(a, b)
+
+    def test_normalized(self):
+        f = synthetic_energy_field((48, 48))
+        assert f.max() == pytest.approx(1.0)
+        assert f.min() >= 0.0
+
+    def test_multiple_blobs(self):
+        """Super-level sets near the top should be several components."""
+        f = synthetic_energy_field((96, 96))
+        mask = f >= 0.8
+        import scipy.ndimage as ndi
+
+        _, n = ndi.label(mask)
+        assert n >= 2
+
+
+class TestVPICProgram:
+    def test_registered_as_extension(self):
+        assert "VPIC" in EXTENSION_PROGRAMS
+        assert "VPIC" not in ALL_BENCHMARKS  # not part of Table II
+
+    def test_gt_matches_bruteforce(self):
+        prog = get_program("VPIC")
+        dims = (32, 32)
+        assert np.array_equal(
+            prog.ground_truth_flat(dims),
+            prog.ground_truth_brute_force(dims),
+        )
+
+    def test_monotone_in_threshold(self):
+        """Higher thresholds access subsets of lower thresholds' cells."""
+        prog = get_program("VPIC")
+        dims = (64, 64)
+        low = {tuple(r) for r in prog.access_indices((700,), dims)}
+        high = {tuple(r) for r in prog.access_indices((950,), dims)}
+        assert high < low
+
+    def test_out_of_range_threshold_nonuseful(self):
+        prog = get_program("VPIC")
+        assert prog.access_indices((100,), (64, 64)).size == 0
+        assert prog.access_indices((999,), (64, 64)).size == 0
+
+    def test_kondo_carves_blobs(self):
+        from repro.core import Kondo
+        from repro.fuzzing import FuzzConfig
+        from repro.metrics import accuracy
+
+        prog = get_program("VPIC")
+        dims = (96, 96)
+        kondo = Kondo(prog, dims, fuzz_config=FuzzConfig(rng_seed=0))
+        res = kondo.analyze()
+        acc = accuracy(prog.ground_truth_flat(dims), res.carved_flat)
+        assert acc.recall > 0.95
+        assert acc.precision > 0.8
+        # Disjoint energy blobs carve into more than one hull.
+        assert res.carve.n_hulls >= 2
