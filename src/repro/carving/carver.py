@@ -22,7 +22,22 @@ from repro.errors import GeometryError
 from repro.fuzzing.config import CarveConfig
 from repro.geometry.hull import Hull
 from repro.geometry.lattice import lattice_boundary_points
-from repro.geometry.raster import integer_points_in_hulls
+from repro.geometry.raster import flat_indices_in_hulls, integer_points_in_hulls
+from repro.perf.bitmap import union_flat
+
+
+def observed_flat_indices(points: np.ndarray,
+                          dims: Sequence[int]) -> np.ndarray:
+    """Flat offsets of the rounded observed points, clipped into ``dims``.
+
+    Observed points sit on (or numerically next to) lattice points, but a
+    boundary index like ``dims - 1 + 1e-9`` rounds out of the window and
+    the flat-index encode would reject it — the carved subset must keep
+    the nearest in-window index instead of crashing on it.
+    """
+    dims_arr = np.asarray(tuple(dims), dtype=np.int64)
+    rounded = np.round(np.asarray(points, dtype=np.float64)).astype(np.int64)
+    return flatten_many(np.clip(rounded, 0, dims_arr - 1), dims)
 
 
 @dataclass
@@ -94,16 +109,30 @@ class Carver:
             )
         initial = self.build_cell_hulls(points)
         merged, stats = merge_hulls(initial, self.config)
-        raster = integer_points_in_hulls(
-            merged, dims=self.dims, tol=self.config.raster_tol
-        )
-        carved_flat = (
-            flatten_many(raster, self.dims)
-            if raster.size
-            else np.empty(0, dtype=np.int64)
-        )
-        observed_flat = flatten_many(np.round(points).astype(np.int64), self.dims)
-        flat = np.union1d(carved_flat, observed_flat)
+        observed_flat = observed_flat_indices(points, self.dims)
+        perf = self.config.perf
+        if perf.bitmap_raster:
+            # Fast path: stay in flat-offset space end to end — hull
+            # rasterization and the union with the observed points both go
+            # through the bitmap, no (n, d) point stacking or re-sort.
+            carved_flat = flat_indices_in_hulls(
+                merged, self.dims, tol=self.config.raster_tol, perf=perf
+            )
+            flat = union_flat(
+                [carved_flat, observed_flat],
+                int(np.prod(self.dims)),
+                perf.bitmap_max_cells,
+            )
+        else:
+            raster = integer_points_in_hulls(
+                merged, dims=self.dims, tol=self.config.raster_tol, perf=perf
+            )
+            carved_flat = (
+                flatten_many(raster, self.dims)
+                if raster.size
+                else np.empty(0, dtype=np.int64)
+            )
+            flat = np.union1d(carved_flat, observed_flat)
         return CarveResult(
             hulls=merged,
             flat_indices=flat.astype(np.int64),

@@ -18,12 +18,33 @@ The merge itself is the union-of-vertices hull (paper: "equivalent to
 computing a hull with all respective points on which the original hulls
 were computed" [22]) — which makes the procedure output-sensitive, unlike
 classical divide-and-conquer hull merging.
+
+Two engines implement the same fixed point:
+
+* ``scan`` — the legacy loop: every pass re-evaluates CLOSE over all
+  O(n^2) hull pairs until a pass makes no merge.
+* ``grid`` — the fast engine: hulls are bucketed by bounding box into a
+  uniform spatial grid whose cell edge is the CLOSE reach limit
+  ``max(center_d_thresh, bound_d_thresh)``, so each hull only ever tests
+  the hulls in its 3^d cell neighborhood; pairs once evaluated as
+  not-CLOSE are cached and never re-evaluated (hulls are immutable, so a
+  rejected pair stays rejected), which removes the per-pass O(n^2)
+  rescans entirely.
+
+The grid engine replays the *exact* pair-scan order of the legacy loop —
+it only skips pairs whose CLOSE value is already known to be False
+(bounding boxes further apart than the reach limit on some axis, or a
+cached rejection) — so both engines produce the identical merge sequence,
+identical final hull list, and identical :class:`MergeStats` counters.
+The equivalence is asserted property-style in
+``tests/carving/test_merge_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -59,19 +80,43 @@ class MergeStats:
     final_hulls: int
     merges: int
     passes: int
+    #: Which engine produced the result ("scan" or "grid").
+    engine: str = "scan"
+    #: How many exact CLOSE evaluations the run performed (diagnostics;
+    #: the grid engine's whole point is keeping this near-linear).
+    close_calls: int = 0
 
 
-def merge_hulls(hulls: List[Hull], config: CarveConfig
-                ) -> Tuple[List[Hull], MergeStats]:
+def merge_hulls(
+    hulls: List[Hull],
+    config: CarveConfig,
+    engine: Optional[str] = None,
+) -> Tuple[List[Hull], MergeStats]:
     """Iteratively merge CLOSE hulls until a fixed point (Alg 2 lines 6-11).
 
     Each successful merge removes two hulls and inserts their union hull,
     so the loop terminates after at most ``len(hulls) - 1`` merges.
+
+    Args:
+        engine: "grid" or "scan"; defaults to ``config.perf.grid_merge``.
+            Both engines return the identical hull list (same merge
+            sequence — see the module docstring).
     """
+    if engine is None:
+        engine = "grid" if config.perf.grid_merge else "scan"
+    if engine == "grid":
+        return merge_hulls_grid(hulls, config)
+    return merge_hulls_scan(hulls, config)
+
+
+def merge_hulls_scan(hulls: List[Hull], config: CarveConfig
+                     ) -> Tuple[List[Hull], MergeStats]:
+    """The legacy engine: full O(n^2) pair rescans every pass."""
     work = list(hulls)
     initial = len(work)
     merges = 0
     passes = 0
+    close_calls = 0
     changed = True
     while changed:
         changed = False
@@ -80,6 +125,7 @@ def merge_hulls(hulls: List[Hull], config: CarveConfig
         while i < len(work):
             j = i + 1
             while j < len(work):
+                close_calls += 1
                 if close(work[i], work[j], config):
                     merged = work[i].merge(work[j])
                     # Remove j first (higher index) to keep i valid.
@@ -98,4 +144,157 @@ def merge_hulls(hulls: List[Hull], config: CarveConfig
         final_hulls=len(work),
         merges=merges,
         passes=passes,
+        engine="scan",
+        close_calls=close_calls,
+    )
+
+
+@dataclass
+class _SpatialGrid:
+    """Uniform grid over hull bounding boxes.
+
+    Cell edge = the CLOSE reach limit, so any two hulls whose bounding
+    boxes are within the limit on every axis share or neighbor a cell.
+    Hulls whose box would span more than ``max_cells_per_hull`` grid
+    cells (large merged hulls over fine grids) go into a catch-all ``big``
+    bucket that every query includes — correctness never depends on a
+    hull fitting the grid.
+    """
+
+    cell: float
+    max_cells_per_hull: int = 2048
+    cells: Dict[Tuple[int, ...], Set[int]] = field(default_factory=dict)
+    where: Dict[int, Optional[List[Tuple[int, ...]]]] = field(
+        default_factory=dict
+    )
+    big: Set[int] = field(default_factory=set)
+
+    def _cell_range(self, hull: Hull) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = hull.bounding_box()
+        return (
+            np.floor(lo / self.cell).astype(np.int64),
+            np.floor(hi / self.cell).astype(np.int64),
+        )
+
+    @staticmethod
+    def _keys(lo_c: np.ndarray, hi_c: np.ndarray
+              ) -> Iterator[Tuple[int, ...]]:
+        return itertools.product(
+            *(range(int(a), int(b) + 1) for a, b in zip(lo_c, hi_c))
+        )
+
+    def insert(self, hid: int, hull: Hull) -> None:
+        lo_c, hi_c = self._cell_range(hull)
+        span = int(np.prod(hi_c - lo_c + 1))
+        if span > self.max_cells_per_hull:
+            self.big.add(hid)
+            self.where[hid] = None
+            return
+        keys = list(self._keys(lo_c, hi_c))
+        for key in keys:
+            self.cells.setdefault(key, set()).add(hid)
+        self.where[hid] = keys
+
+    def remove(self, hid: int) -> None:
+        keys = self.where.pop(hid)
+        if keys is None:
+            self.big.discard(hid)
+            return
+        for key in keys:
+            bucket = self.cells[key]
+            bucket.discard(hid)
+            if not bucket:
+                del self.cells[key]
+
+    def neighbors(self, hull: Hull) -> Set[int]:
+        """Ids of hulls whose box could be within one reach limit.
+
+        A strict superset of every CLOSE partner: outside the 3^d cell
+        neighborhood some axis gap exceeds the cell edge (= reach limit),
+        which forces the CLOSE bounding-box reject.
+        """
+        lo_c, hi_c = self._cell_range(hull)
+        lo_c -= 1
+        hi_c += 1
+        out = set(self.big)
+        span = int(np.prod(hi_c - lo_c + 1))
+        if span > len(self.cells):
+            # Query box covers more cells than are occupied: walk the
+            # occupied cells instead.
+            for key, ids in self.cells.items():
+                if all(a <= k <= b for k, a, b in zip(key, lo_c, hi_c)):
+                    out |= ids
+            return out
+        for key in self._keys(lo_c, hi_c):
+            ids = self.cells.get(key)
+            if ids:
+                out |= ids
+        return out
+
+
+def merge_hulls_grid(hulls: List[Hull], config: CarveConfig
+                     ) -> Tuple[List[Hull], MergeStats]:
+    """The fast engine: grid-pruned candidates + rejected-pair caching.
+
+    Replays the scan engine's exact merge sequence while skipping only
+    pair evaluations that are provably False (see module docstring).
+    """
+    initial = len(hulls)
+    limit = max(config.center_d_thresh, config.bound_d_thresh)
+    grid = _SpatialGrid(cell=max(limit, 1.0))
+    work: List[Tuple[int, Hull]] = list(enumerate(hulls))
+    for hid, hull in work:
+        grid.insert(hid, hull)
+    next_id = len(hulls)
+    # CLOSE is deterministic and hulls are immutable, so a pair evaluated
+    # to False once can never merge later — cache and never re-test.
+    rejected: Set[Tuple[int, int]] = set()
+    merges = 0
+    passes = 0
+    close_calls = 0
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        i = 0
+        while i < len(work):
+            hid_i, h_i = work[i]
+            cand = grid.neighbors(h_i)
+            j = i + 1
+            while j < len(work):
+                hid_j, h_j = work[j]
+                if hid_j in cand:
+                    pair = (
+                        (hid_i, hid_j) if hid_i < hid_j else (hid_j, hid_i)
+                    )
+                    if pair not in rejected:
+                        close_calls += 1
+                        if close(h_i, h_j, config):
+                            merged = h_i.merge(h_j)
+                            grid.remove(hid_i)
+                            grid.remove(hid_j)
+                            work.pop(j)
+                            work.pop(i)
+                            mid = next_id
+                            next_id += 1
+                            grid.insert(mid, merged)
+                            work.append((mid, merged))
+                            merges += 1
+                            changed = True
+                            # Restart the inner scan for the (moved) hull
+                            # at i, exactly like the scan engine.
+                            hid_i, h_i = work[i]
+                            cand = grid.neighbors(h_i)
+                            j = i + 1
+                            continue
+                        rejected.add(pair)
+                j += 1
+            i += 1
+    return [hull for _hid, hull in work], MergeStats(
+        initial_hulls=initial,
+        final_hulls=len(work),
+        merges=merges,
+        passes=passes,
+        engine="grid",
+        close_calls=close_calls,
     )

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.arraymodel.layout import flatten_many, unflatten_many
-from repro.carving.carver import CarveResult
+from repro.carving.carver import CarveResult, observed_flat_indices
 from repro.carving.merge import MergeStats
 from repro.errors import GeometryError
 from repro.fuzzing.config import CarveConfig
@@ -53,7 +53,7 @@ class SimpleConvexCarver:
             if raster.size
             else np.empty(0, dtype=np.int64)
         )
-        observed_flat = flatten_many(np.round(points).astype(np.int64), self.dims)
+        observed_flat = observed_flat_indices(points, self.dims)
         flat = np.union1d(carved_flat, observed_flat)
         return CarveResult(
             hulls=[hull],

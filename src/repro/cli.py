@@ -27,6 +27,7 @@ from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile, KondoRu
 from repro.core import Kondo
 from repro.errors import KondoError
 from repro.fuzzing import FuzzConfig
+from repro.perf.config import PerfConfig
 from repro.metrics import accuracy
 from repro.workloads import default_dims, get_program, program_names
 
@@ -48,10 +49,12 @@ def cmd_programs(_args) -> int:
 def cmd_analyze(args) -> int:
     program = get_program(args.program)
     dims = _parse_dims(args.dims, program)
+    perf = PerfConfig(workers=args.workers) if args.workers else None
     kondo = Kondo(
         program, dims,
         fuzz_config=FuzzConfig(rng_seed=args.seed),
         carver=args.carver,
+        perf=perf,
     )
     result = kondo.analyze(time_budget_s=args.budget)
     print(result.summary())
@@ -184,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, help="time budget in seconds")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--carver", choices=("merge", "simple"), default="merge")
+    p.add_argument("--workers", type=int, default=0,
+                   help="debloat-test pool size (0 = serial); results are "
+                        "seed-for-seed identical either way")
     p.add_argument("--score", action="store_true",
                    help="also report precision/recall vs ground truth")
     p.add_argument("--save", help="persist the analysis artifact (.npz)")

@@ -32,6 +32,8 @@ from repro.core.debloat_test import DebloatTest
 from repro.errors import ProgramError
 from repro.fuzzing.config import CarveConfig, FuzzConfig
 from repro.fuzzing.schedule import FuzzCampaignResult, FuzzSchedule
+from repro.perf.config import PerfConfig
+from repro.perf.executor import make_executor
 from repro.workloads.base import Program
 
 #: Reference extent the paper's Figure 5 configuration was tuned for.
@@ -86,6 +88,10 @@ class Kondo:
             across file sizes).
         carver: "merge" for Kondo's bottom-up merging carver, "simple" for
             the SC baseline carver.
+        perf: convenience override — when given, replaces the ``perf``
+            layer of *both* configs (executor pool, grid merge, bitmap
+            raster).  Every setting is output-equivalent to the serial
+            defaults, so this only changes wall-clock, never results.
     """
 
     def __init__(
@@ -96,11 +102,17 @@ class Kondo:
         carve_config: Optional[CarveConfig] = None,
         auto_scale: bool = True,
         carver: str = "merge",
+        perf: Optional[PerfConfig] = None,
     ):
         self.program = program
         self.dims = program.check_dims(dims)
         fuzz_config = fuzz_config if fuzz_config is not None else FuzzConfig()
         carve_config = carve_config if carve_config is not None else CarveConfig()
+        if perf is not None:
+            from dataclasses import replace
+
+            fuzz_config = replace(fuzz_config, perf=perf)
+            carve_config = replace(carve_config, perf=perf)
         if auto_scale:
             space = program.parameter_space(self.dims)
             fuzz_config = fuzz_config.scaled_to(
@@ -145,7 +157,9 @@ class Kondo:
         test = test if test is not None else self.make_test()
         space = self.program.parameter_space(self.dims)
         schedule = FuzzSchedule(test, space, self.fuzz_config, test.n_flat)
-        fuzz = schedule.run(time_budget_s=time_budget_s)
+        with make_executor(self.fuzz_config.perf) as executor:
+            fuzz = schedule.run(time_budget_s=time_budget_s,
+                                executor=executor)
         carve = self.carver.carve_flat(fuzz.flat_indices)
         return KondoResult(
             program=self.program.name,

@@ -56,6 +56,10 @@ class FuzzConfigError(KondoError):
     """A fuzzing/carving configuration value is out of range."""
 
 
+class PerfConfigError(KondoError):
+    """A performance-layer configuration value is out of range."""
+
+
 class ProgramError(KondoError):
     """A workload program was invoked with an invalid parameter value."""
 

@@ -12,10 +12,11 @@ Defaults reproduce the configuration the paper evaluates with:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 from repro.errors import FuzzConfigError
+from repro.perf.config import PerfConfig
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,10 @@ class FuzzConfig:
     enable_restart: bool = True
     #: RNG seed for reproducible campaigns.
     rng_seed: int = 0
+    #: Performance layer: campaign executor pool size and batching.  The
+    #: default is the exact serial Algorithm-1 loop; any parallel setting
+    #: is seed-for-seed reproducible against it.
+    perf: PerfConfig = field(default_factory=PerfConfig)
 
     def __post_init__(self):
         if self.max_iter <= 0:
@@ -111,6 +116,10 @@ class CarveConfig:
     close_mode: str = "or"
     #: Containment slack when rasterizing hulls back to integer indices.
     raster_tol: float = 0.5
+    #: Performance layer: merge engine (spatial grid vs legacy rescans)
+    #: and raster mode (flat-index bitmap vs ``np.unique`` point union).
+    #: Both fast paths produce bit-identical carve output.
+    perf: PerfConfig = field(default_factory=PerfConfig)
 
     def __post_init__(self):
         if self.cell_size <= 0:

@@ -25,6 +25,7 @@ from repro.fuzzing.clusters import ClusterSet
 from repro.fuzzing.config import FuzzConfig
 from repro.fuzzing.mutation import greedy_mutations, uniform_mutations
 from repro.fuzzing.parameters import ParameterSpace, Seed
+from repro.perf.executor import CampaignExecutor
 
 #: A debloat test: parameter value -> flat offset indices accessed.
 DebloatTestFn = Callable[[Tuple[float, ...]], np.ndarray]
@@ -101,6 +102,9 @@ class FuzzSchedule:
         self.eps = config.eps
         self.itr = 0
         self.new_itr = 0  # iterations since the last new offset
+        # Batched execution: (v, I_v) results fetched ahead of the serial
+        # loop, aligned with the queue front.  See ``_prefetch``.
+        self._prefetched: deque = deque()
 
     # -- Alg 1 subroutines ---------------------------------------------------
 
@@ -112,6 +116,7 @@ class FuzzSchedule:
         uniformly at random from the whole input space Theta."
         """
         self.queue.clear()
+        self._prefetched.clear()
         wanted = self.config.n_initial
         attempts = 0
         while wanted > 0 and attempts < 50 * self.config.n_initial:
@@ -129,6 +134,16 @@ class FuzzSchedule:
     def evaluate_seed(self, v: Tuple[float, ...]) -> Seed:
         """Run the debloat test on ``v`` and fold ``I_v`` into ``IS``."""
         flat = np.asarray(self.test(v), dtype=np.int64).reshape(-1)
+        return self._absorb(v, flat)
+
+    def _absorb(self, v: Tuple[float, ...], flat: np.ndarray) -> Seed:
+        """Fold an already-computed ``I_v`` into ``IS`` (Alg 1 lines 6-9).
+
+        Split out of :meth:`evaluate_seed` so the batched executor path
+        can run the debloat tests ahead of time and replay the absorption
+        serially — the absorption order (and thus every RNG draw, cluster
+        update, and trace sample) is identical either way.
+        """
         seed = Seed(v=v, iteration=self.itr)
         if flat.size:
             fresh = ~self.bitmap[flat]
@@ -171,16 +186,52 @@ class FuzzSchedule:
             return "time_budget"
         return None
 
+    def _prefetch(self, first: Tuple[float, ...],
+                  executor: CampaignExecutor) -> None:
+        """Evaluate ``first`` plus upcoming queue entries on the pool.
+
+        The batch never crosses a restart boundary: restarts fire at
+        deterministic iteration multiples and wipe the queue, so any work
+        prefetched past the boundary would be discarded state.  Within the
+        batch the queue front is stable — mutations only append — so the
+        prefetched results stay aligned with the next pops.  Debloat tests
+        are pure reads of the program under audit (the paper's determinism
+        assumption, Definition 2), which makes concurrent evaluation safe
+        and the absorbed result sequence identical to the serial loop; the
+        only observable difference is that a stop mid-batch may leave a
+        few speculative test executions unabsorbed (diagnostic counters on
+        the test may over-count).
+        """
+        cfg = self.config
+        limit = min(executor.batch_size, 1 + len(self.queue))
+        if cfg.enable_restart:
+            next_restart = (self.itr // cfg.restart + 1) * cfg.restart
+            limit = min(limit, next_restart - self.itr)
+        items = [first] + [self.queue[k] for k in range(limit - 1)]
+        for v, flat in zip(items, executor.map(self.test, items)):
+            self._prefetched.append(
+                (v, np.asarray(flat, dtype=np.int64).reshape(-1))
+            )
+
     # -- the main loop ---------------------------------------------------------
 
-    def run(self, time_budget_s: Optional[float] = None) -> FuzzCampaignResult:
+    def run(
+        self,
+        time_budget_s: Optional[float] = None,
+        executor: Optional[CampaignExecutor] = None,
+    ) -> FuzzCampaignResult:
         """Execute the fuzz schedule to completion.
 
         Args:
             time_budget_s: optional wall-clock cap (the paper's fixed time
                 budgets in Section V-C), checked between iterations.
+            executor: optional campaign executor; when parallel, debloat
+                tests are evaluated in batches on its pool while the
+                schedule state machine itself stays serial, so the result
+                is seed-for-seed identical to ``executor=None``.
         """
         cfg = self.config
+        parallel = executor is not None and executor.parallel
         start = time.perf_counter()
         deadline = start + time_budget_s if time_budget_s is not None else None
         trace: List[Tuple[int, float, int]] = []
@@ -200,7 +251,14 @@ class FuzzSchedule:
                 stop_reason = "exhausted"
                 break
             v = self.queue.popleft()
-            seed = self.evaluate_seed(v)
+            if parallel and not self._prefetched:
+                self._prefetch(v, executor)
+            if self._prefetched:
+                pv, flat = self._prefetched.popleft()
+                assert pv == v, "prefetch misaligned with queue"
+                seed = self._absorb(v, flat)
+            else:
+                seed = self.evaluate_seed(v)
             if seed.n_new_offsets > 0:
                 self.new_itr = 0
                 n_offsets += seed.n_new_offsets
@@ -234,6 +292,9 @@ def run_fuzz_schedule(
     config: FuzzConfig,
     n_flat: int,
     time_budget_s: Optional[float] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> FuzzCampaignResult:
     """One-shot convenience wrapper around :class:`FuzzSchedule`."""
-    return FuzzSchedule(test, space, config, n_flat).run(time_budget_s)
+    return FuzzSchedule(test, space, config, n_flat).run(
+        time_budget_s, executor=executor
+    )

@@ -15,6 +15,7 @@ handles every rank:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Tuple
 
 import numpy as np
@@ -148,9 +149,13 @@ class Hull:
         """Ambient dimension."""
         return self.vertices.shape[1]
 
-    @property
+    @cached_property
     def centroid(self) -> np.ndarray:
-        """Centroid of the hull vertices — the paper's "hull center"."""
+        """Centroid of the hull vertices — the paper's "hull center".
+
+        Cached: the merge loop's CLOSE predicate evaluates it O(n) times
+        per hull, and ``Hull`` is immutable.
+        """
         return self.vertices.mean(axis=0)
 
     @property
@@ -163,9 +168,13 @@ class Hull:
         """True when the hull spans fewer dimensions than the ambient space."""
         return self.rank < self.ndim
 
-    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Componentwise (min, max) corners of the hull vertices."""
+    @cached_property
+    def _bbox(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Componentwise (min, max) corners of the hull vertices (cached)."""
+        return self._bbox
 
     # -- containment -----------------------------------------------------------
 

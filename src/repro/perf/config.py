@@ -1,0 +1,81 @@
+"""Performance-layer configuration.
+
+The perf layer accelerates the three serial hot loops of the pipeline —
+the fuzz campaign, the bottom-up hull merge, and rasterization — without
+changing any output: every fast path is bit-identical to the serial /
+legacy path it replaces.  :class:`PerfConfig` is the single knob block,
+carried by both :class:`~repro.fuzzing.config.FuzzConfig` (executor
+settings) and :class:`~repro.fuzzing.config.CarveConfig` (merge engine
+and raster mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PerfConfigError
+
+#: Largest flat offset space (in elements) for which rasterization and
+#: deduplication use a dense ``np.bool_`` bitmap.  Beyond it the perf
+#: layer falls back to sorted-int64-key unions, which need no allocation
+#: proportional to the array volume.  2**26 bools = 64 MiB.
+DEFAULT_BITMAP_MAX_CELLS = 1 << 26
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Tuning knobs for the pipeline's performance layer.
+
+    Attributes:
+        workers: campaign executor pool size.  ``0`` or ``1`` keeps the
+            exact serial Algorithm-1 loop; ``>= 2`` evaluates debloat
+            tests in prefetched batches on a pool while replaying their
+            results in the original order (seed-for-seed reproducible).
+        backend: pool flavor, ``"thread"`` or ``"process"``.  Threads are
+            the default — debloat tests are numpy-heavy and the results
+            need no pickling.
+        batch_size: how many queued parameter values the schedule
+            proposes to the executor per round.  Batches never cross a
+            random-restart boundary, which is what keeps the discovery
+            trace identical to the serial schedule.
+        grid_merge: use the spatial-grid merge engine (same fixed point
+            and identical hull list as the legacy O(n^2)-rescan loop).
+        bitmap_raster: rasterize hull unions through a flat-index bitmap
+            instead of ``np.unique`` over row-stacked points.
+        bitmap_max_cells: dense-bitmap size cutoff (elements); larger
+            offset spaces use sorted-key unions instead.
+    """
+
+    workers: int = 0
+    backend: str = "thread"
+    batch_size: int = 32
+    grid_merge: bool = True
+    bitmap_raster: bool = True
+    bitmap_max_cells: int = DEFAULT_BITMAP_MAX_CELLS
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise PerfConfigError(f"workers must be >= 0, got {self.workers}")
+        if self.backend not in ("thread", "process"):
+            raise PerfConfigError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.batch_size < 1:
+            raise PerfConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.bitmap_max_cells < 1:
+            raise PerfConfigError(
+                f"bitmap_max_cells must be >= 1, got {self.bitmap_max_cells}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether the campaign executor should use a pool at all."""
+        return self.workers >= 2
+
+
+#: Serial / legacy behaviour everywhere — the exact seed-state pipeline.
+SERIAL_PERF_CONFIG = PerfConfig(
+    workers=0, grid_merge=False, bitmap_raster=False
+)

@@ -1,0 +1,103 @@
+"""The campaign executor facade.
+
+Debloat tests are pure — a parameter value maps to the same offset set on
+every run (the paper's determinism assumption, Section III) — so a batch
+of queued values can be evaluated concurrently and the results replayed
+in queue order without perturbing Algorithm 1 at all.  This module wraps
+``concurrent.futures`` behind a small facade so the schedule never deals
+with pools directly, and so ``workers <= 1`` degrades to a plain ordered
+``map`` with zero overhead (the exact serial semantics).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.perf.config import PerfConfig
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class CampaignExecutor:
+    """Ordered batch evaluator for pure test functions.
+
+    Args:
+        config: perf configuration; ``config.workers`` sizes the pool and
+            ``config.backend`` picks threads vs processes.  With fewer
+            than two workers no pool is created and :meth:`map` runs the
+            calls inline, in order.
+
+    The executor is reusable across batches (the pool is created lazily
+    and kept alive) and is a context manager::
+
+        with make_executor(PerfConfig(workers=4)) as ex:
+            results = ex.map(test, values)
+    """
+
+    def __init__(self, config: Optional[PerfConfig] = None):
+        self.config = config if config is not None else PerfConfig()
+        self._pool: Optional[Executor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def parallel(self) -> bool:
+        return self.config.parallel
+
+    @property
+    def batch_size(self) -> int:
+        return self.config.batch_size
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.config.backend == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="kondo-campaign",
+                )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- evaluation --------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Evaluate ``fn`` over ``items``, returning results in order.
+
+        The items are independent; any exception from a call propagates
+        after the whole batch has been collected or cancelled by pool
+        shutdown semantics — callers treat a failing debloat test as
+        fatal either way.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self.parallel:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+
+def make_executor(config: Optional[PerfConfig] = None) -> CampaignExecutor:
+    """Build the campaign executor for a perf configuration."""
+    return CampaignExecutor(config)

@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.fuzzing.parameters import ParameterSpace
+from repro.perf.bitmap import unique_lattice_points
 from repro.workloads.base import Program
 
 
@@ -96,7 +97,10 @@ class PeripheralRing(Program):
         cells = np.concatenate(parts, axis=0)
         dims_arr = np.asarray(dims, dtype=np.int64)
         keep = ((cells >= 0) & (cells < dims_arr)).all(axis=1)
-        return np.unique(cells[keep], axis=0)
+        # Hot path of every debloat test: flat-key dedup instead of the
+        # void-dtype lexicographic sort of ``np.unique(..., axis=0)``
+        # (bit-identical output, ~10x cheaper on dense 3-D shapes).
+        return unique_lattice_points(cells[keep], dims)
 
     def ground_truth_mask(self, dims: Sequence[int]) -> np.ndarray:
         dims = self.check_dims(dims)

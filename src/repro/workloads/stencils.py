@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ProgramError
+from repro.perf.bitmap import unique_lattice_points
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,10 @@ class Stencil:
         )
         dims_arr = np.asarray(dims, dtype=np.int64)
         keep = ((cells >= 0) & (cells < dims_arr)).all(axis=1)
-        return np.unique(cells[keep], axis=0)
+        # Hot path of every debloat test: flat-key dedup instead of the
+        # void-dtype lexicographic sort of ``np.unique(..., axis=0)``
+        # (bit-identical output, ~10x cheaper on dense 3-D shapes).
+        return unique_lattice_points(cells[keep], dims)
 
 
 def solid_block(ndim: int, extent: int = 2) -> Stencil:

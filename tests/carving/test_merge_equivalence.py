@@ -1,0 +1,113 @@
+"""Property test: the grid merge engine is equivalent to the legacy scan.
+
+The acceptance bar for the perf layer (satellite of the fast-path PR):
+on arbitrary point clouds the two engines must reach the same fixed
+point — the same hull count, the same hulls in the same order, the same
+merge/pass counters — and a carver configured with either engine must
+produce identical carved ``flat_indices``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carving import Carver
+from repro.carving.merge import merge_hulls, merge_hulls_grid, merge_hulls_scan
+from repro.fuzzing import CarveConfig
+from repro.geometry.hull import Hull
+from repro.perf import SERIAL_PERF_CONFIG, PerfConfig
+
+
+def _random_hulls(rng, d, n_hulls, extent=120.0, spread=8.0):
+    hulls = []
+    for _ in range(n_hulls):
+        c = rng.uniform(0, extent, size=d)
+        m = int(rng.integers(1, 9))
+        hulls.append(Hull.from_points(c + rng.uniform(-spread, spread, (m, d))))
+    return hulls
+
+
+def _assert_equivalent(hulls, config):
+    scan_hulls, scan_stats = merge_hulls_scan(hulls, config)
+    grid_hulls, grid_stats = merge_hulls_grid(hulls, config)
+    assert len(scan_hulls) == len(grid_hulls)
+    for a, b in zip(scan_hulls, grid_hulls):
+        assert a == b
+    assert scan_stats.merges == grid_stats.merges
+    assert scan_stats.passes == grid_stats.passes
+    # The whole point of the grid engine: never more CLOSE evaluations.
+    assert grid_stats.close_calls <= scan_stats.close_calls
+
+
+class TestMergeEngineEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        d=st.sampled_from([2, 3]),
+        n_hulls=st.integers(min_value=0, max_value=18),
+        close_mode=st.sampled_from(["or", "and"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_clouds(self, seed, d, n_hulls, close_mode):
+        rng = np.random.default_rng(seed)
+        hulls = _random_hulls(rng, d, n_hulls)
+        config = CarveConfig(close_mode=close_mode)
+        _assert_equivalent(hulls, config)
+
+    def test_single_point_hulls(self):
+        pts = [(0.0, 0.0), (5.0, 0.0), (100.0, 100.0), (104.0, 100.0)]
+        hulls = [Hull.from_points(np.array([p])) for p in pts]
+        _assert_equivalent(hulls, CarveConfig())
+
+    def test_collinear_cells(self):
+        """Rank-deficient hulls (rows of lattice points) merge identically."""
+        hulls = [
+            Hull.from_points(
+                np.array([[x, 3.0] for x in range(start, start + 4)])
+            )
+            for start in (0, 6, 12, 40)
+        ]
+        _assert_equivalent(hulls, CarveConfig())
+
+    def test_tight_thresholds_no_merges(self):
+        rng = np.random.default_rng(3)
+        hulls = _random_hulls(rng, 2, 10, extent=500.0, spread=1.0)
+        config = CarveConfig(center_d_thresh=0.0, bound_d_thresh=0.0)
+        _assert_equivalent(hulls, config)
+
+    def test_loose_thresholds_single_hull(self):
+        rng = np.random.default_rng(4)
+        hulls = _random_hulls(rng, 3, 8, extent=60.0)
+        config = CarveConfig(center_d_thresh=1e4, bound_d_thresh=1e4)
+        scan_hulls, _ = merge_hulls_scan(hulls, config)
+        _assert_equivalent(hulls, config)
+        assert len(scan_hulls) == 1
+
+    def test_dispatch_follows_perf_config(self):
+        rng = np.random.default_rng(5)
+        hulls = _random_hulls(rng, 2, 6)
+        _, stats = merge_hulls(hulls, CarveConfig(perf=PerfConfig()))
+        assert stats.engine == "grid"
+        _, stats = merge_hulls(hulls, CarveConfig(perf=SERIAL_PERF_CONFIG))
+        assert stats.engine == "scan"
+        _, stats = merge_hulls(hulls, CarveConfig(), engine="scan")
+        assert stats.engine == "scan"
+
+
+class TestCarverEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           d=st.sampled_from([2, 3]))
+    @settings(max_examples=20, deadline=None)
+    def test_carved_flat_indices_bit_identical(self, seed, d):
+        """Fast carver (grid + bitmap) == legacy carver, index for index."""
+        rng = np.random.default_rng(seed)
+        dims = (24,) * d
+        n = int(rng.integers(1, 80))
+        pts = rng.integers(0, 24, size=(n, d)).astype(np.float64)
+        legacy = Carver(dims, CarveConfig(cell_size=8,
+                                          perf=SERIAL_PERF_CONFIG))
+        fast = Carver(dims, CarveConfig(cell_size=8, perf=PerfConfig()))
+        a = legacy.carve_points(pts)
+        b = fast.carve_points(pts)
+        assert a.n_hulls == b.n_hulls
+        assert a.flat_indices.dtype == b.flat_indices.dtype
+        assert np.array_equal(a.flat_indices, b.flat_indices)

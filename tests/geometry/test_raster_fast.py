@@ -1,0 +1,108 @@
+"""Bitmap rasterization path vs the legacy np.unique union, and the
+empty-input ``ndim``/``dims`` fallback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arraymodel.layout import flatten_many
+from repro.geometry.hull import Hull
+from repro.geometry.raster import (
+    flat_indices_in_hulls,
+    integer_points_in_hull,
+    integer_points_in_hulls,
+)
+from repro.perf import SERIAL_PERF_CONFIG, PerfConfig
+
+
+def _random_hulls(rng, d, n_hulls, extent):
+    hulls = []
+    for _ in range(n_hulls):
+        c = rng.uniform(-2, extent + 2, size=d)
+        m = int(rng.integers(1, 7))
+        hulls.append(Hull.from_points(c + rng.uniform(-5, 5, (m, d))))
+    return hulls
+
+
+class TestEmptyInput:
+    def test_no_hulls_no_hints_keeps_legacy_shape(self):
+        assert integer_points_in_hulls([]).shape == (0, 0)
+
+    def test_ndim_fallback(self):
+        out = integer_points_in_hulls([], ndim=3)
+        assert out.shape == (0, 3)
+        assert out.dtype == np.int64
+
+    def test_dims_fallback(self):
+        out = integer_points_in_hulls([], dims=(4, 5))
+        assert out.shape == (0, 2)
+        # The fixed shape must survive the downstream flat encode.
+        assert flatten_many(out, (4, 5)).shape == (0,)
+
+    def test_flat_union_of_nothing(self):
+        assert flat_indices_in_hulls([], (4, 4)).size == 0
+
+    def test_hull_fully_outside_window(self):
+        h = Hull.from_points(np.array([[50.0, 50.0], [52.0, 51.0]]))
+        assert integer_points_in_hulls([h], dims=(4, 4)).shape == (0, 2)
+        assert flat_indices_in_hulls([h], (4, 4)).size == 0
+
+
+class TestBitmapEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        d=st.sampled_from([2, 3]),
+        n_hulls=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_union(self, seed, d, n_hulls):
+        rng = np.random.default_rng(seed)
+        dims = (14,) * d
+        hulls = _random_hulls(rng, d, n_hulls, extent=14)
+        legacy = integer_points_in_hulls(hulls, dims=dims,
+                                         perf=SERIAL_PERF_CONFIG)
+        fast = integer_points_in_hulls(hulls, dims=dims, perf=PerfConfig())
+        assert legacy.dtype == fast.dtype
+        assert np.array_equal(legacy, fast)
+        flat = flat_indices_in_hulls(hulls, dims)
+        if legacy.size:
+            assert np.array_equal(flat, flatten_many(legacy, dims))
+        else:
+            assert flat.size == 0
+
+    def test_key_accumulator_beyond_bitmap_cutoff(self):
+        dims = (1 << 14, 1 << 14)  # 2^28 cells > default bitmap cutoff
+        h = Hull.from_points(
+            np.array([[3.0, 5.0], [9.0, 11.0], [3.0, 11.0]])
+        )
+        legacy = integer_points_in_hulls([h], dims=dims,
+                                         perf=SERIAL_PERF_CONFIG)
+        fast = integer_points_in_hulls([h], dims=dims, perf=PerfConfig())
+        assert np.array_equal(legacy, fast)
+
+    def test_covered_hull_skip_keeps_union_exact(self):
+        """A hull nested in an already-rasterized hull changes nothing."""
+        big = Hull.from_points(
+            np.array([[0.0, 0.0], [12.0, 0.0], [0.0, 12.0], [12.0, 12.0]])
+        )
+        small = Hull.from_points(np.array([[4.0, 4.0], [6.0, 5.0], [5.0, 7.0]]))
+        dims = (16, 16)
+        both = flat_indices_in_hulls([big, small], dims)
+        alone = flat_indices_in_hulls([big], dims)
+        assert np.array_equal(both, alone)
+        # And in the other order the shortcut can't fire, same answer.
+        assert np.array_equal(flat_indices_in_hulls([small, big], dims), both)
+
+
+class TestBoxShortcut:
+    def test_box_hull_needs_no_contains_calls(self):
+        """A box hull's whole lattice window passes the corner shortcut —
+        the result still matches the per-point path."""
+        box = Hull.from_points(
+            np.array([[1.0, 1.0], [9.0, 1.0], [1.0, 9.0], [9.0, 9.0]])
+        )
+        pts = integer_points_in_hull(box, dims=(12, 12), tol=0.0)
+        xs = np.arange(1, 10)
+        expect = np.array([[x, y] for x in xs for y in xs])
+        assert np.array_equal(pts, expect)

@@ -1,0 +1,48 @@
+"""PerfConfig validation and defaults."""
+
+import pytest
+
+from repro.errors import PerfConfigError
+from repro.perf import DEFAULT_BITMAP_MAX_CELLS, SERIAL_PERF_CONFIG, PerfConfig
+
+
+class TestPerfConfig:
+    def test_defaults_are_fast_but_serial(self):
+        cfg = PerfConfig()
+        assert cfg.workers == 0
+        assert not cfg.parallel
+        assert cfg.grid_merge and cfg.bitmap_raster
+        assert cfg.bitmap_max_cells == DEFAULT_BITMAP_MAX_CELLS
+
+    def test_parallel_requires_two_workers(self):
+        assert not PerfConfig(workers=1).parallel
+        assert PerfConfig(workers=2).parallel
+
+    def test_serial_config_disables_every_fast_path(self):
+        cfg = SERIAL_PERF_CONFIG
+        assert not cfg.parallel
+        assert not cfg.grid_merge
+        assert not cfg.bitmap_raster
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"backend": "mpi"},
+            {"batch_size": 0},
+            {"bitmap_max_cells": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(PerfConfigError):
+            PerfConfig(**kwargs)
+
+    def test_carried_by_both_configs(self):
+        from repro.fuzzing.config import CarveConfig, FuzzConfig
+
+        perf = PerfConfig(workers=4, batch_size=8)
+        assert FuzzConfig(perf=perf).perf is perf
+        assert CarveConfig(perf=perf).perf is perf
+        # scaled_to must not drop the perf layer.
+        assert FuzzConfig(perf=perf).scaled_to(256.0).perf is perf
+        assert CarveConfig(perf=perf).scaled_to(256.0).perf is perf

@@ -1,0 +1,67 @@
+"""CampaignExecutor: ordered results, lazy pools, serial degradation."""
+
+import threading
+
+import pytest
+
+from repro.perf import CampaignExecutor, PerfConfig, make_executor
+
+
+class TestCampaignExecutor:
+    def test_serial_map_runs_inline_in_order(self):
+        ex = make_executor(PerfConfig(workers=0))
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * x
+
+        assert ex.map(fn, [3, 1, 2]) == [9, 1, 4]
+        assert calls == [3, 1, 2]
+        assert ex._pool is None  # no pool ever created
+
+    def test_parallel_map_preserves_order(self):
+        with make_executor(PerfConfig(workers=4)) as ex:
+            items = list(range(50))
+            assert ex.map(lambda x: -x, items) == [-x for x in items]
+
+    def test_parallel_actually_uses_worker_threads(self):
+        seen = set()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def fn(x):
+            seen.add(threading.current_thread().name)
+            barrier.wait()
+            return x
+
+        with make_executor(PerfConfig(workers=2, batch_size=2)) as ex:
+            ex.map(fn, [0, 1])
+        assert all(name.startswith("kondo-campaign") for name in seen)
+        assert len(seen) == 2
+
+    def test_empty_batch(self):
+        with make_executor(PerfConfig(workers=2)) as ex:
+            assert ex.map(lambda x: x, []) == []
+
+    def test_close_is_idempotent_and_pool_recreates(self):
+        ex = make_executor(PerfConfig(workers=2))
+        assert ex.map(lambda x: x + 1, [1]) == [2]
+        ex.close()
+        ex.close()
+        assert ex.map(lambda x: x + 1, [2]) == [3]  # lazily re-created
+        ex.close()
+
+    def test_worker_exception_propagates(self):
+        def boom(_):
+            raise ValueError("bad test")
+
+        with make_executor(PerfConfig(workers=2)) as ex:
+            with pytest.raises(ValueError, match="bad test"):
+                ex.map(boom, [1, 2])
+
+    def test_facade_properties(self):
+        cfg = PerfConfig(workers=3, batch_size=7)
+        ex = CampaignExecutor(cfg)
+        assert ex.workers == 3
+        assert ex.batch_size == 7
+        assert ex.parallel
