@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -29,11 +30,84 @@ from repro.arraymodel.chunked import make_layout
 from repro.arraymodel.layout import Layout
 from repro.arraymodel.schema import ArraySchema
 from repro.errors import FileFormatError, LayoutError
+from repro.ioutil import atomic_write
 
 MAGIC = b"KND1"
 
+#: Header format version written by this code.  Version 2 adds CRC32
+#: integrity fields (``meta_crc32`` over the canonical header body,
+#: ``payload_crc32`` over the payload bytes); version-1 files — headers
+#: without the fields — remain readable, they just skip verification.
+FORMAT_VERSION = 2
+
 #: Signature of an audit recorder callback: (path, op, offset, size).
 Recorder = Callable[[str, str, int, int], None]
+
+
+def meta_crc32(body: dict) -> int:
+    """CRC32 of a header body's canonical JSON form.
+
+    The body is round-tripped through JSON first so the checksum a writer
+    stores and the checksum a reader recomputes are taken over byte-
+    identical serializations (tuples become lists, key order is fixed).
+    """
+    canonical = json.dumps(
+        json.loads(json.dumps(body)), sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def checked_header(body: dict, payload_crc: int) -> bytes:
+    """Serialize a version-2 header with integrity fields for ``body``."""
+    header = dict(body)
+    header["version"] = FORMAT_VERSION
+    header["meta_crc32"] = meta_crc32(body)
+    header["payload_crc32"] = payload_crc & 0xFFFFFFFF
+    return json.dumps(header).encode("utf-8")
+
+
+def verify_header(path: str, header: dict, body: dict) -> None:
+    """Validate a parsed header's version and (if present) its meta CRC."""
+    version = header.get("version", 1)
+    if not isinstance(version, int) or version < 1 or version > FORMAT_VERSION:
+        raise FileFormatError(
+            f"{path}: unsupported format version {version!r} "
+            f"(this reader supports <= {FORMAT_VERSION})"
+        )
+    stored = header.get("meta_crc32")
+    if stored is not None and stored != meta_crc32(body):
+        raise FileFormatError(
+            f"{path}: header checksum mismatch "
+            f"(stored {stored}, computed {meta_crc32(body)}) — "
+            f"the header is corrupt"
+        )
+
+
+def verify_payload_crc(path: str, fh, payload_start: int, nbytes: int,
+                       stored) -> None:
+    """Stream-verify the payload CRC when the header carries one."""
+    if stored is None:
+        return
+    try:
+        stored = int(stored)
+    except (TypeError, ValueError) as exc:
+        raise FileFormatError(
+            f"{path}: malformed payload_crc32 field {stored!r}"
+        ) from exc
+    fh.seek(payload_start)
+    crc = 0
+    remaining = nbytes
+    while remaining > 0:
+        chunk = fh.read(min(remaining, 1 << 22))
+        if not chunk:
+            raise FileFormatError(f"{path}: payload truncated during verify")
+        crc = zlib.crc32(chunk, crc)
+        remaining -= len(chunk)
+    if crc != stored:
+        raise FileFormatError(
+            f"{path}: payload checksum mismatch "
+            f"(stored {stored}, computed {crc}) — the payload is corrupt"
+        )
 
 
 def _numpy_dtype(code: str) -> np.dtype:
@@ -84,7 +158,6 @@ class ArrayFile:
                 ``fill`` when omitted.
             fill: value used for omitted data and chunk padding.
         """
-        header = json.dumps({"schema": schema.to_dict()}).encode("utf-8")
         np_dtype = _numpy_dtype(schema.dtype)
         if data is None:
             arr = np.full(schema.dims, fill, dtype=np_dtype if np_dtype.kind != "V" else "f8")
@@ -101,7 +174,10 @@ class ArrayFile:
             else:
                 arr = np.ascontiguousarray(data, dtype=np_dtype)
         payload = cls._encode_payload(arr, schema, np_dtype, fill)
-        with open(path, "wb") as fh:
+        header = checked_header(
+            {"schema": schema.to_dict()}, zlib.crc32(payload)
+        )
+        with atomic_write(path) as fh:
             fh.write(MAGIC)
             fh.write(len(header).to_bytes(4, "little"))
             fh.write(header)
@@ -138,8 +214,16 @@ class ArrayFile:
         return b"".join(parts)
 
     @classmethod
-    def open(cls, path: str, recorder: Optional[Recorder] = None) -> "ArrayFile":
-        """Open an existing KND file, optionally attaching an audit recorder."""
+    def open(cls, path: str, recorder: Optional[Recorder] = None,
+             verify_checksum: bool = True) -> "ArrayFile":
+        """Open an existing KND file, optionally attaching an audit recorder.
+
+        Version-2 files carry CRC32 checksums; ``verify_checksum=True``
+        (the default) verifies the header unconditionally and streams the
+        payload once to verify its CRC, so corruption surfaces here as
+        :class:`FileFormatError` instead of garbage floats later.
+        Version-1 files (no checksum fields) open as before.
+        """
         with open(path, "rb") as fh:
             magic = fh.read(4)
             if magic != MAGIC:
@@ -156,6 +240,7 @@ class ArrayFile:
                 schema = ArraySchema.from_dict(header["schema"])
             except (ValueError, KeyError) as exc:
                 raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+            verify_header(path, header, {"schema": header["schema"]})
         f = cls(path, schema, header_size=8 + hlen, recorder=recorder)
         expected = f._payload_start + f.layout.payload_nbytes
         actual = os.path.getsize(path)
@@ -164,6 +249,19 @@ class ArrayFile:
             raise FileFormatError(
                 f"{path}: payload truncated ({actual} < {expected} bytes)"
             )
+        if verify_checksum and header.get("payload_crc32") is not None:
+            # A separate plain handle: checksum verification is not an
+            # audited access of the program under test.
+            try:
+                with open(path, "rb") as vfh:
+                    verify_payload_crc(
+                        path, vfh, f._payload_start,
+                        f.layout.payload_nbytes,
+                        header["payload_crc32"],
+                    )
+            except FileFormatError:
+                f.close()
+                raise
         return f
 
     # -- reading -----------------------------------------------------------

@@ -25,14 +25,23 @@ from __future__ import annotations
 import bisect
 import json
 import os
+import zlib
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arraymodel.chunked import make_layout
-from repro.arraymodel.datafile import ArrayFile, Recorder, _numpy_dtype
+from repro.arraymodel.datafile import (
+    ArrayFile,
+    Recorder,
+    _numpy_dtype,
+    checked_header,
+    verify_header,
+    verify_payload_crc,
+)
 from repro.arraymodel.schema import ArraySchema
 from repro.errors import DataMissingError, FileFormatError, LayoutError
+from repro.ioutil import atomic_write
 
 MAGIC = b"KNDS"
 
@@ -122,22 +131,38 @@ class DebloatedArrayFile:
                 raise LayoutError(
                     f"extent [{start}, {start + size}) outside source payload"
                 )
-        header = json.dumps(
+        # The payload CRC must land in the header, which precedes the
+        # payload on disk — so the kept extents are read once up front
+        # (mirroring ArrayFile.create, which also builds its payload in
+        # memory before writing).
+        chunks = [source.read_extent(start, size) for start, size in extents]
+        crc = 0
+        for chunk in chunks:
+            crc = zlib.crc32(chunk, crc)
+        header = checked_header(
             {"schema": source.schema.to_dict(),
-             "extents": [[s, z] for s, z in extents]}
-        ).encode("utf-8")
-        with open(path, "wb") as fh:
+             "extents": [[s, z] for s, z in extents]},
+            crc,
+        )
+        with atomic_write(path) as fh:
             fh.write(MAGIC)
             fh.write(len(header).to_bytes(4, "little"))
             fh.write(header)
-            for start, size in extents:
-                fh.write(source.read_extent(start, size))
+            for chunk in chunks:
+                fh.write(chunk)
         return cls.open(path)
 
     @classmethod
-    def open(cls, path: str, recorder: Optional[Recorder] = None
-             ) -> "DebloatedArrayFile":
-        """Open an existing KNDS file."""
+    def open(cls, path: str, recorder: Optional[Recorder] = None,
+             verify_checksum: bool = True) -> "DebloatedArrayFile":
+        """Open an existing KNDS file.
+
+        Version-2 files carry CRC32 checksums over the header body and
+        the relocated payload; ``verify_checksum=True`` (the default)
+        verifies both so corruption raises :class:`FileFormatError` here
+        instead of surfacing as garbage floats or spurious
+        ``DataMissingError`` later.  Version-1 files open as before.
+        """
         with open(path, "rb") as fh:
             magic = fh.read(4)
             if magic != MAGIC:
@@ -152,12 +177,26 @@ class DebloatedArrayFile:
                 extents = [(int(s), int(z)) for s, z in header["extents"]]
             except (ValueError, KeyError, TypeError) as exc:
                 raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+            verify_header(
+                path, header,
+                {"schema": header["schema"], "extents": header["extents"]},
+            )
         f = cls(path, schema, extents, payload_start=8 + hlen,
                 recorder=recorder)
         expected = f._payload_start + f._kept_nbytes
         if os.path.getsize(path) < expected:
             f.close()
             raise FileFormatError(f"{path}: payload truncated")
+        if verify_checksum and header.get("payload_crc32") is not None:
+            try:
+                with open(path, "rb") as vfh:
+                    verify_payload_crc(
+                        path, vfh, f._payload_start, f._kept_nbytes,
+                        header["payload_crc32"],
+                    )
+            except FileFormatError:
+                f.close()
+                raise
         return f
 
     # -- reading -----------------------------------------------------------

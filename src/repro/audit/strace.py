@@ -61,15 +61,23 @@ class StraceParser:
             every fd so positions stay correct).
         default_pid: pid to assume when lines carry no pid prefix
             (single-process traces without ``-f``).
+        lenient: when True, a line whose syscall arguments fail to parse
+            (malformed fd token, missing path, garbled integer) is counted
+            in ``skipped_lines`` and skipped instead of raising
+            :class:`TraceParseError`.  Strict parsing stays the default —
+            lenient mode is for real-world traces that interleave
+            truncated or mangled lines.
     """
 
     session: AuditSession
     path_filter: Optional[str] = None
     default_pid: int = 0
+    lenient: bool = False
     _fds: Dict[Tuple[int, int], _FdState] = field(default_factory=dict)
     _pending: Dict[Tuple[int, str], str] = field(default_factory=dict)
     n_parsed: int = 0
     n_skipped: int = 0
+    skipped_lines: int = 0
 
     def feed(self, lines: Iterable[str]) -> None:
         """Parse an iterable of strace output lines."""
@@ -112,7 +120,16 @@ class StraceParser:
         if handler is None:
             self.n_skipped += 1
             return
-        handler(pid, args, retval)
+        if not self.lenient:
+            handler(pid, args, retval)
+            self.n_parsed += 1
+            return
+        try:
+            handler(pid, args, retval)
+        except (TraceParseError, ValueError, IndexError):
+            self.n_skipped += 1
+            self.skipped_lines += 1
+            return
         self.n_parsed += 1
 
     @staticmethod
@@ -245,10 +262,12 @@ class StraceParser:
 
 
 def parse_strace_text(text: str, session: Optional[AuditSession] = None,
-                      path_filter: Optional[str] = None) -> AuditSession:
+                      path_filter: Optional[str] = None,
+                      lenient: bool = False) -> AuditSession:
     """Parse a complete strace transcript into a (new) audit session."""
     session = session if session is not None else AuditSession()
-    parser = StraceParser(session=session, path_filter=path_filter)
+    parser = StraceParser(session=session, path_filter=path_filter,
+                          lenient=lenient)
     parser.feed(text.splitlines())
     return session
 

@@ -13,6 +13,9 @@ Subcommands:
 * ``kondo experiment`` — regenerate a paper table/figure by name (or
   ``all`` for the complete evaluation).
 * ``kondo visualize`` — ASCII overlay of a carved subset vs ground truth.
+* ``kondo chaos`` — fault-injection drills: verify the pipeline survives
+  flaky fetchers, killed workers, mid-campaign crashes, and corrupted
+  artifacts without changing its output.
 """
 
 from __future__ import annotations
@@ -50,13 +53,28 @@ def cmd_analyze(args) -> int:
     program = get_program(args.program)
     dims = _parse_dims(args.dims, program)
     perf = PerfConfig(workers=args.workers) if args.workers else None
+    resilience = None
+    if args.checkpoint:
+        from repro.resilience.config import ResilienceConfig
+
+        resilience = ResilienceConfig(
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    elif args.resume:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 1
     kondo = Kondo(
         program, dims,
         fuzz_config=FuzzConfig(rng_seed=args.seed),
         carver=args.carver,
         perf=perf,
+        resilience=resilience,
     )
-    result = kondo.analyze(time_budget_s=args.budget)
+    result = kondo.analyze(
+        time_budget_s=args.budget,
+        resume_from=args.checkpoint if args.resume else None,
+    )
     print(result.summary())
     if args.save:
         from repro.core.persistence import AnalysisArtifact
@@ -172,6 +190,22 @@ def cmd_visualize(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        args.program,
+        dims=_parse_dims(args.dims, get_program(args.program)),
+        seed=args.seed,
+        max_iter=args.max_iter,
+        fetch_fail_rate=args.fail_rate,
+        crash_at=args.crash_at,
+        kill_workers=args.kill_workers,
+    )
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kondo",
@@ -193,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--score", action="store_true",
                    help="also report precision/recall vs ground truth")
     p.add_argument("--save", help="persist the analysis artifact (.npz)")
+    p.add_argument("--checkpoint",
+                   help="write periodic campaign checkpoints to this path")
+    p.add_argument("--checkpoint-every", type=int, default=100,
+                   help="iterations between checkpoints (default 100)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a crashed campaign from --checkpoint; the "
+                        "resumed run completes exactly as the "
+                        "uninterrupted one would have")
 
     p = sub.add_parser("debloat", help="write a debloated .knds subset")
     p.add_argument("program")
@@ -227,6 +269,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--width", type=int, default=64)
 
+    p = sub.add_parser("chaos",
+                       help="fault-injection drills against the pipeline")
+    p.add_argument("program")
+    p.add_argument("--dims", help="array shape, e.g. 32x32")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-iter", type=int, default=400,
+                   help="campaign iteration budget per drill")
+    p.add_argument("--fail-rate", type=float, default=0.5,
+                   help="injected remote-fetch failure probability")
+    p.add_argument("--crash-at", type=int, default=150,
+                   help="debloat-test call at which the campaign crashes")
+    p.add_argument("--kill-workers", type=int, default=1,
+                   help="pooled evaluations killed before recovery")
+
     return parser
 
 
@@ -238,6 +294,7 @@ _COMMANDS = {
     "make-data": cmd_make_data,
     "run": cmd_run,
     "experiment": cmd_experiment,
+    "chaos": cmd_chaos,
 }
 
 

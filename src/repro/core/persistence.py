@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.pipeline import KondoResult
 from repro.errors import KondoError
+from repro.ioutil import atomic_write
 
 #: Artifact format version (bump on incompatible layout changes).
 _VERSION = 1
@@ -58,7 +59,13 @@ class AnalysisArtifact:
         )
 
     def save(self, path: str) -> None:
-        """Write the artifact as a compressed npz."""
+        """Write the artifact as a compressed npz (atomically).
+
+        The archive is staged in a same-directory temp file and renamed
+        into place, so a crash mid-save can never leave a torn artifact
+        at ``path``.  Mirrors numpy's naming rule: a path without an
+        ``.npz`` suffix gets one appended.
+        """
         meta = json.dumps({
             "version": _VERSION,
             "program": self.program,
@@ -69,12 +76,14 @@ class AnalysisArtifact:
             "elapsed_seconds": self.elapsed_seconds,
             "created_at": self.created_at,
         })
-        np.savez_compressed(
-            path,
-            meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
-            carved_flat=self.carved_flat,
-            observed_flat=self.observed_flat,
-        )
+        target = path if path.endswith(".npz") else path + ".npz"
+        with atomic_write(target) as fh:
+            np.savez_compressed(
+                fh,
+                meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+                carved_flat=self.carved_flat,
+                observed_flat=self.observed_flat,
+            )
 
     @classmethod
     def load(cls, path: str) -> "AnalysisArtifact":

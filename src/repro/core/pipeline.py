@@ -34,6 +34,7 @@ from repro.fuzzing.config import CarveConfig, FuzzConfig
 from repro.fuzzing.schedule import FuzzCampaignResult, FuzzSchedule
 from repro.perf.config import PerfConfig
 from repro.perf.executor import make_executor
+from repro.resilience.config import ResilienceConfig
 from repro.workloads.base import Program
 
 #: Reference extent the paper's Figure 5 configuration was tuned for.
@@ -92,6 +93,11 @@ class Kondo:
             layer of *both* configs (executor pool, grid merge, bitmap
             raster).  Every setting is output-equivalent to the serial
             defaults, so this only changes wall-clock, never results.
+        resilience: convenience override — when given, replaces the
+            ``resilience`` layer of the fuzz config (campaign
+            checkpointing, quarantine, worker recovery).  Like the perf
+            layer, resilience settings never change a fault-free run's
+            results.
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class Kondo:
         auto_scale: bool = True,
         carver: str = "merge",
         perf: Optional[PerfConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.program = program
         self.dims = program.check_dims(dims)
@@ -113,6 +120,10 @@ class Kondo:
 
             fuzz_config = replace(fuzz_config, perf=perf)
             carve_config = replace(carve_config, perf=perf)
+        if resilience is not None:
+            from dataclasses import replace
+
+            fuzz_config = replace(fuzz_config, resilience=resilience)
         if auto_scale:
             space = program.parameter_space(self.dims)
             fuzz_config = fuzz_config.scaled_to(
@@ -151,12 +162,28 @@ class Kondo:
         self,
         time_budget_s: Optional[float] = None,
         test: Optional[DebloatTest] = None,
+        resume_from: Optional[str] = None,
     ) -> KondoResult:
-        """Run fuzzing then carving; return the combined result."""
+        """Run fuzzing then carving; return the combined result.
+
+        Args:
+            time_budget_s: optional wall-clock cap for the fuzz campaign.
+            test: override the debloat test (defaults to a fresh one).
+            resume_from: path of a campaign checkpoint written by a prior
+                (crashed or interrupted) run with
+                ``resilience.checkpoint_path`` set; the campaign resumes
+                from the checkpointed iteration and completes exactly as
+                the uninterrupted run would have.
+        """
         start = time.perf_counter()
         test = test if test is not None else self.make_test()
         space = self.program.parameter_space(self.dims)
-        schedule = FuzzSchedule(test, space, self.fuzz_config, test.n_flat)
+        if resume_from is not None:
+            schedule = FuzzSchedule.from_checkpoint(
+                test, space, self.fuzz_config, test.n_flat, resume_from
+            )
+        else:
+            schedule = FuzzSchedule(test, space, self.fuzz_config, test.n_flat)
         with make_executor(self.fuzz_config.perf) as executor:
             fuzz = schedule.run(time_budget_s=time_budget_s,
                                 executor=executor)

@@ -60,6 +60,35 @@ class PerfConfigError(KondoError):
     """A performance-layer configuration value is out of range."""
 
 
+class ResilienceConfigError(KondoError):
+    """A resilience-layer configuration value is out of range."""
+
+
+class FetchError(KondoError):
+    """A remote fetch of a debloated-away offset failed (after retries)."""
+
+
+class CircuitOpenError(FetchError):
+    """The remote-fetch circuit breaker is open; calls are short-circuited."""
+
+
+class CheckpointError(KondoError):
+    """A fuzz-campaign checkpoint could not be written, read, or applied."""
+
+
+class WorkerCrashError(KondoError):
+    """An executor worker died (or its task failed) while evaluating a batch."""
+
+
+class InjectedFault(KondoError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Injected faults deliberately bypass the quarantine path: a simulated
+    crash must actually take the campaign down so the checkpoint/resume
+    machinery — not the per-valuation quarantine — is what recovers it.
+    """
+
+
 class ProgramError(KondoError):
     """A workload program was invoked with an invalid parameter value."""
 

@@ -17,6 +17,7 @@ from typing import Tuple
 
 from repro.errors import FuzzConfigError
 from repro.perf.config import PerfConfig
+from repro.resilience.config import ResilienceConfig
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,10 @@ class FuzzConfig:
     #: default is the exact serial Algorithm-1 loop; any parallel setting
     #: is seed-for-seed reproducible against it.
     perf: PerfConfig = field(default_factory=PerfConfig)
+    #: Resilience layer: campaign checkpointing, per-valuation crash
+    #: quarantine, and executor worker-failure recovery.  All off by
+    #: default, which keeps the campaign byte-identical to the seed.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self):
         if self.max_iter <= 0:

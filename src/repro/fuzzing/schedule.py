@@ -15,20 +15,34 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import FuzzConfigError
-from repro.fuzzing.clusters import ClusterSet
+from repro.errors import CheckpointError, FuzzConfigError, InjectedFault
+from repro.fuzzing.clusters import Cluster, ClusterSet
 from repro.fuzzing.config import FuzzConfig
 from repro.fuzzing.mutation import greedy_mutations, uniform_mutations
 from repro.fuzzing.parameters import ParameterSpace, Seed
 from repro.perf.executor import CampaignExecutor
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_campaign_state,
+    save_campaign_state,
+)
 
 #: A debloat test: parameter value -> flat offset indices accessed.
 DebloatTestFn = Callable[[Tuple[float, ...]], np.ndarray]
+
+
+@dataclass
+class QuarantinedSeed:
+    """A valuation whose debloat test raised: recorded, skipped, not fatal."""
+
+    v: Tuple[float, ...]
+    iteration: int
+    error: str
 
 
 @dataclass
@@ -44,6 +58,9 @@ class FuzzCampaignResult:
         discovery_trace: per-iteration ``(iteration, elapsed_s, n_offsets)``
             samples — the raw series behind time-to-recall plots (Fig 10).
         final_eps: epsilon after decay at campaign end.
+        quarantined: valuations whose debloat test raised and were skipped
+            under the resilience layer's quarantine policy (empty unless
+            ``resilience.quarantine`` was on and a test actually failed).
     """
 
     flat_indices: np.ndarray
@@ -53,6 +70,7 @@ class FuzzCampaignResult:
     elapsed_seconds: float
     discovery_trace: List[Tuple[int, float, int]]
     final_eps: float
+    quarantined: List[QuarantinedSeed] = field(default_factory=list)
 
     @property
     def n_useful(self) -> int:
@@ -103,8 +121,18 @@ class FuzzSchedule:
         self.itr = 0
         self.new_itr = 0  # iterations since the last new offset
         # Batched execution: (v, I_v) results fetched ahead of the serial
-        # loop, aligned with the queue front.  See ``_prefetch``.
+        # loop, aligned with the queue front.  See ``_prefetch``.  Under
+        # quarantine an entry's payload may be the exception the test
+        # raised instead of an offset array.
         self._prefetched: deque = deque()
+        # Resilience-layer state: the discovery trace and offset counter
+        # live on the instance (not in run()) so checkpoints capture them
+        # and a resumed campaign continues the same series.
+        self.trace: List[Tuple[int, float, int]] = []
+        self.n_offsets = 0
+        self.quarantined: List[QuarantinedSeed] = []
+        self.n_worker_recoveries = 0
+        self._elapsed_prior = 0.0
 
     # -- Alg 1 subroutines ---------------------------------------------------
 
@@ -203,15 +231,174 @@ class FuzzSchedule:
         the test may over-count).
         """
         cfg = self.config
+        res = cfg.resilience
         limit = min(executor.batch_size, 1 + len(self.queue))
         if cfg.enable_restart:
             next_restart = (self.itr // cfg.restart + 1) * cfg.restart
             limit = min(limit, next_restart - self.itr)
         items = [first] + [self.queue[k] for k in range(limit - 1)]
-        for v, flat in zip(items, executor.map(self.test, items)):
-            self._prefetched.append(
-                (v, np.asarray(flat, dtype=np.int64).reshape(-1))
+        if not (res.worker_recovery or res.quarantine):
+            for v, flat in zip(items, executor.map(self.test, items)):
+                self._prefetched.append(
+                    (v, np.asarray(flat, dtype=np.int64).reshape(-1))
+                )
+            return
+        # Hardened path: per-item outcomes so one dead worker (or one
+        # raising workload) cannot poison the rest of the batch.
+        for v, outcome in zip(items, executor.map_outcomes(self.test, items)):
+            if outcome.ok:
+                self._prefetched.append(
+                    (v, np.asarray(outcome.value, dtype=np.int64).reshape(-1))
+                )
+                continue
+            error = outcome.error
+            if res.worker_recovery:
+                # Serial in-process replay: a transient worker death (or
+                # broken pool) re-evaluates cleanly; tests are pure, so
+                # the replayed result equals what the worker would have
+                # returned.  Injected crashes stay fatal by design.
+                try:
+                    flat = np.asarray(self.test(v), dtype=np.int64).reshape(-1)
+                    self.n_worker_recoveries += 1
+                    self._prefetched.append((v, flat))
+                    continue
+                except InjectedFault:
+                    raise
+                except Exception as exc:
+                    error = exc
+            if res.quarantine and not isinstance(error, InjectedFault):
+                self._prefetched.append((v, error))
+            else:
+                raise error
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _vs_array(self, vs) -> np.ndarray:
+        """Pack an iterable of parameter tuples as a (n, ndim) f8 array."""
+        vs = list(vs)
+        return np.asarray(
+            [list(v) for v in vs], dtype=np.float64
+        ).reshape(len(vs), self.space.ndim)
+
+    def capture_state(self, elapsed_s: float) -> Dict:
+        """Snapshot every piece of mutable campaign state.
+
+        Together with the (pure) debloat test and the immutable config,
+        the snapshot fully determines the rest of the campaign: restoring
+        it and continuing replays the uninterrupted run bit-identically.
+        Prefetched-but-unabsorbed batch results are deliberately dropped —
+        they are recomputed from the queue on resume.
+        """
+        useful_code = {None: -1, False: 0, True: 1}
+        return {
+            "version": CHECKPOINT_VERSION,
+            "n_flat": int(self.n_flat),
+            "itr": int(self.itr),
+            "new_itr": int(self.new_itr),
+            "eps": float(self.eps),
+            "n_offsets": int(self.n_offsets),
+            "elapsed_s": float(elapsed_s),
+            "rng_state": self.rng.bit_generator.state,
+            "queue": self._vs_array(self.queue),
+            "seen": self._vs_array(sorted(self.seen)),
+            "bitmap_indices": np.flatnonzero(self.bitmap).astype(np.int64),
+            "seed_v": self._vs_array(s.v for s in self.seeds),
+            "seed_useful": np.asarray(
+                [useful_code[s.useful] for s in self.seeds], dtype=np.int8
+            ),
+            "seed_new": np.asarray(
+                [s.n_new_offsets for s in self.seeds], dtype=np.int64
+            ),
+            "seed_iter": np.asarray(
+                [s.iteration for s in self.seeds], dtype=np.int64
+            ),
+            "cl_u_centers": self._vs_array(
+                c.center for c in self.cl_u.clusters
+            ),
+            "cl_u_sizes": np.asarray(
+                [c.size for c in self.cl_u.clusters], dtype=np.int64
+            ),
+            "cl_n_centers": self._vs_array(
+                c.center for c in self.cl_n.clusters
+            ),
+            "cl_n_sizes": np.asarray(
+                [c.size for c in self.cl_n.clusters], dtype=np.int64
+            ),
+            "trace": np.asarray(self.trace, dtype=np.float64).reshape(
+                len(self.trace), 3
+            ),
+            "quarantine_v": self._vs_array(q.v for q in self.quarantined),
+            "quarantine_iter": np.asarray(
+                [q.iteration for q in self.quarantined], dtype=np.int64
+            ),
+            "quarantine_errors": [q.error for q in self.quarantined],
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Apply a snapshot produced by :meth:`capture_state`."""
+        if int(state["n_flat"]) != self.n_flat:
+            raise CheckpointError(
+                f"checkpoint n_flat {state['n_flat']} != schedule n_flat "
+                f"{self.n_flat} — wrong program/dims for this checkpoint"
             )
+        try:
+            self.rng.bit_generator.state = state["rng_state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"invalid RNG state: {exc}") from exc
+        self.itr = int(state["itr"])
+        self.new_itr = int(state["new_itr"])
+        self.eps = float(state["eps"])
+        self.n_offsets = int(state["n_offsets"])
+        self._elapsed_prior = float(state["elapsed_s"])
+        as_tuple = lambda row: tuple(float(x) for x in row)  # noqa: E731
+        self.queue = deque(as_tuple(r) for r in state["queue"])
+        self.seen = {as_tuple(r) for r in state["seen"]}
+        self.bitmap[:] = False
+        self.bitmap[state["bitmap_indices"]] = True
+        useful_decode = {-1: None, 0: False, 1: True}
+        self.seeds = [
+            Seed(v=as_tuple(v), useful=useful_decode[int(u)],
+                 n_new_offsets=int(n), iteration=int(i))
+            for v, u, n, i in zip(
+                state["seed_v"], state["seed_useful"],
+                state["seed_new"], state["seed_iter"],
+            )
+        ]
+        for cl, centers_key, sizes_key in (
+            (self.cl_u, "cl_u_centers", "cl_u_sizes"),
+            (self.cl_n, "cl_n_centers", "cl_n_sizes"),
+        ):
+            cl.clusters = [
+                Cluster(center=np.asarray(c, dtype=np.float64), size=int(s),
+                        useful=cl.useful)
+                for c, s in zip(state[centers_key], state[sizes_key])
+            ]
+        self.trace = [
+            (int(r[0]), float(r[1]), int(r[2])) for r in state["trace"]
+        ]
+        self.quarantined = [
+            QuarantinedSeed(v=as_tuple(v), iteration=int(i), error=str(e))
+            for v, i, e in zip(
+                state["quarantine_v"], state["quarantine_iter"],
+                state["quarantine_errors"],
+            )
+        ]
+        self._prefetched.clear()
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        test: DebloatTestFn,
+        space: ParameterSpace,
+        config: FuzzConfig,
+        n_flat: int,
+        path: str,
+    ) -> "FuzzSchedule":
+        """Rebuild a schedule mid-campaign from an on-disk checkpoint."""
+        state = load_campaign_state(path)
+        schedule = cls(test, space, config, n_flat)
+        schedule.restore_state(state)
+        return schedule
 
     # -- the main loop ---------------------------------------------------------
 
@@ -231,11 +418,15 @@ class FuzzSchedule:
                 is seed-for-seed identical to ``executor=None``.
         """
         cfg = self.config
+        res = cfg.resilience
         parallel = executor is not None and executor.parallel
         start = time.perf_counter()
         deadline = start + time_budget_s if time_budget_s is not None else None
-        trace: List[Tuple[int, float, int]] = []
-        n_offsets = 0
+
+        def elapsed() -> float:
+            # Resumed campaigns continue the interrupted run's clock.
+            return self._elapsed_prior + (time.perf_counter() - start)
+
         stop_reason = "exhausted"
         while True:
             reason = self.stopping_criteria(deadline)
@@ -253,36 +444,68 @@ class FuzzSchedule:
             v = self.queue.popleft()
             if parallel and not self._prefetched:
                 self._prefetch(v, executor)
+            failure: Optional[BaseException] = None
+            seed: Optional[Seed] = None
             if self._prefetched:
-                pv, flat = self._prefetched.popleft()
+                pv, payload = self._prefetched.popleft()
                 assert pv == v, "prefetch misaligned with queue"
-                seed = self._absorb(v, flat)
+                if isinstance(payload, BaseException):
+                    failure = payload
+                else:
+                    seed = self._absorb(v, payload)
             else:
-                seed = self.evaluate_seed(v)
-            if seed.n_new_offsets > 0:
-                self.new_itr = 0
-                n_offsets += seed.n_new_offsets
-            else:
+                try:
+                    seed = self.evaluate_seed(v)
+                except InjectedFault:
+                    raise  # simulated crashes must crash (checkpoint path)
+                except Exception as exc:
+                    if not res.quarantine:
+                        raise
+                    failure = exc
+            if seed is None:
+                # Quarantine: record and skip — no cluster update, no
+                # mutations, no RNG draws; the iteration still counts.
+                self.quarantined.append(
+                    QuarantinedSeed(v=v, iteration=self.itr,
+                                    error=repr(failure))
+                )
                 self.new_itr += 1
-            if seed.useful:
-                self.cl_u.add(seed.v)
             else:
-                self.cl_n.add(seed.v)
-            for child in self.mutate(seed):
-                if child not in self.seen:
-                    self.seen.add(child)
-                    self.queue.append(child)
+                if seed.n_new_offsets > 0:
+                    self.new_itr = 0
+                    self.n_offsets += seed.n_new_offsets
+                else:
+                    self.new_itr += 1
+                if seed.useful:
+                    self.cl_u.add(seed.v)
+                else:
+                    self.cl_n.add(seed.v)
+                for child in self.mutate(seed):
+                    if child not in self.seen:
+                        self.seen.add(child)
+                        self.queue.append(child)
             if self.itr % cfg.decay_iter == 0:
                 self.eps *= cfg.decay
-            trace.append((self.itr, time.perf_counter() - start, n_offsets))
+            self.trace.append((self.itr, elapsed(), self.n_offsets))
+            if res.checkpointing and self.itr % res.checkpoint_every == 0:
+                save_campaign_state(
+                    res.checkpoint_path, self.capture_state(elapsed())
+                )
+        if res.checkpointing:
+            # Final checkpoint so a post-campaign crash can still resume
+            # (and --resume on a finished campaign is a cheap no-op).
+            save_campaign_state(
+                res.checkpoint_path, self.capture_state(elapsed())
+            )
         return FuzzCampaignResult(
             flat_indices=np.flatnonzero(self.bitmap).astype(np.int64),
             seeds=self.seeds,
             iterations=self.itr,
             stop_reason=stop_reason,
-            elapsed_seconds=time.perf_counter() - start,
-            discovery_trace=trace,
+            elapsed_seconds=elapsed(),
+            discovery_trace=self.trace,
             final_eps=self.eps,
+            quarantined=self.quarantined,
         )
 
 

@@ -1,0 +1,44 @@
+"""Small shared I/O helpers: crash-safe (atomic) file replacement.
+
+A writer that crashes mid-``write`` leaves a half-written artifact at the
+destination path — the next reader then sees a truncated KND/KNDS file or
+a corrupt ``.npz``.  Every on-disk artifact this package produces goes
+through :func:`atomic_write` instead: bytes land in a temporary file in
+the *same directory* (so the final ``os.replace`` is a same-filesystem
+rename, which POSIX makes atomic), and the destination either keeps its
+old content or gets the complete new content — never a prefix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "wb") -> Iterator[IO]:
+    """Context manager yielding a temp file that replaces ``path`` on success.
+
+    On a clean exit the temporary file is flushed, fsynced, and renamed
+    over ``path``.  On an exception the temporary file is removed and the
+    destination is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    fh = os.fdopen(fd, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            fh.close()
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise

@@ -11,13 +11,42 @@ with pools directly, and so ``workers <= 1`` degrades to a plain ordered
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
 from repro.perf.config import PerfConfig
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass
+class Outcome(Generic[R]):
+    """Per-item result of a hardened batch evaluation.
+
+    Exactly one of ``value`` / ``error`` is meaningful, discriminated by
+    ``ok``.  A dead worker (``BrokenExecutor``) surfaces as a failed
+    outcome on the affected items, never as a batch-wide exception — the
+    caller (the resilience layer) decides retry vs. quarantine.
+    """
+
+    ok: bool
+    value: Optional[R] = None
+    error: Optional[BaseException] = None
+
+    @classmethod
+    def success(cls, value: R) -> "Outcome[R]":
+        return cls(ok=True, value=value)
+
+    @classmethod
+    def failure(cls, error: BaseException) -> "Outcome[R]":
+        return cls(ok=False, error=error)
 
 
 class CampaignExecutor:
@@ -96,6 +125,57 @@ class CampaignExecutor:
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in items]
         return [f.result() for f in futures]
+
+    def map_outcomes(self, fn: Callable[[T], R],
+                     items: Sequence[T]) -> List[Outcome[R]]:
+        """Hardened :meth:`map`: one :class:`Outcome` per item, in order.
+
+        A worker exception never poisons the batch — every other future's
+        result is still collected and returned.  If the pool itself broke
+        (a worker process died), the affected items come back as failed
+        outcomes and the pool is discarded so the next batch gets a fresh
+        one.  Callers decide per-item what failure means (retry serially,
+        quarantine the valuation, or abort).
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self.parallel:
+            out: List[Outcome[R]] = []
+            for item in items:
+                try:
+                    out.append(Outcome.success(fn(item)))
+                except Exception as exc:
+                    out.append(Outcome.failure(exc))
+            return out
+        pool = self._ensure_pool()
+        pool_broken = False
+        futures = []
+        for item in items:
+            try:
+                futures.append(pool.submit(fn, item))
+            except (BrokenExecutor, RuntimeError) as exc:
+                # submit() itself fails once the pool is broken/shut down;
+                # record the failure and keep the batch aligned.
+                futures.append(exc)
+                pool_broken = True
+        out = []
+        for f in futures:
+            if isinstance(f, BaseException):
+                out.append(Outcome.failure(f))
+                continue
+            try:
+                out.append(Outcome.success(f.result()))
+            except BrokenExecutor as exc:
+                out.append(Outcome.failure(exc))
+                pool_broken = True
+            except Exception as exc:
+                out.append(Outcome.failure(exc))
+        if pool_broken:
+            # Drop the carcass; _ensure_pool builds a fresh one next batch.
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        return out
 
 
 def make_executor(config: Optional[PerfConfig] = None) -> CampaignExecutor:

@@ -1,0 +1,54 @@
+"""Opt-in resilience layer: fault injection, self-healing, crash tolerance.
+
+Mirrors the perf layer's design (PR 1): a single frozen config block —
+:class:`ResilienceConfig`, carried by
+:class:`~repro.fuzzing.config.FuzzConfig` — switches every behaviour on,
+and the defaults are all *off*, which keeps the pipeline bit-identical to
+the seed.  Four pillars:
+
+* :mod:`repro.resilience.faults` — composable fault injectors (corrupt
+  bytes, flaky/hanging fetchers, dying workers, mid-campaign crashes)
+  used by the chaos test suite and the ``kondo chaos`` subcommand.
+* :mod:`repro.resilience.retry` — retry with exponential backoff,
+  deadlines, and a circuit breaker for the remote-fetch path.
+* :mod:`repro.resilience.healing` — the self-healing runtime: retries the
+  remote fetcher, falls back to a local full-file source when the breaker
+  opens, and accumulates misses into a subset patch.
+* :mod:`repro.resilience.checkpoint` — atomic fuzz-campaign checkpoints
+  for ``kondo analyze --resume``.
+"""
+
+from repro.resilience.checkpoint import (
+    load_campaign_state,
+    save_campaign_state,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.faults import (
+    ChaosMonkey,
+    CrashAt,
+    FailNTimes,
+    FlakyCallable,
+    corrupt_file,
+)
+from repro.resilience.healing import ResilientRuntime, SubsetPatch
+from repro.resilience.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "ChaosMonkey",
+    "CircuitBreaker",
+    "CrashAt",
+    "FailNTimes",
+    "FlakyCallable",
+    "ResilienceConfig",
+    "ResilientRuntime",
+    "RetryPolicy",
+    "SubsetPatch",
+    "corrupt_file",
+    "load_campaign_state",
+    "retry_call",
+    "save_campaign_state",
+]

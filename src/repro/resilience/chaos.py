@@ -1,0 +1,297 @@
+"""End-to-end chaos drills: run the pipeline with faults armed, verify
+the resilience layer heals every one of them.
+
+Five drills, one per failure class the resilience layer covers:
+
+1. **worker-killed** — debloat tests run on a pool with the first
+   ``kill_workers`` evaluations failing; worker recovery must replay
+   them serially and the campaign output must equal the fault-free run.
+2. **crash-resume** — the campaign is crashed at a chosen iteration and
+   resumed from its checkpoint; observed and carved offsets must be
+   bit-identical to the uninterrupted run.
+3. **flaky-fetch** — a deliberately-undersized subset is executed with a
+   remote fetcher failing at the configured rate; retry + breaker +
+   local fallback must serve every read.
+4. **heal** — the misses from drill 3 are re-carved into the subset; a
+   re-run of the healed subset must have zero misses.
+5. **corrupt-artifact** — KND/KNDS copies are byte-flipped and
+   truncated; every open must fail with ``FileFormatError``, never
+   garbage or an uncontrolled exception.
+
+Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.debloated import DebloatedArrayFile
+from repro.arraymodel.schema import ArraySchema
+from repro.core.pipeline import Kondo
+from repro.errors import FileFormatError, InjectedFault, KondoError
+from repro.fuzzing.config import FuzzConfig
+from repro.perf.config import PerfConfig
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.faults import CrashAt, FailNTimes, FlakyCallable, corrupt_file
+from repro.resilience.healing import ResilientRuntime
+from repro.workloads import default_dims, get_program
+
+
+@dataclass
+class ChaosCheck:
+    """Outcome of one chaos drill."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """All drill outcomes for one ``kondo chaos`` invocation."""
+
+    program: str
+    dims: Tuple[int, ...]
+    checks: List[ChaosCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def format(self) -> str:
+        lines = [f"chaos drills for {self.program} {self.dims}:"]
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name:16s} {c.detail}")
+        verdict = "survived all injected faults" if self.passed else \
+            "FAILED under injected faults"
+        lines.append(f"result: {verdict}")
+        return "\n".join(lines)
+
+
+def _wrap_test(kondo: Kondo, wrapper, *args):
+    """Wrap the pipeline's debloat test, preserving its ``n_flat``."""
+    test = kondo.make_test()
+    wrapped = wrapper(test, *args)
+    wrapped.n_flat = test.n_flat
+    return wrapped
+
+
+def run_chaos(
+    program_name: str,
+    dims: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    max_iter: int = 400,
+    fetch_fail_rate: float = 0.5,
+    crash_at: int = 150,
+    kill_workers: int = 1,
+    keep_fraction: float = 0.5,
+    workdir: Optional[str] = None,
+) -> ChaosReport:
+    """Run every chaos drill; return the per-drill report.
+
+    Args:
+        program_name: workload under test (e.g. ``"CS"``).
+        dims: array shape (program default when omitted).
+        seed: campaign RNG seed — drills compare against the fault-free
+            run on the *same* seed.
+        max_iter: campaign iteration budget (keeps drills fast).
+        fetch_fail_rate: injected remote-fetch failure probability.
+        crash_at: debloat-test call at which the campaign is crashed.
+        kill_workers: pooled evaluations that die before recovery.
+        keep_fraction: fraction of the carved subset shipped in the
+            flaky-fetch drill (``< 1`` guarantees observable misses).
+        workdir: scratch directory (a temp dir is created when omitted).
+    """
+    program = get_program(program_name)
+    dims = tuple(dims) if dims else default_dims(program)
+    fuzz = FuzzConfig(rng_seed=seed, max_iter=max_iter)
+    own_workdir = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="kondo-chaos-")
+    report = ChaosReport(program=program.name, dims=dims)
+    try:
+        # Fault-free reference run (serial, no resilience).
+        baseline = Kondo(program, dims, fuzz_config=fuzz).analyze()
+
+        report.checks.append(
+            _drill_worker_killed(program, dims, fuzz, baseline, kill_workers)
+        )
+        report.checks.append(
+            _drill_crash_resume(program, dims, fuzz, baseline, crash_at,
+                                workdir)
+        )
+        flaky_check, heal_check = _drill_flaky_fetch_and_heal(
+            program, dims, baseline, fetch_fail_rate, keep_fraction,
+            seed, workdir,
+        )
+        report.checks.append(flaky_check)
+        report.checks.append(heal_check)
+        report.checks.append(_drill_corrupt_artifacts(dims, workdir))
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def _identical(result, baseline) -> bool:
+    return (
+        np.array_equal(result.observed_flat, baseline.observed_flat)
+        and np.array_equal(result.carved_flat, baseline.carved_flat)
+    )
+
+
+def _drill_worker_killed(program, dims, fuzz, baseline,
+                         kill_workers: int) -> ChaosCheck:
+    resilience = ResilienceConfig(worker_recovery=True)
+    kondo = Kondo(
+        program, dims, fuzz_config=fuzz,
+        perf=PerfConfig(workers=2, batch_size=8),
+        resilience=resilience,
+    )
+    test = _wrap_test(kondo, FailNTimes, kill_workers)
+    try:
+        result = kondo.analyze(test=test)
+    except KondoError as exc:
+        return ChaosCheck("worker-killed", False, f"campaign died: {exc}")
+    ok = _identical(result, baseline)
+    return ChaosCheck(
+        "worker-killed", ok,
+        f"{test.failures} worker failure(s) injected, "
+        f"output {'identical to' if ok else 'DIVERGED from'} fault-free run",
+    )
+
+
+def _drill_crash_resume(program, dims, fuzz, baseline, crash_at: int,
+                        workdir: str) -> ChaosCheck:
+    ckpt = os.path.join(workdir, "campaign.ckpt.npz")
+    resilience = ResilienceConfig(
+        checkpoint_path=ckpt, checkpoint_every=max(1, crash_at // 4)
+    )
+    kondo = Kondo(program, dims, fuzz_config=fuzz, resilience=resilience)
+    test = _wrap_test(kondo, CrashAt, crash_at)
+    try:
+        kondo.analyze(test=test)
+        return ChaosCheck(
+            "crash-resume", False,
+            f"campaign survived a crash injected at call {crash_at}",
+        )
+    except InjectedFault:
+        pass
+    if not os.path.exists(ckpt):
+        return ChaosCheck("crash-resume", False, "no checkpoint written")
+    fresh = Kondo(program, dims, fuzz_config=fuzz, resilience=resilience)
+    try:
+        result = fresh.analyze(resume_from=ckpt)
+    except KondoError as exc:
+        return ChaosCheck("crash-resume", False, f"resume failed: {exc}")
+    ok = _identical(result, baseline)
+    return ChaosCheck(
+        "crash-resume", ok,
+        f"crashed at call {crash_at}, resumed from checkpoint, "
+        f"output {'identical to' if ok else 'DIVERGED from'} fault-free run",
+    )
+
+
+def _drill_flaky_fetch_and_heal(program, dims, baseline, fail_rate: float,
+                                keep_fraction: float, seed: int,
+                                workdir: str):
+    knd = os.path.join(workdir, "chaos.knd")
+    knds = os.path.join(workdir, "chaos.knds")
+    healed = os.path.join(workdir, "healed.knds")
+    data = np.random.default_rng(seed).standard_normal(dims)
+    source = ArrayFile.create(knd, ArraySchema(dims, "f8"), data)
+    # Ship an undersized subset so the drill observes real misses.
+    carved = baseline.carved_flat
+    kept = carved[: max(1, int(carved.size * keep_fraction))]
+    subset = DebloatedArrayFile.create(knds, source, keep_flat_indices=kept)
+    fetcher = FlakyCallable(source.read_point, fail_rate=fail_rate, seed=seed)
+    config = ResilienceConfig(
+        fetch_retries=3, fetch_backoff_s=0.0, breaker_threshold=5,
+        breaker_reset_s=60.0,
+    )
+    runtime = ResilientRuntime(
+        subset, remote_fetcher=fetcher, fallback_source=source,
+        config=config, sleep=lambda _s: None,
+    )
+    useful = [s.v for s in baseline.fuzz.seeds if s.useful]
+    vs = useful[: min(5, len(useful))]
+    try:
+        for v in vs:
+            program.run(runtime.read, v, dims)
+    except KondoError as exc:
+        source.close()
+        subset.close()
+        return (
+            ChaosCheck("flaky-fetch", False, f"runtime died on a miss: {exc}"),
+            ChaosCheck("heal", False, "skipped (flaky-fetch drill failed)"),
+        )
+    stats = runtime.stats
+    served = stats.hits + stats.remote_fetches + stats.fallback_reads
+    ok = stats.reads > 0 and served == stats.reads and stats.misses > 0
+    flaky = ChaosCheck(
+        "flaky-fetch", ok,
+        f"{stats.reads} reads, {stats.misses} misses, "
+        f"{stats.remote_fetches} fetched ({fetcher.failures} injected "
+        f"failures), {stats.fallback_reads} from local fallback",
+    )
+    # Heal: fold the observed misses back into the shipped subset.
+    runtime.heal(healed, source)
+    subset.close()
+    with DebloatedArrayFile.open(healed) as patched:
+        rerun = ResilientRuntime(patched, record_misses=False)
+        for v in vs:
+            program.run(rerun.read, v, dims)
+        heal_ok = rerun.stats.misses == 0 and rerun.stats.reads > 0
+        heal = ChaosCheck(
+            "heal", heal_ok,
+            f"patched subset ({stats.misses} misses re-carved): "
+            f"{rerun.stats.reads} reads, {rerun.stats.misses} misses on re-run",
+        )
+    source.close()
+    return flaky, heal
+
+
+def _drill_corrupt_artifacts(dims, workdir: str) -> ChaosCheck:
+    knd = os.path.join(workdir, "corrupt.knd")
+    knds = os.path.join(workdir, "corrupt.knds")
+    data = np.arange(int(np.prod(dims)), dtype="f8").reshape(dims)
+    source = ArrayFile.create(knd, ArraySchema(dims, "f8"), data)
+    DebloatedArrayFile.create(
+        knds, source, keep_flat_indices=np.arange(8, dtype=np.int64)
+    ).close()
+    source.close()
+    outcomes = []
+    scenarios = (
+        (knd, ArrayFile.open, "flip", None),
+        (knd, ArrayFile.open, "truncate", os.path.getsize(knd) // 2),
+        (knds, DebloatedArrayFile.open, "flip", None),
+        (knds, DebloatedArrayFile.open, "truncate",
+         os.path.getsize(knds) - 4),
+    )
+    for path, opener, mode, offset in scenarios:
+        broken = path + f".{mode}"
+        shutil.copyfile(path, broken)
+        if mode == "flip":
+            # Flip a payload byte (headers are small; damage the tail).
+            offset = os.path.getsize(broken) - 8
+        corrupt_file(broken, mode=mode, offset=offset)
+        try:
+            opener(broken).close()
+            outcomes.append(f"{os.path.basename(broken)}: opened silently")
+        except FileFormatError:
+            pass
+        except Exception as exc:  # noqa: BLE001 — the drill's whole point
+            outcomes.append(
+                f"{os.path.basename(broken)}: leaked {type(exc).__name__}"
+            )
+    ok = not outcomes
+    detail = ("4/4 corruptions detected as FileFormatError" if ok
+              else "; ".join(outcomes))
+    return ChaosCheck("corrupt-artifact", ok, detail)

@@ -1,0 +1,88 @@
+"""Atomic fuzz-campaign checkpoints.
+
+A campaign checkpoint captures *every* piece of mutable
+:class:`~repro.fuzzing.schedule.FuzzSchedule` state — the RNG bit
+generator, the seed queue and dedup set, the discovered-offset bitmap,
+the useful/non-useful clusters, the evaluated-seed history, epsilon, the
+iteration counters, the discovery trace, and the quarantine log — so that
+``kondo analyze --resume`` replays the remainder of an interrupted
+campaign *bit-identically* to the run that never crashed.  (Debloat tests
+are pure, Definition 2, so state + RNG is the whole story.)
+
+On disk a checkpoint is one ``.npz`` written through
+:func:`repro.ioutil.atomic_write`: a crash during checkpointing leaves the
+previous checkpoint intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write
+
+#: Checkpoint format version (bump on incompatible layout changes).
+CHECKPOINT_VERSION = 1
+
+#: State keys stored as JSON metadata (scalars + the RNG state tree).
+_META_KEYS = (
+    "version", "n_flat", "itr", "new_itr", "eps", "n_offsets",
+    "elapsed_s", "rng_state", "quarantine_errors",
+)
+#: State keys stored as numpy arrays.
+_ARRAY_KEYS = (
+    "queue", "seen", "bitmap_indices",
+    "seed_v", "seed_useful", "seed_new", "seed_iter",
+    "cl_u_centers", "cl_u_sizes", "cl_n_centers", "cl_n_sizes",
+    "trace", "quarantine_v", "quarantine_iter",
+)
+
+
+def save_campaign_state(path: str, state: Dict) -> None:
+    """Atomically persist a campaign state dict (see module docstring)."""
+    missing = [k for k in _META_KEYS + _ARRAY_KEYS if k not in state]
+    if missing:
+        raise CheckpointError(f"campaign state missing keys: {missing}")
+    meta = json.dumps({k: state[k] for k in _META_KEYS})
+    arrays = {k: np.asarray(state[k]) for k in _ARRAY_KEYS}
+    # savez appends ".npz" to bare paths; write through a buffer + atomic
+    # rename so the name is exactly ``path`` and the write can't tear.
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf, meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    )
+    with atomic_write(path) as fh:
+        fh.write(buf.getvalue())
+
+
+def load_campaign_state(path: str) -> Dict:
+    """Load and validate a checkpoint written by :func:`save_campaign_state`."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            state = {k: archive[k] for k in _ARRAY_KEYS}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"{path}: not a readable campaign checkpoint: {exc}"
+        ) from exc
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {meta.get('version')} unsupported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    state.update(meta)
+    n_flat = int(state["n_flat"])
+    bi = state["bitmap_indices"]
+    if bi.size and (bi.min() < 0 or bi.max() >= n_flat):
+        raise CheckpointError(
+            f"{path}: bitmap indices out of range for n_flat={n_flat}"
+        )
+    if len(state["quarantine_errors"]) != state["quarantine_v"].shape[0]:
+        raise CheckpointError(f"{path}: quarantine log length mismatch")
+    return state

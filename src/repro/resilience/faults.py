@@ -1,0 +1,228 @@
+"""Composable fault injectors for chaos testing the pipeline.
+
+Each injector wraps one dependency the pipeline trusts — file bytes, the
+remote fetcher, the executor's workers, the campaign loop itself — and
+makes it fail the way production does: corrupt artifacts, flaky or
+hanging RPCs, dying pool workers, processes killed mid-campaign.  The
+chaos test suite (``pytest -m chaos``) and the ``kondo chaos`` subcommand
+drive these against the resilience layer and assert the pipeline's output
+is unchanged.
+
+All randomness is seeded so every injected failure schedule replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FetchError, InjectedFault, ResilienceConfigError
+
+#: Supported byte-corruption modes for :func:`corrupt_file`.
+CORRUPTION_MODES = ("flip", "zero", "truncate")
+
+
+def corrupt_file(
+    path: str,
+    mode: str = "flip",
+    offset: Optional[int] = None,
+    length: int = 1,
+    seed: int = 0,
+) -> int:
+    """Corrupt an on-disk artifact in place; return the affected offset.
+
+    Args:
+        path: file to damage (KND/KNDS/npz/...).
+        mode: ``"flip"`` XOR-flips ``length`` bytes, ``"zero"`` zeroes
+            them, ``"truncate"`` cuts the file at the offset.
+        offset: byte position; when omitted, one is drawn uniformly from
+            the file (seeded, so the damage is reproducible).
+        length: bytes affected (flip/zero modes).
+        seed: RNG seed for the drawn offset.
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ResilienceConfigError(
+            f"mode must be one of {CORRUPTION_MODES}, got {mode!r}"
+        )
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ResilienceConfigError(f"{path}: cannot corrupt an empty file")
+    if offset is None:
+        offset = int(np.random.default_rng(seed).integers(0, size))
+    offset = min(max(int(offset), 0), size - 1)
+    if mode == "truncate":
+        with open(path, "r+b") as fh:
+            fh.truncate(offset)
+        return offset
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        chunk = bytearray(fh.read(length))
+        if not chunk:
+            chunk = bytearray(1)
+        for i in range(len(chunk)):
+            chunk[i] = 0 if mode == "zero" else chunk[i] ^ 0xFF
+        fh.seek(offset)
+        fh.write(bytes(chunk))
+    return offset
+
+
+class FlakyCallable:
+    """Wrap a callable so it fails (or hangs) probabilistically.
+
+    The failure schedule is drawn from a seeded RNG, independent of the
+    wrapped function's behaviour, so a retry of the same logical call can
+    succeed — exactly how a flaky network dependency behaves.
+
+    Args:
+        fn: the wrapped callable.
+        fail_rate: probability in ``[0, 1]`` that a call raises
+            :class:`FetchError`.
+        hang_s: when a call fails, optionally sleep this long first
+            (models a hanging RPC; keep small in tests).
+        seed: RNG seed for the failure schedule.
+        exception: factory for the raised error.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        fail_rate: float = 0.5,
+        hang_s: float = 0.0,
+        seed: int = 0,
+        exception: Callable[[str], BaseException] = FetchError,
+    ):
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ResilienceConfigError(
+                f"fail_rate must be in [0, 1], got {fail_rate}"
+            )
+        self.fn = fn
+        self.fail_rate = fail_rate
+        self.hang_s = hang_s
+        self.exception = exception
+        self._rng = np.random.default_rng(seed)
+        self.calls = 0
+        self.failures = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self._rng.uniform() < self.fail_rate:
+            self.failures += 1
+            if self.hang_s > 0:
+                time.sleep(self.hang_s)
+            raise self.exception(
+                f"injected fetch failure #{self.failures} "
+                f"(call {self.calls}, rate {self.fail_rate})"
+            )
+        return self.fn(*args, **kwargs)
+
+
+class FailNTimes:
+    """Wrap a callable so its first ``n`` invocations raise.
+
+    Models a worker that dies on its first ``n`` task(s) but whose work is
+    recoverable by replay — the executor-hardening path.  Thread-safe
+    enough for pool use: the counter may overshoot under races, which only
+    injects *more* failures, never fewer.
+    """
+
+    def __init__(self, fn: Callable, n: int = 1,
+                 exception: Callable[[str], BaseException] = InjectedFault):
+        self.fn = fn
+        self.n = n
+        self.exception = exception
+        self.calls = 0
+        self.failures = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.failures < self.n:
+            self.failures += 1
+            raise self.exception(
+                f"injected worker failure {self.failures}/{self.n}"
+            )
+        return self.fn(*args, **kwargs)
+
+
+class WorkerSuicide:
+    """A picklable wrapper that hard-kills the worker *process* once.
+
+    For ``backend="process"`` pools only: the first call in a fresh
+    worker calls ``os._exit``, which takes the whole
+    ``ProcessPoolExecutor`` down with ``BrokenProcessPool`` — the real
+    "killed worker" failure, not a polite exception.  The sentinel file
+    makes the suicide one-shot across processes.
+    """
+
+    def __init__(self, fn: Callable, sentinel_path: str):
+        self.fn = fn
+        self.sentinel_path = sentinel_path
+
+    def __call__(self, *args, **kwargs):
+        if not os.path.exists(self.sentinel_path):
+            with open(self.sentinel_path, "w") as fh:
+                fh.write(str(os.getpid()))
+            os._exit(17)
+        return self.fn(*args, **kwargs)
+
+
+class CrashAt:
+    """Wrap a debloat test so the campaign dies at a chosen iteration.
+
+    Raises :class:`InjectedFault` on the ``n``-th call (1-based), which —
+    by design — is *not* quarantined: it simulates the process crashing,
+    and the recovery story is the checkpoint + ``--resume`` path.
+    """
+
+    def __init__(self, fn: Callable, crash_on_call: int):
+        if crash_on_call < 1:
+            raise ResilienceConfigError(
+                f"crash_on_call must be >= 1, got {crash_on_call}"
+            )
+        self.fn = fn
+        self.crash_on_call = crash_on_call
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls == self.crash_on_call:
+            raise InjectedFault(
+                f"injected campaign crash at call {self.calls}"
+            )
+        return self.fn(*args, **kwargs)
+
+
+@dataclass
+class ChaosMonkey:
+    """A composed fault plan: which injectors to arm for one chaos run.
+
+    Used by :mod:`repro.resilience.chaos` to build the faulted pipeline;
+    fields are all optional so scenarios arm only the faults they test.
+    """
+
+    fetch_fail_rate: float = 0.0
+    fetch_seed: int = 0
+    kill_workers: int = 0
+    crash_on_call: Optional[int] = None
+    corrupt: Sequence[str] = field(default_factory=tuple)
+
+    def wrap_test(self, test: Callable) -> Callable:
+        """Arm the debloat-test-side injectors around ``test``."""
+        wrapped = test
+        if self.kill_workers > 0:
+            wrapped = FailNTimes(wrapped, n=self.kill_workers)
+        if self.crash_on_call is not None:
+            wrapped = CrashAt(wrapped, self.crash_on_call)
+        return wrapped
+
+    def wrap_fetcher(self, fetcher: Callable) -> Callable:
+        """Arm the fetch-side injectors around ``fetcher``."""
+        if self.fetch_fail_rate > 0:
+            return FlakyCallable(
+                fetcher, fail_rate=self.fetch_fail_rate, seed=self.fetch_seed
+            )
+        return fetcher

@@ -1,0 +1,167 @@
+"""The self-healing user-side runtime.
+
+Extends :class:`~repro.arraymodel.runtime.KondoRuntime` (paper Section
+III / Section VI) with production miss-handling:
+
+* the remote fetcher is retried with exponential backoff under a
+  deadline (transient network failures),
+* a circuit breaker stops calling a persistently-failing fetcher
+  (:class:`~repro.resilience.retry.CircuitBreaker`), and while it is
+  open — or when fetching keeps failing — reads **fall back to a local
+  full-file source** (the un-debloated KND file, the related-work
+  "lazy on-miss recovery" strategy),
+* every miss is accumulated into a :class:`SubsetPatch`, and
+  :meth:`ResilientRuntime.heal` re-carves the shipped subset with the
+  observed misses folded in, so repeated misses heal ``D_Theta`` instead
+  of costing a fetch forever.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.debloated import DebloatedArrayFile
+from repro.arraymodel.runtime import KondoRuntime, RemoteFetcher, RuntimeStats
+from repro.errors import DataMissingError, FetchError
+from repro.resilience.config import NO_RESILIENCE, ResilienceConfig
+from repro.resilience.retry import CircuitBreaker, RetryPolicy, retry_call
+
+
+@dataclass
+class HealingStats(RuntimeStats):
+    """Runtime counters plus the self-healing layer's own accounting."""
+
+    fetch_failures: int = 0
+    fetch_retries: int = 0
+    fallback_reads: int = 0
+    breaker_rejections: int = 0
+
+
+@dataclass
+class SubsetPatch:
+    """The misses a runtime observed, ready to re-carve into the subset."""
+
+    missed_indices: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def flat_offsets(self, layout) -> np.ndarray:
+        """Unique source payload byte offsets of the missed elements."""
+        if not self.missed_indices:
+            return np.empty(0, dtype=np.int64)
+        offs = np.asarray(
+            [layout.offset_of(i) for i in self.missed_indices], dtype=np.int64
+        )
+        return np.unique(offs)
+
+    def extents(self, layout, itemsize: int) -> List[Tuple[int, int]]:
+        """Missed elements as ``(offset, size)`` source byte extents."""
+        return [(int(o), itemsize) for o in self.flat_offsets(layout)]
+
+    @property
+    def n_missed(self) -> int:
+        return len(self.missed_indices)
+
+
+class ResilientRuntime(KondoRuntime):
+    """A :class:`KondoRuntime` whose miss path survives real-world failure.
+
+    Args:
+        subset: the shipped ``D_Theta`` (KNDS file).
+        remote_fetcher: the Section-VI remote pull callback (optional).
+        fallback_source: a local full KND file used when the fetcher is
+            unavailable, exhausted, or circuit-broken (optional).
+        config: resilience knobs (retry/backoff/deadline/breaker).
+        record_misses: keep per-index miss history (feeds :meth:`heal`).
+        clock / sleep: injectable time sources so tests never wait.
+    """
+
+    def __init__(
+        self,
+        subset: DebloatedArrayFile,
+        remote_fetcher: Optional[RemoteFetcher] = None,
+        fallback_source: Optional[ArrayFile] = None,
+        config: ResilienceConfig = NO_RESILIENCE,
+        record_misses: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        super().__init__(subset, remote_fetcher, record_misses)
+        self.config = config
+        self.fallback_source = fallback_source
+        self.policy = RetryPolicy.from_config(config)
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_reset_s, clock
+        )
+        self._clock = clock
+        self._sleep = sleep
+        self.stats = HealingStats()
+
+    # -- the resilient miss path -------------------------------------------
+
+    def read(self, index: Sequence[int]) -> float:
+        index = tuple(int(i) for i in index)
+        self.stats.reads += 1
+        try:
+            value = self.subset.read_point(index)
+            self.stats.hits += 1
+            return value
+        except DataMissingError as miss:
+            self.stats.misses += 1
+            if self.record_misses:
+                self.stats.missed_indices.append(index)
+            return self._recover(index, miss)
+
+    def _recover(self, index: Tuple[int, ...],
+                 miss: DataMissingError) -> float:
+        """Serve a Null access: retried fetch, then local fallback."""
+        fetch_error: Optional[BaseException] = None
+        if self.remote_fetcher is not None:
+            if self.breaker.allow():
+                try:
+                    value = retry_call(
+                        lambda: self.remote_fetcher(index),
+                        self.policy,
+                        clock=self._clock,
+                        sleep=self._sleep,
+                    )
+                    self.breaker.record_success()
+                    self.stats.remote_fetches += 1
+                    return value
+                except Exception as exc:
+                    self.breaker.record_failure()
+                    self.stats.fetch_failures += 1
+                    fetch_error = exc
+            else:
+                self.stats.breaker_rejections += 1
+        if self.fallback_source is not None:
+            self.stats.fallback_reads += 1
+            return float(self.fallback_source.read_point(index))
+        if fetch_error is not None:
+            raise FetchError(
+                f"remote fetch for index {index} failed and no fallback "
+                f"source is configured"
+            ) from fetch_error
+        raise miss
+
+    # -- subset patching ----------------------------------------------------
+
+    def build_patch(self) -> SubsetPatch:
+        """The misses observed so far, as a re-carvable patch."""
+        return SubsetPatch(missed_indices=list(self.stats.missed_indices))
+
+    def heal(self, out_path: str, source: ArrayFile) -> DebloatedArrayFile:
+        """Write a patched KNDS: the shipped extents plus every miss.
+
+        The new subset is carved from ``source`` so the healed file's
+        bytes come from the authoritative full file, and every index the
+        runtime missed becomes a hit for future executions.
+        """
+        patch = self.build_patch()
+        keep = list(self.subset.extents) + patch.extents(
+            source.layout, source.schema.itemsize
+        )
+        return DebloatedArrayFile.create(out_path, source, keep_extents=keep)

@@ -1,0 +1,198 @@
+"""Retry with exponential backoff, deadlines, and a circuit breaker.
+
+The building blocks the self-healing runtime composes around the remote
+fetcher (paper Section VI: "a container runtime can use audited
+information to pull missing data offsets from a remote server").  A real
+remote server fails in three ways — transiently (retry fixes it), slowly
+(a deadline bounds it), and persistently (a circuit breaker stops paying
+for it) — and each block here handles exactly one of those.
+
+Clocks and sleeps are injectable so tests (and deterministic campaigns)
+never actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import CircuitOpenError, FetchError, ResilienceConfigError
+from repro.resilience.config import ResilienceConfig
+
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a flaky call is retried.
+
+    Attributes:
+        retries: extra attempts after the first (0 = no retry).
+        backoff_s: delay before the first retry.
+        backoff_factor: multiplier applied to the delay per retry.
+        backoff_max_s: ceiling on any single delay.
+        deadline_s: wall-clock budget across all attempts (None = none).
+    """
+
+    retries: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ResilienceConfigError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ResilienceConfigError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ResilienceConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ResilienceConfigError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig) -> "RetryPolicy":
+        """The fetch-retry policy a :class:`ResilienceConfig` describes."""
+        return cls(
+            retries=config.fetch_retries,
+            backoff_s=config.fetch_backoff_s,
+            backoff_factor=config.fetch_backoff_factor,
+            backoff_max_s=config.fetch_backoff_max_s,
+            deadline_s=config.fetch_deadline_s,
+        )
+
+    def delays(self):
+        """Yield the backoff delay before each retry, in order."""
+        delay = self.backoff_s
+        for _ in range(self.retries):
+            yield min(delay, self.backoff_max_s)
+            delay *= self.backoff_factor
+
+
+def retry_call(
+    fn: Callable[[], R],
+    policy: RetryPolicy,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    retry_on: tuple = (Exception,),
+) -> R:
+    """Call ``fn`` with retries per ``policy``; raise the last failure.
+
+    A deadline overrun raises :class:`FetchError` chained from the most
+    recent underlying failure, so callers see both the budget and the
+    cause.
+    """
+    start = clock()
+    last: Optional[BaseException] = None
+    attempts = policy.retries + 1
+    for attempt, delay in enumerate(
+        list(policy.delays()) + [None]
+    ):  # delay *after* each failed attempt except the last
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt == attempts - 1:
+                raise
+            elapsed = clock() - start
+            if policy.deadline_s is not None and (
+                elapsed + (delay or 0.0) > policy.deadline_s
+            ):
+                raise FetchError(
+                    f"fetch deadline of {policy.deadline_s}s exceeded after "
+                    f"{attempt + 1} attempt(s)"
+                ) from exc
+            if delay:
+                sleep(delay)
+    raise FetchError("retry loop exited without result") from last
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker for a flaky dependency.
+
+    State machine:
+
+    * **closed** — calls pass through; ``threshold`` *consecutive*
+      failures trip the breaker open.
+    * **open** — calls are rejected immediately with
+      :class:`CircuitOpenError` until ``reset_s`` has elapsed.
+    * **half-open** — one probe call is allowed; success closes the
+      breaker, failure re-opens it (and restarts the reset clock).
+
+    ``threshold == 0`` disables the breaker entirely (always closed).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, threshold: int, reset_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if threshold < 0:
+            raise ResilienceConfigError(
+                f"threshold must be >= 0, got {threshold}"
+            )
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self.n_rejected = 0
+        self.n_trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current breaker state (promoting open → half-open on read)."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_s
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts rejections)."""
+        if not self.enabled or self.state != self.OPEN:
+            return True
+        self.n_rejected += 1
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` when the breaker rejects calls."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker open after {self._consecutive_failures} "
+                f"consecutive failures (retry in <= {self.reset_s}s)"
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        if not self.enabled:
+            return
+        self._consecutive_failures += 1
+        # A half-open probe failure re-opens immediately; in the closed
+        # state the consecutive-failure count has to reach the threshold.
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.threshold
+        ):
+            if self._state != self.OPEN:
+                self.n_trips += 1
+            self._state = self.OPEN
+            self._opened_at = self._clock()

@@ -160,3 +160,40 @@ class TestRoundtripWithInterposer:
             s_interp.accessed_ranges(str(p))
             == s_trace.accessed_ranges(str(p))
         )
+
+
+class TestLenientMode:
+    BAD_FD = 'read(banana, "", 10) = 10'
+    NO_PATH = "openat(AT_FDCWD, O_RDONLY) = 3"
+    GOOD = (
+        'openat(AT_FDCWD, "/data/a.knd", O_RDONLY) = 3\n'
+        'read(3, "", 16) = 16\n'
+    )
+
+    def test_strict_is_the_default_and_raises(self):
+        from repro.errors import TraceParseError
+
+        parser = StraceParser(session=AuditSession())
+        with pytest.raises(TraceParseError):
+            parser.feed_line(self.NO_PATH)
+
+    def test_lenient_counts_and_skips_malformed_lines(self):
+        session = AuditSession()
+        parser = StraceParser(session=session, lenient=True)
+        parser.feed(
+            (self.GOOD + self.BAD_FD + "\n" + self.NO_PATH).splitlines()
+        )
+        assert parser.skipped_lines == 2
+        assert parser.n_parsed == 2
+        # Good lines around the damage are still fully ingested.
+        assert session.accessed_ranges("/data/a.knd") == [(0, 16)]
+
+    def test_lenient_parse_strace_text(self):
+        text = self.GOOD + self.NO_PATH + "\n"
+        session = parse_strace_text(text, lenient=True)
+        assert session.accessed_ranges("/data/a.knd") == [(0, 16)]
+
+    def test_skipped_lines_zero_on_clean_trace(self):
+        parser = StraceParser(session=AuditSession(), lenient=True)
+        parser.feed(self.GOOD.splitlines())
+        assert parser.skipped_lines == 0

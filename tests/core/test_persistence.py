@@ -109,3 +109,29 @@ class TestArtifactDebloat:
         with pytest.raises(KondoError):
             artifact.debloat_file(src, str(tmp_path / "g.knds"),
                                   granularity="page")
+
+
+class TestAtomicSave:
+    def test_save_appends_npz_suffix_like_numpy(self, tmp_path, analysis):
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        bare = str(tmp_path / "artifact")
+        artifact.save(bare)
+        loaded = AnalysisArtifact.load(bare + ".npz")
+        assert np.array_equal(loaded.carved_flat, result.carved_flat)
+
+    def test_save_replaces_prior_artifact_atomically(self, tmp_path,
+                                                     analysis):
+        import os
+
+        _, result = analysis
+        artifact = AnalysisArtifact.from_result(result)
+        path = str(tmp_path / "a.npz")
+        artifact.save(path)
+        first_bytes = os.path.getsize(path)
+        artifact.save(path)  # overwrite in place
+        assert os.path.getsize(path) == first_bytes
+        loaded = AnalysisArtifact.load(path)
+        assert np.array_equal(loaded.carved_flat, result.carved_flat)
+        # No temp files left next to the artifact.
+        assert os.listdir(str(tmp_path)) == ["a.npz"]

@@ -65,3 +65,54 @@ class TestCampaignExecutor:
         assert ex.workers == 3
         assert ex.batch_size == 7
         assert ex.parallel
+
+
+class TestMapOutcomes:
+    """Hardened batch path: one Outcome per item, failures never poison
+    the batch, a broken pool is discarded and lazily recreated."""
+
+    def test_serial_mixed_success_and_failure(self):
+        def fn(x):
+            if x % 2:
+                raise ValueError(f"odd {x}")
+            return x * 10
+
+        ex = make_executor(PerfConfig(workers=0))
+        outcomes = ex.map_outcomes(fn, [0, 1, 2, 3])
+        assert [o.ok for o in outcomes] == [True, False, True, False]
+        assert [o.value for o in outcomes if o.ok] == [0, 20]
+        assert all(isinstance(o.error, ValueError)
+                   for o in outcomes if not o.ok)
+
+    def test_parallel_one_failure_does_not_poison_the_batch(self):
+        def fn(x):
+            if x == 2:
+                raise RuntimeError("worker died")
+            return -x
+
+        with make_executor(PerfConfig(workers=3)) as ex:
+            outcomes = ex.map_outcomes(fn, [1, 2, 3, 4])
+            assert [o.ok for o in outcomes] == [True, False, True, True]
+            assert outcomes[1].error.args == ("worker died",)
+            assert [o.value for o in outcomes if o.ok] == [-1, -3, -4]
+
+    def test_empty_batch(self):
+        with make_executor(PerfConfig(workers=2)) as ex:
+            assert ex.map_outcomes(lambda x: x, []) == []
+
+    def test_matches_map_when_nothing_fails(self):
+        with make_executor(PerfConfig(workers=2)) as ex:
+            items = list(range(20))
+            assert [o.value for o in ex.map_outcomes(lambda x: x + 1, items)] \
+                == ex.map(lambda x: x + 1, items)
+
+    def test_submit_failure_after_shutdown_yields_failed_outcomes(self):
+        ex = make_executor(PerfConfig(workers=2))
+        pool = ex._ensure_pool()
+        pool.shutdown(wait=True)  # simulate a pool dying under us
+        outcomes = ex.map_outcomes(lambda x: x, [1, 2])
+        assert all(not o.ok for o in outcomes)
+        assert ex._pool is None  # carcass discarded
+        # Next batch transparently gets a fresh pool.
+        assert [o.value for o in ex.map_outcomes(lambda x: x, [3])] == [3]
+        ex.close()

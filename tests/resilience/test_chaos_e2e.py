@@ -1,0 +1,109 @@
+"""End-to-end chaos acceptance drills (``pytest -m chaos``).
+
+These run whole fuzz+carve campaigns under injected faults and assert
+the ISSUE acceptance criterion: with a flaky fetcher, a killed worker,
+and a mid-campaign crash + resume, the pipeline completes and its carved
+indices are identical to the fault-free run on the same seed.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import InjectedFault
+from repro.perf.config import PerfConfig
+from repro.perf.executor import make_executor
+from repro.resilience.chaos import run_chaos
+from repro.resilience.faults import WorkerSuicide
+
+pytestmark = pytest.mark.chaos
+
+
+class TestChaosDrills:
+    def test_pipeline_survives_all_injected_faults(self, tmp_path):
+        report = run_chaos(
+            "CS", dims=(32, 32), seed=0, max_iter=300,
+            fetch_fail_rate=0.5, crash_at=120, kill_workers=1,
+            workdir=str(tmp_path),
+        )
+        failures = [c for c in report.checks if not c.passed]
+        assert not failures, report.format()
+        assert {c.name for c in report.checks} == {
+            "worker-killed", "crash-resume", "flaky-fetch", "heal",
+            "corrupt-artifact",
+        }
+
+    def test_different_seed_still_survives(self, tmp_path):
+        report = run_chaos(
+            "CS", dims=(32, 32), seed=7, max_iter=250, crash_at=90,
+            workdir=str(tmp_path),
+        )
+        assert report.passed, report.format()
+
+
+class TestKilledWorkerProcess:
+    def test_dead_process_worker_surfaces_as_failed_outcomes(self,
+                                                             tmp_path):
+        """A worker killed with os._exit — the real SIGKILL-style death —
+        breaks the process pool; map_outcomes must convert that into
+        per-item failures and recover on the next batch."""
+        sentinel = str(tmp_path / "suicide.sentinel")
+        suicidal = WorkerSuicide(_square, sentinel)
+        with make_executor(PerfConfig(workers=2, backend="process")) as ex:
+            outcomes = ex.map_outcomes(suicidal, [1, 2, 3, 4])
+            assert any(not o.ok for o in outcomes)
+            assert os.path.exists(sentinel)
+            # The pool was discarded; a fresh one serves the next batch.
+            retry = ex.map_outcomes(suicidal, [5, 6])
+            assert [o.value for o in retry if o.ok] == [25, 36]
+
+
+def _square(x):
+    return x * x
+
+
+class TestChaosCli:
+    def test_kondo_chaos_exits_zero_on_survival(self, capsys):
+        rc = main(["chaos", "CS", "--dims", "32x32", "--max-iter", "250",
+                   "--crash-at", "90"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "survived all injected faults" in out
+
+    def test_analyze_checkpoint_resume_flags(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.npz")
+        assert main(["analyze", "CS", "--dims", "32x32",
+                     "--checkpoint", ckpt, "--checkpoint-every", "50"]) == 0
+        first = capsys.readouterr().out.strip().splitlines()[0]
+        assert os.path.exists(ckpt)
+        assert main(["analyze", "CS", "--dims", "32x32",
+                     "--checkpoint", ckpt, "--resume"]) == 0
+        resumed = capsys.readouterr().out.strip().splitlines()[0]
+        # Same campaign facts either way (timing text differs).
+        assert first.split(" in ")[0] == resumed.split(" in ")[0]
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        assert main(["analyze", "CS", "--dims", "32x32", "--resume"]) == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestInjectedFaultSemantics:
+    def test_injected_fault_is_not_quarantined(self):
+        """InjectedFault models a process crash: even with quarantine on,
+        it must abort the campaign (checkpoint+resume is the recovery)."""
+        from repro.core.pipeline import Kondo
+        from repro.fuzzing import FuzzConfig
+        from repro.resilience.chaos import _wrap_test
+        from repro.resilience.config import ResilienceConfig
+        from repro.resilience.faults import CrashAt
+        from repro.workloads import get_program
+
+        kondo = Kondo(
+            get_program("CS"), (32, 32),
+            fuzz_config=FuzzConfig(rng_seed=0, max_iter=100),
+            resilience=ResilienceConfig(quarantine=True),
+        )
+        test = _wrap_test(kondo, CrashAt, 10)
+        with pytest.raises(InjectedFault):
+            kondo.analyze(test=test)

@@ -1,0 +1,142 @@
+"""The fault injectors themselves: deterministic, composable, bounded."""
+
+import os
+
+import pytest
+
+from repro.errors import FetchError, InjectedFault, ResilienceConfigError
+from repro.resilience.faults import (
+    ChaosMonkey,
+    CrashAt,
+    FailNTimes,
+    FlakyCallable,
+    corrupt_file,
+)
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    path = str(tmp_path / "artifact.bin")
+    with open(path, "wb") as fh:
+        fh.write(bytes(range(256)))
+    return path
+
+
+class TestCorruptFile:
+    def test_flip_inverts_bytes(self, artifact):
+        offset = corrupt_file(artifact, mode="flip", offset=10, length=3)
+        assert offset == 10
+        with open(artifact, "rb") as fh:
+            data = fh.read()
+        assert data[10:13] == bytes(b ^ 0xFF for b in bytes(range(256))[10:13])
+        assert data[:10] == bytes(range(10))
+
+    def test_zero_clears_bytes(self, artifact):
+        corrupt_file(artifact, mode="zero", offset=5, length=4)
+        with open(artifact, "rb") as fh:
+            assert fh.read()[5:9] == b"\x00" * 4
+
+    def test_truncate_cuts_file(self, artifact):
+        corrupt_file(artifact, mode="truncate", offset=100)
+        assert os.path.getsize(artifact) == 100
+
+    def test_random_offset_is_seeded(self, tmp_path):
+        paths = []
+        for i in range(2):
+            p = str(tmp_path / f"a{i}.bin")
+            with open(p, "wb") as fh:
+                fh.write(bytes(256))
+            paths.append(p)
+        assert (corrupt_file(paths[0], seed=7)
+                == corrupt_file(paths[1], seed=7))
+
+    def test_unknown_mode_rejected(self, artifact):
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="shred")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.bin")
+        open(path, "wb").close()
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(path)
+
+
+class TestFlakyCallable:
+    def test_failure_schedule_is_seeded(self):
+        a = FlakyCallable(lambda: 1, fail_rate=0.5, seed=3)
+        b = FlakyCallable(lambda: 1, fail_rate=0.5, seed=3)
+
+        def outcomes(f):
+            out = []
+            for _ in range(50):
+                try:
+                    f()
+                    out.append(True)
+                except FetchError:
+                    out.append(False)
+            return out
+
+        assert outcomes(a) == outcomes(b)
+
+    def test_rate_zero_never_fails(self):
+        flaky = FlakyCallable(lambda x: x * 2, fail_rate=0.0)
+        assert [flaky(i) for i in range(20)] == [i * 2 for i in range(20)]
+        assert flaky.failures == 0
+
+    def test_rate_one_always_fails(self):
+        flaky = FlakyCallable(lambda: 1, fail_rate=1.0)
+        for _ in range(5):
+            with pytest.raises(FetchError):
+                flaky()
+        assert flaky.failures == flaky.calls == 5
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ResilienceConfigError):
+            FlakyCallable(lambda: 1, fail_rate=1.5)
+
+
+class TestFailNTimes:
+    def test_first_n_calls_raise_then_pass_through(self):
+        wrapped = FailNTimes(lambda x: x + 1, n=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                wrapped(0)
+        assert wrapped(41) == 42
+        assert wrapped.failures == 2
+        assert wrapped.calls == 3
+
+    def test_custom_exception(self):
+        wrapped = FailNTimes(lambda: 1, n=1, exception=FetchError)
+        with pytest.raises(FetchError):
+            wrapped()
+
+
+class TestCrashAt:
+    def test_crashes_on_exact_call(self):
+        wrapped = CrashAt(lambda x: x, crash_on_call=3)
+        assert wrapped(1) == 1
+        assert wrapped(2) == 2
+        with pytest.raises(InjectedFault, match="call 3"):
+            wrapped(3)
+        # Only the chosen call crashes; the wrapper passes through after.
+        assert wrapped(4) == 4
+
+    def test_requires_positive_call_number(self):
+        with pytest.raises(ResilienceConfigError):
+            CrashAt(lambda: 1, crash_on_call=0)
+
+
+class TestChaosMonkey:
+    def test_wrap_test_composes_injectors(self):
+        monkey = ChaosMonkey(kill_workers=1, crash_on_call=5)
+        wrapped = monkey.wrap_test(lambda x: x)
+        assert isinstance(wrapped, CrashAt)
+        assert isinstance(wrapped.fn, FailNTimes)
+
+    def test_wrap_fetcher_noop_without_fail_rate(self):
+        fetch = lambda idx: 0.0  # noqa: E731
+        assert ChaosMonkey().wrap_fetcher(fetch) is fetch
+        assert isinstance(
+            ChaosMonkey(fetch_fail_rate=0.5).wrap_fetcher(fetch),
+            FlakyCallable,
+        )

@@ -1,0 +1,171 @@
+"""Retry policy, backoff schedule, deadlines, and the circuit breaker."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, FetchError, ResilienceConfigError
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.retry import CircuitBreaker, RetryPolicy, retry_call
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, s):
+        self.now += s
+
+
+class TestRetryPolicy:
+    def test_delays_are_geometric_and_capped(self):
+        policy = RetryPolicy(retries=5, backoff_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_zero_retries_means_no_delays(self):
+        assert list(RetryPolicy(retries=0).delays()) == []
+
+    def test_from_config_maps_fetch_fields(self):
+        cfg = ResilienceConfig(fetch_retries=2, fetch_backoff_s=0.01,
+                               fetch_backoff_factor=3.0,
+                               fetch_backoff_max_s=1.0,
+                               fetch_deadline_s=5.0)
+        policy = RetryPolicy.from_config(cfg)
+        assert policy.retries == 2
+        assert policy.backoff_s == 0.01
+        assert policy.backoff_factor == 3.0
+        assert policy.deadline_s == 5.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1},
+        {"backoff_s": -0.1},
+        {"backoff_factor": 0.5},
+        {"deadline_s": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ResilienceConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_success_first_try_never_sleeps(self):
+        clock = FakeClock()
+        result = retry_call(lambda: 42, RetryPolicy(retries=3),
+                            clock=clock, sleep=clock.sleep)
+        assert result == 42
+        assert clock.now == 0.0
+
+    def test_succeeds_after_transient_failures(self):
+        clock = FakeClock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FetchError("transient")
+            return "ok"
+
+        policy = RetryPolicy(retries=3, backoff_s=0.1, backoff_factor=2.0)
+        assert retry_call(flaky, policy, clock=clock,
+                          sleep=clock.sleep) == "ok"
+        assert len(calls) == 3
+        assert clock.now == pytest.approx(0.1 + 0.2)
+
+    def test_raises_last_error_when_exhausted(self):
+        clock = FakeClock()
+
+        def always():
+            raise FetchError("down")
+
+        with pytest.raises(FetchError, match="down"):
+            retry_call(always, RetryPolicy(retries=2, backoff_s=0.0),
+                       clock=clock, sleep=clock.sleep)
+
+    def test_deadline_cuts_retries_short(self):
+        clock = FakeClock()
+        calls = []
+
+        def always():
+            calls.append(1)
+            clock.now += 1.0
+            raise ValueError("down")
+
+        policy = RetryPolicy(retries=10, backoff_s=1.0, backoff_factor=1.0,
+                             deadline_s=3.0)
+        with pytest.raises(FetchError, match="deadline"):
+            retry_call(always, policy, clock=clock, sleep=clock.sleep)
+        assert len(calls) < 11
+
+    def test_retry_on_filters_exception_types(self):
+        def boom():
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_call(boom, RetryPolicy(retries=3, backoff_s=0.0),
+                       retry_on=(FetchError,))
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.n_rejected == 1
+        assert breaker.n_trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0,
+                                 clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # one failure re-opens from half-open
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.n_trips == 2
+
+    def test_check_raises_circuit_open(self):
+        breaker = CircuitBreaker(threshold=1, reset_s=60.0,
+                                 clock=FakeClock())
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_threshold_zero_disables(self):
+        breaker = CircuitBreaker(threshold=0, clock=FakeClock())
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.allow()
+        assert not breaker.enabled
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ResilienceConfigError):
+            CircuitBreaker(threshold=-1)

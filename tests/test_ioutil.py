@@ -1,0 +1,58 @@
+"""Atomic artifact writes: all-or-nothing, never a torn file."""
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_complete_file(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path) as fh:
+            fh.write(b"hello ")
+            fh.write(b"world")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"hello world"
+
+    def test_failure_leaves_no_file_behind(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write(b"partial")
+                raise RuntimeError("writer crashed")
+        assert not os.path.exists(path)
+        assert os.listdir(str(tmp_path)) == []  # temp file cleaned up too
+
+    def test_failure_preserves_previous_version(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path) as fh:
+            fh.write(b"version 1")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write(b"version 2 (torn)")
+                raise RuntimeError("writer crashed")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"version 1"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        for payload in (b"first", b"second"):
+            with atomic_write(path) as fh:
+                fh.write(payload)
+        with open(path, "rb") as fh:
+            assert fh.read() == b"second"
+
+    def test_text_mode(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path, mode="w") as fh:
+            fh.write("text payload")
+        with open(path) as fh:
+            assert fh.read() == "text payload"
+
+    def test_no_temp_files_linger_after_success(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path) as fh:
+            fh.write(b"x")
+        assert os.listdir(str(tmp_path)) == ["out.bin"]
