@@ -1,0 +1,37 @@
+"""``kondo check`` — a from-scratch, pluggable AST invariant linter.
+
+Kondo's correctness properties — bit-identical campaign replay, never a
+torn artifact, failures surfacing through the error taxonomy, a layered
+import DAG — are *whole-program dataflow properties* the test suite can
+only sample.  This package enforces them statically: a project loader
+and import-graph builder, per-file AST visitors with alias resolution,
+a finding model with stable rule IDs, inline suppressions
+(``# kondo: allow[KND00X] reason``), a committed baseline for
+grandfathered findings, and text/JSON/SARIF reporters.
+
+Run it as ``kondo check src/repro`` or ``python -m repro.analysis``;
+the rule catalog lives in :mod:`repro.analysis.rules`.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import CheckResult, main, run_check
+from repro.analysis.imports import ImportEdge, ImportGraph
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, all_rules, register
+
+__all__ = [
+    "Baseline",
+    "CheckResult",
+    "Finding",
+    "ImportEdge",
+    "ImportGraph",
+    "Project",
+    "ProjectFile",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "main",
+    "register",
+    "run_check",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — same door as ``kondo check``."""
+
+import sys
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.analysis"))

@@ -1,0 +1,86 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file mapping finding fingerprints (see
+:meth:`~repro.analysis.model.Finding.fingerprint`) to an occurrence
+count plus human-readable context.  ``kondo check`` subtracts baselined
+occurrences before failing, so a legacy hazard can be burned down
+incrementally while any *new* occurrence of the same hazard still fails
+the build.  Fingerprints hash the offending source line, not its line
+number, so unrelated edits don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.model import Finding
+from repro.ioutil import atomic_write
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".kondo-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed occurrence count (+ context for humans)."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')}"
+            )
+        return cls(entries=dict(data.get("findings", {})))
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[str, dict] = {}
+        for f in findings:
+            fp = f.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] += 1
+            else:
+                entries[fp] = {
+                    "rule": f.rule_id,
+                    "module": f.module,
+                    "snippet": f.snippet,
+                    "count": 1,
+                }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {"version": BASELINE_VERSION,
+                   "findings": dict(sorted(self.entries.items()))}
+        with atomic_write(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def split(self, findings: List[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, grandfathered) against this baseline."""
+        budget = Counter(
+            {fp: e.get("count", 1) for fp, e in self.entries.items()})
+        fresh: List[Finding] = []
+        old: List[Finding] = []
+        for f in findings:
+            fp = f.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                old.append(f)
+            else:
+                fresh.append(f)
+        return fresh, old
+
+    def rules_present(self) -> Counter:
+        """Rule ID -> number of grandfathered occurrences."""
+        counts: Counter = Counter()
+        for entry in self.entries.values():
+            counts[entry.get("rule", "?")] += entry.get("count", 1)
+        return counts

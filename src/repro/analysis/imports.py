@@ -1,0 +1,145 @@
+"""Project-wide import-graph builder.
+
+Edges are extracted per file with two flags the layering rule depends on:
+
+* ``deferred`` — the import sits inside a function body.  Deferred
+  imports are the sanctioned way to break package cycles (the price is a
+  lookup at call time, not at import time), so the layering rule skips
+  them.
+* ``type_checking`` — the import sits under ``if TYPE_CHECKING:`` and
+  never executes at runtime.
+
+``from pkg import name`` resolves to ``pkg.name`` when that is a module
+of the scanned project, otherwise to ``pkg`` — so ``from repro import
+experiments`` lands on ``repro.experiments``, while ``from repro.errors
+import KondoError`` lands on ``repro.errors``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    src: str          # importing module
+    target: str       # imported module (best-effort resolved)
+    lineno: int
+    col: int
+    deferred: bool
+    type_checking: bool
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_from(module: Optional[str], level: int, src_module: str,
+                  name: str, project_modules: Set[str]) -> Optional[str]:
+    if level:
+        # Relative import: resolve against the source module's package.
+        parts = src_module.split(".")
+        base = parts[: len(parts) - level]
+        if not base:
+            return None
+        module = ".".join(base + ([module] if module else []))
+    if module is None:
+        return None
+    candidate = f"{module}.{name}"
+    return candidate if candidate in project_modules else module
+
+
+def file_edges(tree: ast.Module, src_module: str,
+               project_modules: Set[str]) -> List[ImportEdge]:
+    """Every import edge of one parsed file."""
+    edges: List[ImportEdge] = []
+
+    def visit(node: ast.AST, deferred: bool, type_checking: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            c_deferred = deferred or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            c_tc = type_checking or (
+                isinstance(child, ast.If)
+                and _is_type_checking_test(child.test))
+            if isinstance(child, ast.Import):
+                for a in child.names:
+                    edges.append(ImportEdge(
+                        src=src_module, target=a.name,
+                        lineno=child.lineno, col=child.col_offset + 1,
+                        deferred=deferred, type_checking=type_checking))
+            elif isinstance(child, ast.ImportFrom):
+                for a in child.names:
+                    target = _resolve_from(
+                        child.module, child.level, src_module,
+                        a.name, project_modules)
+                    if target is not None:
+                        edges.append(ImportEdge(
+                            src=src_module, target=target,
+                            lineno=child.lineno, col=child.col_offset + 1,
+                            deferred=deferred, type_checking=type_checking))
+            else:
+                visit(child, c_deferred, c_tc)
+    visit(tree, deferred=False, type_checking=False)
+    return edges
+
+
+@dataclass
+class ImportGraph:
+    """All edges of a project, with cycle detection over hard edges."""
+
+    edges: List[ImportEdge] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, files: Iterable) -> "ImportGraph":
+        """Build from an iterable of :class:`~...project.ProjectFile`."""
+        files = list(files)
+        project_modules = {pf.module for pf in files}
+        graph = cls()
+        for pf in files:
+            graph.edges.extend(
+                file_edges(pf.tree, pf.module, project_modules))
+        return graph
+
+    def hard_edges(self) -> List[ImportEdge]:
+        """Import-time edges only (no deferred / TYPE_CHECKING)."""
+        return [e for e in self.edges
+                if not e.deferred and not e.type_checking]
+
+    def adjacency(self, prefix: str = "") -> Dict[str, Set[str]]:
+        adj: Dict[str, Set[str]] = {}
+        for e in self.hard_edges():
+            if prefix and not e.target.startswith(prefix):
+                continue
+            adj.setdefault(e.src, set()).add(e.target)
+        return adj
+
+    def cycles(self, prefix: str = "") -> List[List[str]]:
+        """Module-level import cycles among hard edges (DFS)."""
+        adj = self.adjacency(prefix)
+        out: List[List[str]] = []
+        seen: Set[str] = set()
+        stack: List[str] = []
+        on_stack: Set[str] = set()
+
+        def dfs(node: str) -> None:
+            seen.add(node)
+            stack.append(node)
+            on_stack.add(node)
+            for nxt in sorted(adj.get(node, ())):
+                if nxt not in seen:
+                    dfs(nxt)
+                elif nxt in on_stack:
+                    out.append(stack[stack.index(nxt):] + [nxt])
+            stack.pop()
+            on_stack.remove(node)
+
+        for node in sorted(adj):
+            if node not in seen:
+                dfs(node)
+        return out

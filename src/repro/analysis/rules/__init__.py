@@ -1,0 +1,35 @@
+"""The Kondo rule catalog — importing this package registers every rule.
+
+Rule IDs are stable and append-only:
+
+* ``KND001`` determinism — no global RNG / unseeded ``default_rng`` /
+  wall-clock timestamps in replay-critical packages.
+* ``KND002`` atomic-write — no raw writable ``open()`` outside
+  ``repro.ioutil``.
+* ``KND003`` error-taxonomy — broad ``except`` must re-raise or feed
+  the Outcome path.
+* ``KND004`` layering — imports follow the architecture DAG.
+* ``KND005`` executor-purity — pooled callables don't touch mutable
+  module globals.
+* ``KND006`` resource-hygiene — file handles in ``audit``/``arraymodel``
+  are closed.
+
+(``KND000`` is reserved for framework diagnostics.)
+"""
+
+from repro.analysis.rules.knd001_determinism import DeterminismRule
+from repro.analysis.rules.knd002_atomic_write import AtomicWriteRule
+from repro.analysis.rules.knd003_error_taxonomy import ErrorTaxonomyRule
+from repro.analysis.rules.knd004_layering import LAYERS, LayeringRule
+from repro.analysis.rules.knd005_executor_purity import ExecutorPurityRule
+from repro.analysis.rules.knd006_resource_hygiene import ResourceHygieneRule
+
+__all__ = [
+    "LAYERS",
+    "AtomicWriteRule",
+    "DeterminismRule",
+    "ErrorTaxonomyRule",
+    "ExecutorPurityRule",
+    "LayeringRule",
+    "ResourceHygieneRule",
+]

@@ -1,0 +1,94 @@
+"""KND005 — callables handed to executor pools must be pure of globals.
+
+The campaign executor's replay guarantee (PR 1) rests on debloat tests
+being *pure*: a value maps to the same offsets on every run, in any
+process.  A callable submitted to a pool that mutates or reads mutable
+module-level state silently couples workers through shared memory on the
+thread backend — and silently *diverges* from it on the process backend,
+where each worker gets its own copy.  Either way replay identity dies.
+
+The rule inspects calls that submit work to an executor or pool
+(``*.map`` / ``*.map_outcomes`` / ``*.submit`` on a receiver whose name
+mentions ``executor`` or ``pool``) and resolves the submitted callable
+when it is a lambda or a module-level function of the same file; free
+variables that resolve to *mutable* module globals are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+from repro.analysis.scopes import free_name_loads, mutable_module_globals
+
+SUBMIT_METHODS = {"map", "map_outcomes", "submit"}
+
+
+def _receiver_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _receiver_name(node.func)
+    return ""
+
+
+def _is_pool_submit(call: ast.Call) -> bool:
+    if not (isinstance(call.func, ast.Attribute)
+            and call.func.attr in SUBMIT_METHODS and call.args):
+        return False
+    recv = _receiver_name(call.func.value).lower()
+    return "executor" in recv or "pool" in recv
+
+
+def _module_function(tree: ast.Module, name: str
+                     ) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+@register
+class ExecutorPurityRule(Rule):
+    rule_id = "KND005"
+    name = "executor-purity"
+    severity = Severity.WARNING
+    summary = ("callables submitted to perf.executor pools must not "
+               "close over mutable module globals")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        mutables = mutable_module_globals(pf.tree)
+        if not mutables:
+            return
+        for node in ast.walk(pf.tree):
+            if not (isinstance(node, ast.Call) and _is_pool_submit(node)):
+                continue
+            fn_arg = node.args[0]
+            target: Optional[ast.AST] = None
+            label = ""
+            if isinstance(fn_arg, ast.Lambda):
+                target = fn_arg
+                label = "lambda"
+            elif isinstance(fn_arg, ast.Name):
+                target = _module_function(pf.tree, fn_arg.id)
+                label = fn_arg.id
+            if target is None:
+                continue
+            seen = set()
+            for load in free_name_loads(target):
+                if load.id in mutables and load.id not in seen:
+                    seen.add(load.id)
+                    yield self.finding(
+                        pf, node,
+                        f"callable {label!r} submitted to an executor "
+                        f"pool reads/writes mutable module global "
+                        f"{load.id!r}; pass the state in as an argument "
+                        f"or make the callable pure",
+                    )

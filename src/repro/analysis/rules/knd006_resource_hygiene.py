@@ -1,0 +1,102 @@
+"""KND006 — every file handle in the data-plane packages is closed.
+
+``audit`` and ``arraymodel`` sit on the hot read path: the audit
+interposer and the KND/KNDS/KNB readers hold OS file descriptors for the
+lifetime of a campaign.  A leaked handle there survives millions of
+debloat tests (the production north star), eventually exhausting the fd
+table.  Every builtin ``open()`` in those packages must be either:
+
+* the context expression of a ``with`` statement, or
+* assigned to a name/attribute on which ``.close()`` is visibly called
+  in the same function — or, for ``self.X = open(...)``, anywhere in
+  the enclosing class (the reader-object pattern: ``__init__`` opens,
+  ``close()`` closes, ``__exit__`` delegates).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+
+SCOPED_PACKAGES = ("repro.audit", "repro.arraymodel")
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in SCOPED_PACKAGES)
+
+
+def _enclosing(pf: ProjectFile, node: ast.AST, kinds) -> Optional[ast.AST]:
+    parents = pf.parents()
+    cur: Optional[ast.AST] = parents.get(id(node))
+    while cur is not None:
+        if isinstance(cur, kinds):
+            return cur
+        cur = parents.get(id(cur))
+    return None
+
+
+def _close_called_on(scope: ast.AST, target: ast.expr) -> bool:
+    """Is ``<target>.close()`` called anywhere under ``scope``?"""
+    for node in ast.walk(scope):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"):
+            continue
+        recv = node.func.value
+        if isinstance(target, ast.Name):
+            if isinstance(recv, ast.Name) and recv.id == target.id:
+                return True
+        elif isinstance(target, ast.Attribute):
+            if (isinstance(recv, ast.Attribute)
+                    and recv.attr == target.attr
+                    and isinstance(recv.value, ast.Name)
+                    and isinstance(target.value, ast.Name)
+                    and recv.value.id == target.value.id):
+                return True
+    return False
+
+
+@register
+class ResourceHygieneRule(Rule):
+    rule_id = "KND006"
+    name = "resource-hygiene"
+    severity = Severity.WARNING
+    summary = ("every open() in audit/arraymodel must be under `with` "
+               "or have a paired .close()")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        if not _in_scope(pf.module):
+            return
+        parents = pf.parents()
+        for node in ast.walk(pf.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "open"):
+                continue
+            parent = parents.get(id(node))
+            if isinstance(parent, ast.withitem):
+                continue
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = parent.targets[0]
+                if isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name):
+                    scope = _enclosing(pf, node, (ast.ClassDef,))
+                else:
+                    scope = _enclosing(
+                        pf, node,
+                        (ast.FunctionDef, ast.AsyncFunctionDef))
+                if scope is not None and _close_called_on(scope, target):
+                    continue
+            yield self.finding(
+                pf, node,
+                "open() without `with` or a visible paired .close(); a "
+                "leaked descriptor on the audit/read path accumulates "
+                "across campaign iterations",
+            )

@@ -1,0 +1,86 @@
+"""Inline suppressions: ``# kondo: allow[RULE-ID] reason``.
+
+A suppression silences matching rule IDs on its own line, or — when the
+line holds nothing but the comment — on the next code line below it.  The
+reason is mandatory: an allow without one does not suppress anything and
+is itself reported (``KND000``), so every grandfathered hazard in the
+tree carries a reviewable justification.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.model import FRAMEWORK_RULE_ID, Finding, Severity
+
+ALLOW_RE = re.compile(
+    r"#\s*kondo:\s*allow\[([A-Za-z0-9,\s-]+)\]\s*(.*)\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    line: int                 # line the comment sits on
+    applies_to: int           # line whose findings it silences
+    rule_ids: Set[str]
+    reason: str
+
+
+@dataclass
+class SuppressionTable:
+    """All ``kondo: allow`` comments of one file, indexed by target line."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    malformed: List[Tuple[int, str]] = field(default_factory=list)
+
+    @classmethod
+    def scan(cls, lines: Sequence[str]) -> "SuppressionTable":
+        table = cls()
+        for i, text in enumerate(lines, start=1):
+            m = ALLOW_RE.search(text)
+            if not m:
+                continue
+            ids = {part.strip().upper()
+                   for part in m.group(1).split(",") if part.strip()}
+            reason = m.group(2).strip()
+            if not ids or not reason:
+                table.malformed.append(
+                    (i, "suppression needs rule IDs and a reason: "
+                        "# kondo: allow[KND00X] why it is safe")
+                )
+                continue
+            standalone = text.strip().startswith("#")
+            applies_to = i
+            if standalone:
+                # A comment-only allow governs the next code line, so a
+                # multi-line justification block works as one unit.
+                applies_to = len(lines) + 1
+                for j in range(i, len(lines)):
+                    stripped = lines[j].strip()
+                    if stripped and not stripped.startswith("#"):
+                        applies_to = j + 1
+                        break
+            sup = Suppression(line=i, applies_to=applies_to,
+                              rule_ids=ids, reason=reason)
+            table.by_line.setdefault(applies_to, []).append(sup)
+        return table
+
+    def match(self, rule_id: str, line: int) -> Optional[Suppression]:
+        for sup in self.by_line.get(line, ()):  # pragma: no branch
+            if rule_id.upper() in sup.rule_ids:
+                return sup
+        return None
+
+    def malformed_findings(self, path: str, module: str,
+                           lines: Sequence[str]) -> List[Finding]:
+        out = []
+        for lineno, msg in self.malformed:
+            snippet = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+            out.append(Finding(
+                rule_id=FRAMEWORK_RULE_ID, message=msg, path=path,
+                module=module, line=lineno, severity=Severity.WARNING,
+                snippet=snippet,
+            ))
+        return out

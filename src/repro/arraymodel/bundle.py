@@ -31,6 +31,7 @@ from repro.arraymodel.chunked import make_layout
 from repro.arraymodel.datafile import ArrayFile, Recorder, _numpy_dtype
 from repro.arraymodel.schema import ArraySchema
 from repro.errors import FileFormatError, LayoutError
+from repro.ioutil import atomic_write
 
 MAGIC = b"KNB1"
 
@@ -132,7 +133,7 @@ class BundleFile:
             }
             offset += len(payload)
         header = json.dumps({"members": table}).encode("utf-8")
-        with open(path, "wb") as fh:
+        with atomic_write(path, "wb") as fh:
             fh.write(MAGIC)
             fh.write(len(header).to_bytes(4, "little"))
             fh.write(header)

@@ -16,6 +16,9 @@ Subcommands:
 * ``kondo chaos`` — fault-injection drills: verify the pipeline survives
   flaky fetchers, killed workers, mid-campaign crashes, and corrupted
   artifacts without changing its output.
+* ``kondo check`` — static AST invariant linter: replay determinism,
+  atomic writes, error taxonomy, layering, executor purity, resource
+  hygiene (rules KND001–KND006; see ``kondo check --list-rules``).
 """
 
 from __future__ import annotations
@@ -190,6 +193,12 @@ def cmd_visualize(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.analysis.engine import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_chaos(args) -> int:
     from repro.resilience.chaos import run_chaos
 
@@ -283,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-workers", type=int, default=1,
                    help="pooled evaluations killed before recovery")
 
+    from repro.analysis.engine import add_arguments as add_check_arguments
+
+    p = sub.add_parser("check",
+                       help="static AST invariant linter (KND001-KND006)")
+    add_check_arguments(p)
+
     return parser
 
 
@@ -295,6 +310,7 @@ _COMMANDS = {
     "run": cmd_run,
     "experiment": cmd_experiment,
     "chaos": cmd_chaos,
+    "check": cmd_check,
 }
 
 

@@ -22,6 +22,7 @@ from repro.core.pipeline import Kondo
 from repro.experiments.report import format_table
 from repro.fuzzing.config import FuzzConfig
 from repro.fuzzing.hybrid import HybridSchedule
+from repro.ioutil import atomic_write
 from repro.metrics.accuracy import Accuracy, accuracy
 from repro.workloads.registry import default_dims, get_program
 
@@ -185,10 +186,10 @@ def run_merkle_delivery(
     program = get_program(program_name)
     rng = np.random.default_rng(0)
     env = os.path.join(workdir, "env.blob")
-    with open(env, "wb") as fh:
+    with atomic_write(env, "wb") as fh:
         fh.write(rng.integers(0, 256, env_nbytes).astype("u1").tobytes())
     code = os.path.join(workdir, "app.py")
-    with open(code, "wb") as fh:
+    with atomic_write(code, "wb") as fh:
         fh.write(b"# application\n" * 512)
     src = os.path.join(workdir, "d.knd")
     ArrayFile.create(src, ArraySchema(dims, "f8"),
@@ -202,7 +203,10 @@ def run_merkle_delivery(
     kondo_b.debloat_file(src, sub_b, kondo_b.analyze()).close()
 
     def stream(*paths):
-        return b"".join(open(p, "rb").read() for p in paths)
+        def read(p):
+            with open(p, "rb") as fh:
+                return fh.read()
+        return b"".join(read(p) for p in paths)
 
     original = stream(env, code, src)
     release_a = stream(env, code, sub_a)

@@ -265,6 +265,8 @@ class FuzzSchedule:
                 except InjectedFault:
                     raise
                 except Exception as exc:
+                    if not res.quarantine:
+                        raise
                     error = exc
             if res.quarantine and not isinstance(error, InjectedFault):
                 self._prefetched.append((v, error))

@@ -56,9 +56,13 @@ def corrupt_file(
         offset = int(np.random.default_rng(seed).integers(0, size))
     offset = min(max(int(offset), 0), size - 1)
     if mode == "truncate":
+        # kondo: allow[KND002] fault injector: damaging the artifact
+        # in place is this function's entire purpose
         with open(path, "r+b") as fh:
             fh.truncate(offset)
         return offset
+    # kondo: allow[KND002] fault injector: in-place corruption is the
+    # point — atomic replacement would defeat the drill
     with open(path, "r+b") as fh:
         fh.seek(offset)
         chunk = bytearray(fh.read(length))
@@ -164,6 +168,9 @@ class WorkerSuicide:
 
     def __call__(self, *args, **kwargs):
         if not os.path.exists(self.sentinel_path):
+            # kondo: allow[KND002] one-shot crash sentinel read only by
+            # existence check; a torn write is harmless and the process
+            # is about to _exit anyway
             with open(self.sentinel_path, "w") as fh:
                 fh.write(str(os.getpid()))
             os._exit(17)

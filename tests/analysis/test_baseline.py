@@ -1,0 +1,74 @@
+"""Baseline round-trip: grandfather known debt, catch regressions."""
+
+import json
+
+from repro.analysis import Baseline, run_check
+from repro.analysis.baseline import BASELINE_VERSION
+from tests.analysis.helpers import make_tree
+
+DIRTY = {
+    "repro/core/mod.py": (
+        "def save(path):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write('x')\n"
+    ),
+}
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_rerun_is_clean(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY)
+        first = run_check([root], select=["KND002"])
+        assert len(first.new) == 1
+
+        bl_path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(first.new).save(bl_path)
+        baseline = Baseline.load(bl_path)
+
+        second = run_check([root], select=["KND002"], baseline=baseline)
+        assert second.new == []
+        assert len(second.grandfathered) == 1
+        assert second.exit_code == 0
+
+    def test_new_finding_still_fails_under_baseline(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY)
+        first = run_check([root], select=["KND002"])
+        baseline = Baseline.from_findings(first.new)
+
+        extra = dict(DIRTY)
+        extra["repro/core/fresh.py"] = (
+            "def leak(path):\n"
+            "    with open(path, 'wb') as fh:\n"
+            "        fh.write(b'x')\n"
+        )
+        root = make_tree(tmp_path, extra)
+        second = run_check([root], select=["KND002"], baseline=baseline)
+        assert len(second.new) == 1
+        assert second.new[0].module == "repro.core.fresh"
+        assert second.exit_code == 1
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY)
+        baseline = Baseline.from_findings(
+            run_check([root], select=["KND002"]).new)
+
+        shifted = {
+            "repro/core/mod.py": "import os\n\n\n" + DIRTY["repro/core/mod.py"],
+        }
+        root = make_tree(tmp_path, shifted)
+        second = run_check([root], select=["KND002"], baseline=baseline)
+        assert second.new == []
+        assert len(second.grandfathered) == 1
+
+    def test_file_shape(self, tmp_path):
+        root = make_tree(tmp_path, DIRTY)
+        bl_path = str(tmp_path / "baseline.json")
+        Baseline.from_findings(
+            run_check([root], select=["KND002"]).new).save(bl_path)
+        with open(bl_path, "rb") as fh:
+            payload = json.load(fh)
+        assert payload["version"] == BASELINE_VERSION
+        assert len(payload["findings"]) == 1
+        entry = next(iter(payload["findings"].values()))
+        assert entry["rule"] == "KND002"
+        assert entry["count"] == 1

@@ -1,0 +1,113 @@
+"""``kondo check`` / ``python -m repro.analysis`` end-to-end, plus the
+self-clean acceptance check over the repo's real source tree."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro import cli
+from repro.analysis import Baseline, main as check_main, run_check
+from tests.analysis.helpers import make_tree, real_src
+
+DIRTY = {
+    "repro/core/mod.py": (
+        "def save(path):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write('x')\n"
+    ),
+}
+
+
+class TestCheckCli:
+    def test_kondo_check_clean_tree_exits_zero(self, capsys):
+        rc = cli.main(["check", real_src(), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_engine_main_dirty_tree_exits_one(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY)
+        rc = check_main([root, "--no-baseline"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "KND002" in out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY)
+        rc = check_main([root, "--no-baseline", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["findings"][0]["rule"] == "KND002"
+
+    def test_output_file_is_written(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY)
+        report = tmp_path / "report.sarif"
+        rc = check_main([root, "--no-baseline", "--format", "sarif",
+                         "--output", str(report)])
+        capsys.readouterr()
+        assert rc == 1
+        doc = json.loads(report.read_text())
+        assert doc["version"] == "2.1.0"
+
+    def test_list_rules_catalogs_all_six(self, capsys):
+        rc = cli.main(["check", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rid in ("KND001", "KND002", "KND003",
+                    "KND004", "KND005", "KND006"):
+            assert rid in out
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {
+            "repro/audit/mod.py": (
+                "def slurp(path):\n"
+                "    return open(path, 'w').write('x')\n"
+            ),
+        })
+        rc = check_main([root, "--no-baseline", "--select", "KND006"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "KND006" in out and "KND002" not in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = make_tree(tmp_path, DIRTY)
+        bl = str(tmp_path / "bl.json")
+        rc = check_main([root, "--baseline", bl, "--write-baseline"])
+        assert rc == 0
+        rc = check_main([root, "--baseline", bl])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baselined finding(s) not shown" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        rc = check_main(["definitely/not/a/path", "--no-baseline"])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_module_entry_point(self):
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(real_src()))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0
+        assert "KND001" in proc.stdout
+
+
+class TestSelfClean:
+    """Acceptance: the repo's own tree passes its own linter."""
+
+    def test_real_tree_has_no_findings(self):
+        result = run_check([real_src()])
+        assert result.new == [], "\n".join(f.format() for f in result.new)
+        assert result.n_files > 100
+
+    def test_committed_baseline_is_empty_for_knd001_knd002(self):
+        repo_root = os.path.dirname(os.path.dirname(real_src()))
+        path = os.path.join(repo_root, ".kondo-baseline.json")
+        baseline = Baseline.load(path)
+        present = baseline.rules_present()
+        assert present.get("KND001", 0) == 0
+        assert present.get("KND002", 0) == 0

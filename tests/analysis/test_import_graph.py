@@ -1,0 +1,79 @@
+"""Import-graph construction: edges, deferred flags, cycles."""
+
+from repro.analysis import ImportGraph, Project
+from tests.analysis.helpers import make_tree
+
+
+def _graph(tmp_path, files):
+    project = Project.load([make_tree(tmp_path, files)])
+    return ImportGraph.build(project.files)
+
+
+def _targets(graph, src):
+    return [e.target for e in graph.edges if e.src == src]
+
+
+class TestImportGraph:
+    def test_edges_resolve_from_imports(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/a.py": "from repro.b import thing\n",
+            "repro/b.py": "thing = 1\n",
+        })
+        assert _targets(graph, "repro.a") == ["repro.b"]
+
+    def test_from_package_import_module_resolves_to_module(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/a.py": "from repro.pkg import mod\n",
+            "repro/pkg/mod.py": "x = 1\n",
+        })
+        assert _targets(graph, "repro.a") == ["repro.pkg.mod"]
+
+    def test_relative_import_resolves(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/pkg/a.py": "from .b import thing\n",
+            "repro/pkg/b.py": "thing = 1\n",
+        })
+        assert _targets(graph, "repro.pkg.a") == ["repro.pkg.b"]
+
+    def test_deferred_and_type_checking_flags(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/a.py": (
+                "from typing import TYPE_CHECKING\n\n"
+                "if TYPE_CHECKING:\n"
+                "    from repro.b import B\n\n\n"
+                "def lazy():\n"
+                "    from repro.c import C\n"
+                "    return C\n"
+            ),
+            "repro/b.py": "B = 1\n",
+            "repro/c.py": "C = 1\n",
+        })
+        edges = {e.target: e for e in graph.edges
+                 if e.src == "repro.a" and e.target.startswith("repro.")}
+        assert edges["repro.b"].type_checking
+        assert not edges["repro.b"].deferred
+        assert edges["repro.c"].deferred
+        # Neither counts as a hard (import-time) edge.
+        hard = [e.target for e in graph.hard_edges() if e.src == "repro.a"]
+        assert "repro.b" not in hard and "repro.c" not in hard
+
+    def test_cycle_detection_ignores_deferred_edges(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/a.py": "from repro.b import thing\n",
+            "repro/b.py": (
+                "thing = 1\n\n\n"
+                "def lazy():\n"
+                "    from repro.a import other\n"
+                "    return other\n"
+            ),
+        })
+        assert graph.cycles() == []
+
+    def test_hard_cycle_detected(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "repro/a.py": "from repro.b import thing\n",
+            "repro/b.py": "from repro.a import other\n",
+        })
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) >= {"repro.a", "repro.b"}

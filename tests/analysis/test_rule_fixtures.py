@@ -1,0 +1,224 @@
+"""Fixture-snippet pairs per rule: one true positive, one clean."""
+
+from tests.analysis.helpers import check_tree, rule_ids
+
+
+class TestKND001Determinism:
+    def test_global_rng_unseeded_rng_and_wall_clock_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/fuzzing/bad.py": (
+                "import time\n"
+                "import random\n"
+                "import numpy as np\n\n\n"
+                "def sample():\n"
+                "    a = np.random.rand(3)\n"
+                "    b = np.random.default_rng()\n"
+                "    c = random.random()\n"
+                "    d = time.time()\n"
+                "    return a, b, c, d\n"
+            ),
+        }, select=["KND001"])
+        assert rule_ids(findings) == ["KND001"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "global numpy RNG" in messages
+        assert "without an explicit seed" in messages
+        assert "wall-clock" in messages
+
+    def test_seeded_rng_interval_clock_and_out_of_scope_are_clean(
+            self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/fuzzing/good.py": (
+                "import time\n"
+                "import numpy as np\n\n\n"
+                "def build(config):\n"
+                "    rng = np.random.default_rng(config.rng_seed)\n"
+                "    start = time.perf_counter()\n"
+                "    return rng, start\n"
+            ),
+            # Same hazards outside the replay-critical packages: allowed.
+            "repro/experiments/elsewhere.py": (
+                "import numpy as np\n\n\n"
+                "def noise():\n"
+                "    return np.random.rand(3)\n"
+            ),
+        }, select=["KND001"])
+        assert findings == []
+
+
+class TestKND002AtomicWrite:
+    def test_raw_write_and_dynamic_mode_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/bad.py": (
+                "def save(path, data, mode):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(data)\n"
+                "    with open(path, mode) as fh:\n"
+                "        fh.write(data)\n"
+            ),
+        }, select=["KND002"])
+        assert rule_ids(findings) == ["KND002", "KND002"]
+        assert "torn artifact" in findings[0].message
+        assert "not a string literal" in findings[1].message
+
+    def test_reads_and_ioutil_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/good.py": (
+                "from repro.ioutil import atomic_write\n\n\n"
+                "def roundtrip(path):\n"
+                "    with atomic_write(path, 'wb') as fh:\n"
+                "        fh.write(b'x')\n"
+                "    with open(path, 'rb') as fh:\n"
+                "        return fh.read()\n"
+            ),
+            # The atomic-write implementation itself is exempt.
+            "repro/ioutil.py": (
+                "def atomic_write(path, mode='wb'):\n"
+                "    return open(path + '.tmp', mode)\n"
+            ),
+        }, select=["KND002"])
+        assert findings == []
+
+
+class TestKND003ErrorTaxonomy:
+    def test_swallowing_broad_except_fires(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/bad.py": (
+                "def quiet(fn):\n"
+                "    try:\n"
+                "        return fn()\n"
+                "    except Exception:\n"
+                "        return None\n"
+                "    finally:\n"
+                "        pass\n\n\n"
+                "def quieter(fn):\n"
+                "    try:\n"
+                "        return fn()\n"
+                "    except:  # noqa: E722\n"
+                "        return None\n"
+            ),
+        }, select=["KND003"])
+        assert rule_ids(findings) == ["KND003", "KND003"]
+        assert "bare except" in findings[1].message
+
+    def test_reraise_and_outcome_paths_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/good.py": (
+                "def narrow(fn):\n"
+                "    try:\n"
+                "        return fn()\n"
+                "    except ValueError:\n"
+                "        return None\n\n\n"
+                "def reraises(fn):\n"
+                "    try:\n"
+                "        return fn()\n"
+                "    except Exception:\n"
+                "        raise\n\n\n"
+                "def taxonomized(fn, outcome, breaker):\n"
+                "    try:\n"
+                "        return outcome.success(fn())\n"
+                "    except Exception as exc:\n"
+                "        breaker.record_failure()\n"
+                "        return outcome.failure(exc)\n"
+            ),
+        }, select=["KND003"])
+        assert findings == []
+
+
+class TestKND004Layering:
+    def test_upward_and_cross_imports_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/bad_up.py": "from repro.cli import main\n",
+            "repro/carving/bad_cross.py":
+                "from repro.fuzzing.schedule import FuzzSchedule\n",
+            "repro/cli.py": "main = object\n",
+            "repro/fuzzing/schedule.py": "FuzzSchedule = object\n",
+        }, select=["KND004"])
+        assert sorted(rule_ids(findings)) == ["KND004", "KND004"]
+        by_module = {f.module: f.message for f in findings}
+        assert "upward import" in by_module["repro.audit.bad_up"]
+        assert "cross-layer import" in by_module["repro.carving.bad_cross"]
+
+    def test_downward_and_deferred_imports_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/good.py": (
+                "from repro.fuzzing.schedule import FuzzSchedule\n"
+                "from repro.arraymodel.datafile import ArrayFile\n"
+            ),
+            # Deferred imports are the sanctioned cycle-breaker.
+            "repro/audit/deferred.py": (
+                "def lazy():\n"
+                "    from repro.cli import main\n"
+                "    return main\n"
+            ),
+            "repro/cli.py": "main = object\n",
+            "repro/fuzzing/schedule.py": "FuzzSchedule = object\n",
+            "repro/arraymodel/datafile.py": "ArrayFile = object\n",
+        }, select=["KND004"])
+        assert findings == []
+
+
+class TestKND005ExecutorPurity:
+    def test_pooled_callable_touching_mutable_global_fires(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/perf/bad.py": (
+                "_cache = {}\n\n\n"
+                "def work(item):\n"
+                "    _cache[item] = True\n"
+                "    return item\n\n\n"
+                "def run(executor, items):\n"
+                "    lam = executor.submit(lambda v: _cache.get(v), 1)\n"
+                "    return executor.map_outcomes(work, items), lam\n"
+            ),
+        }, select=["KND005"])
+        assert rule_ids(findings) == ["KND005", "KND005"]
+        assert all("_cache" in f.message for f in findings)
+
+    def test_pure_callables_and_constants_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/perf/good.py": (
+                "SCALE = 3\n\n\n"
+                "def work(item):\n"
+                "    return item * SCALE\n\n\n"
+                "def run(executor, items):\n"
+                "    return executor.map_outcomes(work, items)\n"
+            ),
+        }, select=["KND005"])
+        assert findings == []
+
+
+class TestKND006ResourceHygiene:
+    def test_leaked_handle_fires(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/bad.py": (
+                "def slurp(path):\n"
+                "    return open(path, 'rb').read()\n"
+            ),
+        }, select=["KND006"])
+        assert rule_ids(findings) == ["KND006"]
+        assert "leaked descriptor" in findings[0].message
+
+    def test_with_and_reader_object_pattern_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/arraymodel/good.py": (
+                "class Reader:\n"
+                "    def __init__(self, path):\n"
+                "        self._fh = open(path, 'rb')\n\n"
+                "    def close(self):\n"
+                "        self._fh.close()\n\n\n"
+                "def slurp(path):\n"
+                "    with open(path, 'rb') as fh:\n"
+                "        return fh.read()\n\n\n"
+                "def paired(path):\n"
+                "    fh = open(path, 'rb')\n"
+                "    try:\n"
+                "        return fh.read()\n"
+                "    finally:\n"
+                "        fh.close()\n"
+            ),
+            # Out-of-scope package: not this rule's concern.
+            "repro/experiments/meh.py": (
+                "def slurp(path):\n"
+                "    return open(path, 'rb').read()\n"
+            ),
+        }, select=["KND006"])
+        assert findings == []

@@ -1,0 +1,73 @@
+"""Inline ``# kondo: allow[...]`` suppression behaviour."""
+
+from tests.analysis.helpers import check_tree, rule_ids
+
+from repro.analysis import run_check
+from tests.analysis.helpers import make_tree
+
+
+class TestSuppressions:
+    def test_inline_allow_with_reason_suppresses(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "repro/core/mod.py": (
+                "def save(path):\n"
+                "    with open(path, 'w') as fh:  "
+                "# kondo: allow[KND002] fixture: torn writes acceptable\n"
+                "        fh.write('x')\n"
+            ),
+        })
+        result = run_check([root], select=["KND002"])
+        assert result.new == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule_id == "KND002"
+        assert "torn writes acceptable" in (
+            result.suppressed[0].suppression_reason)
+
+    def test_allow_without_reason_is_malformed(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/mod.py": (
+                "def save(path):\n"
+                "    with open(path, 'w') as fh:  # kondo: allow[KND002]\n"
+                "        fh.write('x')\n"
+            ),
+        }, select=["KND002"])
+        # The original finding survives AND the bad comment is reported.
+        assert sorted(rule_ids(findings)) == ["KND000", "KND002"]
+
+    def test_standalone_comment_block_covers_next_statement(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "repro/core/mod.py": (
+                "def save(path):\n"
+                "    # kondo: allow[KND002] multi-line justification that\n"
+                "    # continues on a second comment line\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write('x')\n"
+            ),
+        })
+        result = run_check([root], select=["KND002"])
+        assert result.new == []
+        assert len(result.suppressed) == 1
+
+    def test_multi_id_allow(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "repro/audit/mod.py": (
+                "def save(path):\n"
+                "    fh = open(path, 'w')  "
+                "# kondo: allow[KND002, KND006] fixture covers both\n"
+                "    return fh\n"
+            ),
+        })
+        result = run_check([root], select=["KND002", "KND006"])
+        assert result.new == []
+        assert sorted(rule_ids(result.suppressed)) == ["KND002", "KND006"]
+
+    def test_allow_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/mod.py": (
+                "def save(path):\n"
+                "    with open(path, 'w') as fh:  "
+                "# kondo: allow[KND001] wrong rule id\n"
+                "        fh.write('x')\n"
+            ),
+        }, select=["KND002"])
+        assert rule_ids(findings) == ["KND002"]
