@@ -13,6 +13,9 @@ Rule IDs are stable and append-only:
   module globals.
 * ``KND006`` resource-hygiene — file handles in ``audit``/``arraymodel``
   are closed.
+* ``KND007`` durable-writes — KND/KNDS/patch/journal artifacts mutate
+  only through the durability journal API or
+  ``repro.ioutil.atomic_write``.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -23,11 +26,13 @@ from repro.analysis.rules.knd003_error_taxonomy import ErrorTaxonomyRule
 from repro.analysis.rules.knd004_layering import LAYERS, LayeringRule
 from repro.analysis.rules.knd005_executor_purity import ExecutorPurityRule
 from repro.analysis.rules.knd006_resource_hygiene import ResourceHygieneRule
+from repro.analysis.rules.knd007_durable_writes import DurableWritesRule
 
 __all__ = [
     "LAYERS",
     "AtomicWriteRule",
     "DeterminismRule",
+    "DurableWritesRule",
     "ErrorTaxonomyRule",
     "ExecutorPurityRule",
     "LayeringRule",

@@ -36,6 +36,7 @@ from repro.arraymodel.layout import (
 )
 from repro.arraymodel.runtime import KondoRuntime, RuntimeStats
 from repro.arraymodel.schema import DTYPE_SIZES, ArraySchema
+from repro.arraymodel.spans import SpanTable, build_span_table, span_size_for
 
 __all__ = [
     "ArraySchema",
@@ -60,4 +61,7 @@ __all__ = [
     "ChunkGranularityReport",
     "chunk_granularity_report",
     "chunks_for_flat_indices",
+    "SpanTable",
+    "build_span_table",
+    "span_size_for",
 ]

@@ -23,12 +23,19 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arraymodel.chunked import make_layout
-from repro.arraymodel.datafile import ArrayFile, Recorder, _numpy_dtype
+from repro.arraymodel.datafile import (
+    ArrayFile,
+    Recorder,
+    _numpy_dtype,
+    checked_header,
+    verify_header,
+)
 from repro.arraymodel.schema import ArraySchema
 from repro.errors import FileFormatError, LayoutError
 from repro.ioutil import atomic_write
@@ -130,9 +137,13 @@ class BundleFile:
                 "schema": schema.to_dict(),
                 "offset": offset,
                 "nbytes": len(payload),
+                "crc32": zlib.crc32(payload),
             }
             offset += len(payload)
-        header = json.dumps({"members": table}).encode("utf-8")
+        whole_crc = 0
+        for payload in payloads:
+            whole_crc = zlib.crc32(payload, whole_crc)
+        header = checked_header({"members": table}, whole_crc)
         with atomic_write(path, "wb") as fh:
             fh.write(MAGIC)
             fh.write(len(header).to_bytes(4, "little"))
@@ -142,8 +153,15 @@ class BundleFile:
         return cls.open(path)
 
     @classmethod
-    def open(cls, path: str, recorder: Optional[Recorder] = None
-             ) -> "BundleFile":
+    def open(cls, path: str, recorder: Optional[Recorder] = None,
+             verify_checksum: bool = True) -> "BundleFile":
+        """Open a bundle, verifying per-member payload CRCs when present.
+
+        Bundles written before the durability layer carry no checksum
+        fields and open as before; current bundles verify the header
+        (meta CRC) and each member's payload CRC, so a flipped byte is
+        attributed to the member it damaged.
+        """
         with open(path, "rb") as fh:
             if fh.read(4) != MAGIC:
                 raise FileFormatError(f"{path}: not a KNB bundle")
@@ -152,9 +170,11 @@ class BundleFile:
             if len(raw) != hlen:
                 raise FileFormatError(f"{path}: truncated bundle header")
             try:
-                table = json.loads(raw.decode("utf-8"))["members"]
+                header = json.loads(raw.decode("utf-8"))
+                table = header["members"]
             except (ValueError, KeyError) as exc:
                 raise FileFormatError(f"{path}: malformed header: {exc}") from exc
+            verify_header(path, header)
         payload_base = 8 + hlen
         members: Dict[str, Tuple[ArraySchema, int, int]] = {}
         for name, entry in table.items():
@@ -169,7 +189,40 @@ class BundleFile:
         if os.path.getsize(path) < end:
             bundle.close()
             raise FileFormatError(f"{path}: truncated bundle payload")
+        if verify_checksum:
+            try:
+                bundle._verify_member_crcs(table)
+            except FileFormatError:
+                bundle.close()
+                raise
         return bundle
+
+    def _verify_member_crcs(self, table: Dict[str, dict]) -> None:
+        """Stream-verify each member payload whose entry carries a CRC."""
+        with open(self.path, "rb") as vfh:
+            for name in sorted(table):
+                stored = table[name].get("crc32")
+                if stored is None:
+                    continue
+                _schema, offset, nbytes = self._tables[name]
+                vfh.seek(offset)
+                crc = 0
+                remaining = nbytes
+                while remaining > 0:
+                    block = vfh.read(min(remaining, 1 << 22))
+                    if not block:
+                        raise FileFormatError(
+                            f"{self.path}: member {name!r} truncated "
+                            f"during verify"
+                        )
+                    crc = zlib.crc32(block, crc)
+                    remaining -= len(block)
+                if crc != int(stored):
+                    raise FileFormatError(
+                        f"{self.path}: member {name!r} payload checksum "
+                        f"mismatch (stored {stored}, computed {crc}) — "
+                        f"the member is corrupt"
+                    )
 
     # -- access -----------------------------------------------------------
 

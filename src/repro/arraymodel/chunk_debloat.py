@@ -67,6 +67,23 @@ def chunk_keep_extents(
     return extents
 
 
+def chunk_aligned_extents(
+    layout: ChunkedLayout, extents: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Round payload byte extents outward to whole-chunk extents.
+
+    Chunks are the unit of access (Section VI), so when ``kondo
+    repair`` re-fetches a corrupt byte range from a chunked origin it
+    plans the reads at chunk granularity: the origin would transfer the
+    whole chunk regardless, and one aligned read replaces several
+    sub-chunk seeks.  The result is merged and clipped to the payload.
+    """
+    ordinals: List[int] = []
+    for start, size in extents:
+        ordinals.extend(layout.chunks_overlapping_range(start, size))
+    return chunk_keep_extents(layout, np.asarray(ordinals, dtype=np.int64))
+
+
 @dataclass
 class ChunkGranularityReport:
     """Element-vs-chunk granularity comparison for one carve result."""

@@ -92,6 +92,21 @@ class ChunkedLayout(Layout):
             )
         return index
 
+    def chunks_overlapping_range(self, start: int, size: int) -> range:
+        """Ordinals of every chunk intersecting payload bytes
+        ``[start, start + size)``.
+
+        The chunk is the unit of access *and* of damage: the durability
+        layer uses this to round a corrupt byte range outward to the
+        whole chunks an origin fetch would transfer anyway.
+        """
+        if size <= 0 or start >= self.payload_nbytes:
+            return range(0)
+        chunk_nbytes = self.chunk_elems * self.schema.itemsize
+        first = max(0, start) // chunk_nbytes
+        last = min(self.payload_nbytes, start + size)
+        return range(first, -(-last // chunk_nbytes))
+
     def is_padding(self, offset: int) -> bool:
         """Whether ``offset`` lies in edge-chunk padding (no logical element)."""
         try:

@@ -29,16 +29,30 @@ import numpy as np
 from repro.arraymodel.chunked import make_layout
 from repro.arraymodel.layout import Layout
 from repro.arraymodel.schema import ArraySchema
+from repro.arraymodel.spans import (
+    SpanTable,
+    build_span_table,
+    parse_optional_spans,
+    span_size_for,
+)
 from repro.errors import FileFormatError, LayoutError
 from repro.ioutil import atomic_write
 
 MAGIC = b"KND1"
 
-#: Header format version written by this code.  Version 2 adds CRC32
+#: Header format version written by this code.  Version 2 added CRC32
 #: integrity fields (``meta_crc32`` over the canonical header body,
-#: ``payload_crc32`` over the payload bytes); version-1 files — headers
-#: without the fields — remain readable, they just skip verification.
-FORMAT_VERSION = 2
+#: ``payload_crc32`` over the payload bytes).  Version 3 adds the
+#: per-span CRC table (``spans``, see :mod:`repro.arraymodel.spans`) so
+#: corruption is *localized* to a span instead of merely detected.
+#: Version-1 and version-2 files remain readable; they just verify with
+#: whatever integrity metadata they carry.
+FORMAT_VERSION = 3
+
+#: Header fields that form the integrity envelope around the body: the
+#: ``meta_crc32`` is computed over every *other* field, so the body a
+#: reader re-checks is derived by stripping these.
+ENVELOPE_FIELDS = ("version", "meta_crc32", "payload_crc32")
 
 #: Signature of an audit recorder callback: (path, op, offset, size).
 Recorder = Callable[[str, str, int, int], None]
@@ -58,7 +72,8 @@ def meta_crc32(body: dict) -> int:
 
 
 def checked_header(body: dict, payload_crc: int) -> bytes:
-    """Serialize a version-2 header with integrity fields for ``body``."""
+    """Serialize a current-version header with integrity fields for
+    ``body`` (which, for v3 writers, includes the span table)."""
     header = dict(body)
     header["version"] = FORMAT_VERSION
     header["meta_crc32"] = meta_crc32(body)
@@ -66,8 +81,18 @@ def checked_header(body: dict, payload_crc: int) -> bytes:
     return json.dumps(header).encode("utf-8")
 
 
-def verify_header(path: str, header: dict, body: dict) -> None:
-    """Validate a parsed header's version and (if present) its meta CRC."""
+def header_body(header: dict) -> dict:
+    """The checksummed body of a header: everything but the envelope."""
+    return {k: v for k, v in header.items() if k not in ENVELOPE_FIELDS}
+
+
+def verify_header(path: str, header: dict) -> None:
+    """Validate a parsed header's version and (if present) its meta CRC.
+
+    The body the CRC covers is derived from the header itself
+    (:func:`header_body`), so every version — v2's bare body, v3's body
+    with a span table — verifies through the same path.
+    """
     version = header.get("version", 1)
     if not isinstance(version, int) or version < 1 or version > FORMAT_VERSION:
         raise FileFormatError(
@@ -75,6 +100,7 @@ def verify_header(path: str, header: dict, body: dict) -> None:
             f"(this reader supports <= {FORMAT_VERSION})"
         )
     stored = header.get("meta_crc32")
+    body = header_body(header)
     if stored is not None and stored != meta_crc32(body):
         raise FileFormatError(
             f"{path}: header checksum mismatch "
@@ -130,10 +156,13 @@ class ArrayFile:
     """
 
     def __init__(self, path: str, schema: ArraySchema, header_size: int,
-                 recorder: Optional[Recorder] = None):
+                 recorder: Optional[Recorder] = None,
+                 span_table: Optional[SpanTable] = None):
         self.path = path
         self.schema = schema
         self.layout: Layout = make_layout(schema)
+        #: Per-span CRC directory (v3 files); ``None`` for v1/v2.
+        self.span_table = span_table
         self._payload_start = header_size
         self._recorder = recorder
         self._fh = open(path, "rb", buffering=0)
@@ -174,8 +203,10 @@ class ArrayFile:
             else:
                 arr = np.ascontiguousarray(data, dtype=np_dtype)
         payload = cls._encode_payload(arr, schema, np_dtype, fill)
+        spans = build_span_table(payload, span_size_for(schema, len(payload)))
         header = checked_header(
-            {"schema": schema.to_dict()}, zlib.crc32(payload)
+            {"schema": schema.to_dict(), "spans": spans.to_dict()},
+            zlib.crc32(payload),
         )
         with atomic_write(path) as fh:
             fh.write(MAGIC)
@@ -240,8 +271,16 @@ class ArrayFile:
                 schema = ArraySchema.from_dict(header["schema"])
             except (ValueError, KeyError) as exc:
                 raise FileFormatError(f"{path}: malformed header: {exc}") from exc
-            verify_header(path, header, {"schema": header["schema"]})
-        f = cls(path, schema, header_size=8 + hlen, recorder=recorder)
+            verify_header(path, header)
+            spans = parse_optional_spans(header)
+        f = cls(path, schema, header_size=8 + hlen, recorder=recorder,
+                span_table=spans)
+        if spans is not None and spans.payload_nbytes != f.layout.payload_nbytes:
+            f.close()
+            raise FileFormatError(
+                f"{path}: span table covers {spans.payload_nbytes} bytes "
+                f"but the layout payload is {f.layout.payload_nbytes} bytes"
+            )
         expected = f._payload_start + f.layout.payload_nbytes
         actual = os.path.getsize(path)
         if actual < expected:
@@ -334,6 +373,19 @@ class ArrayFile:
         if dt.kind == "V":
             return np.frombuffer(raw, dtype="V16").view("f8")[::2].astype("f8")
         return np.frombuffer(raw, dtype=dt).astype("f8")
+
+    # -- integrity ----------------------------------------------------------
+
+    def verify_spans(self) -> Optional[list]:
+        """Classify every payload span (v3 files); ``None`` for v1/v2.
+
+        Uses a separate plain handle: integrity verification is not an
+        audited access of the program under test.
+        """
+        if self.span_table is None:
+            return None
+        with open(self.path, "rb") as vfh:
+            return self.span_table.classify_stream(vfh, self._payload_start)
 
     # -- lifecycle ---------------------------------------------------------
 

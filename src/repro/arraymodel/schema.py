@@ -87,6 +87,13 @@ class ArraySchema:
         return self.n_elements * self.itemsize
 
     @property
+    def chunk_nbytes(self) -> int:
+        """On-disk size of one (padded) chunk in bytes."""
+        if self.chunks is None:
+            raise SchemaError("schema has no chunking")
+        return math.prod(self.chunks) * self.itemsize
+
+    @property
     def chunk_grid(self) -> Tuple[int, ...]:
         """Number of chunks along each dimension (ceil-divided)."""
         if self.chunks is None:

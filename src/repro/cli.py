@@ -18,7 +18,15 @@ Subcommands:
   artifacts without changing its output.
 * ``kondo check`` — static AST invariant linter: replay determinism,
   atomic writes, error taxonomy, layering, executor purity, resource
-  hygiene (rules KND001–KND006; see ``kondo check --list-rules``).
+  hygiene, durable writes (rules KND001–KND007; see
+  ``kondo check --list-rules``).
+* ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
+  every payload span, extent-directory consistency, journal state.
+  Exit 0 clean / 1 localized span damage / 2 structural damage.
+* ``kondo repair`` — re-fetch only the corrupt spans of a bundle from
+  its origin file, committed through the durability journal.
+* ``kondo rollback`` — restore a prior journal generation of a bundle
+  (as a new generation, so history stays append-only).
 """
 
 from __future__ import annotations
@@ -199,6 +207,54 @@ def cmd_check(args) -> int:
     return run_from_args(args)
 
 
+def cmd_fsck(args) -> int:
+    import json as _json
+
+    from repro.resilience.durability import fsck_file
+
+    report = fsck_file(args.path, check_journal=not args.no_journal)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
+def cmd_repair(args) -> int:
+    import json as _json
+
+    from repro.resilience.durability import repair_bundle
+
+    report = repair_bundle(
+        args.path, source_path=args.source,
+        keep_generations=args.keep_generations,
+    )
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.clean_after else 1
+
+
+def cmd_rollback(args) -> int:
+    from repro.resilience.durability import BundleJournal
+
+    journal = BundleJournal.open(args.path)
+    if args.list:
+        current = journal.current_generation
+        for gen in journal.generations():
+            rec = journal.committed_record(gen) or {}
+            mark = "*" if gen == current else " "
+            print(f"{mark} gen {gen}  action={rec.get('action', '?')}"
+                  + (f"  restored gen {rec['rolled_back_to']}"
+                     if rec.get("rolled_back_to") is not None else ""))
+        return 0
+    gen = journal.rollback(to_gen=args.to)
+    restored = args.to if args.to is not None else "previous generation"
+    print(f"{args.path}: restored {restored} as generation {gen}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.resilience.chaos import run_chaos
 
@@ -292,10 +348,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-workers", type=int, default=1,
                    help="pooled evaluations killed before recovery")
 
+    p = sub.add_parser("fsck",
+                       help="deep-verify a KND/KNDS file (exit 0 clean, "
+                            "1 span damage, 2 structural)")
+    p.add_argument("path", help=".knd or .knds file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("--no-journal", action="store_true",
+                   help="skip journal inspection")
+
+    p = sub.add_parser("repair",
+                       help="re-fetch a bundle's corrupt spans from its "
+                            "origin, journaled")
+    p.add_argument("path", help="damaged .knds bundle")
+    p.add_argument("--source",
+                   help="origin .knd to re-fetch damaged spans from "
+                        "(optional when a journal snapshot suffices)")
+    p.add_argument("--keep-generations", type=int, default=0,
+                   help="prune journal snapshots beyond the newest N "
+                        "(0 = keep all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+
+    p = sub.add_parser("rollback",
+                       help="restore a prior journal generation of a bundle")
+    p.add_argument("path", help=".knds bundle with a journal")
+    p.add_argument("--to", type=int,
+                   help="generation to restore (default: the previous one)")
+    p.add_argument("--list", action="store_true",
+                   help="list available generations and exit")
+
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND006)")
+                       help="static AST invariant linter (KND001-KND007)")
     add_check_arguments(p)
 
     return parser
@@ -311,6 +397,9 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "chaos": cmd_chaos,
     "check": cmd_check,
+    "fsck": cmd_fsck,
+    "repair": cmd_repair,
+    "rollback": cmd_rollback,
 }
 
 

@@ -7,6 +7,11 @@ through :func:`atomic_write` instead: bytes land in a temporary file in
 the *same directory* (so the final ``os.replace`` is a same-filesystem
 rename, which POSIX makes atomic), and the destination either keeps its
 old content or gets the complete new content — never a prefix.
+
+:func:`durable_append` is the second primitive: an fsynced append for
+journal logs, whose records are *designed* to tolerate a torn tail (each
+carries its own checksum), so append — not replace — is the correct
+durability model there.
 """
 
 from __future__ import annotations
@@ -42,3 +47,37 @@ def atomic_write(path: str, mode: str = "wb") -> Iterator[IO]:
         with contextlib.suppress(OSError):
             os.remove(tmp_path)
         raise
+
+
+def durable_append(path: str, data: bytes) -> int:
+    """Append ``data`` to ``path`` and fsync before returning.
+
+    The append itself is not atomic — a crash mid-call leaves a torn
+    tail — so this is only suitable for record formats that self-detect
+    a torn final record (the durability journal's per-record CRC).
+    Returns the byte offset at which the data was written.
+    """
+    with open(path, "ab") as fh:
+        offset = fh.tell()
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return offset
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so entries created in it survive a crash.
+
+    A file that was fsynced but whose directory entry was not can still
+    vanish on power loss; journal commits fsync the journal directory
+    after creating generation/patch files.  Best-effort on platforms
+    whose directories cannot be opened for reading.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -16,6 +16,9 @@ the seed.  Four pillars:
   opens, and accumulates misses into a subset patch.
 * :mod:`repro.resilience.checkpoint` — atomic fuzz-campaign checkpoints
   for ``kondo analyze --resume``.
+* :mod:`repro.resilience.durability` — durable bundles: the journaled
+  patch/rollback lifecycle (:class:`BundleJournal`), ``kondo fsck``
+  deep verification, and span-granular ``kondo repair``.
 """
 
 from repro.resilience.checkpoint import (
@@ -23,12 +26,21 @@ from repro.resilience.checkpoint import (
     save_campaign_state,
 )
 from repro.resilience.config import ResilienceConfig
+from repro.resilience.durability import (
+    BundleJournal,
+    FsckReport,
+    RepairReport,
+    fsck_file,
+    repair_bundle,
+)
 from repro.resilience.faults import (
     ChaosMonkey,
     CrashAt,
     FailNTimes,
     FlakyCallable,
     corrupt_file,
+    torn_append,
+    torn_write,
 )
 from repro.resilience.healing import ResilientRuntime, SubsetPatch
 from repro.resilience.retry import (
@@ -38,17 +50,24 @@ from repro.resilience.retry import (
 )
 
 __all__ = [
+    "BundleJournal",
     "ChaosMonkey",
     "CircuitBreaker",
     "CrashAt",
     "FailNTimes",
     "FlakyCallable",
+    "FsckReport",
+    "RepairReport",
     "ResilienceConfig",
     "ResilientRuntime",
     "RetryPolicy",
     "SubsetPatch",
     "corrupt_file",
+    "fsck_file",
     "load_campaign_state",
+    "repair_bundle",
     "retry_call",
     "save_campaign_state",
+    "torn_append",
+    "torn_write",
 ]

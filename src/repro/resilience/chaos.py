@@ -1,7 +1,7 @@
 """End-to-end chaos drills: run the pipeline with faults armed, verify
 the resilience layer heals every one of them.
 
-Five drills, one per failure class the resilience layer covers:
+Seven drills, one per failure class the resilience layer covers:
 
 1. **worker-killed** — debloat tests run on a pool with the first
    ``kill_workers`` evaluations failing; worker recovery must replay
@@ -17,6 +17,15 @@ Five drills, one per failure class the resilience layer covers:
 5. **corrupt-artifact** — KND/KNDS copies are byte-flipped and
    truncated; every open must fail with ``FileFormatError``, never
    garbage or an uncontrolled exception.
+6. **corrupt-span-degrades** — a journaled bundle is bit-rotted at
+   several seeded sites; a degrade-mode runtime over the damaged file
+   must serve every read bit-identical to the source (corrupt spans
+   become misses → fallback), and ``repair_bundle`` must re-fetch only
+   the damaged spans and restore a clean fsck.
+7. **torn-patch-recovers** — a journaled heal is committed, then two
+   crash states are injected (a torn journal-log tail, and a BEGIN
+   record with no COMMIT); journal recovery must leave the bundle
+   byte-for-byte at a committed generation — never a hybrid.
 
 Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
 """
@@ -39,7 +48,16 @@ from repro.errors import FileFormatError, InjectedFault, KondoError
 from repro.fuzzing.config import FuzzConfig
 from repro.perf.config import PerfConfig
 from repro.resilience.config import ResilienceConfig
-from repro.resilience.faults import CrashAt, FailNTimes, FlakyCallable, corrupt_file
+from repro.resilience.durability.fsck import fsck_file
+from repro.resilience.durability.journal import BundleJournal, _seal_record
+from repro.resilience.durability.repair import repair_bundle
+from repro.resilience.faults import (
+    CrashAt,
+    FailNTimes,
+    FlakyCallable,
+    corrupt_file,
+    torn_append,
+)
 from repro.resilience.healing import ResilientRuntime
 from repro.workloads import default_dims, get_program
 
@@ -134,6 +152,8 @@ def run_chaos(
         report.checks.append(flaky_check)
         report.checks.append(heal_check)
         report.checks.append(_drill_corrupt_artifacts(dims, workdir))
+        report.checks.append(_drill_corrupt_span_degrades(dims, seed, workdir))
+        report.checks.append(_drill_torn_patch_recovers(dims, seed, workdir))
     finally:
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
@@ -298,3 +318,148 @@ def _drill_corrupt_artifacts(dims, workdir: str) -> ChaosCheck:
     detail = ("4/4 corruptions detected as FileFormatError" if ok
               else "; ".join(outcomes))
     return ChaosCheck("corrupt-artifact", ok, detail)
+
+
+def _drill_corrupt_span_degrades(dims, seed: int, workdir: str) -> ChaosCheck:
+    """Bit-rot a journaled bundle; degrade-mode reads must stay
+    bit-correct via the miss path, and repair must restore clean fsck."""
+    name = "corrupt-span-degrades"
+    knd = os.path.join(workdir, "bitrot.knd")
+    knds = os.path.join(workdir, "bitrot.knds")
+    grid = (32, 32)
+    data = np.random.default_rng(seed).standard_normal(grid)
+    with ArrayFile.create(knd, ArraySchema(grid, "f8"), data) as source:
+        with DebloatedArrayFile.create(
+            knds, source, keep_extents=[(0, grid[1] * 16 * 8)]
+        ):
+            pass
+    kept = [(i, j) for i in range(16) for j in range(grid[1])]
+    BundleJournal.open(knds)  # adopt generation 1 before the damage
+    corrupt_file(knds, mode="bitrot", seed=seed, sites=4)
+    before = fsck_file(knds, check_journal=False)
+    if before.exit_code == 0:
+        return ChaosCheck(name, False, "bitrot left fsck clean (no damage?)")
+    degraded_reads = None
+    if before.exit_code == 1:
+        # Payload damage only: the degrade path must serve every kept
+        # index bit-identically, corrupt spans arriving via fallback.
+        with DebloatedArrayFile.open(knds, on_corruption="degrade") as sub:
+            with ArrayFile.open(knd) as source:
+                runtime = ResilientRuntime(sub, fallback_source=source)
+                wrong = sum(
+                    1 for ix in kept
+                    if runtime.read(ix) != float(data[ix])
+                )
+            stats = runtime.stats
+        if wrong or stats.misses == 0 or stats.fallback_reads != stats.misses:
+            return ChaosCheck(
+                name, False,
+                f"degraded reads: {wrong} wrong value(s), "
+                f"{stats.misses} misses, {stats.fallback_reads} fallbacks",
+            )
+        degraded_reads = (stats.misses, len(kept))
+    rep = repair_bundle(knds, knd)
+    after = fsck_file(knds, check_journal=False)
+    with DebloatedArrayFile.open(knds) as sub:
+        wrong = sum(1 for ix in kept if sub.read_point(ix) != float(data[ix]))
+    ok = after.exit_code == 0 and rep.after_exit == 0 and wrong == 0
+    how = (
+        f"{len(before.bad_spans)} corrupt span(s), "
+        + (f"{degraded_reads[0]}/{degraded_reads[1]} reads degraded to "
+           f"fallback, " if degraded_reads else "header hit, ")
+        + (f"repaired via snapshot" if rep.restored_from_snapshot
+           else f"{rep.bytes_fetched}B re-fetched")
+        + f", fsck exit {after.exit_code}"
+    )
+    return ChaosCheck(name, ok, how)
+
+
+def _drill_torn_patch_recovers(dims, seed: int, workdir: str) -> ChaosCheck:
+    """Heal through the journal, then inject two mid-commit crash
+    states; recovery must leave the bundle at a committed generation."""
+    import zlib
+
+    name = "torn-patch-recovers"
+    knd = os.path.join(workdir, "torn.knd")
+    knds = os.path.join(workdir, "torn.knds")
+    grid = (16, 16)
+    data = np.random.default_rng(seed + 1).standard_normal(grid)
+    with ArrayFile.create(knd, ArraySchema(grid, "f8"), data) as source:
+        with DebloatedArrayFile.create(
+            knds, source, keep_extents=[(0, grid[1] * 8 * 8)]
+        ):
+            pass
+
+    def bundle_bytes() -> bytes:
+        with open(knds, "rb") as fh:
+            return fh.read()
+
+    old_bytes = bundle_bytes()
+    with ArrayFile.open(knd) as source:
+        with DebloatedArrayFile.open(knds) as sub:
+            runtime = ResilientRuntime(sub, fallback_source=source)
+            for i in range(grid[0]):
+                for j in range(grid[1]):
+                    runtime.read((i, j))
+            misses = runtime.stats.misses
+            gen = runtime.heal_in_place(source)
+    new_bytes = bundle_bytes()
+    if gen != 2 or new_bytes == old_bytes:
+        return ChaosCheck(name, False, f"journaled heal did not commit "
+                                       f"a new generation (gen={gen})")
+    journal = BundleJournal.open(knds)
+    states = []
+
+    # Crash 1: a half-written trailing record (killed mid-append).
+    fake = _seal_record({
+        "seq": len(journal.records) + 1, "op": "begin", "action": "patch",
+        "gen": 3, "base": 2, "patch": None,
+        "file_crc32": zlib.crc32(old_bytes),
+        "prev_crc32": zlib.crc32(new_bytes),
+    })
+    torn_append(journal.log_path, fake, len(fake) // 2)
+    recovered = BundleJournal.open(knds)
+    states.append((
+        "torn-tail", recovered.recovery, recovered.current_generation,
+        bundle_bytes(),
+    ))
+
+    # Crash 2: intent fully recorded (BEGIN + gen file) but the bundle
+    # rename never happened.
+    # kondo: allow[KND002] crash simulation: the drill forges the exact
+    # on-disk state a killed committer leaves behind
+    # kondo: allow[KND007] same — bypassing the journal API is the fault
+    with open(recovered.generation_path(3), "wb") as fh:
+        fh.write(old_bytes)
+    fake = _seal_record({
+        "seq": len(recovered.records) + 1, "op": "begin", "action": "patch",
+        "gen": 3, "base": 2, "patch": None,
+        "file_crc32": zlib.crc32(old_bytes),
+        "prev_crc32": zlib.crc32(new_bytes),
+    })
+    torn_append(recovered.log_path, fake, len(fake))
+    recovered = BundleJournal.open(knds)
+    states.append((
+        "begin-no-commit", recovered.recovery,
+        recovered.current_generation, bundle_bytes(),
+    ))
+
+    problems = []
+    for label, recovery, cur_gen, raw in states:
+        if raw != old_bytes and raw != new_bytes:
+            problems.append(f"{label}: bundle is a HYBRID")
+        if raw != new_bytes:
+            problems.append(f"{label}: committed generation lost")
+        if cur_gen != 2:
+            problems.append(f"{label}: generation {cur_gen} != 2")
+    final = fsck_file(knds)
+    if final.exit_code != 0:
+        problems.append(f"final fsck exit {final.exit_code}")
+    recoveries = [s[1] for s in states]
+    ok = not problems and recoveries == ["clean", "rolled-back"]
+    if not problems and not ok:
+        problems.append(f"unexpected recovery path {recoveries}")
+    detail = ("; ".join(problems) if problems else
+              f"{misses} misses healed as gen 2; torn tail discarded and "
+              f"begin-without-commit rolled back, bundle never hybrid")
+    return ChaosCheck(name, ok, detail)

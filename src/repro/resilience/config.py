@@ -40,6 +40,10 @@ class ResilienceConfig:
         worker_recovery: when a pooled debloat test fails (worker death
             included), replay the failed items serially in-process
             instead of aborting the batch.
+        keep_generations: journal generation snapshots retained per
+            bundle by the durability layer (``0`` keeps all; ``N > 0``
+            prunes to the newest N, bounding journal disk use at the
+            cost of how far ``kondo rollback`` can reach).
     """
 
     fetch_retries: int = 0
@@ -53,6 +57,7 @@ class ResilienceConfig:
     checkpoint_every: int = 100
     quarantine: bool = False
     worker_recovery: bool = False
+    keep_generations: int = 0
 
     def __post_init__(self):
         if self.fetch_retries < 0:
@@ -89,6 +94,10 @@ class ResilienceConfig:
         if self.checkpoint_every < 1:
             raise ResilienceConfigError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.keep_generations < 0:
+            raise ResilienceConfigError(
+                f"keep_generations must be >= 0, got {self.keep_generations}"
             )
 
     @property

@@ -1,0 +1,198 @@
+"""``kondo repair``: re-fetch only the damaged spans of a bundle.
+
+The repair pipeline composes the other three durability pieces:
+
+1. **Recover** — open the journal with recovery on, so a torn commit
+   left by a crash is resolved (old or new generation, never hybrid)
+   before any new writes.
+2. **Diagnose** — run fsck.  Structurally damaged bundles (untrusted
+   header) are restored wholesale from the newest journal generation
+   snapshot that verifies; span-level damage proceeds to step 3.
+3. **Plan** — map each corrupt local span back through the extent
+   directory to source-payload ranges
+   (:meth:`DebloatedArrayFile.source_ranges_of_local`).  For chunked
+   origins the fetch is planned at chunk granularity
+   (:func:`chunk_aligned_extents`) — the origin transfers whole chunks
+   anyway — then trimmed to the bytes the patch needs.
+4. **Patch** — fetch the ranges from the origin KND, assemble a
+   :class:`PatchFile`, and commit it through the journal's
+   intent → fsync → commit protocol.  A crash mid-repair therefore
+   leaves the pre-repair generation intact.
+
+Only the damaged bytes travel: repairing one flipped byte in a
+gigabyte bundle fetches one span (or one chunk), not the file.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arraymodel.chunk_debloat import chunk_aligned_extents
+from repro.arraymodel.chunked import ChunkedLayout
+from repro.arraymodel.datafile import ArrayFile
+from repro.arraymodel.debloated import DebloatedArrayFile, merge_extents
+from repro.errors import FileFormatError
+from repro.resilience.durability.fsck import (
+    EXIT_STRUCTURAL,
+    FsckReport,
+    fsck_file,
+)
+from repro.resilience.durability.journal import (
+    BundleJournal,
+    build_patch,
+)
+
+
+@dataclass
+class RepairReport:
+    """What ``kondo repair`` did to one bundle."""
+
+    bundle_path: str
+    source_path: Optional[str]
+    before_exit: int
+    after_exit: int
+    #: New journal generation committed, or ``None`` if nothing to do.
+    generation: Optional[int] = None
+    #: Whether a structural restore from a journal snapshot happened.
+    restored_from_snapshot: bool = False
+    #: What journal recovery found on open ("clean", "rolled-back", ...).
+    journal_recovery: str = "clean"
+    spans_repaired: int = 0
+    bytes_fetched: int = 0
+    #: Source-payload ranges fetched from the origin.
+    fetched_ranges: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def clean_after(self) -> bool:
+        return self.after_exit == 0
+
+    def to_json(self) -> dict:
+        return {
+            "bundle_path": self.bundle_path,
+            "source_path": self.source_path,
+            "before_exit": self.before_exit,
+            "after_exit": self.after_exit,
+            "clean_after": self.clean_after,
+            "generation": self.generation,
+            "restored_from_snapshot": self.restored_from_snapshot,
+            "journal_recovery": self.journal_recovery,
+            "spans_repaired": self.spans_repaired,
+            "bytes_fetched": self.bytes_fetched,
+            "fetched_ranges": [[s, z] for s, z in self.fetched_ranges],
+        }
+
+    def format(self) -> str:
+        if self.generation is None:
+            return f"repair {self.bundle_path}: already clean, nothing to do"
+        how = ("restored from journal snapshot" if self.restored_from_snapshot
+               else f"{self.spans_repaired} span(s), "
+                    f"{self.bytes_fetched} byte(s) re-fetched")
+        return (f"repair {self.bundle_path}: {how} -> generation "
+                f"{self.generation}, fsck "
+                f"{'clean' if self.clean_after else 'STILL DAMAGED'}")
+
+
+def _fetch_source_ranges(source: ArrayFile,
+                         ranges: List[Tuple[int, int]]
+                         ) -> List[Tuple[int, int, bytes]]:
+    """Fetch source-payload byte ranges, chunk-aligned when chunked."""
+    if isinstance(source.layout, ChunkedLayout):
+        aligned = chunk_aligned_extents(source.layout, ranges)
+        blocks = {start: source.read_extent(start, size)
+                  for start, size in aligned}
+        parts = []
+        for start, size in ranges:
+            for a_start, a_size in aligned:
+                if a_start <= start and start + size <= a_start + a_size:
+                    raw = blocks[a_start][start - a_start:
+                                          start - a_start + size]
+                    parts.append((start, size, raw))
+                    break
+            else:
+                raise FileFormatError(
+                    f"internal: range [{start}, {start + size}) not "
+                    f"covered by its chunk-aligned fetch plan"
+                )
+        return parts
+    return [(start, size, source.read_extent(start, size))
+            for start, size in ranges]
+
+
+def _restore_from_snapshot(journal: BundleJournal) -> int:
+    """Overwrite a structurally damaged bundle from the newest snapshot
+    whose content still verifies; returns the new generation."""
+    for gen in reversed(journal.generations()):
+        record = journal.committed_record(gen)
+        if record is None:
+            continue
+        with open(journal.generation_path(gen), "rb") as fh:
+            blob = fh.read()
+        if zlib.crc32(blob) != record["file_crc32"]:
+            continue
+        return journal.commit_bytes(blob, "repair",
+                                    extra={"restored_from": gen})
+    raise FileFormatError(
+        f"{journal.bundle_path}: structural damage and no verifying "
+        f"journal snapshot to restore from; re-carve from the origin"
+    )
+
+
+def repair_bundle(bundle_path: str, source_path: Optional[str] = None,
+                  keep_generations: int = 0) -> RepairReport:
+    """Repair a damaged KNDS bundle in place, journaled.
+
+    ``source_path`` is the origin KND to re-fetch damaged spans from;
+    it may be omitted when the damage is structural and a journal
+    snapshot can restore the bundle without any origin access.
+    """
+    journal = BundleJournal.open(bundle_path,
+                                 keep_generations=keep_generations)
+    before = fsck_file(bundle_path, check_journal=False)
+    report = RepairReport(
+        bundle_path=bundle_path, source_path=source_path,
+        before_exit=before.exit_code, after_exit=before.exit_code,
+        journal_recovery=journal.recovery,
+    )
+    current = before
+    if before.exit_code == EXIT_STRUCTURAL:
+        report.generation = _restore_from_snapshot(journal)
+        report.restored_from_snapshot = True
+        current = fsck_file(bundle_path, check_journal=False)
+        report.after_exit = current.exit_code
+    if not current.bad_spans and current.payload_crc_ok is not False:
+        return report
+    # Span-level damage: plan the re-fetch through the extent directory.
+    if source_path is None:
+        raise FileFormatError(
+            f"{bundle_path}: has corrupt spans; repairing them needs "
+            f"the origin file (source_path)"
+        )
+    with DebloatedArrayFile.open(bundle_path, verify_checksum=False,
+                                 on_corruption="degrade") as bundle:
+        bad_local = [(b["offset"], b["size"]) for b in current.bad_spans]
+        if not bad_local and current.payload_crc_ok is False:
+            # Pre-v3 bundle: no localization, re-fetch everything kept.
+            bad_local = [(0, bundle.kept_nbytes)]
+        needed = merge_extents(
+            r for off, size in bad_local
+            for r in bundle.source_ranges_of_local(off, size)
+        )
+        expected_schema = bundle.schema.to_dict()
+    with ArrayFile.open(source_path) as source:
+        if source.schema.to_dict() != expected_schema:
+            raise FileFormatError(
+                f"{source_path}: schema does not match bundle "
+                f"{bundle_path}; refusing to repair from a different "
+                f"array"
+            )
+        parts = _fetch_source_ranges(source, needed)
+    patch = build_patch(parts)
+    report.generation = journal.commit_patch(patch, action="repair")
+    report.spans_repaired = len(bad_local)
+    report.bytes_fetched = patch.nbytes
+    report.fetched_ranges = list(patch.extents)
+    after = fsck_file(bundle_path, check_journal=False)
+    report.after_exit = after.exit_code
+    return report

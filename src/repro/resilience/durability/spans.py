@@ -1,0 +1,59 @@
+"""Damage-model view over the v3 span table.
+
+The byte-level :class:`~repro.arraymodel.spans.SpanTable` primitive
+lives in ``arraymodel`` because it is part of the on-disk format; this
+module re-exports it for durability-layer callers and adds the *damage
+model*: helpers that turn span classifications into the summaries fsck
+reports and repair planning consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arraymodel.spans import (  # noqa: F401  (re-exports)
+    DEFAULT_STRIPE_NBYTES,
+    MIN_STRIPE_NBYTES,
+    SPAN_CLEAN,
+    SPAN_CORRUPT,
+    SPAN_UNREADABLE,
+    SpanTable,
+    build_span_table,
+    iter_spans,
+    parse_optional_spans,
+    span_size_for,
+)
+
+__all__ = [
+    "DEFAULT_STRIPE_NBYTES",
+    "MIN_STRIPE_NBYTES",
+    "SPAN_CLEAN",
+    "SPAN_CORRUPT",
+    "SPAN_UNREADABLE",
+    "SpanTable",
+    "build_span_table",
+    "iter_spans",
+    "parse_optional_spans",
+    "span_size_for",
+    "damage_summary",
+    "bad_span_details",
+]
+
+
+def damage_summary(statuses: Sequence[str]) -> Dict[str, int]:
+    """Count spans by classification: ``{"clean": N, "corrupt": M, ...}``."""
+    counts = {SPAN_CLEAN: 0, SPAN_CORRUPT: 0, SPAN_UNREADABLE: 0}
+    for status in statuses:
+        counts[status] = counts.get(status, 0) + 1
+    return counts
+
+
+def bad_span_details(table: SpanTable, statuses: Sequence[str]
+                     ) -> List[Tuple[int, int, int, str]]:
+    """Every non-clean span as ``(ordinal, offset, size, status)``."""
+    out = []
+    for ordinal, status in enumerate(statuses):
+        if status != SPAN_CLEAN:
+            offset, size = table.span_range(ordinal)
+            out.append((ordinal, offset, size, status))
+    return out

@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import FetchError, InjectedFault, ResilienceConfigError
 
 #: Supported byte-corruption modes for :func:`corrupt_file`.
-CORRUPTION_MODES = ("flip", "zero", "truncate")
+CORRUPTION_MODES = ("flip", "zero", "truncate", "bitrot")
 
 
 def corrupt_file(
@@ -33,17 +33,30 @@ def corrupt_file(
     offset: Optional[int] = None,
     length: int = 1,
     seed: int = 0,
+    sites: int = 3,
 ) -> int:
     """Corrupt an on-disk artifact in place; return the affected offset.
 
     Args:
         path: file to damage (KND/KNDS/npz/...).
         mode: ``"flip"`` XOR-flips ``length`` bytes, ``"zero"`` zeroes
-            them, ``"truncate"`` cuts the file at the offset.
+            them, ``"truncate"`` cuts the file at the offset,
+            ``"bitrot"`` flips one byte at each of ``sites`` distinct
+            seeded positions — the multi-span media-decay pattern the
+            per-span CRC table localizes.
         offset: byte position; when omitted, one is drawn uniformly from
-            the file (seeded, so the damage is reproducible).
+            the file (seeded, so the damage is reproducible).  For
+            ``"truncate"`` an explicit offset must satisfy
+            ``0 < offset < size`` — ``0`` would *empty* the file and
+            ``>= size`` would not damage it at all, so both are config
+            errors rather than silently-clamped no-drills.  For
+            ``"bitrot"`` the offset is ignored (sites are always drawn).
         length: bytes affected (flip/zero modes).
-        seed: RNG seed for the drawn offset.
+        seed: RNG seed for drawn offsets.
+        sites: number of distinct corruption sites (bitrot mode).
+
+    Returns:
+        The (first, for bitrot) affected byte offset.
     """
     if mode not in CORRUPTION_MODES:
         raise ResilienceConfigError(
@@ -52,15 +65,47 @@ def corrupt_file(
     size = os.path.getsize(path)
     if size == 0:
         raise ResilienceConfigError(f"{path}: cannot corrupt an empty file")
-    if offset is None:
-        offset = int(np.random.default_rng(seed).integers(0, size))
-    offset = min(max(int(offset), 0), size - 1)
+    if mode == "bitrot":
+        if sites < 1:
+            raise ResilienceConfigError(
+                f"bitrot needs sites >= 1, got {sites}"
+            )
+        if sites > size:
+            raise ResilienceConfigError(
+                f"bitrot with {sites} sites needs a file of at least "
+                f"that many bytes, got {size}"
+            )
+        rng = np.random.default_rng(seed)
+        positions = sorted(
+            int(p) for p in rng.choice(size, size=sites, replace=False)
+        )
+        # kondo: allow[KND002] fault injector: in-place decay is the
+        # point — atomic replacement would defeat the drill
+        with open(path, "r+b") as fh:
+            for pos in positions:
+                fh.seek(pos)
+                byte = fh.read(1)
+                fh.seek(pos)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+        return positions[0]
     if mode == "truncate":
+        if offset is None:
+            offset = int(np.random.default_rng(seed).integers(1, size))
+        offset = int(offset)
+        if offset <= 0 or offset >= size:
+            raise ResilienceConfigError(
+                f"truncate offset must be in (0, {size}) for {path}: "
+                f"{offset} would "
+                + ("empty the file" if offset <= 0 else "not damage it")
+            )
         # kondo: allow[KND002] fault injector: damaging the artifact
         # in place is this function's entire purpose
         with open(path, "r+b") as fh:
             fh.truncate(offset)
         return offset
+    if offset is None:
+        offset = int(np.random.default_rng(seed).integers(0, size))
+    offset = min(max(int(offset), 0), size - 1)
     # kondo: allow[KND002] fault injector: in-place corruption is the
     # point — atomic replacement would defeat the drill
     with open(path, "r+b") as fh:
@@ -73,6 +118,45 @@ def corrupt_file(
         fh.seek(offset)
         fh.write(bytes(chunk))
     return offset
+
+
+def torn_write(path: str, data: bytes, keep_bytes: int) -> None:
+    """Simulate a non-atomic overwrite killed after ``keep_bytes``.
+
+    The file ends up holding exactly the first ``keep_bytes`` of
+    ``data`` — the state a crashed ``open(path, "wb")`` writer leaves
+    behind, which is precisely what ``repro.ioutil.atomic_write``
+    exists to prevent.  Used by the torn-patch chaos drill to prove the
+    journal's recovery keeps the bundle old-or-new, never hybrid.
+    """
+    if not 0 <= keep_bytes <= len(data):
+        raise ResilienceConfigError(
+            f"keep_bytes must be in [0, {len(data)}], got {keep_bytes}"
+        )
+    # kondo: allow[KND002] fault injector: the torn, non-atomic write
+    # IS the fault being injected
+    # kondo: allow[KND007] same — this simulates the crash the journal
+    # must survive, so it must bypass the journal API
+    with open(path, "wb") as fh:
+        fh.write(data[:keep_bytes])
+
+
+def torn_append(path: str, data: bytes, keep_bytes: int) -> None:
+    """Simulate an append killed after ``keep_bytes`` of ``data``.
+
+    Models a crash inside ``durable_append``: the journal log gains a
+    half-written trailing record, which recovery must detect via the
+    record CRC and discard.
+    """
+    if not 0 <= keep_bytes <= len(data):
+        raise ResilienceConfigError(
+            f"keep_bytes must be in [0, {len(data)}], got {keep_bytes}"
+        )
+    # kondo: allow[KND002] fault injector: the torn append IS the fault
+    # kondo: allow[KND007] simulates the crash mid-journal-append that
+    # recovery must handle, so it must bypass the journal API
+    with open(path, "ab") as fh:
+        fh.write(data[:keep_bytes])
 
 
 class FlakyCallable:

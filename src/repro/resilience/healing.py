@@ -10,10 +10,15 @@ III / Section VI) with production miss-handling:
   open — or when fetching keeps failing — reads **fall back to a local
   full-file source** (the un-debloated KND file, the related-work
   "lazy on-miss recovery" strategy),
-* every miss is accumulated into a :class:`SubsetPatch`, and
-  :meth:`ResilientRuntime.heal` re-carves the shipped subset with the
-  observed misses folded in, so repeated misses heal ``D_Theta`` instead
-  of costing a fetch forever.
+* every miss is accumulated into a :class:`SubsetPatch`;
+  :meth:`ResilientRuntime.heal` re-carves the shipped subset (to a new
+  path) with the observed misses folded in, and
+  :meth:`ResilientRuntime.heal_in_place` goes further: it emits an
+  append-only delta patch holding *only* the missed bytes and commits
+  it through the durability journal's intent → fsync → commit
+  protocol, so a crash mid-heal can never destroy the only copy of
+  ``D_Theta`` — the bundle is always exactly the old or exactly the
+  new generation, and ``kondo rollback`` can restore either.
 """
 
 from __future__ import annotations
@@ -165,3 +170,48 @@ class ResilientRuntime(KondoRuntime):
             source.layout, source.schema.itemsize
         )
         return DebloatedArrayFile.create(out_path, source, keep_extents=keep)
+
+    def build_delta_patch(self, source: ArrayFile) -> "PatchFile":
+        """The observed misses as a durable delta patch.
+
+        Unlike :meth:`heal`'s full re-carve, the patch carries *only*
+        the missed bytes (fetched once from ``source``), so healing a
+        gigabyte bundle after a handful of misses writes kilobytes.
+        """
+        from repro.resilience.durability.journal import build_patch
+        from repro.arraymodel.debloated import merge_extents
+
+        patch = self.build_patch()
+        extents = merge_extents(
+            patch.extents(source.layout, source.schema.itemsize)
+        )
+        return build_patch([
+            (start, size, source.read_extent(start, size))
+            for start, size in extents
+        ])
+
+    def heal_in_place(self, source: ArrayFile,
+                      keep_generations: Optional[int] = None) -> int:
+        """Journaled heal: commit the observed misses into the shipped
+        subset itself, crash-safely.
+
+        The delta patch is persisted in the bundle's journal directory,
+        the patched generation is written through the journal's
+        intent → fsync → commit protocol, and the pre-heal generation
+        remains available to ``kondo rollback``.  Returns the new
+        generation number (the current one when there is nothing to
+        heal).  The in-memory ``self.subset`` still reads the pre-heal
+        bytes (its file handle holds the old inode); reopen the path to
+        see the healed generation.
+        """
+        from repro.resilience.durability.journal import BundleJournal
+
+        if keep_generations is None:
+            keep_generations = self.config.keep_generations
+        journal = BundleJournal.open(
+            self.subset.path, keep_generations=keep_generations
+        )
+        delta = self.build_delta_patch(source)
+        if delta.nbytes == 0:
+            return journal.current_generation
+        return journal.commit_patch(delta, action="patch")

@@ -222,3 +222,57 @@ class TestKND006ResourceHygiene:
             ),
         }, select=["KND006"])
         assert findings == []
+
+
+class TestKND007DurableWrites:
+    def test_raw_write_to_bundle_path_fires(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/bad.py": (
+                "def clobber(data):\n"
+                "    with open('out.knds', 'wb') as fh:\n"
+                "        fh.write(data)\n\n\n"
+                "def clobber_var(bundle_path, data):\n"
+                "    with open(bundle_path, 'r+b') as fh:\n"
+                "        fh.write(data)\n"
+            ),
+        }, select=["KND007"])
+        assert rule_ids(findings) == ["KND007", "KND007"]
+        assert all("journal" in f.message for f in findings)
+
+    def test_replace_onto_journal_artifact_fires(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/core/bad2.py": (
+                "import os\n\n\n"
+                "def swap(tmp, journal_dir):\n"
+                "    os.replace(tmp, journal_dir + '/journal.log')\n"
+            ),
+        }, select=["KND007"])
+        assert rule_ids(findings) == ["KND007"]
+
+    def test_sanctioned_and_unrelated_writes_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            # The journal module itself is the sanctioned mutation site.
+            "repro/resilience/durability/journal.py": (
+                "def truncate_tail(log_path, end):\n"
+                "    with open(log_path, 'r+b') as fh:\n"
+                "        fh.truncate(end)\n"
+            ),
+            # Non-durable artifacts are out of scope (KND002's turf).
+            "repro/core/fine.py": (
+                "def note(path, text):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(text)\n\n\n"
+                "def read_bundle(bundle_path):\n"
+                "    with open(bundle_path, 'rb') as fh:\n"
+                "        return fh.read()\n"
+            ),
+            # Annotated fault injection is reviewable and allowed.
+            "repro/resilience/fine.py": (
+                "def tear(bundle_path, data):\n"
+                "    # kondo: allow[KND007] fault injector: the torn "
+                "write is the fault\n"
+                "    with open(bundle_path, 'wb') as fh:\n"
+                "        fh.write(data[:3])\n"
+            ),
+        }, select=["KND007"])
+        assert findings == []

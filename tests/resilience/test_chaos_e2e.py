@@ -31,7 +31,8 @@ class TestChaosDrills:
         assert not failures, report.format()
         assert {c.name for c in report.checks} == {
             "worker-killed", "crash-resume", "flaky-fetch", "heal",
-            "corrupt-artifact",
+            "corrupt-artifact", "corrupt-span-degrades",
+            "torn-patch-recovers",
         }
 
     def test_different_seed_still_survives(self, tmp_path):

@@ -1,0 +1,658 @@
+"""Durable bundles: span CRCs, the patch journal, fsck, and repair.
+
+The three property tests the ISSUE names live here:
+
+* v2 and v3 files of the same array are read-equivalent,
+* a single flipped payload byte is attributed to exactly one span,
+* a crash at *every byte boundary* of a journaled commit recovers to
+  exactly the old or exactly the new generation — never a hybrid.
+"""
+
+import io
+import json
+import os
+import shutil
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema, DebloatedArrayFile
+from repro.arraymodel.datafile import meta_crc32
+from repro.arraymodel.spans import (
+    SPAN_CLEAN,
+    SPAN_CORRUPT,
+    SPAN_UNREADABLE,
+    SpanTable,
+    build_span_table,
+    span_size_for,
+)
+from repro.errors import DataMissingError, FileFormatError
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.durability import (
+    BundleJournal,
+    PatchFile,
+    fsck_file,
+    read_patch,
+    repair_bundle,
+    write_patch,
+)
+from repro.resilience.durability.fsck import (
+    EXIT_CLEAN,
+    EXIT_CORRUPT,
+    EXIT_STRUCTURAL,
+)
+from repro.resilience.durability.journal import apply_patch, build_patch
+from repro.resilience.healing import ResilientRuntime
+
+DIMS = (32, 32)
+ROW = DIMS[1] * 8  # bytes per f8 row
+KEPT_ROWS = 16
+
+
+@pytest.fixture
+def source(tmp_path):
+    data = np.arange(DIMS[0] * DIMS[1], dtype="f8").reshape(DIMS)
+    f = ArrayFile.create(str(tmp_path / "full.knd"),
+                         ArraySchema(DIMS, "f8"), data)
+    yield f
+    f.close()
+
+
+@pytest.fixture
+def bundle_path(tmp_path, source):
+    path = str(tmp_path / "part.knds")
+    DebloatedArrayFile.create(
+        path, source, keep_extents=[(0, KEPT_ROWS * ROW)],
+    ).close()
+    return path
+
+
+def _payload_start(path):
+    with open(path, "rb") as fh:
+        fh.seek(4)
+        return 8 + int.from_bytes(fh.read(4), "little")
+
+
+def _read_header(path):
+    with open(path, "rb") as fh:
+        fh.seek(4)
+        hlen = int.from_bytes(fh.read(4), "little")
+        return json.loads(fh.read(hlen).decode("utf-8"))
+
+
+def _write_v2(path, magic, body, payload):
+    """Hand-roll a version-2 file: whole-payload CRC, no span table."""
+    header = dict(body)
+    header["version"] = 2
+    header["meta_crc32"] = meta_crc32(body)
+    header["payload_crc32"] = zlib.crc32(payload)
+    raw = json.dumps(header).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(magic)
+        fh.write(len(raw).to_bytes(4, "little"))
+        fh.write(raw)
+        fh.write(payload)
+
+
+def _flip(path, offset):
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        b = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([b[0] ^ 0xFF]))
+
+
+# ---------------------------------------------------------------------------
+# Property 1: v2 <-> v3 read equivalence
+
+
+class TestV2V3Equivalence:
+    def test_knds_v2_and_v3_read_identically(self, tmp_path, source,
+                                             bundle_path):
+        with DebloatedArrayFile.open(bundle_path) as v3:
+            payload = v3.read_local_raw(0, v3.kept_nbytes)
+            extents = list(v3.extents)
+        v2_path = str(tmp_path / "part_v2.knds")
+        _write_v2(v2_path, b"KNDS",
+                  {"schema": source.schema.to_dict(),
+                   "extents": [[s, z] for s, z in extents]},
+                  payload)
+        with DebloatedArrayFile.open(v2_path) as v2, \
+                DebloatedArrayFile.open(bundle_path) as v3:
+            assert v2.span_table is None and v3.span_table is not None
+            for flat in range(DIMS[0] * DIMS[1]):
+                index = divmod(flat, DIMS[1])
+                if flat < KEPT_ROWS * DIMS[1]:
+                    assert v2.read_point(index) == v3.read_point(index) \
+                        == float(flat)
+                else:
+                    for f in (v2, v3):
+                        with pytest.raises(DataMissingError):
+                            f.read_point(index)
+
+    def test_knd_v2_opens_and_fscks_clean(self, tmp_path, source):
+        with open(source.path, "rb") as fh:
+            blob = fh.read()
+        payload = blob[_payload_start(source.path):]
+        v2_path = str(tmp_path / "full_v2.knd")
+        _write_v2(v2_path, b"KND1", {"schema": source.schema.to_dict()},
+                  payload)
+        with ArrayFile.open(v2_path) as v2:
+            assert v2.span_table is None
+            assert v2.read_point((3, 7)) == source.read_point((3, 7))
+        report = fsck_file(v2_path)
+        assert report.exit_code == EXIT_CLEAN
+        assert report.version == 2
+        assert report.payload_crc_ok is True
+        assert report.n_spans is None
+
+    def test_recarving_a_v2_bundle_yields_v3(self, tmp_path, source):
+        v3_path = str(tmp_path / "recarved.knds")
+        DebloatedArrayFile.create(
+            v3_path, source, keep_extents=[(0, 4 * ROW)],
+        ).close()
+        header = _read_header(v3_path)
+        assert header["version"] == 3
+        assert "spans" in header
+
+
+# ---------------------------------------------------------------------------
+# Property 2: one flipped byte -> exactly one corrupt span
+
+
+class TestSingleFlipLocalization:
+    def test_every_payload_flip_corrupts_exactly_its_span(self,
+                                                          bundle_path):
+        with open(bundle_path, "rb") as fh:
+            blob = fh.read()
+        start = _payload_start(bundle_path)
+        table = SpanTable.from_dict(_read_header(bundle_path)["spans"])
+        assert table.n_spans > 1  # the sweep must cross span boundaries
+        for i in range(start, len(blob)):
+            mutated = bytearray(blob)
+            mutated[i] ^= 0xFF
+            statuses = table.classify_stream(io.BytesIO(bytes(mutated)),
+                                             start)
+            expected = (i - start) // table.span_size
+            assert statuses[expected] == SPAN_CORRUPT
+            assert all(s == SPAN_CLEAN for o, s in enumerate(statuses)
+                       if o != expected)
+
+    def test_every_header_flip_is_structural_or_detected(self,
+                                                         bundle_path,
+                                                         tmp_path):
+        start = _payload_start(bundle_path)
+        for i in range(start):
+            damaged = str(tmp_path / "hdr.knds")
+            shutil.copyfile(bundle_path, damaged)
+            _flip(damaged, i)
+            assert fsck_file(damaged).exit_code != EXIT_CLEAN
+
+    def test_truncation_marks_tail_spans_unreadable(self, bundle_path):
+        size = os.path.getsize(bundle_path)
+        with open(bundle_path, "r+b") as fh:
+            fh.truncate(size - 10)
+        report = fsck_file(bundle_path)
+        assert report.exit_code == EXIT_CORRUPT
+        assert report.bad_spans[-1]["status"] == SPAN_UNREADABLE
+
+    def test_span_size_adapts_to_payload(self):
+        chunked = ArraySchema((16, 16), "f8", chunks=(4, 4))
+        assert span_size_for(chunked) == chunked.chunk_nbytes
+        flat = ArraySchema((1024, 1024), "f8")
+        assert span_size_for(flat, 1024) == 512  # floor for tiny subsets
+        assert span_size_for(flat, 1 << 30) == 64 * 1024
+
+    def test_build_span_table_covers_ragged_tail(self):
+        payload = bytes(range(256)) * 5  # 1280 bytes, span 512 -> 3 spans
+        table = build_span_table(payload, 512)
+        assert table.n_spans == 3
+        assert table.span_range(2) == (1024, 256)
+        assert table.classify_stream(io.BytesIO(payload), 0) == \
+            [SPAN_CLEAN] * 3
+
+
+# ---------------------------------------------------------------------------
+# Property 3: crash at every byte boundary -> old or new, never hybrid
+
+
+class TestCrashEveryByteBoundary:
+    def test_recovery_yields_old_or_new_never_hybrid(self, tmp_path,
+                                                     source, bundle_path):
+        # Run one real journaled commit to obtain the artifacts.
+        journal = BundleJournal.open(bundle_path)
+        with open(bundle_path, "rb") as fh:
+            old_bytes = fh.read()
+        patch = build_patch([
+            (KEPT_ROWS * ROW, 4 * ROW,
+             source.read_extent(KEPT_ROWS * ROW, 4 * ROW)),
+        ])
+        assert journal.commit_patch(patch) == 2
+        with open(bundle_path, "rb") as fh:
+            new_bytes = fh.read()
+        assert new_bytes != old_bytes
+        with open(journal.log_path, "rb") as fh:
+            log = fh.read()
+        lines = log.splitlines(keepends=True)
+        assert len(lines) == 3  # adopt-commit, begin, commit
+        adopt_end = len(lines[0])
+        begin_end = adopt_end + len(lines[1])
+        gen_files = {
+            name: open(os.path.join(journal.journal_dir, name),
+                       "rb").read()
+            for name in os.listdir(journal.journal_dir)
+            if name != "journal.log"
+        }
+
+        for cut in range(adopt_end, len(log) + 1):
+            # The bundle rename (step 3) happens after the BEGIN record
+            # is fully durable and before any COMMIT byte is appended,
+            # so a torn/absent BEGIN implies the old bundle and any
+            # COMMIT prefix implies the new one; only at the exact
+            # BEGIN boundary are both sides reachable.
+            states = ["old"] if cut < begin_end else \
+                ["old", "new"] if cut == begin_end else ["new"]
+            for state in states:
+                self._check_one_crash(
+                    tmp_path, cut, state, log, gen_files,
+                    old_bytes, new_bytes,
+                )
+
+    def _check_one_crash(self, tmp_path, cut, state, log, gen_files,
+                         old_bytes, new_bytes):
+        root = tmp_path / f"crash-{cut}-{state}"
+        root.mkdir()
+        bundle = str(root / "part.knds")
+        with open(bundle, "wb") as fh:
+            fh.write(old_bytes if state == "old" else new_bytes)
+        jdir = bundle + ".journal"
+        os.mkdir(jdir)
+        with open(os.path.join(jdir, "journal.log"), "wb") as fh:
+            fh.write(log[:cut])
+        for name, blob in gen_files.items():
+            with open(os.path.join(jdir, name), "wb") as fh:
+                fh.write(blob)
+
+        journal = BundleJournal.open(bundle)
+        with open(bundle, "rb") as fh:
+            recovered = fh.read()
+        label = f"crash at byte {cut} with {state} bundle"
+        assert recovered in (old_bytes, new_bytes), label
+        assert journal.pending is None, label
+        expected_gen = 2 if recovered == new_bytes else 1
+        assert journal.current_generation == expected_gen, label
+        report = fsck_file(bundle)
+        assert report.exit_code == EXIT_CLEAN, \
+            f"{label}: {report.format()}"
+
+    def test_corrupt_log_middle_is_rejected(self, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        journal.commit_bytes(open(bundle_path, "rb").read(), "patch")
+        _flip(journal.log_path, 5)  # damages the first record
+        with pytest.raises(FileFormatError, match="journal log corrupt"):
+            BundleJournal.open(bundle_path)
+
+    def test_bundle_matching_neither_restores_base_snapshot(
+            self, tmp_path, source, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        with open(bundle_path, "rb") as fh:
+            old_bytes = fh.read()
+        patch = build_patch([(KEPT_ROWS * ROW, ROW,
+                              source.read_extent(KEPT_ROWS * ROW, ROW))])
+        journal.commit_patch(patch)
+        # Forge a torn commit, then corrupt the live bundle so it matches
+        # neither side of it: recovery must fall back to the base snapshot.
+        log = open(journal.log_path, "rb").read()
+        lines = log.splitlines(keepends=True)
+        with open(journal.log_path, "wb") as fh:
+            fh.write(b"".join(lines[:-1]))  # drop the final COMMIT
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        recovered = BundleJournal.open(bundle_path)
+        assert recovered.recovery == "rolled-back"
+        assert open(bundle_path, "rb").read() == old_bytes
+
+
+# ---------------------------------------------------------------------------
+# Patch files
+
+
+class TestPatchFile:
+    def test_validation_rejects_overlap_and_length_mismatch(self):
+        with pytest.raises(FileFormatError):
+            PatchFile(extents=((0, 4), (2, 4)), payload=bytes(8))
+        with pytest.raises(FileFormatError):
+            PatchFile(extents=((8, 4), (0, 4)), payload=bytes(8))
+        with pytest.raises(FileFormatError):
+            PatchFile(extents=((0, 4),), payload=bytes(5))
+        with pytest.raises(FileFormatError):
+            PatchFile(extents=((0, 0),), payload=b"")
+
+    def test_build_patch_sorts_parts(self):
+        patch = build_patch([(8, 2, b"cd"), (0, 2, b"ab")])
+        assert patch.extents == ((0, 2), (8, 2))
+        assert patch.chunks() == [(0, 2, b"ab"), (8, 2, b"cd")]
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "p.kpatch")
+        patch = build_patch([(0, 3, b"abc"), (10, 2, b"xy")])
+        write_patch(path, patch)
+        assert read_patch(path) == patch
+
+    def test_read_detects_payload_corruption(self, tmp_path):
+        path = str(tmp_path / "p.kpatch")
+        write_patch(path, build_patch([(0, 4, b"abcd")]))
+        _flip(path, os.path.getsize(path) - 1)
+        with pytest.raises(FileFormatError, match="payload checksum"):
+            read_patch(path)
+
+    def test_read_detects_torn_write(self, tmp_path):
+        path = str(tmp_path / "p.kpatch")
+        write_patch(path, build_patch([(0, 4, b"abcd")]))
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 2)
+        with pytest.raises(FileFormatError):
+            read_patch(path)
+
+    def test_apply_patch_extends_and_overrides(self, source, bundle_path):
+        new_rows = source.read_extent(KEPT_ROWS * ROW, 2 * ROW)
+        override = b"\x11" * 8  # rewrite the first kept element too
+        patch = build_patch([(0, 8, override),
+                             (KEPT_ROWS * ROW, 2 * ROW, new_rows)])
+        with DebloatedArrayFile.open(bundle_path) as bundle:
+            blob = apply_patch(bundle, patch)
+        healed = str(os.path.dirname(bundle_path) + "/healed.knds")
+        with open(healed, "wb") as fh:
+            fh.write(blob)
+        with DebloatedArrayFile.open(healed) as f:
+            assert f.extents == [(0, (KEPT_ROWS + 2) * ROW)]
+            assert f.read_point((KEPT_ROWS, 0)) == \
+                float(KEPT_ROWS * DIMS[1])
+            raw = f.read_local_raw(0, 8)
+            assert raw == override
+        assert fsck_file(healed, check_journal=False).clean
+
+
+# ---------------------------------------------------------------------------
+# The journal lifecycle
+
+
+class TestBundleJournal:
+    def test_first_open_adopts_generation_one(self, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        assert journal.recovery == "adopted"
+        assert journal.current_generation == 1
+        assert journal.generations() == [1]
+        snap = open(journal.generation_path(1), "rb").read()
+        assert snap == open(bundle_path, "rb").read()
+
+    def test_reopen_is_clean_and_idempotent(self, bundle_path):
+        BundleJournal.open(bundle_path)
+        journal = BundleJournal.open(bundle_path)
+        assert journal.recovery == "clean"
+        assert journal.current_generation == 1
+
+    def test_rollback_restores_prior_generation(self, source, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        gen1 = open(bundle_path, "rb").read()
+        patch = build_patch([(KEPT_ROWS * ROW, ROW,
+                              source.read_extent(KEPT_ROWS * ROW, ROW))])
+        journal.commit_patch(patch)
+        gen2 = open(bundle_path, "rb").read()
+        assert journal.rollback() == 3
+        assert open(bundle_path, "rb").read() == gen1
+        # History stays append-only: rolling back to gen 2 still works.
+        assert journal.rollback(to_gen=2) == 4
+        assert open(bundle_path, "rb").read() == gen2
+        assert journal.generations() == [1, 2, 3, 4]
+
+    def test_rollback_refuses_single_generation(self, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        with pytest.raises(FileFormatError, match="nothing to roll back"):
+            journal.rollback()
+
+    def test_rollback_refuses_corrupt_snapshot(self, source, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        patch = build_patch([(KEPT_ROWS * ROW, ROW,
+                              source.read_extent(KEPT_ROWS * ROW, ROW))])
+        journal.commit_patch(patch)
+        _flip(journal.generation_path(1), 100)
+        with pytest.raises(FileFormatError, match="snapshot is corrupt"):
+            journal.rollback()
+
+    def test_pruning_keeps_newest_and_current(self, source, bundle_path):
+        journal = BundleJournal.open(bundle_path, keep_generations=2)
+        for i in range(3):
+            patch = build_patch([
+                ((KEPT_ROWS + i) * ROW, ROW,
+                 source.read_extent((KEPT_ROWS + i) * ROW, ROW)),
+            ])
+            journal.commit_patch(patch)
+        assert journal.current_generation == 4
+        assert journal.generations() == [3, 4]
+        with pytest.raises(FileFormatError, match="pruned"):
+            journal.rollback(to_gen=1)
+
+    def test_keep_generations_config_knob(self):
+        assert ResilienceConfig(keep_generations=3).keep_generations == 3
+        from repro.errors import ResilienceConfigError
+        with pytest.raises(ResilienceConfigError):
+            ResilienceConfig(keep_generations=-1)
+
+    def test_open_missing_bundle_rejected(self, tmp_path):
+        with pytest.raises(FileFormatError, match="no such bundle"):
+            BundleJournal.open(str(tmp_path / "ghost.knds"))
+
+
+# ---------------------------------------------------------------------------
+# fsck
+
+
+class TestFsck:
+    def test_clean_report_shape(self, bundle_path):
+        report = fsck_file(bundle_path)
+        j = report.to_json()
+        assert j["exit_code"] == EXIT_CLEAN and j["clean"]
+        assert j["kind"] == "knds" and j["version"] == 3
+        assert j["header_ok"] is True
+        assert j["spans"]["total"] > 1
+        assert j["spans"]["counts"] == {SPAN_CLEAN: j["spans"]["total"],
+                                        SPAN_CORRUPT: 0,
+                                        SPAN_UNREADABLE: 0}
+        assert j["spans"]["bad"] == []
+        assert j["consistency_errors"] == []
+        assert j["journal"] is None  # no journal yet
+
+    def test_flip_reports_one_bad_span(self, bundle_path):
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        report = fsck_file(bundle_path)
+        assert report.exit_code == EXIT_CORRUPT
+        assert len(report.bad_spans) == 1
+        assert report.bad_spans[0]["status"] == SPAN_CORRUPT
+        assert "DAMAGED" in report.format()
+
+    def test_header_damage_is_structural(self, bundle_path):
+        _flip(bundle_path, 20)
+        report = fsck_file(bundle_path)
+        assert report.exit_code == EXIT_STRUCTURAL
+        assert not report.header_ok
+
+    def test_bad_magic_and_missing_file(self, tmp_path, bundle_path):
+        _flip(bundle_path, 0)
+        assert fsck_file(bundle_path).exit_code == EXIT_STRUCTURAL
+        ghost = fsck_file(str(tmp_path / "ghost.knds"))
+        assert ghost.exit_code == EXIT_STRUCTURAL
+        assert ghost.header_error == "no such file"
+
+    def test_pending_journal_commit_flags_file(self, source, bundle_path):
+        journal = BundleJournal.open(bundle_path)
+        patch = build_patch([(KEPT_ROWS * ROW, ROW,
+                              source.read_extent(KEPT_ROWS * ROW, ROW))])
+        journal.commit_patch(patch)
+        log = open(journal.log_path, "rb").read()
+        lines = log.splitlines(keepends=True)
+        with open(journal.log_path, "wb") as fh:
+            fh.write(b"".join(lines[:-1]))  # drop the final COMMIT
+        report = fsck_file(bundle_path)
+        assert report.exit_code == EXIT_CORRUPT
+        assert report.journal["pending"]["gen"] == 2
+        assert report.journal["bundle_matches"] == "new"
+
+    def test_clean_journal_in_report(self, bundle_path):
+        BundleJournal.open(bundle_path)
+        report = fsck_file(bundle_path)
+        assert report.clean
+        assert report.journal["current_generation"] == 1
+        assert report.journal["pending"] is None
+
+
+# ---------------------------------------------------------------------------
+# Degrade-mode reads
+
+
+class TestDegradeMode:
+    def test_corrupt_span_reads_become_misses(self, bundle_path):
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        with pytest.raises(FileFormatError):
+            DebloatedArrayFile.open(bundle_path)
+        with DebloatedArrayFile.open(bundle_path,
+                                     on_corruption="degrade") as f:
+            assert f.degraded
+            (off, size), = f.corrupt_local_ranges
+            with pytest.raises(DataMissingError, match="corrupt span"):
+                f.read_point(divmod(off // 8, DIMS[1]))
+            # An element outside the corrupt span still reads fine.
+            assert f.read_point((0, 0)) == 0.0
+
+    def test_degraded_runtime_stays_bit_correct(self, source, bundle_path):
+        _flip(bundle_path, _payload_start(bundle_path))
+        with DebloatedArrayFile.open(bundle_path,
+                                     on_corruption="degrade") as f:
+            runtime = ResilientRuntime(f, fallback_source=source)
+            for flat in range(KEPT_ROWS * DIMS[1]):
+                assert runtime.read(divmod(flat, DIMS[1])) == float(flat)
+            assert runtime.stats.fallback_reads > 0
+
+
+# ---------------------------------------------------------------------------
+# Repair
+
+
+class TestRepair:
+    def test_repair_refetches_only_the_damaged_span(self, source,
+                                                    bundle_path):
+        BundleJournal.open(bundle_path)
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        report = repair_bundle(bundle_path, source_path=source.path)
+        assert report.before_exit == EXIT_CORRUPT
+        assert report.clean_after
+        assert report.generation == 2
+        assert report.spans_repaired == 1
+        assert 0 < report.bytes_fetched < KEPT_ROWS * ROW
+        with DebloatedArrayFile.open(bundle_path) as f:
+            assert f.read_point((KEPT_ROWS - 1, DIMS[1] - 1)) == \
+                float(KEPT_ROWS * DIMS[1] - 1)
+
+    def test_repair_of_clean_bundle_is_a_noop(self, bundle_path):
+        report = repair_bundle(bundle_path)
+        assert report.generation is None
+        assert "nothing to do" in report.format()
+
+    def test_structural_damage_restored_from_snapshot(self, bundle_path):
+        BundleJournal.open(bundle_path)
+        good = open(bundle_path, "rb").read()
+        _flip(bundle_path, 20)  # header: no origin needed for restore
+        report = repair_bundle(bundle_path)
+        assert report.before_exit == EXIT_STRUCTURAL
+        assert report.restored_from_snapshot
+        assert report.clean_after
+        assert open(bundle_path, "rb").read() == good
+
+    def test_span_damage_without_source_is_refused(self, bundle_path):
+        BundleJournal.open(bundle_path)
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        with pytest.raises(FileFormatError, match="origin"):
+            repair_bundle(bundle_path)
+
+    def test_schema_mismatch_is_refused(self, tmp_path, bundle_path):
+        BundleJournal.open(bundle_path)
+        _flip(bundle_path, os.path.getsize(bundle_path) - 1)
+        other = ArrayFile.create(str(tmp_path / "other.knd"),
+                                 ArraySchema((8, 8), "f8"))
+        other.close()
+        with pytest.raises(FileFormatError, match="schema"):
+            repair_bundle(bundle_path, source_path=other.path)
+
+    def test_chunked_origin_fetches_whole_chunks(self, tmp_path):
+        schema = ArraySchema((16, 16), "f8", chunks=(4, 4))
+        data = np.arange(256, dtype="f8").reshape(16, 16)
+        source = ArrayFile.create(str(tmp_path / "c.knd"), schema, data)
+        bundle = str(tmp_path / "c.knds")
+        DebloatedArrayFile.create(
+            bundle, source, keep_extents=[(0, 4 * schema.chunk_nbytes)],
+        ).close()
+        BundleJournal.open(bundle)
+        _flip(bundle, os.path.getsize(bundle) - 1)
+        report = repair_bundle(bundle, source_path=source.path)
+        assert report.clean_after
+        # Chunked spans are chunks, so the re-fetch is chunk-sized.
+        assert report.bytes_fetched == schema.chunk_nbytes
+        source.close()
+
+    def test_pre_v3_bundle_refetches_everything(self, tmp_path, source,
+                                                bundle_path):
+        with DebloatedArrayFile.open(bundle_path) as v3:
+            payload = v3.read_local_raw(0, v3.kept_nbytes)
+            extents = list(v3.extents)
+        v2_path = str(tmp_path / "old.knds")
+        _write_v2(v2_path, b"KNDS",
+                  {"schema": source.schema.to_dict(),
+                   "extents": [[s, z] for s, z in extents]},
+                  payload)
+        BundleJournal.open(v2_path)
+        _flip(v2_path, os.path.getsize(v2_path) - 1)
+        report = repair_bundle(v2_path, source_path=source.path)
+        assert report.clean_after
+        assert report.bytes_fetched == KEPT_ROWS * ROW  # no localization
+        # The repaired generation is a v3 file: damage now localizes.
+        assert _read_header(v2_path)["version"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Journaled healing
+
+
+class TestHealInPlace:
+    def test_misses_commit_as_a_new_generation(self, source, bundle_path):
+        with DebloatedArrayFile.open(bundle_path) as subset:
+            runtime = ResilientRuntime(subset, fallback_source=source)
+            missed = [(KEPT_ROWS, 0), (KEPT_ROWS + 1, 3)]
+            for index in missed:
+                runtime.read(index)
+            assert runtime.heal_in_place(source) == 2
+        with DebloatedArrayFile.open(bundle_path) as healed:
+            for index in missed:
+                assert healed.contains_index(index)
+        journal = BundleJournal.open(bundle_path)
+        assert journal.current_generation == 2
+        assert os.path.exists(journal.patch_path(2))
+        assert read_patch(journal.patch_path(2)).nbytes == 16
+
+    def test_nothing_to_heal_keeps_generation(self, source, bundle_path):
+        with DebloatedArrayFile.open(bundle_path) as subset:
+            runtime = ResilientRuntime(subset, fallback_source=source)
+            runtime.read((0, 0))  # a hit, not a miss
+            assert runtime.heal_in_place(source) == 1
+
+    def test_config_keep_generations_prunes_history(self, source,
+                                                    bundle_path):
+        config = ResilienceConfig(keep_generations=1)
+        for i in range(3):
+            with DebloatedArrayFile.open(bundle_path) as subset:
+                runtime = ResilientRuntime(subset, fallback_source=source,
+                                           config=config)
+                runtime.read((KEPT_ROWS + i, 0))
+                runtime.heal_in_place(source)
+        journal = BundleJournal.open(bundle_path)
+        assert journal.current_generation == 4
+        assert journal.generations() == [4]

@@ -11,6 +11,8 @@ from repro.resilience.faults import (
     FailNTimes,
     FlakyCallable,
     corrupt_file,
+    torn_append,
+    torn_write,
 )
 
 
@@ -40,6 +42,44 @@ class TestCorruptFile:
         corrupt_file(artifact, mode="truncate", offset=100)
         assert os.path.getsize(artifact) == 100
 
+    def test_truncate_to_zero_rejected(self, artifact):
+        """offset=0 would delete the file, not damage it — that is a
+        different fault (and a different drill)."""
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="truncate", offset=0)
+
+    def test_truncate_beyond_size_rejected(self, artifact):
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="truncate", offset=256)
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="truncate", offset=300)
+
+    def test_bitrot_flips_n_distinct_sites(self, artifact):
+        corrupt_file(artifact, mode="bitrot", seed=3, sites=4)
+        with open(artifact, "rb") as fh:
+            data = fh.read()
+        pristine = bytes(range(256))
+        flipped = [i for i in range(256) if data[i] != pristine[i]]
+        assert len(flipped) == 4
+        assert all(data[i] == pristine[i] ^ 0xFF for i in flipped)
+
+    def test_bitrot_is_seeded(self, tmp_path):
+        damaged = []
+        for i in range(2):
+            p = str(tmp_path / f"rot{i}.bin")
+            with open(p, "wb") as fh:
+                fh.write(bytes(range(256)))
+            corrupt_file(p, mode="bitrot", seed=11, sites=3)
+            with open(p, "rb") as fh:
+                damaged.append(fh.read())
+        assert damaged[0] == damaged[1]
+
+    def test_bitrot_site_bounds_enforced(self, artifact):
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="bitrot", sites=0)
+        with pytest.raises(ResilienceConfigError):
+            corrupt_file(artifact, mode="bitrot", sites=257)
+
     def test_random_offset_is_seeded(self, tmp_path):
         paths = []
         for i in range(2):
@@ -59,6 +99,30 @@ class TestCorruptFile:
         open(path, "wb").close()
         with pytest.raises(ResilienceConfigError):
             corrupt_file(path)
+
+
+class TestTornWrites:
+    def test_torn_write_keeps_exact_prefix(self, artifact):
+        torn_write(artifact, b"NEWCONTENT", keep_bytes=3)
+        with open(artifact, "rb") as fh:
+            assert fh.read() == b"NEW"  # old content fully clobbered
+
+    def test_torn_write_zero_bytes_empties_file(self, artifact):
+        torn_write(artifact, b"NEW", keep_bytes=0)
+        assert os.path.getsize(artifact) == 0
+
+    def test_torn_append_keeps_existing_content(self, artifact):
+        torn_append(artifact, b"TAIL", keep_bytes=2)
+        with open(artifact, "rb") as fh:
+            data = fh.read()
+        assert data == bytes(range(256)) + b"TA"
+
+    def test_keep_bytes_bounds_enforced(self, artifact):
+        for fn in (torn_write, torn_append):
+            with pytest.raises(ResilienceConfigError):
+                fn(artifact, b"abc", keep_bytes=-1)
+            with pytest.raises(ResilienceConfigError):
+                fn(artifact, b"abc", keep_bytes=4)
 
 
 class TestFlakyCallable:
