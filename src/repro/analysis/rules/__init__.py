@@ -16,6 +16,9 @@ Rule IDs are stable and append-only:
 * ``KND007`` durable-writes — KND/KNDS/patch/journal artifacts mutate
   only through the durability journal API or
   ``repro.ioutil.atomic_write``.
+* ``KND008`` bounded-waits — blocking calls (``sleep``/``join``/
+  ``wait``/``poll``/``recv``) in ``resilience``/``perf`` carry an
+  explicit timeout or deadline.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -27,10 +30,12 @@ from repro.analysis.rules.knd004_layering import LAYERS, LayeringRule
 from repro.analysis.rules.knd005_executor_purity import ExecutorPurityRule
 from repro.analysis.rules.knd006_resource_hygiene import ResourceHygieneRule
 from repro.analysis.rules.knd007_durable_writes import DurableWritesRule
+from repro.analysis.rules.knd008_bounded_waits import BoundedWaitsRule
 
 __all__ = [
     "LAYERS",
     "AtomicWriteRule",
+    "BoundedWaitsRule",
     "DeterminismRule",
     "DurableWritesRule",
     "ErrorTaxonomyRule",

@@ -14,11 +14,12 @@ Subcommands:
   ``all`` for the complete evaluation).
 * ``kondo visualize`` — ASCII overlay of a carved subset vs ground truth.
 * ``kondo chaos`` — fault-injection drills: verify the pipeline survives
-  flaky fetchers, killed workers, mid-campaign crashes, and corrupted
-  artifacts without changing its output.
+  flaky fetchers, killed workers, mid-campaign crashes, corrupted
+  artifacts, hung runs, and leaky runs without changing its output
+  (exit code = number of failed drills; ``--list`` names them).
 * ``kondo check`` — static AST invariant linter: replay determinism,
   atomic writes, error taxonomy, layering, executor purity, resource
-  hygiene, durable writes (rules KND001–KND007; see
+  hygiene, durable writes, bounded waits (rules KND001–KND008; see
   ``kondo check --list-rules``).
 * ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
   every payload span, extent-directory consistency, journal state.
@@ -64,15 +65,22 @@ def cmd_analyze(args) -> int:
     program = get_program(args.program)
     dims = _parse_dims(args.dims, program)
     perf = PerfConfig(workers=args.workers) if args.workers else None
+    supervised = (args.run_timeout is not None
+                  or args.run_memory is not None)
     resilience = None
-    if args.checkpoint:
+    if args.checkpoint or supervised:
         from repro.resilience.config import ResilienceConfig
 
         resilience = ResilienceConfig(
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            run_timeout_s=args.run_timeout,
+            run_memory_mb=args.run_memory,
+            # A supervised kill should quarantine the run and keep the
+            # campaign going — that is the point of supervising.
+            quarantine=supervised,
         )
-    elif args.resume:
+    if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH", file=sys.stderr)
         return 1
     kondo = Kondo(
@@ -87,6 +95,10 @@ def cmd_analyze(args) -> int:
         resume_from=args.checkpoint if args.resume else None,
     )
     print(result.summary())
+    if result.fuzz.quarantined:
+        for q in result.fuzz.quarantined:
+            label = q.verdict or "EXCEPTION"
+            print(f"quarantined [{label}] iteration {q.iteration}: {q.error}")
     if args.save:
         from repro.core.persistence import AnalysisArtifact
 
@@ -256,8 +268,16 @@ def cmd_rollback(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.resilience.chaos import run_chaos
+    from repro.resilience.chaos import DRILL_NAMES, run_chaos
 
+    if args.list:
+        for drill in DRILL_NAMES:
+            print(drill)
+        return 0
+    if not args.program:
+        print("error: a program is required (or use --list)",
+              file=sys.stderr)
+        return 2
     report = run_chaos(
         args.program,
         dims=_parse_dims(args.dims, get_program(args.program)),
@@ -268,7 +288,9 @@ def cmd_chaos(args) -> int:
         kill_workers=args.kill_workers,
     )
     print(report.format())
-    return 0 if report.passed else 1
+    # Exit code = number of failed drills, capped below the 126+ range
+    # the shell reserves for "not executable"/signal statuses.
+    return min(125, report.n_failed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume a crashed campaign from --checkpoint; the "
                         "resumed run completes exactly as the "
                         "uninterrupted one would have")
+    p.add_argument("--run-timeout", type=float, metavar="SECONDS",
+                   help="supervise every debloat test in its own child "
+                        "process with this wall-clock budget (and a "
+                        "matching CPU rlimit); killed runs are "
+                        "quarantined with verdict TIMEOUT")
+    p.add_argument("--run-memory", type=int, metavar="MIB",
+                   help="address-space headroom per supervised run, "
+                        "enforced by RLIMIT_AS in the child; overruns "
+                        "are quarantined with verdict OOM")
 
     p = sub.add_parser("debloat", help="write a debloated .knds subset")
     p.add_argument("program")
@@ -335,8 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=64)
 
     p = sub.add_parser("chaos",
-                       help="fault-injection drills against the pipeline")
-    p.add_argument("program")
+                       help="fault-injection drills against the pipeline "
+                            "(exit code = number of failed drills)")
+    p.add_argument("program", nargs="?",
+                   help="workload under test (omit with --list)")
+    p.add_argument("--list", action="store_true",
+                   help="print the drill names and exit")
     p.add_argument("--dims", help="array shape, e.g. 32x32")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-iter", type=int, default=400,
@@ -381,7 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND007)")
+                       help="static AST invariant linter (KND001-KND008)")
     add_check_arguments(p)
 
     return parser

@@ -35,6 +35,7 @@ from repro.fuzzing.schedule import FuzzCampaignResult, FuzzSchedule
 from repro.perf.config import PerfConfig
 from repro.perf.executor import make_executor
 from repro.resilience.config import ResilienceConfig
+from repro.resilience.supervision import supervisor_from_config
 from repro.workloads.base import Program
 
 #: Reference extent the paper's Figure 5 configuration was tuned for.
@@ -184,7 +185,9 @@ class Kondo:
             )
         else:
             schedule = FuzzSchedule(test, space, self.fuzz_config, test.n_flat)
-        with make_executor(self.fuzz_config.perf) as executor:
+        supervisor = supervisor_from_config(self.fuzz_config.resilience)
+        with make_executor(self.fuzz_config.perf,
+                           supervisor=supervisor) as executor:
             fuzz = schedule.run(time_budget_s=time_budget_s,
                                 executor=executor)
         carve = self.carver.carve_flat(fuzz.flat_indices)

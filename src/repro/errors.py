@@ -89,6 +89,42 @@ class InjectedFault(KondoError):
     """
 
 
+class SupervisedRunError(KondoError):
+    """A supervised child run ended without delivering a result.
+
+    Raised by the supervision layer when a run's verdict is TIMEOUT,
+    OOM, SIGNALED, LOST-HEARTBEAT, or NONZERO-without-payload.  (A child
+    that raised an ordinary exception re-raises *that* exception instead,
+    so supervised and unsupervised failures look identical upstream.)
+
+    Attributes:
+        verdict: the verdict name (``"TIMEOUT"``, ``"OOM"``, ...) — a
+            plain string so this module stays dependency-free; the
+            quarantine path records it next to the valuation.
+        exit_code: child exit status, when it exited normally.
+        signal: terminating signal number, when it was signaled.
+
+    The message is deterministic (no timings, no PIDs): it is persisted
+    in campaign checkpoints and must replay bit-identically.
+    """
+
+    def __init__(self, message: str, verdict: str = "",
+                 exit_code=None, signal=None):
+        super().__init__(message)
+        self.verdict = verdict
+        self.exit_code = exit_code
+        self.signal = signal
+
+    def __reduce__(self):
+        # Keep the extra attributes through pickling (process pools ship
+        # these inside Outcome.failure payloads).
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "", self.verdict,
+             self.exit_code, self.signal),
+        )
+
+
 class ProgramError(KondoError):
     """A workload program was invoked with an invalid parameter value."""
 

@@ -38,11 +38,17 @@ DebloatTestFn = Callable[[Tuple[float, ...]], np.ndarray]
 
 @dataclass
 class QuarantinedSeed:
-    """A valuation whose debloat test raised: recorded, skipped, not fatal."""
+    """A valuation whose debloat test raised: recorded, skipped, not fatal.
+
+    ``verdict`` is the supervised-run verdict string (``"TIMEOUT"``,
+    ``"OOM"``, ...) when the failure was a supervision kill, and ``None``
+    for an ordinary in-process exception.
+    """
 
     v: Tuple[float, ...]
     iteration: int
     error: str
+    verdict: Optional[str] = None
 
 
 @dataclass
@@ -107,6 +113,10 @@ class FuzzSchedule:
         if n_flat <= 0:
             raise FuzzConfigError(f"n_flat must be positive, got {n_flat}")
         self.test = test
+        # The call actually evaluated: ``run`` swaps in the executor's
+        # supervised wrapper when supervision is configured, so serial
+        # (non-parallel) evaluations are contained too.
+        self._call: DebloatTestFn = test
         self.space = space
         self.config = config
         self.n_flat = n_flat
@@ -161,7 +171,7 @@ class FuzzSchedule:
 
     def evaluate_seed(self, v: Tuple[float, ...]) -> Seed:
         """Run the debloat test on ``v`` and fold ``I_v`` into ``IS``."""
-        flat = np.asarray(self.test(v), dtype=np.int64).reshape(-1)
+        flat = np.asarray(self._call(v), dtype=np.int64).reshape(-1)
         return self._absorb(v, flat)
 
     def _absorb(self, v: Tuple[float, ...], flat: np.ndarray) -> Seed:
@@ -252,13 +262,18 @@ class FuzzSchedule:
                 )
                 continue
             error = outcome.error
-            if res.worker_recovery:
+            if res.worker_recovery and getattr(error, "verdict", None) is None:
                 # Serial in-process replay: a transient worker death (or
                 # broken pool) re-evaluates cleanly; tests are pure, so
                 # the replayed result equals what the worker would have
-                # returned.  Injected crashes stay fatal by design.
+                # returned.  Injected crashes stay fatal by design, and a
+                # supervision kill (the error carries a verdict) is not a
+                # transient — replaying a hang or a memory hog would just
+                # burn another timeout, so it goes straight to quarantine.
                 try:
-                    flat = np.asarray(self.test(v), dtype=np.int64).reshape(-1)
+                    flat = np.asarray(
+                        self._call(v), dtype=np.int64
+                    ).reshape(-1)
                     self.n_worker_recoveries += 1
                     self._prefetched.append((v, flat))
                     continue
@@ -334,6 +349,11 @@ class FuzzSchedule:
                 [q.iteration for q in self.quarantined], dtype=np.int64
             ),
             "quarantine_errors": [q.error for q in self.quarantined],
+            # Verdict strings aligned with quarantine_errors; "" encodes
+            # "no verdict" (an ordinary in-process exception).
+            "quarantine_verdicts": [
+                q.verdict or "" for q in self.quarantined
+            ],
         }
 
     def restore_state(self, state: Dict) -> None:
@@ -378,11 +398,17 @@ class FuzzSchedule:
         self.trace = [
             (int(r[0]), float(r[1]), int(r[2])) for r in state["trace"]
         ]
+        # Checkpoints written before supervised execution existed carry no
+        # verdict column; default every entry to "no verdict".
+        verdicts = state.get("quarantine_verdicts")
+        if verdicts is None:
+            verdicts = [""] * len(state["quarantine_errors"])
         self.quarantined = [
-            QuarantinedSeed(v=as_tuple(v), iteration=int(i), error=str(e))
-            for v, i, e in zip(
+            QuarantinedSeed(v=as_tuple(v), iteration=int(i), error=str(e),
+                            verdict=str(d) or None)
+            for v, i, e, d in zip(
                 state["quarantine_v"], state["quarantine_iter"],
-                state["quarantine_errors"],
+                state["quarantine_errors"], verdicts,
             )
         ]
         self._prefetched.clear()
@@ -422,6 +448,13 @@ class FuzzSchedule:
         cfg = self.config
         res = cfg.resilience
         parallel = executor is not None and executor.parallel
+        # Route serial evaluations (and worker-recovery replays) through
+        # the executor's supervised wrapper; identity when supervision is
+        # off, so the default path is byte-identical to the seed.
+        self._call = (
+            executor.supervise(self.test) if executor is not None
+            else self.test
+        )
         start = time.perf_counter()
         deadline = start + time_budget_s if time_budget_s is not None else None
 
@@ -468,8 +501,10 @@ class FuzzSchedule:
                 # Quarantine: record and skip — no cluster update, no
                 # mutations, no RNG draws; the iteration still counts.
                 self.quarantined.append(
-                    QuarantinedSeed(v=v, iteration=self.itr,
-                                    error=repr(failure))
+                    QuarantinedSeed(
+                        v=v, iteration=self.itr, error=repr(failure),
+                        verdict=getattr(failure, "verdict", None) or None,
+                    )
                 )
                 self.new_itr += 1
             else:

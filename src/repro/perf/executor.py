@@ -63,10 +63,20 @@ class CampaignExecutor:
 
         with make_executor(PerfConfig(workers=4)) as ex:
             results = ex.map(test, values)
+
+    When a ``supervisor`` is attached (an object exposing ``bind(fn)``,
+    in practice :class:`repro.resilience.supervision.Supervisor` —
+    duck-typed so the perf layer stays below resilience in the layer
+    DAG), every item of every batch is evaluated in its own watched,
+    resource-limited child process; a non-OK run verdict surfaces as a
+    ``SupervisedRunError`` through the normal failure channels (raised
+    from :meth:`map`, an ``Outcome.failure`` from :meth:`map_outcomes`).
     """
 
-    def __init__(self, config: Optional[PerfConfig] = None):
+    def __init__(self, config: Optional[PerfConfig] = None,
+                 supervisor=None):
         self.config = config if config is not None else PerfConfig()
+        self.supervisor = supervisor
         self._pool: Optional[Executor] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -109,6 +119,17 @@ class CampaignExecutor:
 
     # -- evaluation --------------------------------------------------------
 
+    def supervise(self, fn: Callable[[T], R]) -> Callable[[T], R]:
+        """Wrap ``fn`` for per-call supervised execution.
+
+        Identity when no supervisor is attached — the schedule routes
+        its serial evaluations through this too, so supervision covers
+        ``workers=0`` campaigns without a second integration point.
+        """
+        if self.supervisor is None:
+            return fn
+        return self.supervisor.bind(fn)
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Evaluate ``fn`` over ``items``, returning results in order.
 
@@ -120,6 +141,7 @@ class CampaignExecutor:
         items = list(items)
         if not items:
             return []
+        fn = self.supervise(fn)
         if not self.parallel:
             return [fn(item) for item in items]
         pool = self._ensure_pool()
@@ -140,6 +162,7 @@ class CampaignExecutor:
         items = list(items)
         if not items:
             return []
+        fn = self.supervise(fn)
         if not self.parallel:
             out: List[Outcome[R]] = []
             for item in items:
@@ -178,6 +201,7 @@ class CampaignExecutor:
         return out
 
 
-def make_executor(config: Optional[PerfConfig] = None) -> CampaignExecutor:
+def make_executor(config: Optional[PerfConfig] = None,
+                  supervisor=None) -> CampaignExecutor:
     """Build the campaign executor for a perf configuration."""
-    return CampaignExecutor(config)
+    return CampaignExecutor(config, supervisor=supervisor)

@@ -19,6 +19,10 @@ the seed.  Four pillars:
 * :mod:`repro.resilience.durability` — durable bundles: the journaled
   patch/rollback lifecycle (:class:`BundleJournal`), ``kondo fsck``
   deep verification, and span-granular ``kondo repair``.
+* :mod:`repro.resilience.supervision` — supervised execution: any
+  debloat-test run in a watched, resource-limited child process with a
+  typed :class:`RunVerdict` (TIMEOUT / OOM / SIGNALED / NONZERO /
+  LOST-HEARTBEAT) flowing into quarantine and checkpoints.
 """
 
 from repro.resilience.checkpoint import (
@@ -38,6 +42,8 @@ from repro.resilience.faults import (
     CrashAt,
     FailNTimes,
     FlakyCallable,
+    HangForever,
+    MemoryHog,
     corrupt_file,
     torn_append,
     torn_write,
@@ -48,6 +54,12 @@ from repro.resilience.retry import (
     RetryPolicy,
     retry_call,
 )
+from repro.resilience.supervision import (
+    RunVerdict,
+    SupervisedResult,
+    Supervisor,
+    supervisor_from_config,
+)
 
 __all__ = [
     "BundleJournal",
@@ -57,17 +69,23 @@ __all__ = [
     "FailNTimes",
     "FlakyCallable",
     "FsckReport",
+    "HangForever",
+    "MemoryHog",
     "RepairReport",
     "ResilienceConfig",
     "ResilientRuntime",
     "RetryPolicy",
+    "RunVerdict",
     "SubsetPatch",
+    "SupervisedResult",
+    "Supervisor",
     "corrupt_file",
     "fsck_file",
     "load_campaign_state",
     "repair_bundle",
     "retry_call",
     "save_campaign_state",
+    "supervisor_from_config",
     "torn_append",
     "torn_write",
 ]

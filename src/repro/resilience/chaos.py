@@ -1,7 +1,7 @@
 """End-to-end chaos drills: run the pipeline with faults armed, verify
 the resilience layer heals every one of them.
 
-Seven drills, one per failure class the resilience layer covers:
+Nine drills, one per failure class the resilience layer covers:
 
 1. **worker-killed** — debloat tests run on a pool with the first
    ``kill_workers`` evaluations failing; worker recovery must replay
@@ -26,6 +26,13 @@ Seven drills, one per failure class the resilience layer covers:
    crash states are injected (a torn journal-log tail, and a BEGIN
    record with no COMMIT); journal recovery must leave the bundle
    byte-for-byte at a committed generation — never a hybrid.
+8. **hung-run-times-out** — one supervised debloat test hangs forever;
+   the wall-clock watchdog must kill it (verdict TIMEOUT), the campaign
+   must quarantine it and complete, a replay must be identical, and a
+   crash + checkpoint resume must preserve the verdict bit-identically.
+9. **leaky-run-contained** — one supervised debloat test allocates far
+   past the run's memory headroom; the child's ``RLIMIT_AS`` must stop
+   it (verdict OOM) with the parent campaign unharmed.
 
 Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
 """
@@ -55,11 +62,37 @@ from repro.resilience.faults import (
     CrashAt,
     FailNTimes,
     FlakyCallable,
+    HangForever,
+    MemoryHog,
     corrupt_file,
     torn_append,
 )
 from repro.resilience.healing import ResilientRuntime
 from repro.workloads import default_dims, get_program
+
+
+#: Every drill ``run_chaos`` executes, in execution order (the
+#: ``kondo chaos --list`` output and the e2e suite's expected set).
+DRILL_NAMES = (
+    "worker-killed",
+    "crash-resume",
+    "flaky-fetch",
+    "heal",
+    "corrupt-artifact",
+    "corrupt-span-degrades",
+    "torn-patch-recovers",
+    "hung-run-times-out",
+    "leaky-run-contained",
+)
+
+#: Wall budget for one supervised run in the hang drill (seconds).
+_DRILL_RUN_TIMEOUT_S = 0.75
+#: Heartbeat period for the hang drill's supervised children (seconds).
+_DRILL_HEARTBEAT_S = 0.05
+#: Address-space headroom for the leak drill's supervised runs (MiB).
+_DRILL_RUN_MEMORY_MB = 128
+#: How far past the headroom the injected leak tries to grow (MiB).
+_DRILL_HOG_GROW_MB = 512
 
 
 @dataclass
@@ -82,6 +115,10 @@ class ChaosReport:
     @property
     def passed(self) -> bool:
         return all(c.passed for c in self.checks)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for c in self.checks if not c.passed)
 
     def format(self) -> str:
         lines = [f"chaos drills for {self.program} {self.dims}:"]
@@ -154,6 +191,12 @@ def run_chaos(
         report.checks.append(_drill_corrupt_artifacts(dims, workdir))
         report.checks.append(_drill_corrupt_span_degrades(dims, seed, workdir))
         report.checks.append(_drill_torn_patch_recovers(dims, seed, workdir))
+        report.checks.append(
+            _drill_hung_run_times_out(program, dims, fuzz, crash_at, workdir)
+        )
+        report.checks.append(
+            _drill_leaky_run_contained(program, dims, fuzz, workdir)
+        )
     finally:
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
@@ -372,6 +415,134 @@ def _drill_corrupt_span_degrades(dims, seed: int, workdir: str) -> ChaosCheck:
         + f", fsck exit {after.exit_code}"
     )
     return ChaosCheck(name, ok, how)
+
+
+def _drill_hung_run_times_out(program, dims, fuzz, crash_at: int,
+                              workdir: str) -> ChaosCheck:
+    """One supervised debloat test hangs forever; the watchdog must kill
+    it with verdict TIMEOUT, the campaign must quarantine it and finish,
+    a replay must match, and a crash + resume must preserve the verdict."""
+    from dataclasses import replace
+
+    name = "hung-run-times-out"
+    hang_at = 60
+    # Enough iterations for hang (60), checkpoint (100), crash (>= 101);
+    # capped so the per-call fork overhead keeps the drill quick.
+    fuzz = replace(fuzz, max_iter=min(fuzz.max_iter, 200))
+    crash_call = max(101, min(crash_at, fuzz.max_iter - 10))
+    ckpt = os.path.join(workdir, "hang.ckpt.npz")
+    resilience = ResilienceConfig(
+        run_timeout_s=_DRILL_RUN_TIMEOUT_S,
+        heartbeat_interval_s=_DRILL_HEARTBEAT_S,
+        quarantine=True,
+        checkpoint_path=ckpt,
+        checkpoint_every=50,
+    )
+
+    def supervised_kondo() -> Kondo:
+        return Kondo(program, dims, fuzz_config=fuzz, resilience=resilience)
+
+    def hang_test(kondo: Kondo, run: int, crash: Optional[int] = None):
+        # Fresh fork-safe counter files per run so each run's injected
+        # fault schedule restarts from call 1.
+        counter = os.path.join(workdir, f"hang-run{run}.cnt")
+        test = _wrap_test(
+            kondo, HangForever, hang_at, False, counter
+        )
+        if crash is not None:
+            crashed = CrashAt(
+                test, crash,
+                counter_path=os.path.join(workdir, f"crash-run{run}.cnt"),
+            )
+            crashed.n_flat = test.n_flat
+            test = crashed
+        return test
+
+    def quarantine_log(result):
+        return [
+            (q.v, q.iteration, q.error, q.verdict)
+            for q in result.fuzz.quarantined
+        ]
+
+    kondo = supervised_kondo()
+    try:
+        first = kondo.analyze(test=hang_test(kondo, 1))
+    except KondoError as exc:
+        return ChaosCheck(name, False, f"campaign died: {exc}")
+    got = [(q.iteration, q.verdict) for q in first.fuzz.quarantined]
+    if got != [(hang_at, "TIMEOUT")]:
+        return ChaosCheck(
+            name, False,
+            f"expected one TIMEOUT quarantine at iteration {hang_at}, "
+            f"got {got!r}",
+        )
+    kondo = supervised_kondo()
+    replay = kondo.analyze(test=hang_test(kondo, 2))
+    if not (_identical(replay, first)
+            and quarantine_log(replay) == quarantine_log(first)):
+        return ChaosCheck(
+            name, False, "replay of the hung campaign diverged"
+        )
+    kondo = supervised_kondo()
+    try:
+        kondo.analyze(test=hang_test(kondo, 3, crash=crash_call))
+        return ChaosCheck(
+            name, False,
+            f"campaign survived a crash injected at call {crash_call}",
+        )
+    except InjectedFault:
+        pass
+    fresh = supervised_kondo()
+    try:
+        # The hang fired before the crash checkpoint, so the resumed run
+        # needs no injected faults — just the same supervised config.
+        resumed = fresh.analyze(resume_from=ckpt)
+    except KondoError as exc:
+        return ChaosCheck(name, False, f"resume failed: {exc}")
+    ok = (_identical(resumed, first)
+          and quarantine_log(resumed) == quarantine_log(first))
+    return ChaosCheck(
+        name, ok,
+        f"hang at call {hang_at} killed at {_DRILL_RUN_TIMEOUT_S}s wall "
+        f"budget (verdict TIMEOUT), campaign completed; replay and "
+        f"crash-at-{crash_call} resume "
+        + ("identical, verdict preserved" if ok else "DIVERGED"),
+    )
+
+
+def _drill_leaky_run_contained(program, dims, fuzz,
+                               workdir: str) -> ChaosCheck:
+    """One supervised debloat test leaks memory far past its headroom;
+    the child's RLIMIT_AS must contain it (verdict OOM) and the parent
+    campaign must quarantine it and complete unharmed."""
+    from dataclasses import replace
+
+    name = "leaky-run-contained"
+    hog_at = 60
+    fuzz = replace(fuzz, max_iter=min(fuzz.max_iter, 120))
+    resilience = ResilienceConfig(
+        run_timeout_s=10.0,  # safety net so a missed containment can't wedge
+        run_memory_mb=_DRILL_RUN_MEMORY_MB,
+        quarantine=True,
+    )
+    kondo = Kondo(program, dims, fuzz_config=fuzz, resilience=resilience)
+    counter = os.path.join(workdir, "hog.cnt")
+    test = _wrap_test(
+        kondo, MemoryHog, hog_at, _DRILL_HOG_GROW_MB, 8, counter
+    )
+    try:
+        result = kondo.analyze(test=test)
+    except KondoError as exc:
+        return ChaosCheck(name, False, f"campaign died: {exc}")
+    got = [(q.iteration, q.verdict) for q in result.fuzz.quarantined]
+    ok = got == [(hog_at, "OOM")]
+    detail = (
+        f"{_DRILL_HOG_GROW_MB} MiB leak at call {hog_at} contained by "
+        f"{_DRILL_RUN_MEMORY_MB} MiB headroom (verdict OOM); campaign "
+        f"completed its {result.fuzz.iterations} iterations"
+        if ok else f"quarantine log {got!r}"
+    )
+    return ChaosCheck(name, ok, detail)
 
 
 def _drill_torn_patch_recovers(dims, seed: int, workdir: str) -> ChaosCheck:

@@ -32,7 +32,7 @@ CHECKPOINT_VERSION = 1
 #: State keys stored as JSON metadata (scalars + the RNG state tree).
 _META_KEYS = (
     "version", "n_flat", "itr", "new_itr", "eps", "n_offsets",
-    "elapsed_s", "rng_state", "quarantine_errors",
+    "elapsed_s", "rng_state", "quarantine_errors", "quarantine_verdicts",
 )
 #: State keys stored as numpy arrays.
 _ARRAY_KEYS = (
@@ -85,4 +85,11 @@ def load_campaign_state(path: str) -> Dict:
         )
     if len(state["quarantine_errors"]) != state["quarantine_v"].shape[0]:
         raise CheckpointError(f"{path}: quarantine log length mismatch")
+    # Pre-supervision checkpoints (same version, no verdict column) load
+    # fine — the schedule defaults the column; only validate when present.
+    verdicts = state.get("quarantine_verdicts")
+    if verdicts is not None and (
+        len(verdicts) != len(state["quarantine_errors"])
+    ):
+        raise CheckpointError(f"{path}: quarantine verdict length mismatch")
     return state

@@ -44,6 +44,19 @@ class ResilienceConfig:
             bundle by the durability layer (``0`` keeps all; ``N > 0``
             prunes to the newest N, bounding journal disk use at the
             cost of how far ``kondo rollback`` can reach).
+        run_timeout_s: wall-clock budget for one supervised debloat-test
+            execution; also sizes the child's CPU rlimit.  Setting any
+            of the three ``run_*``/heartbeat knobs runs every execution
+            in a watched, resource-limited child process (verdicts
+            TIMEOUT / OOM / SIGNALED / NONZERO / LOST-HEARTBEAT flow
+            into quarantine); ``None`` (default) never forks.
+        run_memory_mb: address-space headroom (MiB) one supervised run
+            may allocate beyond the interpreter baseline, enforced by
+            ``RLIMIT_AS`` in the child.
+        heartbeat_interval_s: supervised children emit a heartbeat on
+            this period; a child silent for several intervals while its
+            wall budget has not expired is killed with verdict
+            LOST-HEARTBEAT.
     """
 
     fetch_retries: int = 0
@@ -58,6 +71,9 @@ class ResilienceConfig:
     quarantine: bool = False
     worker_recovery: bool = False
     keep_generations: int = 0
+    run_timeout_s: Optional[float] = None
+    run_memory_mb: Optional[int] = None
+    heartbeat_interval_s: Optional[float] = None
 
     def __post_init__(self):
         if self.fetch_retries < 0:
@@ -99,11 +115,25 @@ class ResilienceConfig:
             raise ResilienceConfigError(
                 f"keep_generations must be >= 0, got {self.keep_generations}"
             )
+        for name in ("run_timeout_s", "run_memory_mb",
+                     "heartbeat_interval_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ResilienceConfigError(
+                    f"{name} must be positive when set, got {value}"
+                )
 
     @property
     def checkpointing(self) -> bool:
         """Whether the campaign should write periodic checkpoints."""
         return self.checkpoint_path is not None
+
+    @property
+    def supervised(self) -> bool:
+        """Whether executions run in supervised child processes."""
+        return (self.run_timeout_s is not None
+                or self.run_memory_mb is not None
+                or self.heartbeat_interval_s is not None)
 
 
 #: The all-off configuration: seed-identical pipeline behaviour.

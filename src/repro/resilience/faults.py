@@ -15,6 +15,7 @@ exactly.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -261,15 +262,153 @@ class WorkerSuicide:
         return self.fn(*args, **kwargs)
 
 
+class _ForkSafeCounter:
+    """A call counter that survives the supervision fork boundary.
+
+    Supervised execution runs every call in a freshly forked child, so a
+    plain instance attribute would restart from the parent's snapshot on
+    each call and a "fail on call N" trigger would never fire.  One byte
+    appended to a shared file per call gives the parent and all children
+    a single monotonic count (``O_APPEND`` writes are atomic; concurrent
+    children can interleave counts but never lose one — exact under the
+    serial supervised execution the chaos drills use).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="kondo-fault-counter-")
+            os.close(fd)
+        self.path = path
+
+    def increment(self) -> int:
+        """Count one call; return the total so far (1-based)."""
+        # kondo: allow[KND002] fault-injection bookkeeping: a one-byte
+        # O_APPEND tally shared across forked children — atomicity comes
+        # from O_APPEND itself, not from a rename
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o600)
+        try:
+            os.write(fd, b"\x01")
+        finally:
+            os.close(fd)
+        return os.path.getsize(self.path)
+
+
+#: Seconds per sleep slice while :class:`HangForever` hangs.  Sliced (not
+#: one unbounded sleep) so pending signals are re-checked each wakeup.
+_HANG_SLICE_S = 3600.0
+
+
+class HangForever:
+    """Wrap a callable so one chosen invocation never returns.
+
+    Models the failure supervision exists for: a debloat test that
+    deadlocks or blocks on a dead dependency.  The hang holds no CPU
+    (``time.sleep`` slices), so only the wall-clock watchdog — not the
+    CPU rlimit — can end it.  **Only use under a supervisor with
+    ``run_timeout_s`` (or a heartbeat) set**: unsupervised, the call
+    genuinely never returns.
+
+    Args:
+        fn: the wrapped callable.
+        hang_on_call: 1-based call index that hangs (counted across the
+            fork boundary, see :class:`_ForkSafeCounter`).
+        drop_heartbeat: instead of merely hanging, also suppress the
+            supervised child's heartbeat thread first — the run then dies
+            of heartbeat staleness (verdict LOST-HEARTBEAT) rather than
+            its wall budget.
+        counter_path: explicit counter file (a temp file when omitted).
+    """
+
+    def __init__(self, fn: Callable, hang_on_call: int,
+                 drop_heartbeat: bool = False,
+                 counter_path: Optional[str] = None):
+        if hang_on_call < 1:
+            raise ResilienceConfigError(
+                f"hang_on_call must be >= 1, got {hang_on_call}"
+            )
+        self.fn = fn
+        self.hang_on_call = hang_on_call
+        self.drop_heartbeat = drop_heartbeat
+        self._counter = _ForkSafeCounter(counter_path)
+
+    def __call__(self, *args, **kwargs):
+        if self._counter.increment() == self.hang_on_call:
+            if self.drop_heartbeat:
+                from repro.resilience.supervision import suppress_heartbeat
+
+                suppress_heartbeat()
+            while True:
+                time.sleep(_HANG_SLICE_S)
+        return self.fn(*args, **kwargs)
+
+
+class MemoryHog:
+    """Wrap a callable so one chosen invocation allocates without bound.
+
+    On the trigger call the hog grows its resident footprint in
+    page-touched steps until either the supervised child's ``RLIMIT_AS``
+    stops it (the real ``MemoryError`` the OOM verdict classifies) or —
+    so the injector stays bounded even unsupervised — its own budget of
+    ``grow_mb`` is exhausted, at which point it raises ``MemoryError``
+    itself.
+
+    Args:
+        fn: the wrapped callable.
+        hog_on_call: 1-based call index that hogs (fork-safe counting).
+        grow_mb: total allocation budget in MiB; under supervision set
+            this well above ``run_memory_mb`` so the rlimit fires first.
+        steps: number of allocation steps the budget is split into.
+        counter_path: explicit counter file (a temp file when omitted).
+    """
+
+    def __init__(self, fn: Callable, hog_on_call: int,
+                 grow_mb: int = 512, steps: int = 8,
+                 counter_path: Optional[str] = None):
+        if hog_on_call < 1:
+            raise ResilienceConfigError(
+                f"hog_on_call must be >= 1, got {hog_on_call}"
+            )
+        if grow_mb < 1 or steps < 1:
+            raise ResilienceConfigError(
+                f"grow_mb and steps must be >= 1, got {grow_mb}/{steps}"
+            )
+        self.fn = fn
+        self.hog_on_call = hog_on_call
+        self.grow_mb = grow_mb
+        self.steps = steps
+        self._counter = _ForkSafeCounter(counter_path)
+
+    def __call__(self, *args, **kwargs):
+        if self._counter.increment() == self.hog_on_call:
+            hoard = []
+            step_elems = max(
+                1, (self.grow_mb * (1 << 20)) // (8 * self.steps)
+            )
+            for _ in range(self.steps):
+                # np.ones touches every page, so the allocation is real
+                # resident growth, not lazily-mapped zero pages.
+                hoard.append(np.ones(step_elems, dtype=np.float64))
+            raise MemoryError(
+                f"injected memory hog exhausted its {self.grow_mb} MiB "
+                f"budget uncontained"
+            )
+        return self.fn(*args, **kwargs)
+
+
 class CrashAt:
     """Wrap a debloat test so the campaign dies at a chosen iteration.
 
     Raises :class:`InjectedFault` on the ``n``-th call (1-based), which —
     by design — is *not* quarantined: it simulates the process crashing,
     and the recovery story is the checkpoint + ``--resume`` path.
+
+    Pass ``counter_path`` when the wrapped test runs under supervision:
+    calls then execute in forked children, where only a
+    :class:`_ForkSafeCounter` keeps a single monotonic count.
     """
 
-    def __init__(self, fn: Callable, crash_on_call: int):
+    def __init__(self, fn: Callable, crash_on_call: int,
+                 counter_path: Optional[str] = None):
         if crash_on_call < 1:
             raise ResilienceConfigError(
                 f"crash_on_call must be >= 1, got {crash_on_call}"
@@ -277,9 +416,16 @@ class CrashAt:
         self.fn = fn
         self.crash_on_call = crash_on_call
         self.calls = 0
+        self._counter = (
+            _ForkSafeCounter(counter_path) if counter_path is not None
+            else None
+        )
 
     def __call__(self, *args, **kwargs):
-        self.calls += 1
+        if self._counter is not None:
+            self.calls = self._counter.increment()
+        else:
+            self.calls += 1
         if self.calls == self.crash_on_call:
             raise InjectedFault(
                 f"injected campaign crash at call {self.calls}"
@@ -299,6 +445,9 @@ class ChaosMonkey:
     fetch_seed: int = 0
     kill_workers: int = 0
     crash_on_call: Optional[int] = None
+    hang_on_call: Optional[int] = None
+    hog_on_call: Optional[int] = None
+    hog_grow_mb: int = 512
     corrupt: Sequence[str] = field(default_factory=tuple)
 
     def wrap_test(self, test: Callable) -> Callable:
@@ -306,6 +455,11 @@ class ChaosMonkey:
         wrapped = test
         if self.kill_workers > 0:
             wrapped = FailNTimes(wrapped, n=self.kill_workers)
+        if self.hang_on_call is not None:
+            wrapped = HangForever(wrapped, self.hang_on_call)
+        if self.hog_on_call is not None:
+            wrapped = MemoryHog(wrapped, self.hog_on_call,
+                                grow_mb=self.hog_grow_mb)
         if self.crash_on_call is not None:
             wrapped = CrashAt(wrapped, self.crash_on_call)
         return wrapped

@@ -1,0 +1,100 @@
+"""POSIX resource limits for supervised child processes.
+
+Applied in the child immediately after ``fork`` and before the workload
+runs, so a runaway execution is contained by the kernel even if the
+parent-side watchdog is starved:
+
+==============  =========================================================
+rlimit          policy
+==============  =========================================================
+``RLIMIT_CPU``  soft = ``ceil(run_timeout_s) + 1`` seconds, hard = +2.
+                Catches spin-hangs that hold the GIL (the wall-clock
+                watchdog catches sleep-hangs); overrun delivers
+                ``SIGXCPU``, which the supervisor classifies as TIMEOUT.
+``RLIMIT_AS``   current address space (``/proc/self/status`` VmSize)
+                plus ``run_memory_mb`` of headroom.  Headroom semantics
+                — not an absolute cap — because a forked CPython +
+                numpy child already maps hundreds of MB of address
+                space; an absolute cap below that would OOM every run
+                at the first allocation.  Overrun surfaces as
+                ``MemoryError`` inside the child (verdict OOM).
+``RLIMIT_FSIZE``  fixed 1 GiB ceiling whenever supervision is active: a
+                debloat test has no business writing unbounded files;
+                overrun delivers ``SIGXFSZ`` (verdict SIGNALED).
+==============  =========================================================
+
+On platforms without the ``resource`` module (or without a readable
+``/proc``), each limit degrades independently to a no-op — supervision
+then relies on the watchdog alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+try:  # pragma: no cover - always present on the POSIX targets we run on
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+#: File-size ceiling applied to every supervised child (bytes).
+FSIZE_LIMIT_BYTES = 1 << 30
+
+#: Hard CPU limit margin over the soft limit (seconds).
+CPU_HARD_MARGIN_S = 2
+
+
+def current_address_space_bytes() -> Optional[int]:
+    """The calling process's mapped address space (VmSize), or None.
+
+    Read from ``/proc/self/status`` — the only portable-enough way to
+    learn how much address space the interpreter already occupies, which
+    the AS limit must sit *above* (see module docstring).
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmSize:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def apply_child_limits(
+    cpu_timeout_s: Optional[float] = None,
+    memory_headroom_mb: Optional[int] = None,
+    fsize_bytes: Optional[int] = FSIZE_LIMIT_BYTES,
+) -> None:
+    """Apply the child-side rlimits (call after fork, before the workload).
+
+    Each limit is attempted independently; a platform refusing one
+    (``ValueError``/``OSError``) must not take down the run — the
+    watchdog still bounds it.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return
+    if cpu_timeout_s is not None:
+        soft = max(1, int(math.ceil(cpu_timeout_s)) + 1)
+        try:
+            resource.setrlimit(
+                resource.RLIMIT_CPU, (soft, soft + CPU_HARD_MARGIN_S)
+            )
+        except (ValueError, OSError):  # pragma: no cover - kernel refusal
+            pass
+    if memory_headroom_mb is not None:
+        base = current_address_space_bytes()
+        if base is not None:
+            limit = base + memory_headroom_mb * (1 << 20)
+            try:
+                resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+    if fsize_bytes is not None:
+        try:
+            resource.setrlimit(
+                resource.RLIMIT_FSIZE, (fsize_bytes, fsize_bytes)
+            )
+        except (ValueError, OSError):  # pragma: no cover
+            pass

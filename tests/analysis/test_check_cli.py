@@ -50,12 +50,12 @@ class TestCheckCli:
         doc = json.loads(report.read_text())
         assert doc["version"] == "2.1.0"
 
-    def test_list_rules_catalogs_all_six(self, capsys):
+    def test_list_rules_catalogs_every_rule(self, capsys):
         rc = cli.main(["check", "--list-rules"])
         out = capsys.readouterr().out
         assert rc == 0
-        for rid in ("KND001", "KND002", "KND003",
-                    "KND004", "KND005", "KND006"):
+        for rid in ("KND001", "KND002", "KND003", "KND004",
+                    "KND005", "KND006", "KND007", "KND008"):
             assert rid in out
 
     def test_select_limits_rules(self, tmp_path, capsys):

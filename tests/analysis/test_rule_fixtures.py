@@ -276,3 +276,49 @@ class TestKND007DurableWrites:
             ),
         }, select=["KND007"])
         assert findings == []
+
+
+class TestKND008BoundedWaits:
+    def test_unbounded_blocking_calls_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/resilience/bad.py": (
+                "def reap(worker):\n"
+                "    worker.join()\n\n\n"
+                "def idle(event):\n"
+                "    event.wait()\n"
+            ),
+            "repro/perf/bad.py": (
+                "def pull(conn):\n"
+                "    return conn.recv()\n"
+            ),
+        }, select=["KND008"])
+        assert rule_ids(findings) == ["KND008", "KND008", "KND008"]
+        assert all("timeout or deadline" in f.message for f in findings)
+
+    def test_bounded_and_out_of_scope_waits_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/resilience/good.py": (
+                "import time\n\n\n"
+                "def nap(delay):\n"
+                "    time.sleep(delay)\n\n\n"
+                "def reap(worker, budget):\n"
+                "    worker.join(timeout=budget)\n\n\n"
+                "def idle(event, deadline):\n"
+                "    event.wait(deadline)\n\n\n"
+                "def label(parts):\n"
+                "    return ', '.join(parts)\n"
+            ),
+            # Annotated exceptions are reviewable and allowed.
+            "repro/perf/good.py": (
+                "def drain(worker):\n"
+                "    # kondo: allow[KND008] shutdown path: the worker "
+                "is already cancelled\n"
+                "    worker.join()\n"
+            ),
+            # Out-of-scope package: blocking freely is fine elsewhere.
+            "repro/workloads/meh.py": (
+                "def wait_for_user(event):\n"
+                "    event.wait()\n"
+            ),
+        }, select=["KND008"])
+        assert findings == []

@@ -10,6 +10,9 @@ from repro.resilience.faults import (
     CrashAt,
     FailNTimes,
     FlakyCallable,
+    HangForever,
+    MemoryHog,
+    _ForkSafeCounter,
     corrupt_file,
     torn_append,
     torn_write,
@@ -190,12 +193,77 @@ class TestCrashAt:
             CrashAt(lambda: 1, crash_on_call=0)
 
 
+class TestForkSafeCounter:
+    def test_count_survives_a_fork(self, tmp_path):
+        counter = _ForkSafeCounter(str(tmp_path / "calls.cnt"))
+        assert counter.increment() == 1
+        pid = os.fork()
+        if pid == 0:  # child: count in a separate process, then die
+            counter.increment()
+            os._exit(0)
+        os.waitpid(pid, 0)
+        # The child's increment is visible here, and the next one is 3.
+        assert counter.increment() == 3
+
+    def test_two_handles_share_the_same_file(self, tmp_path):
+        path = str(tmp_path / "shared.cnt")
+        a, b = _ForkSafeCounter(path), _ForkSafeCounter(path)
+        assert a.increment() == 1
+        assert b.increment() == 2
+
+
+class TestHangAndHogInjectors:
+    """Only the validation + pass-through behaviour is testable in
+    process: the actual hang/hog behaviour is exercised supervised in
+    the chaos drills (tests/resilience/test_chaos_e2e.py)."""
+
+    def test_hang_passes_through_before_the_trigger(self):
+        wrapped = HangForever(lambda x: x + 1, hang_on_call=10)
+        assert [wrapped(i) for i in range(3)] == [1, 2, 3]
+
+    def test_hog_passes_through_before_the_trigger(self):
+        wrapped = MemoryHog(lambda x: x * 2, hog_on_call=10)
+        assert [wrapped(i) for i in range(3)] == [0, 2, 4]
+
+    def test_validation(self):
+        for make in (
+            lambda: HangForever(lambda: 1, hang_on_call=0),
+            lambda: MemoryHog(lambda: 1, hog_on_call=0),
+            lambda: MemoryHog(lambda: 1, hog_on_call=5, grow_mb=0),
+            lambda: MemoryHog(lambda: 1, hog_on_call=5, steps=0),
+        ):
+            with pytest.raises(ResilienceConfigError):
+                make()
+
+    def test_hog_raises_memory_error_unsupervised(self, tmp_path):
+        """Without a supervisor the hog's budget exhausts in-process: a
+        tiny grow_mb keeps this safe to run un-contained."""
+        wrapped = MemoryHog(lambda x: x, hog_on_call=1, grow_mb=8, steps=2)
+        with pytest.raises(MemoryError, match="uncontained"):
+            wrapped(0)
+
+    def test_crash_at_accepts_a_counter_file(self, tmp_path):
+        wrapped = CrashAt(lambda x: x, crash_on_call=2,
+                          counter_path=str(tmp_path / "c.cnt"))
+        assert wrapped(1) == 1
+        with pytest.raises(InjectedFault, match="call 2"):
+            wrapped(2)
+        assert wrapped.calls == 2
+
+
 class TestChaosMonkey:
     def test_wrap_test_composes_injectors(self):
         monkey = ChaosMonkey(kill_workers=1, crash_on_call=5)
         wrapped = monkey.wrap_test(lambda x: x)
         assert isinstance(wrapped, CrashAt)
         assert isinstance(wrapped.fn, FailNTimes)
+
+    def test_wrap_test_chains_hang_and_hog(self):
+        monkey = ChaosMonkey(crash_on_call=5, hang_on_call=3, hog_on_call=4)
+        wrapped = monkey.wrap_test(lambda x: x)
+        assert isinstance(wrapped, CrashAt)
+        assert isinstance(wrapped.fn, MemoryHog)
+        assert isinstance(wrapped.fn.fn, HangForever)
 
     def test_wrap_fetcher_noop_without_fail_rate(self):
         fetch = lambda idx: 0.0  # noqa: E731
