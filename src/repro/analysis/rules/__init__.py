@@ -19,6 +19,9 @@ Rule IDs are stable and append-only:
 * ``KND008`` bounded-waits — blocking calls (``sleep``/``join``/
   ``wait``/``poll``/``recv``) in ``resilience``/``perf`` carry an
   explicit timeout or deadline.
+* ``KND009`` vectorized-audit — no per-element Python loops in the
+  ``blockcapture``/``flatstore`` hot paths; iteration lives only in
+  allow-listed cold-path helpers.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -31,6 +34,7 @@ from repro.analysis.rules.knd005_executor_purity import ExecutorPurityRule
 from repro.analysis.rules.knd006_resource_hygiene import ResourceHygieneRule
 from repro.analysis.rules.knd007_durable_writes import DurableWritesRule
 from repro.analysis.rules.knd008_bounded_waits import BoundedWaitsRule
+from repro.analysis.rules.knd009_vectorized_audit import VectorizedAuditRule
 
 __all__ = [
     "LAYERS",
@@ -42,4 +46,5 @@ __all__ = [
     "ExecutorPurityRule",
     "LayeringRule",
     "ResourceHygieneRule",
+    "VectorizedAuditRule",
 ]

@@ -58,6 +58,28 @@ ENVELOPE_FIELDS = ("version", "meta_crc32", "payload_crc32")
 Recorder = Callable[[str, str, int, int], None]
 
 
+def as_recorder(recorder) -> Optional[Recorder]:
+    """Normalize a recorder argument to a plain callback.
+
+    Accepts ``None``, a bare callable, or an audit-session-like object —
+    anything exposing a ``recorder`` property (the session's fastest
+    capture-mode-specific callback) or a ``record`` method.  Duck-typed on
+    purpose: ``arraymodel`` sits below ``audit`` in the layer DAG and must
+    not import it.
+    """
+    if recorder is None or callable(recorder):
+        return recorder
+    fast = getattr(recorder, "recorder", None)
+    if callable(fast):
+        return fast
+    bound = getattr(recorder, "record", None)
+    if callable(bound):
+        return bound
+    raise FileFormatError(
+        f"recorder {recorder!r} is neither a callable nor an audit session"
+    )
+
+
 def meta_crc32(body: dict) -> int:
     """CRC32 of a header body's canonical JSON form.
 
@@ -164,7 +186,7 @@ class ArrayFile:
         #: Per-span CRC directory (v3 files); ``None`` for v1/v2.
         self.span_table = span_table
         self._payload_start = header_size
-        self._recorder = recorder
+        self._recorder = as_recorder(recorder)
         self._fh = open(path, "rb", buffering=0)
         self._closed = False
 
@@ -248,6 +270,11 @@ class ArrayFile:
     def open(cls, path: str, recorder: Optional[Recorder] = None,
              verify_checksum: bool = True) -> "ArrayFile":
         """Open an existing KND file, optionally attaching an audit recorder.
+
+        ``recorder`` may be a plain ``(path, op, offset, size)`` callback
+        or an :class:`~repro.audit.session.AuditSession` — sessions are
+        unwrapped to their capture-mode-specific fast callback via
+        :func:`as_recorder`.
 
         Version-2 files carry CRC32 checksums; ``verify_checksum=True``
         (the default) verifies the header unconditionally and streams the

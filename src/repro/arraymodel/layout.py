@@ -119,6 +119,26 @@ class Layout:
         """
         raise NotImplementedError
 
+    def indices_in_ranges(self, starts: np.ndarray,
+                          sizes: np.ndarray) -> np.ndarray:
+        """Batched :meth:`indices_in_range` over many offset ranges.
+
+        Returns one ``(n, d)`` array equal to the concatenation of the
+        per-range results (duplicates across overlapping ranges are the
+        caller's concern, exactly as with per-range resolution).  The
+        base implementation resolves per range and concatenates once;
+        layouts with arithmetic structure override it fully vectorized.
+        """
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        sizes = np.asarray(sizes, dtype=np.int64).reshape(-1)
+        parts = [
+            self.indices_in_range(int(s), int(z))
+            for s, z in zip(starts, sizes)
+        ]
+        if not parts:
+            return np.empty((0, self.schema.ndim), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
 
 class RowMajorLayout(Layout):
     """Contiguous C-order storage: element ``i`` lives at ``flat(i)*itemsize``."""
@@ -152,6 +172,40 @@ class RowMajorLayout(Layout):
         if first >= last:
             return np.empty((0, self.schema.ndim), dtype=np.int64)
         return unflatten_many(np.arange(first, last, dtype=np.int64), self.schema.dims)
+
+    def indices_in_ranges(self, starts: np.ndarray,
+                          sizes: np.ndarray) -> np.ndarray:
+        """Fully vectorized batched inverse map (the audit block path).
+
+        Clamps every range to touched element runs, then materializes all
+        runs with one segmented ``arange`` (repeat + cumulative-offset
+        subtraction) and one :func:`unflatten_many` call — no per-range
+        Python work, which is what makes million-event coverage
+        resolution cheap.
+        """
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        sizes = np.asarray(sizes, dtype=np.int64).reshape(-1)
+        if starts.size == 0:
+            return np.empty((0, self.schema.ndim), dtype=np.int64)
+        item = self.schema.itemsize
+        firsts = np.maximum(starts // item, 0)
+        lasts = np.minimum(-(-(starts + sizes) // item), self.schema.n_elements)
+        counts = np.maximum(lasts - firsts, 0)
+        counts[sizes <= 0] = 0
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty((0, self.schema.ndim), dtype=np.int64)
+        # Segmented arange: element k of run r is firsts[r] + k.
+        run_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
+        )
+        keep = counts > 0
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(run_offsets[keep], counts[keep])
+            + np.repeat(firsts[keep], counts[keep])
+        )
+        return unflatten_many(flat, self.schema.dims)
 
 
 def extents_for_indices(

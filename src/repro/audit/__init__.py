@@ -1,18 +1,31 @@
 """Fine-grained I/O auditing substrate (paper Sections II and IV-C).
 
 Implements the paper's auditing system ``AS``: event capture
-(:mod:`~repro.audit.events`), interval-B-tree indexing
-(:mod:`~repro.audit.interval_btree`), per-process range merging and index
+(:mod:`~repro.audit.events`), batched block-descriptor capture
+(:mod:`~repro.audit.blockcapture`), interval-B-tree indexing
+(:mod:`~repro.audit.interval_btree`), flat sorted-array indexing
+(:mod:`~repro.audit.flatstore`), per-process range merging and index
 resolution (:mod:`~repro.audit.session`), in-process function interposition
 (:mod:`~repro.audit.interposer`), strace trace ingestion
 (:mod:`~repro.audit.strace`), and overhead measurement
 (:mod:`~repro.audit.overhead`).
 """
 
+from repro.audit.blockcapture import BlockRecorder
 from repro.audit.events import ACCESS_TYPES, Event, EventType
+from repro.audit.flatstore import (
+    FlatIntervalStore,
+    IntervalIndex,
+    merge_ranges_arrays,
+)
 from repro.audit.interposer import AuditedFile, audited_open
 from repro.audit.interval_btree import IntervalBTree
-from repro.audit.overhead import OverheadReport, measure_overhead, summarize
+from repro.audit.overhead import (
+    OverheadReport,
+    compare_capture_modes,
+    measure_overhead,
+    summarize,
+)
 from repro.audit.replay import (
     FileAccessRecord,
     ReplayReport,
@@ -34,6 +47,11 @@ __all__ = [
     "EventType",
     "ACCESS_TYPES",
     "IntervalBTree",
+    "FlatIntervalStore",
+    "IntervalIndex",
+    "BlockRecorder",
+    "merge_ranges_arrays",
+    "compare_capture_modes",
     "AuditSession",
     "AuditedFile",
     "audited_open",

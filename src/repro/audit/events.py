@@ -13,6 +13,7 @@ The offset range of an event is ``[l, l + sz)``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from enum import Enum
 from typing import Tuple
@@ -32,21 +33,33 @@ class EventType(str, Enum):
 
     @classmethod
     def parse(cls, name: str) -> "EventType":
-        """Map a syscall name (e.g. ``pread64``) to an event type."""
-        name = name.lower()
-        if name.startswith("pread"):
-            return cls.PREAD
-        if name.startswith("read") or name == "readv":
-            return cls.READ
-        if name.startswith("mmap"):
-            return cls.MMAP
-        if name.startswith("write") or name == "writev" or name.startswith("pwrite"):
-            return cls.WRITE
-        if name.startswith("open"):
-            return cls.OPEN
-        if name == "close":
-            return cls.CLOSE
-        raise AuditError(f"unknown syscall/event type {name!r}")
+        """Map a syscall name (e.g. ``pread64``) to an event type.
+
+        Cached on the raw name: ``parse`` sits on the record hot path of
+        the audit-overhead experiments, and the cache lives here (not as
+        mutable class state on the session) so concurrent sessions share
+        one race-free, GIL-atomic lookup.
+        """
+        return _parse_cached(name)
+
+
+@functools.lru_cache(maxsize=256)
+def _parse_cached(name: str) -> "EventType":
+    lowered = name.lower()
+    if lowered.startswith("pread"):
+        return EventType.PREAD
+    if lowered.startswith("read") or lowered == "readv":
+        return EventType.READ
+    if lowered.startswith("mmap"):
+        return EventType.MMAP
+    if (lowered.startswith("write") or lowered == "writev"
+            or lowered.startswith("pwrite")):
+        return EventType.WRITE
+    if lowered.startswith("open"):
+        return EventType.OPEN
+    if lowered == "close":
+        return EventType.CLOSE
+    raise AuditError(f"unknown syscall/event type {name!r}")
 
 
 #: Event types that constitute a data *access* Kondo tracks for debloating.

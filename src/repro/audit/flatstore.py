@@ -1,0 +1,274 @@
+"""A flat sorted-array interval store for the vectorized audit path.
+
+The interval B-tree (:mod:`repro.audit.interval_btree`) pays a Python-level
+node walk per insert and per query — fine for the per-event capture path,
+but the dominant cost once events arrive in batches of thousands.  This
+module provides the alternative the block-capture path uses, borrowing the
+layout of *Compression and In-Situ Query Processing for Fine-Grained Array
+Lineage* (PAPERS.md, arxiv 2405.17701): keep the intervals as flat sorted
+``int64`` start/end arrays and answer every query with numpy primitives —
+
+* :meth:`FlatIntervalStore.merged` — one ``np.maximum.accumulate`` sweep
+  over the sorted starts (a running max of ends finds coverage breaks),
+* :meth:`FlatIntervalStore.overlapping` — two ``searchsorted`` probes
+  (one on the starts, one on the cummax-of-ends, which is monotone)
+  bracket the candidate window, then a single boolean mask selects hits,
+* :meth:`FlatIntervalStore.covers` — an ``overlapping`` probe of width 1.
+
+Inserts append into growth buffers; sorting is deferred until the next
+query (amortized O(n log n) over a batch instead of O(log n) tree steps
+per interval).  Query results are *bit-identical* to the B-tree's: both
+structures order intervals by ``(start, end)`` and use the same half-open
+overlap and coalescing semantics, which the hypothesis property tests in
+``tests/audit/test_flatstore.py`` pin down.
+
+The :class:`IntervalIndex` protocol at the bottom names the operations an
+:class:`~repro.audit.session.AuditSession` needs from its per-identity
+index; both :class:`FlatIntervalStore` and
+:class:`~repro.audit.interval_btree.IntervalBTree` satisfy it, and the
+session selects one per capture mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AuditError
+
+try:  # Protocol is 3.8+; keep the import local so older stubs degrade.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+
+#: Initial growth-buffer capacity (doubles as needed).
+_INITIAL_CAPACITY = 1024
+
+
+def merge_ranges_arrays(
+    starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized coalescing of half-open ranges (the paper's event merge).
+
+    Sorts by ``(start, end)``, runs a cumulative max over the ends, and
+    keeps exactly the group heads where a start exceeds every earlier
+    end — the numpy transliteration of ``_merge_sorted``'s Python loop,
+    with identical touching-ranges-merge semantics (``s <= prev_end``
+    coalesces).  Zero-length ranges are dropped, as the B-tree's
+    ``merged()`` drops them.
+
+    Returns the merged ``(starts, ends)`` pair, sorted ascending.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    keep = ends > starts
+    if not keep.all():
+        starts, ends = starts[keep], ends[keep]
+    if starts.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.lexsort((ends, starts))
+    starts, ends = starts[order], ends[order]
+    running_end = np.maximum.accumulate(ends)
+    # A new merged group begins wherever this start lies strictly past the
+    # max end of everything before it (touching ranges stay merged).
+    heads = np.empty(starts.size, dtype=bool)
+    heads[0] = True
+    np.greater(starts[1:], running_end[:-1], out=heads[1:])
+    group_starts = starts[heads]
+    # Each group's end is the running max just before the next group head.
+    tail_idx = np.flatnonzero(heads)[1:] - 1
+    group_ends = np.concatenate([running_end[tail_idx], running_end[-1:]])
+    return group_starts, group_ends
+
+
+def merged_ranges_list(starts: np.ndarray,
+                       ends: np.ndarray) -> List[Tuple[int, int]]:
+    """:func:`merge_ranges_arrays` materialized as ``[(start, end), ...]``."""
+    ms, me = merge_ranges_arrays(starts, ends)
+    return list(zip(ms.tolist(), me.tolist()))
+
+
+class FlatIntervalStore:
+    """Half-open intervals in flat sorted numpy arrays.
+
+    Functionally interchangeable with
+    :class:`~repro.audit.interval_btree.IntervalBTree` (same interval
+    semantics, same query results), but optimized for batched inserts and
+    vectorized queries.  Payloads are stored in a parallel object array so
+    ``overlapping`` can return the same ``(start, end, payload)`` triples
+    the B-tree does.
+    """
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY):
+        capacity = max(int(capacity), 1)
+        self._starts = np.empty(capacity, dtype=np.int64)
+        self._ends = np.empty(capacity, dtype=np.int64)
+        self._payloads = np.empty(capacity, dtype=object)
+        self._n = 0
+        #: Cumulative max of ends over the sorted prefix; rebuilt lazily.
+        self._cummax: Optional[np.ndarray] = None
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- insertion ----------------------------------------------------------
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._starts)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_starts", "_ends", "_payloads"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def insert(self, start: int, end: int, payload: Any = None) -> None:
+        """Insert interval ``[start, end)`` with an optional payload."""
+        if end < start:
+            raise AuditError(f"interval end {end} < start {start}")
+        self._grow_to(self._n + 1)
+        self._starts[self._n] = start
+        self._ends[self._n] = end
+        self._payloads[self._n] = payload
+        self._n += 1
+        self._sorted = False
+        self._cummax = None
+
+    def insert_batch(self, starts: np.ndarray, ends: np.ndarray,
+                     payloads: Optional[np.ndarray] = None) -> None:
+        """Append a whole batch of intervals in one vectorized step."""
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        if starts.shape != ends.shape or starts.ndim != 1:
+            raise AuditError("insert_batch requires matching 1-D arrays")
+        if starts.size == 0:
+            return
+        if bool((ends < starts).any()):
+            raise AuditError("insert_batch: interval end < start")
+        n, k = self._n, starts.size
+        self._grow_to(n + k)
+        self._starts[n:n + k] = starts
+        self._ends[n:n + k] = ends
+        if payloads is None:
+            self._payloads[n:n + k] = None
+        else:
+            self._payloads[n:n + k] = payloads
+        self._n += k
+        self._sorted = False
+        self._cummax = None
+
+    # -- internal ordering --------------------------------------------------
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            n = self._n
+            order = np.lexsort((self._ends[:n], self._starts[:n]))
+            self._starts[:n] = self._starts[:n][order]
+            self._ends[:n] = self._ends[:n][order]
+            self._payloads[:n] = self._payloads[:n][order]
+            self._sorted = True
+        if self._cummax is None:
+            self._cummax = np.maximum.accumulate(self._ends[: self._n])
+
+    # -- queries --------------------------------------------------------------
+
+    def overlapping(self, start: int, end: int) -> List[Tuple[int, int, Any]]:
+        """All stored intervals overlapping the half-open ``[start, end)``.
+
+        Same contract as :meth:`IntervalBTree.overlapping`: a stored
+        ``[s, e)`` hits iff ``s < end and e > start``.
+        """
+        if end < start:
+            raise AuditError(f"query end {end} < start {start}")
+        if end <= start or self._n == 0:
+            return []
+        self._ensure_sorted()
+        n = self._n
+        starts, ends = self._starts[:n], self._ends[:n]
+        # Everything at/after hi starts at >= end: cannot overlap.
+        hi = int(np.searchsorted(starts, end, side="left"))
+        # Everything before lo has cummax(end) <= start, so every end in
+        # that prefix is <= start: cannot overlap.  cummax is monotone,
+        # which is what makes this a valid searchsorted.
+        lo = int(np.searchsorted(self._cummax[:hi], start, side="right"))
+        if lo >= hi:
+            return []
+        window = slice(lo, hi)
+        mask = ends[window] > start
+        sel = np.flatnonzero(mask) + lo
+        return list(zip(starts[sel].tolist(), ends[sel].tolist(),
+                        self._payloads[sel].tolist()))
+
+    def merged(self) -> List[Tuple[int, int]]:
+        """Coalesced coverage: merged, sorted ``(start, end)`` ranges."""
+        return merged_ranges_list(self._starts[: self._n],
+                                  self._ends[: self._n])
+
+    def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Merged coverage as ``(starts, ends)`` int64 arrays (no tuples)."""
+        return merge_ranges_arrays(self._starts[: self._n],
+                                   self._ends[: self._n])
+
+    def covers(self, point: int) -> bool:
+        """Whether any stored interval contains ``point``."""
+        if self._n == 0:
+            return False
+        self._ensure_sorted()
+        hi = int(np.searchsorted(self._starts[: self._n], point, side="right"))
+        if hi == 0:
+            return False
+        return bool(self._cummax[hi - 1] > point)
+
+    def iter_intervals(self) -> Iterator[Tuple[int, int, Any]]:
+        """Sorted-by-(start, end) traversal of all stored intervals."""
+        self._ensure_sorted()
+        for i in range(self._n):  # materializer, not a hot path
+            yield (int(self._starts[i]), int(self._ends[i]),
+                   self._payloads[i])
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate buffer occupancy and (post-query) sort order."""
+        n = self._n
+        if n > len(self._starts):
+            raise AuditError("occupancy beyond buffer capacity")
+        if bool((self._ends[:n] < self._starts[:n]).any()):
+            raise AuditError("stored interval with end < start")
+        if self._sorted and n > 1:
+            s = self._starts[:n]
+            if bool((s[1:] < s[:-1]).any()):
+                raise AuditError("sorted store with out-of-order starts")
+
+
+@runtime_checkable
+class IntervalIndex(Protocol):
+    """What an audit session requires of a per-identity interval index.
+
+    :class:`FlatIntervalStore` and
+    :class:`~repro.audit.interval_btree.IntervalBTree` both satisfy this;
+    :class:`~repro.audit.session.AuditSession` picks one per capture mode.
+    """
+
+    def insert(self, start: int, end: int, payload: Any = None) -> None: ...
+
+    def overlapping(self, start: int,
+                    end: int) -> List[Tuple[int, int, Any]]: ...
+
+    def merged(self) -> List[Tuple[int, int]]: ...
+
+    def covers(self, point: int) -> bool: ...
+
+    def iter_intervals(self) -> Iterator[Tuple[int, int, Any]]: ...
+
+    def __len__(self) -> int: ...

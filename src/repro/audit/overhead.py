@@ -4,13 +4,20 @@ The paper reports ~31% average overhead for recording, merging, and looking
 up the offset range of a system call.  This module times a workload's real
 file reads with auditing off and on, and reports the same decomposition:
 record cost, merge cost, lookup cost.
+
+Both capture modes are measurable: ``capture="event"`` times the seed
+per-event path (one ``Event`` + lock + B-tree insert per call) and
+``capture="block"`` times the vectorized path (per-thread descriptor
+buffers + flat interval stores); :func:`compare_capture_modes` runs the
+identical workload through both and additionally asserts they resolve the
+same merged coverage.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Dict, List
 
 from repro.arraymodel.datafile import ArrayFile
 from repro.audit.session import AuditSession
@@ -27,6 +34,9 @@ class OverheadReport:
     audited_seconds: float
     merge_seconds: float
     lookup_seconds: float
+    capture: str = "event"
+    #: Exactly how many offset-range lookups the probe loop issued.
+    n_lookups_actual: int = 0
 
     @property
     def overhead_fraction(self) -> float:
@@ -36,12 +46,18 @@ class OverheadReport:
         total = self.audited_seconds + self.merge_seconds + self.lookup_seconds
         return (total - self.plain_seconds) / self.plain_seconds
 
+    @property
+    def record_seconds(self) -> float:
+        """Capture cost alone: audited run time minus the unaudited run."""
+        return max(0.0, self.audited_seconds - self.plain_seconds)
+
 
 def measure_overhead(
     program_name: str,
     path: str,
     reader: Callable[[ArrayFile], int],
     n_lookups: int = 64,
+    capture: str = "event",
 ) -> OverheadReport:
     """Measure audit overhead for one real-file workload.
 
@@ -52,6 +68,9 @@ def measure_overhead(
             :class:`ArrayFile` and returns the number of I/O calls issued.
         n_lookups: how many per-process offset-range lookups to time
             (modeling the run-time's system-call-to-offset resolution).
+            Exactly this many probes are issued whenever any range was
+            accessed; ``n_lookups_actual`` records the count.
+        capture: audit capture mode to measure (``"event"`` or ``"block"``).
     """
     # Unaudited baseline.
     with ArrayFile.open(path) as f:
@@ -60,8 +79,8 @@ def measure_overhead(
         plain = time.perf_counter() - t0
 
     # Audited run: identical reads, with event recording.
-    session = AuditSession()
-    with ArrayFile.open(path, recorder=session.record) as f:
+    session = AuditSession(capture=capture)
+    with ArrayFile.open(path, recorder=session.recorder) as f:
         t0 = time.perf_counter()
         reader(f)
         audited = time.perf_counter() - t0
@@ -70,12 +89,16 @@ def measure_overhead(
     ranges = session.accessed_ranges(path)
     merge = time.perf_counter() - t0
 
+    lookups_issued = 0
     t0 = time.perf_counter()
     if ranges:
         span = ranges[-1][1]
-        step = max(1, span // max(1, n_lookups))
-        for probe in range(0, span, step):
+        # Exactly n_lookups evenly spaced probes across the covered span
+        # (duplicate positions on tiny spans still cost a lookup each).
+        for k in range(n_lookups):
+            probe = (k * span) // n_lookups
             session.range_overlaps(path, probe, probe + 1)
+        lookups_issued = n_lookups
     lookup = time.perf_counter() - t0
 
     with ArrayFile.open(path) as f:
@@ -88,7 +111,38 @@ def measure_overhead(
         audited_seconds=audited,
         merge_seconds=merge,
         lookup_seconds=lookup,
+        capture=capture,
+        n_lookups_actual=lookups_issued,
     )
+
+
+def compare_capture_modes(
+    program_name: str,
+    path: str,
+    reader: Callable[[ArrayFile], int],
+    n_lookups: int = 64,
+) -> Dict[str, OverheadReport]:
+    """Measure the identical workload under both capture modes.
+
+    Returns ``{"event": ..., "block": ...}``.  Raises ``AssertionError``
+    if the two sessions resolve different merged coverage — the block
+    path is only a win if it is also *right*.
+    """
+    reports = {
+        mode: measure_overhead(program_name, path, reader,
+                               n_lookups=n_lookups, capture=mode)
+        for mode in ("event", "block")
+    }
+    event_session = AuditSession(capture="event")
+    block_session = AuditSession(capture="block")
+    for session in (event_session, block_session):
+        with ArrayFile.open(path, recorder=session.recorder) as f:
+            reader(f)
+    assert (event_session.accessed_ranges(path)
+            == block_session.accessed_ranges(path)), (
+        "capture modes disagree on merged coverage"
+    )
+    return reports
 
 
 def summarize(reports: List[OverheadReport]) -> float:

@@ -2,24 +2,45 @@
 
 An :class:`AuditSession` collects :class:`~repro.audit.events.Event`s during
 one (or more) program executions, indexes them per ``(pid, path)`` identity
-in interval B-trees (Section IV-C), and answers the questions Kondo asks:
+in interval indexes (Section IV-C), and answers the questions Kondo asks:
 
 * which byte ranges of a file were accessed (merged coverage),
 * which d-dimensional indices those ranges correspond to, given a layout,
 * whether any write occurred (which would break the read-only assumption).
+
+Two capture modes are provided (``capture=`` constructor argument):
+
+* ``"event"`` (default, the seed behaviour): every call allocates an
+  :class:`Event`, takes the session lock, and inserts into a per-identity
+  :class:`~repro.audit.interval_btree.IntervalBTree`.
+* ``"block"`` (opt-in, vectorized): calls append ``(offset, size, op)``
+  block descriptors to preallocated per-thread numpy buffers
+  (:class:`~repro.audit.blockcapture.BlockRecorder`); a flush — on
+  buffer-full, query, or close — batch-inserts them into per-identity
+  :class:`~repro.audit.flatstore.FlatIntervalStore` indexes.  Query
+  results are identical to the event path (property-tested); only the
+  capture cost changes.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.audit.blockcapture import BlockRecorder
 from repro.audit.events import Event, EventType
+from repro.audit.flatstore import FlatIntervalStore, IntervalIndex
 from repro.audit.interval_btree import IntervalBTree
 from repro.errors import AuditError
+
+#: Valid ``capture=`` modes.
+CAPTURE_MODES = ("event", "block")
+
+#: Valid ``index=`` selections (``None`` = per-capture default).
+INDEX_KINDS = ("btree", "flat")
 
 
 class AuditSession:
@@ -27,15 +48,47 @@ class AuditSession:
 
     The session is thread-safe: interposed file handles from concurrently
     running (simulated) processes may record into the same session.
+
+    Args:
+        btree_degree: minimum degree of the per-identity interval B-trees
+            (``index="btree"`` only).
+        capture: ``"event"`` for per-call capture (the default, exactly
+            the seed behaviour) or ``"block"`` for batched block-descriptor
+            capture through :class:`BlockRecorder`.
+        index: per-identity interval index kind — ``"btree"`` or
+            ``"flat"``; defaults to ``"btree"`` for event capture and
+            ``"flat"`` for block capture.
+        block_buffer: per-thread descriptor buffer capacity (block
+            capture only).
     """
 
-    def __init__(self, btree_degree: int = 16):
+    def __init__(self, btree_degree: int = 16, capture: str = "event",
+                 index: Optional[str] = None, block_buffer: int = 4096):
+        if capture not in CAPTURE_MODES:
+            raise AuditError(f"unknown capture mode {capture!r} "
+                             f"(choose from {CAPTURE_MODES})")
+        if index is None:
+            index = "btree" if capture == "event" else "flat"
+        if index not in INDEX_KINDS:
+            raise AuditError(f"unknown index kind {index!r} "
+                             f"(choose from {INDEX_KINDS})")
         self._btree_degree = btree_degree
-        self._trees: Dict[Tuple[int, str], IntervalBTree] = {}
+        self.capture = capture
+        self.index_kind = index
+        self._trees: Dict[Tuple[int, str], IntervalIndex] = {}
         self._events: List[Event] = []
         self._writes: List[Event] = []
         self._lock = threading.Lock()
         self._closed = False
+        self._recorder: Optional[BlockRecorder] = None
+        if capture == "block":
+            self._recorder = BlockRecorder(lock=self._lock,
+                                           buffer_size=block_buffer)
+
+    def _make_index(self) -> IntervalIndex:
+        if self.index_kind == "flat":
+            return FlatIntervalStore()
+        return IntervalBTree(self._btree_degree)
 
     # -- recording ----------------------------------------------------------
 
@@ -43,6 +96,12 @@ class AuditSession:
         """Record one audited event (Definition 4)."""
         if self._closed:
             raise AuditError("cannot record into a closed audit session")
+        if self._recorder is not None:
+            # Block capture: route through the descriptor buffers so the
+            # strace/interposer paths batch exactly like direct records.
+            self._recorder.record(event.path, event.c.value, event.l,
+                                  event.sz, pid=event.pid)
+            return
         with self._lock:
             self._events.append(event)
             if event.is_write:
@@ -50,49 +109,80 @@ class AuditSession:
             if event.is_access and event.sz > 0:
                 tree = self._trees.get(event.id)
                 if tree is None:
-                    tree = IntervalBTree(self._btree_degree)
+                    tree = self._make_index()
                     self._trees[event.id] = tree
                 tree.insert(event.l, event.l + event.sz, event.c.value)
-
-    #: Cached syscall-name -> EventType map (record() is the hot path of
-    #: the audit-overhead experiments).
-    _TYPE_CACHE: Dict[str, EventType] = {}
 
     def record(self, path: str, op: str, offset: int, size: int,
                pid: Optional[int] = None) -> None:
         """Recorder-callback form used by :class:`~repro.arraymodel.datafile.ArrayFile`."""
-        etype = self._TYPE_CACHE.get(op)
-        if etype is None:
-            etype = EventType.parse(op)
-            self._TYPE_CACHE[op] = etype
+        if self._recorder is not None:
+            if self._closed:
+                raise AuditError("cannot record into a closed audit session")
+            self._recorder.record(path, op, offset, size, pid=pid)
+            return
         self.record_event(
             Event(
                 pid=pid if pid is not None else os.getpid(),
                 path=path,
-                c=etype,
+                c=EventType.parse(op),
                 l=offset,
                 sz=size,
             )
         )
 
+    @property
+    def recorder(self) -> Callable[..., None]:
+        """The fastest recorder callback for this session's capture mode.
+
+        Attach to a data file as ``ArrayFile.open(path, recorder=session)``
+        (or pass this callable explicitly).  For block capture this skips
+        the per-call mode dispatch in :meth:`record`.
+        """
+        if self._recorder is not None:
+            return self._recorder.record
+        return self.record
+
     # -- queries --------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Make all pending block-captured descriptors query-visible."""
+        if self._recorder is not None:
+            self._recorder.flush()
+
+    def _indexes(self) -> Dict[Tuple[int, str], IntervalIndex]:
+        """Per-identity interval indexes (capture-mode agnostic)."""
+        if self._recorder is not None:
+            return self._recorder.stores
+        return self._trees
 
     @property
     def n_events(self) -> int:
+        if self._recorder is not None:
+            self._flush()
+            return self._recorder.n_events
         return len(self._events)
 
     @property
     def events(self) -> List[Event]:
+        if self._recorder is not None:
+            self._flush()
+            with self._lock:
+                return self._recorder.events()
         return list(self._events)
 
     @property
     def had_writes(self) -> bool:
         """True if any write event was observed on an audited file."""
+        if self._recorder is not None:
+            self._flush()
+            return self._recorder.had_writes
         return bool(self._writes)
 
     def identities(self) -> List[Tuple[int, str]]:
         """All (pid, path) identities with recorded accesses."""
-        return sorted(self._trees)
+        self._flush()
+        return sorted(self._indexes())
 
     def accessed_ranges(
         self, path: str, pid: Optional[int] = None
@@ -104,6 +194,9 @@ class AuditSession:
         reproduces the paper's worked example where events from P1 and P2
         on one file merge into ``(0, 120)`` and ``(130, 150)``.
         """
+        if self._recorder is not None:
+            starts, ends = self._accessed_range_arrays(path, pid)
+            return list(zip(starts.tolist(), ends.tolist()))
         ranges: List[Tuple[int, int]] = []
         with self._lock:
             for (epid, epath), tree in self._trees.items():
@@ -114,12 +207,40 @@ class AuditSession:
                 ranges.extend(tree.merged())
         return _merge_sorted(sorted(ranges))
 
+    def _accessed_range_arrays(
+        self, path: str, pid: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Block-path merged coverage as ``(starts, ends)`` int64 arrays.
+
+        One vectorized coalesce over the concatenation of every matching
+        identity's already-merged coverage — no Python-level range loop.
+        """
+        self._flush()
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        with self._lock:
+            for (epid, epath), store in self._indexes().items():
+                if epath != path:
+                    continue
+                if pid is not None and epid != pid:
+                    continue
+                parts.append(_merged_arrays(store))
+        if not parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        from repro.audit.flatstore import merge_ranges_arrays
+
+        return merge_ranges_arrays(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
+
     def range_overlaps(self, path: str, start: int, end: int,
                        pid: Optional[int] = None) -> List[Tuple[int, int, str]]:
-        """Raw interval-B-tree overlap lookup for a byte range."""
+        """Raw interval-index overlap lookup for a byte range."""
+        self._flush()
         out: List[Tuple[int, int, str]] = []
         with self._lock:
-            for (epid, epath), tree in self._trees.items():
+            for (epid, epath), tree in self._indexes().items():
                 if epath != path or (pid is not None and epid != pid):
                     continue
                 out.extend(tree.overlapping(start, end))
@@ -132,6 +253,14 @@ class AuditSession:
         Returns the unique ``(n, d)`` int64 array of indices whose storage
         overlaps any accessed range — the run's index subset ``I_v``.
         """
+        if self._recorder is not None:
+            starts, ends = self._accessed_range_arrays(path, pid)
+            if starts.size == 0:
+                return np.empty((0, layout.schema.ndim), dtype=np.int64)
+            idx = layout.indices_in_ranges(starts, ends - starts)
+            if idx.size == 0:
+                return np.empty((0, layout.schema.ndim), dtype=np.int64)
+            return np.unique(idx, axis=0)
         parts = [
             layout.indices_in_range(start, end - start)
             for start, end in self.accessed_ranges(path, pid=pid)
@@ -142,19 +271,51 @@ class AuditSession:
 
     def accessed_nbytes(self, path: str) -> int:
         """Total distinct bytes of ``path`` accessed across all processes."""
+        if self._recorder is not None:
+            starts, ends = self._accessed_range_arrays(path)
+            return int(np.sum(ends - starts))
         return sum(end - start for start, end in self.accessed_ranges(path))
 
     # -- lifecycle ---------------------------------------------------------
 
     def reset(self) -> None:
-        """Drop all recorded state (reuse the session for another run)."""
+        """Drop all recorded state (reuse the session for another run).
+
+        ``close()`` is terminal: resetting a closed session raises
+        :class:`AuditError` instead of silently reviving it.
+        """
+        if self._closed:
+            raise AuditError("cannot reset a closed audit session")
+        if self._recorder is not None:
+            self._recorder.reset()
         with self._lock:
             self._trees.clear()
             self._events.clear()
             self._writes.clear()
 
     def close(self) -> None:
-        self._closed = True
+        """Flush any pending capture buffers and seal the session.
+
+        Closing is idempotent and *terminal* — recorded state stays
+        queryable, but further :meth:`record` / :meth:`reset` calls
+        raise :class:`AuditError`.
+        """
+        if self._recorder is not None:
+            self._recorder.close()
+        with self._lock:
+            self._closed = True
+
+
+def _merged_arrays(store: IntervalIndex) -> Tuple[np.ndarray, np.ndarray]:
+    """A store's merged coverage as arrays, vectorized when supported."""
+    if isinstance(store, FlatIntervalStore):
+        return store.merged_arrays()
+    merged = store.merged()
+    if not merged:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    arr = np.asarray(merged, dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
 
 
 def _merge_sorted(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:

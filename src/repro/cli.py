@@ -19,7 +19,8 @@ Subcommands:
   (exit code = number of failed drills; ``--list`` names them).
 * ``kondo check`` — static AST invariant linter: replay determinism,
   atomic writes, error taxonomy, layering, executor purity, resource
-  hygiene, durable writes, bounded waits (rules KND001–KND008; see
+  hygiene, durable writes, bounded waits, vectorized audit hot paths
+  (rules KND001–KND009; see
   ``kondo check --list-rules``).
 * ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
   every payload span, extent-directory consistency, journal state.
@@ -63,7 +64,16 @@ def cmd_programs(_args) -> int:
 
 def cmd_analyze(args) -> int:
     program = get_program(args.program)
-    dims = _parse_dims(args.dims, program)
+    if args.audit_data:
+        with ArrayFile.open(args.audit_data) as f:
+            data_dims = f.schema.dims
+        dims = _parse_dims(args.dims, program) if args.dims else data_dims
+        if tuple(dims) != tuple(data_dims):
+            print(f"error: --dims {tuple(dims)} != --audit-data file dims "
+                  f"{tuple(data_dims)}", file=sys.stderr)
+            return 1
+    else:
+        dims = _parse_dims(args.dims, program)
     perf = PerfConfig(workers=args.workers) if args.workers else None
     supervised = (args.run_timeout is not None
                   or args.run_memory is not None)
@@ -89,9 +99,14 @@ def cmd_analyze(args) -> int:
         carver=args.carver,
         perf=perf,
         resilience=resilience,
+        audit_capture=args.audit_capture,
     )
+    test = None
+    if args.audit_data:
+        test = kondo.make_test(mode="audited", data_path=args.audit_data)
     result = kondo.analyze(
         time_budget_s=args.budget,
+        test=test,
         resume_from=args.checkpoint if args.resume else None,
     )
     print(result.summary())
@@ -331,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="address-space headroom per supervised run, "
                         "enforced by RLIMIT_AS in the child; overruns "
                         "are quarantined with verdict OOM")
+    p.add_argument("--audit-capture", choices=("event", "block"),
+                   default="event",
+                   help="audit capture mode for audited debloat tests: "
+                        "per-call events (seed default) or batched block "
+                        "descriptors with flat interval stores "
+                        "(flat-index-identical, lower overhead)")
+    p.add_argument("--audit-data", metavar="KND",
+                   help="run the debloat tests in audited mode against "
+                        "this real KND file (offsets come from recorded "
+                        "I/O events instead of direct offset replay)")
 
     p = sub.add_parser("debloat", help="write a debloated .knds subset")
     p.add_argument("program")
@@ -416,7 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND008)")
+                       help="static AST invariant linter (KND001-KND009)")
     add_check_arguments(p)
 
     return parser

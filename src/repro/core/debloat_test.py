@@ -43,6 +43,10 @@ class DebloatTest:
         mode: "direct" (offset replay, no I/O) or "audited" (real reads
             through the audit layer; requires ``data_path``).
         data_path: a KND file matching ``dims`` (audited mode only).
+        audit_capture: audit capture mode for audited runs — "event"
+            (per-call, the seed default) or "block" (batched descriptor
+            buffers + flat interval stores; identical results, lower
+            capture cost).
     """
 
     def __init__(
@@ -51,15 +55,19 @@ class DebloatTest:
         dims: Sequence[int],
         mode: str = "direct",
         data_path: Optional[str] = None,
+        audit_capture: str = "event",
     ):
         if mode not in ("direct", "audited"):
             raise ProgramError(f"unknown debloat-test mode {mode!r}")
         if mode == "audited" and data_path is None:
             raise ProgramError("audited mode requires data_path")
+        if audit_capture not in ("event", "block"):
+            raise ProgramError(f"unknown audit capture {audit_capture!r}")
         self.program = program
         self.dims = program.check_dims(dims)
         self.mode = mode
         self.data_path = data_path
+        self.audit_capture = audit_capture
         self.executions = 0
         self.useful_executions = 0
 
@@ -79,8 +87,8 @@ class DebloatTest:
         return flat
 
     def _audited_run(self, v: Tuple[float, ...]) -> np.ndarray:
-        session = AuditSession()
-        with ArrayFile.open(self.data_path, recorder=session.record) as f:
+        session = AuditSession(capture=self.audit_capture)
+        with ArrayFile.open(self.data_path, recorder=session.recorder) as f:
 
             def access(index):
                 return f.read_point(index)

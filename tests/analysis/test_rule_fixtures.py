@@ -322,3 +322,62 @@ class TestKND008BoundedWaits:
             ),
         }, select=["KND008"])
         assert findings == []
+
+
+class TestKND009VectorizedAudit:
+    def test_loops_in_hot_functions_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/blockcapture.py": (
+                "def _drain(buf):\n"
+                "    for k in range(buf.n):\n"
+                "        handle(buf.offsets[k])\n\n\n"
+                "while True:\n"
+                "    break\n"
+            ),
+            "repro/audit/flatstore.py": (
+                "def insert_batch(starts, ends):\n"
+                "    k = 0\n"
+                "    while k < len(starts):\n"
+                "        insert(starts[k], ends[k])\n"
+                "        k += 1\n"
+            ),
+        }, select=["KND009"])
+        assert rule_ids(findings) == ["KND009"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "in _drain()" in messages
+        assert "at module scope" in messages
+        assert "in insert_batch()" in messages
+        assert all("vectorized" in f.message for f in findings)
+
+    def test_allowed_helpers_and_out_of_scope_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/blockcapture.py": (
+                "def events(log):\n"
+                "    out = []\n"
+                "    for chunk in log:\n"
+                "        out.extend(chunk)\n"
+                "    return out\n\n\n"
+                "def flush(buffers):\n"
+                "    for buf in buffers:\n"
+                "        drain(buf)\n\n\n"
+                "def _ingest_groups(idents, starts):\n"
+                "    for ident in set(idents):\n"
+                "        ingest(ident, starts)\n"
+            ),
+            "repro/audit/flatstore.py": (
+                "def _grow_to(cap, n):\n"
+                "    while cap < n:\n"
+                "        cap *= 2\n"
+                "    return cap\n\n\n"
+                "def iter_intervals(starts, ends):\n"
+                "    for pair in zip(starts, ends):\n"
+                "        yield pair\n"
+            ),
+            # Same loops anywhere else in the audit layer: fine.
+            "repro/audit/session.py": (
+                "def merge_all(trees):\n"
+                "    for tree in trees:\n"
+                "        tree.merged()\n"
+            ),
+        }, select=["KND009"])
+        assert findings == []

@@ -1,0 +1,75 @@
+"""End-to-end: block-captured audited analysis equals the event path.
+
+Runs the full ``kondo analyze`` pipeline (fuzz -> audit -> carve) twice on
+CS 48x48 against a real KND file — once with ``--audit-capture event``
+(the seed path) and once with ``--audit-capture block`` — and asserts the
+carved flat-index sets are identical.  This is the pipeline-level closure
+of the session-level equivalence properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arraymodel import ArrayFile, ArraySchema
+from repro.cli import main
+from repro.core.pipeline import Kondo
+from repro.fuzzing import FuzzConfig
+from repro.workloads import get_program
+
+DIMS = (48, 48)
+
+
+@pytest.fixture(scope="module")
+def cs_knd(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("audit-e2e") / "cs48.knd")
+    rng = np.random.default_rng(7)
+    ArrayFile.create(
+        path, ArraySchema(DIMS, "f8"), rng.standard_normal(DIMS)
+    ).close()
+    return path
+
+
+def _analyze(cs_knd, capture):
+    kondo = Kondo(
+        get_program("CS"), DIMS,
+        fuzz_config=FuzzConfig(rng_seed=3, max_iter=120, stop_iter=120),
+        audit_capture=capture,
+    )
+    test = kondo.make_test(mode="audited", data_path=cs_knd)
+    assert test.audit_capture == capture
+    return kondo.analyze(test=test)
+
+
+class TestAuditedPipelineEquivalence:
+    def test_block_capture_carves_identically(self, cs_knd):
+        event_result = _analyze(cs_knd, "event")
+        block_result = _analyze(cs_knd, "block")
+        assert np.array_equal(event_result.observed_flat,
+                              block_result.observed_flat)
+        assert np.array_equal(event_result.carved_flat,
+                              block_result.carved_flat)
+        assert event_result.carve.n_hulls == block_result.carve.n_hulls
+        assert event_result.carved_flat.size > 0
+
+    def test_cli_block_capture_matches_event(self, cs_knd, capsys):
+        import re
+
+        outputs = {}
+        for capture in ("event", "block"):
+            assert main([
+                "analyze", "CS", "--audit-data", cs_knd,
+                "--audit-capture", capture, "--seed", "3",
+            ]) == 0
+            # Identical carve summary => identical subset statistics;
+            # only the wall-clock differs between capture modes.
+            outputs[capture] = re.sub(
+                r"in \d+\.\d+s", "in <t>", capsys.readouterr().out
+            )
+        assert outputs["event"] == outputs["block"]
+        assert "Kondo[CS" in outputs["event"]
+
+    def test_cli_rejects_mismatched_dims(self, cs_knd, capsys):
+        assert main([
+            "analyze", "CS", "--audit-data", cs_knd, "--dims", "32x32",
+        ]) == 1
+        assert "!=" in capsys.readouterr().err
