@@ -22,6 +22,9 @@ Rule IDs are stable and append-only:
 * ``KND009`` vectorized-audit — no per-element Python loops in the
   ``blockcapture``/``flatstore`` hot paths; iteration lives only in
   allow-listed cold-path helpers.
+* ``KND010`` bounded-service — ``repro.service`` queues carry a
+  ``maxsize`` and its ``get``/``accept``/``recv`` calls carry a
+  timeout (directly or via ``settimeout`` in the same function).
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -35,10 +38,12 @@ from repro.analysis.rules.knd006_resource_hygiene import ResourceHygieneRule
 from repro.analysis.rules.knd007_durable_writes import DurableWritesRule
 from repro.analysis.rules.knd008_bounded_waits import BoundedWaitsRule
 from repro.analysis.rules.knd009_vectorized_audit import VectorizedAuditRule
+from repro.analysis.rules.knd010_bounded_service import BoundedServiceRule
 
 __all__ = [
     "LAYERS",
     "AtomicWriteRule",
+    "BoundedServiceRule",
     "BoundedWaitsRule",
     "DeterminismRule",
     "DurableWritesRule",

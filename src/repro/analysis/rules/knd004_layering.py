@@ -42,6 +42,7 @@ LAYERS = {
     "repro.workloads": 50,
     "repro.metrics": 55,
     "repro.core": 60,
+    "repro.service": 65,
     "repro.baselines": 70,
     "repro.resilience.chaos": 70,
     "repro.container": 75,

@@ -1,0 +1,143 @@
+"""KND010 — service-layer queues and sockets are always bounded.
+
+The campaign orchestrator (``repro.service``) is the layer whose whole
+job is graceful degradation: overload must surface as an explicit
+``REJECTED-BUSY``, never as silent unbounded growth, and a stalled peer
+must cost a timeout, never a wedged daemon thread.  Two construction
+mistakes defeat that by default and are cheap to catch statically:
+
+* an **unbounded queue** — ``queue.Queue()`` (or ``LifoQueue`` /
+  ``PriorityQueue``) without a positive ``maxsize`` admits work without
+  limit, so backpressure can never fire; ``SimpleQueue`` has no
+  ``maxsize`` at all and is banned outright in the service layer;
+* an **unbounded socket/queue wait** — ``get()`` / ``accept()`` /
+  ``recv()`` with neither a positional bound nor a ``timeout=`` keyword
+  blocks forever.  A call is also accepted when the *enclosing function*
+  visibly calls ``settimeout(...)`` on something first (the idiomatic
+  socket pattern: bound the socket once, then loop on ``recv``).
+
+Scope is ``repro.service`` only: the generic bounded-wait discipline for
+the resilience/perf machinery is KND008's; this rule is the service
+layer's stricter construction-time contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+
+#: The package under this rule's contract.
+SCOPED_PACKAGE = "repro.service"
+
+#: Queue constructors that must carry a bounding ``maxsize``.
+BOUNDED_QUEUE_TYPES = frozenset({"Queue", "LifoQueue", "PriorityQueue"})
+
+#: Queue types with no capacity bound at all — never service-layer safe.
+UNBOUNDABLE_QUEUE_TYPES = frozenset({"SimpleQueue"})
+
+#: Blocking receive-side calls that must carry a bound.
+BLOCKING_CALLS = frozenset({"get", "accept", "recv"})
+
+
+def _in_scope(module: str) -> bool:
+    return (module == SCOPED_PACKAGE
+            or module.startswith(SCOPED_PACKAGE + "."))
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 0
+
+
+def _queue_bound(node: ast.Call) -> bool:
+    """Whether a queue constructor visibly carries a nonzero maxsize."""
+    if node.args:
+        return not _is_zero_literal(node.args[0])
+    for kw in node.keywords:
+        if kw.arg == "maxsize":
+            return not _is_zero_literal(kw.value)
+    return False
+
+
+def _function_sets_timeout(fn: ast.AST) -> bool:
+    """Whether the enclosing function calls ``settimeout(...)`` anywhere."""
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Call)
+                and _call_name(node) == "settimeout" and node.args):
+            return True
+    return False
+
+
+@register
+class BoundedServiceRule(Rule):
+    rule_id = "KND010"
+    name = "bounded-service"
+    severity = Severity.ERROR
+    summary = ("service-layer queues need a maxsize and service-layer "
+               "get/accept/recv need a timeout")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        if not _in_scope(pf.module):
+            return
+        # Map every node to its enclosing function so a blocking call
+        # can be excused by a settimeout() in the same function body.
+        enclosing = {}
+        for fn in ast.walk(pf.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(fn):
+                    enclosing[child] = fn
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in UNBOUNDABLE_QUEUE_TYPES:
+                yield self.finding(
+                    pf, node,
+                    f"{name} has no capacity bound and admits work "
+                    f"without limit; the service layer degrades through "
+                    f"explicit REJECTED-BUSY, so use a bounded Queue",
+                )
+                continue
+            if name in BOUNDED_QUEUE_TYPES and not _queue_bound(node):
+                yield self.finding(
+                    pf, node,
+                    f"unbounded {name}(): a service-layer queue without "
+                    f"a maxsize grows without limit under overload — "
+                    f"backpressure (REJECTED-BUSY) can never fire",
+                )
+                continue
+            if name in BLOCKING_CALLS:
+                if name == "get" and node.args:
+                    # dict.get(key[, default]) — the ubiquitous
+                    # non-blocking get.  queue.Queue.get is only
+                    # blocking when called bare or with keywords, and
+                    # those paths still need timeout= below.
+                    continue
+                # For accept()/recv(bufsize) a positional argument is
+                # never the bound (recv's is a size), so only timeout=
+                # or a settimeout in the enclosing function counts.
+                if any(kw.arg == "timeout" for kw in node.keywords):
+                    continue
+                fn = enclosing.get(node)
+                if fn is not None and _function_sets_timeout(fn):
+                    continue
+                yield self.finding(
+                    pf, node,
+                    f"unbounded blocking {name}() in the service layer: "
+                    f"pass timeout= or call settimeout(...) in the same "
+                    f"function — a stalled peer must cost a timeout, "
+                    f"never a wedged daemon thread",
+                )

@@ -19,9 +19,9 @@ Subcommands:
   (exit code = number of failed drills; ``--list`` names them).
 * ``kondo check`` — static AST invariant linter: replay determinism,
   atomic writes, error taxonomy, layering, executor purity, resource
-  hygiene, durable writes, bounded waits, vectorized audit hot paths
-  (rules KND001–KND009; see
-  ``kondo check --list-rules``).
+  hygiene, durable writes, bounded waits, vectorized audit hot paths,
+  bounded service-layer queue/socket operations (rules KND001–KND010;
+  see ``kondo check --list-rules``).
 * ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
   every payload span, extent-directory consistency, journal state.
   Exit 0 clean / 1 localized span damage / 2 structural damage.
@@ -29,6 +29,11 @@ Subcommands:
   its origin file, committed through the durability journal.
 * ``kondo rollback`` — restore a prior journal generation of a bundle
   (as a new generation, so history stays append-only).
+* ``kondo serve`` — run the campaign-orchestrator daemon: a durable
+  job queue over a unix socket, worker leases with heartbeats, retry
+  budgets with dead-lettering, and graceful drain on SIGTERM.
+* ``kondo submit`` / ``kondo status`` / ``kondo cancel`` /
+  ``kondo drain`` — client commands against a running ``kondo serve``.
 """
 
 from __future__ import annotations
@@ -308,6 +313,117 @@ def cmd_chaos(args) -> int:
     return min(125, report.n_failed)
 
 
+def cmd_serve(args) -> int:
+    import signal as _signal
+
+    from repro.service import KondoService
+
+    service = KondoService(
+        args.state_dir,
+        socket_path=args.socket,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        lease_ttl_s=args.lease_ttl,
+        default_deadline_s=args.deadline,
+        supervised=not args.unsupervised,
+    )
+    service.start()
+
+    def _on_signal(_signum, _frame):
+        # Graceful drain off the signal context: stop admitting, let
+        # leased jobs finish, seal the journal.
+        import threading as _threading
+
+        _threading.Thread(target=service.drain, name="kondo-serve-drain",
+                          daemon=True).start()
+
+    _signal.signal(_signal.SIGTERM, _on_signal)
+    _signal.signal(_signal.SIGINT, _on_signal)
+    recovered = len(service.store.recovered_jobs)
+    print(f"kondo serve: listening on {service.socket_path} "
+          f"({args.workers} worker(s), queue limit {args.queue_limit}"
+          + (f", {recovered} job(s) requeued from recovery" if recovered
+             else "") + ")")
+    sys.stdout.flush()
+    while not service.wait(timeout_s=1.0):
+        pass
+    print("kondo serve: drained")
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.socket, timeout_s=args.timeout)
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import JobSpec
+
+    program = get_program(args.program)
+    spec = JobSpec(
+        program=args.program,
+        dims=_parse_dims(args.dims, program),
+        seed=args.seed,
+        max_iter=args.max_iter,
+        budget_s=args.budget,
+        carver=args.carver,
+        workers=args.workers,
+        deadline_s=args.deadline,
+    )
+    client = _service_client(args)
+    response = client.submit(spec)
+    if not args.wait:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    final = client.wait_for(response["job"], timeout_s=args.wait_timeout)
+    print(_json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_status(args) -> int:
+    import json as _json
+
+    response = _service_client(args).status(args.job)
+    print(_json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    import json as _json
+
+    response = _service_client(args).cancel(args.job)
+    print(_json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_drain(args) -> int:
+    client = _service_client(args)
+    client.drain()
+    print("drain requested")
+    if not args.wait:
+        return 0
+    # The daemon removes its socket after the drain completes; poll the
+    # ping until it stops answering, bounded by --timeout overall.
+    import time as _time
+
+    from repro.errors import ServiceProtocolError
+
+    deadline = _time.monotonic() + args.wait_timeout
+    while _time.monotonic() < deadline:
+        try:
+            client.ping()
+        except ServiceProtocolError:
+            print("drained")
+            return 0
+        _time.sleep(0.2)
+    print("error: daemon still answering after drain timeout",
+          file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kondo",
@@ -438,10 +554,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="list available generations and exit")
 
+    p = sub.add_parser("serve",
+                       help="run the campaign-orchestrator daemon "
+                            "(durable queue, worker leases, graceful "
+                            "drain on SIGTERM)")
+    p.add_argument("state_dir",
+                   help="durable state directory (job journal + socket)")
+    p.add_argument("--socket",
+                   help="unix socket path (default STATE_DIR/kondo.sock)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker threads executing jobs (default 1)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="outstanding-job admission bound; submissions "
+                        "beyond it are REJECTED-BUSY (default 16)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a worker lease survives without a "
+                        "heartbeat before its job requeues (default 30)")
+    p.add_argument("--deadline", type=float, default=600.0,
+                   help="default per-attempt wall budget for jobs that "
+                        "do not carry their own (default 600)")
+    p.add_argument("--unsupervised", action="store_true",
+                   help="run jobs inline on worker threads instead of "
+                        "in supervised child processes (testing only)")
+
+    def _client_args(p):
+        p.add_argument("--socket", required=True,
+                       help="the daemon's unix socket path")
+        p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request socket timeout (default 10s)")
+
+    p = sub.add_parser("submit",
+                       help="submit a debloat job to a running "
+                            "kondo serve")
+    _client_args(p)
+    p.add_argument("program")
+    p.add_argument("--dims", help="array shape, e.g. 128x128")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-iter", type=int,
+                   help="fuzz iteration budget override")
+    p.add_argument("--budget", type=float,
+                   help="campaign time budget in seconds")
+    p.add_argument("--carver", choices=("merge", "simple"),
+                   default="merge")
+    p.add_argument("--workers", type=int, default=0,
+                   help="debloat-test pool size inside the job")
+    p.add_argument("--deadline", type=float,
+                   help="per-attempt wall budget, propagated into the "
+                        "supervised run timeout")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job reaches a terminal state")
+    p.add_argument("--wait-timeout", type=float, default=300.0,
+                   help="bound on --wait polling (default 300s)")
+
+    p = sub.add_parser("status", help="query a kondo serve daemon")
+    _client_args(p)
+    p.add_argument("job", nargs="?",
+                   help="job id (omit for the full table)")
+
+    p = sub.add_parser("cancel", help="cancel a queued job")
+    _client_args(p)
+    p.add_argument("job", help="job id to cancel")
+
+    p = sub.add_parser("drain",
+                       help="gracefully drain a kondo serve daemon")
+    _client_args(p)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the daemon actually exits")
+    p.add_argument("--wait-timeout", type=float, default=120.0,
+                   help="bound on --wait (default 120s)")
+
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND009)")
+                       help="static AST invariant linter (KND001-KND010)")
     add_check_arguments(p)
 
     return parser
@@ -460,6 +645,11 @@ _COMMANDS = {
     "fsck": cmd_fsck,
     "repair": cmd_repair,
     "rollback": cmd_rollback,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "cancel": cmd_cancel,
+    "drain": cmd_drain,
 }
 
 

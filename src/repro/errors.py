@@ -125,6 +125,29 @@ class SupervisedRunError(KondoError):
         )
 
 
+class ServiceError(KondoError):
+    """The campaign-orchestrator service failed or was misused."""
+
+
+class ServiceProtocolError(ServiceError):
+    """A socket request/response could not be framed, parsed, or bounded."""
+
+
+class JobRejectedError(ServiceError):
+    """The daemon refused a job submission.
+
+    Attributes:
+        code: machine-readable rejection code (``"REJECTED-BUSY"`` when
+            admission control hit the queue bound, ``"DRAINING"`` when
+            the daemon is shutting down, ``"BAD-REQUEST"`` for a
+            malformed spec, ``"UNKNOWN-JOB"``, ``"NOT-CANCELLABLE"``).
+    """
+
+    def __init__(self, message: str, code: str = "BAD-REQUEST"):
+        super().__init__(message)
+        self.code = code
+
+
 class ProgramError(KondoError):
     """A workload program was invoked with an invalid parameter value."""
 

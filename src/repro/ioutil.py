@@ -27,8 +27,11 @@ def atomic_write(path: str, mode: str = "wb") -> Iterator[IO]:
     """Context manager yielding a temp file that replaces ``path`` on success.
 
     On a clean exit the temporary file is flushed, fsynced, and renamed
-    over ``path``.  On an exception the temporary file is removed and the
-    destination is left untouched.
+    over ``path``, and the containing directory is fsynced — without the
+    directory fsync a crash immediately after the rename can lose the
+    *directory entry* even though the file data hit the platter, leaving
+    neither the old nor the new version.  On an exception the temporary
+    file is removed and the destination is left untouched.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(
@@ -41,6 +44,7 @@ def atomic_write(path: str, mode: str = "wb") -> Iterator[IO]:
         os.fsync(fh.fileno())
         fh.close()
         os.replace(tmp_path, path)
+        fsync_dir(directory)
     except BaseException:
         with contextlib.suppress(OSError):
             fh.close()

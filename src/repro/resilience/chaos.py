@@ -1,7 +1,7 @@
 """End-to-end chaos drills: run the pipeline with faults armed, verify
 the resilience layer heals every one of them.
 
-Nine drills, one per failure class the resilience layer covers:
+Eleven drills, one per failure class the resilience layer covers:
 
 1. **worker-killed** — debloat tests run on a pool with the first
    ``kill_workers`` evaluations failing; worker recovery must replay
@@ -33,6 +33,16 @@ Nine drills, one per failure class the resilience layer covers:
 9. **leaky-run-contained** — one supervised debloat test allocates far
    past the run's memory headroom; the child's ``RLIMIT_AS`` must stop
    it (verdict OOM) with the parent campaign unharmed.
+10. **worker-killed-mid-job-requeues** — a ``kondo serve`` worker's
+    supervised child is SIGKILLed mid-job; the daemon must journal the
+    SIGNALED failure, requeue under the retry budget, and the retried
+    attempt must produce a result digest bit-identical to an
+    uninterrupted run — with exactly one ``complete`` record.
+11. **serve-crash-recovers-queue** — a ``kondo serve`` daemon is
+    crash-stopped with jobs accepted (no shutdown marker) and its job
+    journal torn mid-append; a restarted daemon must discard the torn
+    record, requeue every accepted job, and complete each exactly once
+    — no lost jobs, no duplicates.
 
 Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
 """
@@ -83,6 +93,8 @@ DRILL_NAMES = (
     "torn-patch-recovers",
     "hung-run-times-out",
     "leaky-run-contained",
+    "worker-killed-mid-job-requeues",
+    "serve-crash-recovers-queue",
 )
 
 #: Wall budget for one supervised run in the hang drill (seconds).
@@ -196,6 +208,12 @@ def run_chaos(
         )
         report.checks.append(
             _drill_leaky_run_contained(program, dims, fuzz, workdir)
+        )
+        report.checks.append(
+            _drill_worker_killed_mid_job(program, dims, seed, workdir)
+        )
+        report.checks.append(
+            _drill_serve_crash_recovers(program, dims, seed, workdir)
         )
     finally:
         if own_workdir:
@@ -633,4 +651,162 @@ def _drill_torn_patch_recovers(dims, seed: int, workdir: str) -> ChaosCheck:
     detail = ("; ".join(problems) if problems else
               f"{misses} misses healed as gen 2; torn tail discarded and "
               f"begin-without-commit rolled back, bundle never hybrid")
+    return ChaosCheck(name, ok, detail)
+
+
+#: Iteration budget for the service drills' campaigns — small enough to
+#: keep each attempt to a couple of seconds, deterministic per seed.
+_SERVE_DRILL_ITER = 40
+
+
+def _serve_drill_service(state_dir: str, workers: int, job_runner=None):
+    """A ``KondoService`` tuned for drill speed (fast ticks, real forks)."""
+    from repro.resilience.retry import RetryPolicy
+    from repro.service import KondoService
+
+    return KondoService(
+        state_dir,
+        workers=workers,
+        queue_limit=8,
+        retry_policy=RetryPolicy(retries=2, backoff_s=0.05,
+                                 backoff_factor=2.0, backoff_max_s=0.2,
+                                 jitter="full"),
+        lease_ttl_s=30.0,
+        default_deadline_s=60.0,
+        heartbeat_interval_s=0.05,
+        supervised=True,
+        job_runner=job_runner,
+    ).start()
+
+
+def _drill_worker_killed_mid_job(program, dims, seed: int,
+                                 workdir: str) -> ChaosCheck:
+    """SIGKILL a leased worker's child mid-job; the lease machinery must
+    journal the SIGNALED failure, requeue, and the retried attempt must
+    produce a bit-identical result — with exactly one complete record."""
+    import signal
+    import time
+
+    from repro.service import JobSpec, ServiceClient
+    from repro.service.runner import execute_job
+
+    name = "worker-killed-mid-job-requeues"
+    state_dir = os.path.join(workdir, "serve-kill")
+    spec = JobSpec(program=program.name, dims=dims, seed=seed,
+                   max_iter=_SERVE_DRILL_ITER)
+    # Reference: the digest an uninterrupted run of this spec produces.
+    reference = execute_job(spec.to_json())
+
+    marker = os.path.join(workdir, "first-attempt.marker")
+
+    def first_attempt_hangs(spec_json: dict) -> dict:
+        # Fork-safe one-shot switch: the first attempt to claim the
+        # marker parks until the drill SIGKILLs it; every later attempt
+        # runs the real campaign.
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return execute_job(spec_json)
+        time.sleep(120)  # parked: the drill kills this process
+        return execute_job(spec_json)
+
+    service = _serve_drill_service(state_dir, workers=1,
+                                   job_runner=first_attempt_hangs)
+    try:
+        client = ServiceClient(service.socket_path, timeout_s=5.0)
+        job_id = client.submit(spec)["job"]
+        # Find the supervised child executing attempt 1 (the daemon pins
+        # its pid onto the lease via the supervisor's on_spawn hook).
+        child_pid = None
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            child_pid = client.status(job_id).get("child_pid")
+            if child_pid:
+                break
+            time.sleep(0.05)
+        if not child_pid:
+            return ChaosCheck(name, False,
+                              "attempt 1 never exposed a child pid")
+        os.kill(child_pid, signal.SIGKILL)
+        final = client.wait_for(job_id, timeout_s=120.0)
+        completes = service.store.complete_count(job_id)
+        problems = []
+        if final["state"] != "done":
+            problems.append(f"final state {final['state']}")
+        if final["verdicts"] != ["SIGNALED"]:
+            problems.append(f"verdicts {final['verdicts']!r}")
+        if final["result"] != reference:
+            problems.append("retried result DIVERGED from uninterrupted run")
+        if completes != 1:
+            problems.append(f"{completes} complete records")
+        ok = not problems
+        detail = ("; ".join(problems) if problems else
+                  f"child {child_pid} SIGKILLed mid-job: SIGNALED failure "
+                  f"journaled, job requeued, retry digest identical, "
+                  f"exactly one complete record")
+        return ChaosCheck(name, ok, detail)
+    finally:
+        service.drain()
+
+
+def _drill_serve_crash_recovers(program, dims, seed: int,
+                                workdir: str) -> ChaosCheck:
+    """Crash-stop a daemon with jobs accepted and tear its journal tail;
+    a restart must recover every accepted job exactly once."""
+    from repro.service import JobSpec, ServiceClient
+    from repro.service.store import JobStore
+
+    name = "serve-crash-recovers-queue"
+    state_dir = os.path.join(workdir, "serve-crash")
+    specs = [JobSpec(program=program.name, dims=dims, seed=seed + i,
+                     max_iter=_SERVE_DRILL_ITER) for i in range(3)]
+
+    # Phase 1: accept-only daemon (no workers), then crash-stop it.
+    service = _serve_drill_service(state_dir, workers=0)
+    client = ServiceClient(service.socket_path, timeout_s=5.0)
+    accepted = [client.submit(s)["job"] for s in specs]
+    service.abort()  # crash: no drain, no shutdown marker
+
+    # Tear the journal mid-append: half of a forged submit record, the
+    # exact state a daemon killed inside durable_append leaves behind.
+    log_path = os.path.join(state_dir, "jobs.log")
+    forged = _seal_record({
+        "op": "submit", "job": "deadbeefdeadbeef", "seq": 99,
+        "spec": specs[0].to_json(),
+    })
+    torn_append(log_path, forged, len(forged) // 2)
+
+    # Phase 2: restart with a worker; recovery must discard the torn
+    # record and finish every accepted job exactly once.
+    service = _serve_drill_service(state_dir, workers=1)
+    try:
+        problems = []
+        if service.store.clean_shutdown:
+            problems.append("crash-stopped log read back as a clean drain")
+        recovered = {v.job_id for v in service.store.all_views()}
+        if recovered != set(accepted):
+            problems.append(
+                f"recovered job set {sorted(recovered)} != accepted "
+                f"{sorted(accepted)} (torn record leaked or job lost)"
+            )
+        client = ServiceClient(service.socket_path, timeout_s=5.0)
+        for job_id in accepted:
+            final = client.wait_for(job_id, timeout_s=180.0)
+            if final["state"] != "done":
+                problems.append(f"job {job_id}: {final['state']}")
+        for job_id in accepted:
+            n = service.store.complete_count(job_id)
+            if n != 1:
+                problems.append(f"job {job_id}: {n} complete records")
+    finally:
+        service.drain()
+    # A clean drain must now seal the log for the next incarnation.
+    if not JobStore.open(state_dir).clean_shutdown:
+        problems.append("drained log missing its shutdown marker")
+    ok = not problems
+    detail = ("; ".join(problems) if problems else
+              f"{len(accepted)} accepted jobs survived the crash + torn "
+              f"journal tail; each completed exactly once after restart, "
+              f"drain sealed the log")
     return ChaosCheck(name, ok, detail)

@@ -51,6 +51,11 @@ from repro.arraymodel.debloated import (
 )
 from repro.errors import FileFormatError
 from repro.ioutil import atomic_write, durable_append, fsync_dir
+from repro.resilience.durability.records import (
+    check_record,
+    parse_log,
+    seal_record,
+)
 
 PATCH_MAGIC = b"KNDP"
 
@@ -226,60 +231,14 @@ def apply_patch(bundle: DebloatedArrayFile, patch: PatchFile) -> bytes:
 
 
 # ---------------------------------------------------------------------------
-# Journal records
+# Journal records — the sealed-record discipline itself lives in
+# repro.resilience.durability.records, shared with the service job store.
+# The underscore aliases are the names this module's callers (chaos
+# drills, durability tests) have always imported.
 
-
-def _seal_record(rec: dict) -> bytes:
-    """One JSONL line: the record plus a CRC32 over its canonical form."""
-    canonical = json.dumps(rec, sort_keys=True, separators=(",", ":"))
-    sealed = dict(rec)
-    sealed["crc32"] = zlib.crc32(canonical.encode("utf-8"))
-    return (json.dumps(sealed, sort_keys=True,
-                       separators=(",", ":")) + "\n").encode("utf-8")
-
-
-def _check_record(line: bytes) -> Optional[dict]:
-    """Parse one log line; ``None`` if torn/corrupt."""
-    try:
-        sealed = json.loads(line.decode("utf-8"))
-    except (ValueError, UnicodeDecodeError):
-        return None
-    if not isinstance(sealed, dict) or "crc32" not in sealed:
-        return None
-    rec = {k: v for k, v in sealed.items() if k != "crc32"}
-    canonical = json.dumps(rec, sort_keys=True, separators=(",", ":"))
-    if zlib.crc32(canonical.encode("utf-8")) != sealed["crc32"]:
-        return None
-    return rec
-
-
-def _parse_log(raw: bytes) -> Tuple[List[dict], int, bool]:
-    """Parse a journal log; return (records, clean_end_offset, torn).
-
-    A bad *final* line is a torn append (crash mid-write) and is
-    reported via ``torn``; a bad line with valid records after it means
-    the log itself is corrupt, which recovery cannot reason about.
-    """
-    records: List[dict] = []
-    offset = 0
-    torn = False
-    lines = raw.split(b"\n")
-    for i, line in enumerate(lines):
-        if line == b"":
-            continue
-        rec = _check_record(line)
-        if rec is None:
-            remainder = b"\n".join(lines[i + 1:]).strip()
-            if remainder:
-                raise FileFormatError(
-                    "journal log corrupt: damaged record with valid "
-                    "records after it"
-                )
-            torn = True
-            break
-        records.append(rec)
-        offset += len(line) + 1
-    return records, offset, torn
+_seal_record = seal_record
+_check_record = check_record
+_parse_log = parse_log
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,76 @@
+"""CRC-sealed append-only journal records, shared by every journal.
+
+The bundle patch journal (PR 4) and the service job store both persist
+state transitions as JSONL lines appended with
+:func:`repro.ioutil.durable_append`.  An append is not atomic — a crash
+mid-call leaves a torn tail — so every record carries a CRC32 over its
+canonical JSON form and recovery discards a damaged *final* line while
+treating a damaged line with valid records after it as real corruption
+(something recovery cannot reason about).
+
+These helpers are the whole record discipline in one place so the two
+journals cannot drift: ``seal_record`` produces one line, ``check_record``
+validates one line, and ``parse_log`` folds a whole log into
+``(records, clean_end_offset, torn)``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.errors import FileFormatError
+
+
+def seal_record(rec: dict) -> bytes:
+    """One JSONL line: the record plus a CRC32 over its canonical form."""
+    canonical = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+    sealed = dict(rec)
+    sealed["crc32"] = zlib.crc32(canonical.encode("utf-8"))
+    return (json.dumps(sealed, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def check_record(line: bytes) -> Optional[dict]:
+    """Parse one log line; ``None`` if torn/corrupt."""
+    try:
+        sealed = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(sealed, dict) or "crc32" not in sealed:
+        return None
+    rec = {k: v for k, v in sealed.items() if k != "crc32"}
+    canonical = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode("utf-8")) != sealed["crc32"]:
+        return None
+    return rec
+
+
+def parse_log(raw: bytes) -> Tuple[List[dict], int, bool]:
+    """Parse a journal log; return (records, clean_end_offset, torn).
+
+    A bad *final* line is a torn append (crash mid-write) and is
+    reported via ``torn``; a bad line with valid records after it means
+    the log itself is corrupt, which recovery cannot reason about.
+    """
+    records: List[dict] = []
+    offset = 0
+    torn = False
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        if line == b"":
+            continue
+        rec = check_record(line)
+        if rec is None:
+            remainder = b"\n".join(lines[i + 1:]).strip()
+            if remainder:
+                raise FileFormatError(
+                    "journal log corrupt: damaged record with valid "
+                    "records after it"
+                )
+            torn = True
+            break
+        records.append(rec)
+        offset += len(line) + 1
+    return records, offset, torn

@@ -33,6 +33,13 @@ class RetryPolicy:
         backoff_factor: multiplier applied to the delay per retry.
         backoff_max_s: ceiling on any single delay.
         deadline_s: wall-clock budget across all attempts (None = none).
+        jitter: ``"none"`` keeps the deterministic exponential ladder;
+            ``"full"`` draws each delay uniformly from ``[0, capped]``
+            (AWS full jitter — decorrelates a thundering herd of
+            retriers).  Jittered delays come from a *caller-provided
+            seeded RNG*, never the global ``random`` state, so retry
+            schedules stay replay-deterministic (KND001): same seed,
+            same schedule.
     """
 
     retries: int = 3
@@ -40,6 +47,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     backoff_max_s: float = 2.0
     deadline_s: Optional[float] = None
+    jitter: str = "none"
 
     def __post_init__(self):
         if self.retries < 0:
@@ -56,6 +64,10 @@ class RetryPolicy:
             raise ResilienceConfigError(
                 f"deadline_s must be positive, got {self.deadline_s}"
             )
+        if self.jitter not in ("none", "full"):
+            raise ResilienceConfigError(
+                f"jitter must be 'none' or 'full', got {self.jitter!r}"
+            )
 
     @classmethod
     def from_config(cls, config: ResilienceConfig) -> "RetryPolicy":
@@ -68,11 +80,28 @@ class RetryPolicy:
             deadline_s=config.fetch_deadline_s,
         )
 
-    def delays(self):
-        """Yield the backoff delay before each retry, in order."""
+    def delays(self, rng=None):
+        """Yield the backoff delay before each retry, in order.
+
+        Args:
+            rng: a seeded ``numpy.random.Generator`` (anything with a
+                ``uniform(low, high)`` method).  Required when
+                ``jitter="full"`` — the policy never falls back to the
+                global ``random`` state, because an unseedable schedule
+                could not be replayed.  Ignored for ``jitter="none"``.
+        """
+        if self.jitter == "full" and rng is None:
+            raise ResilienceConfigError(
+                "jitter='full' needs a caller-provided seeded RNG; the "
+                "global random state would break replay determinism"
+            )
         delay = self.backoff_s
         for _ in range(self.retries):
-            yield min(delay, self.backoff_max_s)
+            capped = min(delay, self.backoff_max_s)
+            if self.jitter == "full":
+                yield float(rng.uniform(0.0, capped))
+            else:
+                yield capped
             delay *= self.backoff_factor
 
 
@@ -82,6 +111,7 @@ def retry_call(
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
     retry_on: tuple = (Exception,),
+    rng=None,
 ) -> R:
     """Call ``fn`` with retries per ``policy``; raise the last failure.
 
@@ -93,7 +123,7 @@ def retry_call(
     last: Optional[BaseException] = None
     attempts = policy.retries + 1
     for attempt, delay in enumerate(
-        list(policy.delays()) + [None]
+        list(policy.delays(rng=rng)) + [None]
     ):  # delay *after* each failed attempt except the last
         try:
             return fn()

@@ -186,16 +186,28 @@ class Supervisor:
             while still inside its wall budget is killed with verdict
             LOST-HEARTBEAT.
         grace_s: how long a SIGTERM'd child gets to die before SIGKILL.
+        on_spawn: optional parent-side callback invoked with the child
+            PID right after the fork.  The campaign orchestrator uses it
+            to pin the worker's child onto its lease so an operator (or
+            a chaos drill) can target the exact process running a job.
+        on_heartbeat: optional parent-side callback invoked whenever the
+            child's heartbeat pipe delivers beats — the orchestrator
+            forwards these into its lease heartbeats, so a job's lease
+            stays fresh exactly as long as the child itself is alive.
 
-    Instances are frozen (safely shareable across pool threads) and
-    picklable (a process-backend executor ships the bound wrapper to its
-    workers, each of which forks grandchildren for the actual runs).
+    Instances are frozen (safely shareable across pool threads) and,
+    with the callbacks left at ``None``, picklable (a process-backend
+    executor ships the bound wrapper to its workers, each of which forks
+    grandchildren for the actual runs).  Callback-carrying supervisors
+    are for direct in-process use only.
     """
 
     timeout_s: Optional[float] = None
     memory_mb: Optional[int] = None
     heartbeat_interval_s: Optional[float] = None
     grace_s: float = 2.0
+    on_spawn: Optional[Callable[[int], None]] = None
+    on_heartbeat: Optional[Callable[[], None]] = None
 
     def __post_init__(self):
         for name in ("timeout_s", "memory_mb", "heartbeat_interval_s"):
@@ -233,6 +245,8 @@ class Supervisor:
                 os._exit(status)
         os.close(result_w)
         os.close(hb_w)
+        if self.on_spawn is not None:
+            self.on_spawn(pid)
         os.set_blocking(result_r, False)
         os.set_blocking(hb_r, False)
         try:
@@ -269,8 +283,11 @@ class Supervisor:
             if hb_fd in readable:
                 beat = bytearray()
                 _drain(hb_fd, beat)
-                if beat and hb_grace is not None:
-                    hb_deadline = time.monotonic() + hb_grace
+                if beat:
+                    if hb_grace is not None:
+                        hb_deadline = time.monotonic() + hb_grace
+                    if self.on_heartbeat is not None:
+                        self.on_heartbeat()
             done_pid, status = os.waitpid(pid, os.WNOHANG)
             if done_pid == pid:
                 _drain(result_fd, buf)

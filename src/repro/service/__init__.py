@@ -1,0 +1,28 @@
+"""``kondo serve`` — the fault-tolerant debloat campaign orchestrator.
+
+A local daemon accepting debloat jobs over a unix-socket API, backed by
+a durable CRC-sealed journal (accepted jobs survive crashes), worker
+leases with heartbeats (dead workers' jobs requeue), bounded admission
+(overload degrades to explicit ``REJECTED-BUSY``), and graceful drain.
+See DESIGN.md "Campaign orchestrator".
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import KondoService
+from repro.service.jobs import JobSpec, JobView, backoff_delay_s
+from repro.service.leases import Lease, LeaseManager
+from repro.service.runner import execute_job, result_digest
+from repro.service.store import JobStore
+
+__all__ = [
+    "JobSpec",
+    "JobView",
+    "JobStore",
+    "KondoService",
+    "Lease",
+    "LeaseManager",
+    "ServiceClient",
+    "backoff_delay_s",
+    "execute_job",
+    "result_digest",
+]

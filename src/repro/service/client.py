@@ -1,0 +1,100 @@
+"""Client for the ``kondo serve`` socket API.
+
+One connection per request (the protocol is strictly
+request/response), every socket operation bounded by ``timeout_s``, and
+``{"ok": false}`` responses surfaced as typed
+:class:`~repro.errors.JobRejectedError` carrying the daemon's rejection
+code — so callers branch on ``exc.code`` (``REJECTED-BUSY`` vs
+``DRAINING`` deserve different reactions), not on message strings.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Optional
+
+from repro.errors import JobRejectedError, ServiceError, ServiceProtocolError
+from repro.service import protocol
+from repro.service.jobs import JobSpec
+
+
+class ServiceClient:
+    """Talk to a running ``kondo serve`` daemon.
+
+    Args:
+        socket_path: the daemon's unix socket.
+        timeout_s: bound on each request/response exchange.
+    """
+
+    def __init__(self, socket_path: str,
+                 timeout_s: float = protocol.DEFAULT_TIMEOUT_S):
+        if timeout_s <= 0:
+            raise ServiceError(f"timeout_s must be > 0, got {timeout_s}")
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    def request(self, op: str, **payload) -> dict:
+        """One request/response exchange; raises on ``ok: false``."""
+        message = dict(payload, op=op)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise ServiceProtocolError(
+                    f"cannot reach kondo serve at {self.socket_path}: {exc}"
+                ) from exc
+            protocol.send_message(sock, message, timeout_s=self.timeout_s)
+            response = protocol.recv_message(sock, timeout_s=self.timeout_s)
+        finally:
+            sock.close()
+        if not response.get("ok"):
+            raise JobRejectedError(
+                response.get("detail", "request rejected"),
+                code=response.get("error", protocol.BAD_REQUEST),
+            )
+        return response
+
+    # -- the five operations -------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, spec: JobSpec) -> dict:
+        return self.request("submit", spec=spec.to_json())
+
+    def status(self, job_id: Optional[str] = None) -> dict:
+        if job_id is None:
+            return self.request("status")
+        return self.request("status", job=job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", job=job_id)
+
+    def drain(self) -> dict:
+        return self.request("drain")
+
+    # -- convenience ---------------------------------------------------------
+
+    def wait_for(self, job_id: str, timeout_s: float = 60.0,
+                 poll_s: float = 0.2,
+                 sleep: Callable[[float], None] = time.sleep) -> dict:
+        """Poll until ``job_id`` reaches a terminal state; bounded.
+
+        Returns the final status payload; raises :class:`ServiceError`
+        when the bound expires first (the job keeps running — waiting is
+        the client's budget, not the job's).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "dead", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout_s}s"
+                )
+            sleep(poll_s)

@@ -1,0 +1,471 @@
+"""``kondo serve``: the fault-tolerant campaign orchestrator daemon.
+
+One :class:`KondoService` owns four cooperating pieces:
+
+* the **durable job store** (:mod:`repro.service.store`) — every
+  accepted job is journaled before it is acknowledged, so a daemon
+  crash loses nothing and a restart resumes the queue;
+* a **bounded run queue** with admission control — a submission beyond
+  ``queue_limit`` outstanding jobs is answered ``REJECTED-BUSY``
+  instead of growing without bound;
+* a **worker pool** claiming jobs through **leases with heartbeats**
+  (:mod:`repro.service.leases`) — each job runs in a supervised forked
+  child whose heartbeats refresh the lease and whose verdict taxonomy
+  (TIMEOUT / OOM / SIGNALED / LOST-HEARTBEAT, PR 5) classifies every
+  way a worker can die;
+* a **sweeper** that expires silent leases, requeues their jobs under
+  the per-job retry budget (exponential backoff + full jitter from a
+  job-seeded RNG), and releases deferred retries when due.
+
+Graceful degradation is the contract: SIGTERM (or the ``drain`` op)
+stops admission, lets leased jobs finish, journals a clean ``shutdown``
+marker, and only then exits.  ``abort()`` is the crash path the chaos
+drills use — no marker, recovery does the work on the next start.
+
+Deadlines propagate: a job's ``deadline_s`` (or the daemon default)
+becomes the supervised child's wall-clock budget, so no single job can
+hold a worker past its promise.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import (
+    JobRejectedError,
+    KondoError,
+    ServiceError,
+    ServiceProtocolError,
+    SupervisedRunError,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervision.runner import Supervisor
+from repro.service import protocol
+from repro.service.jobs import (
+    CANCELLED,
+    QUEUED,
+    JobSpec,
+    JobView,
+    backoff_delay_s,
+)
+from repro.service.leases import LeaseManager
+from repro.service.runner import execute_job
+from repro.service.store import JobStore
+
+SOCKET_NAME = "kondo.sock"
+
+#: How long the accept loop and worker queue-gets block per iteration —
+#: the daemon's reaction latency to stop/drain flags.
+TICK_S = 0.1
+
+#: Default per-attempt wall budget when neither the job nor the daemon
+#: overrides it: generous for a campaign, but never unbounded.
+DEFAULT_DEADLINE_S = 600.0
+
+#: Default backoff between retry attempts (full jitter, per-job RNG).
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    retries=2, backoff_s=0.25, backoff_factor=2.0, backoff_max_s=5.0,
+    jitter="full",
+)
+
+
+class KondoService:
+    """The campaign orchestrator daemon.
+
+    Args:
+        state_dir: durable state directory (job journal + default socket).
+        socket_path: unix socket path (default ``state_dir/kondo.sock``).
+        workers: worker threads executing jobs (``0`` = accept-only,
+            useful for staging submissions before a fleet attaches).
+        queue_limit: admission bound on outstanding (queued + leased)
+            jobs; beyond it submissions get ``REJECTED-BUSY``.
+        retry_policy: per-job retry budget and backoff shape.
+        lease_ttl_s: how long a worker lease survives without a
+            heartbeat before the sweeper requeues its job.
+        default_deadline_s: per-attempt wall budget for jobs that do not
+            carry their own ``deadline_s``.
+        heartbeat_interval_s: supervised-child heartbeat period (also
+            refreshes the lease); ``None`` disables child heartbeats
+            (the lease then refreshes only between attempts).
+        supervised: run each job in a forked, watched child (the
+            production mode).  ``False`` runs jobs inline on the worker
+            thread — faster for unit tests, no isolation.
+        job_runner: override the execution function (chaos drills inject
+            faulty runners); defaults to
+            :func:`repro.service.runner.execute_job`.
+        drain_timeout_s: bound on waiting for leased jobs during drain.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        socket_path: Optional[str] = None,
+        workers: int = 1,
+        queue_limit: int = 16,
+        retry_policy: Optional[RetryPolicy] = None,
+        lease_ttl_s: float = 30.0,
+        default_deadline_s: float = DEFAULT_DEADLINE_S,
+        heartbeat_interval_s: Optional[float] = 1.0,
+        supervised: bool = True,
+        job_runner: Optional[Callable[[dict], dict]] = None,
+        drain_timeout_s: float = 60.0,
+    ):
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        if queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        if default_deadline_s <= 0:
+            raise ServiceError(
+                f"default_deadline_s must be > 0, got {default_deadline_s}"
+            )
+        if drain_timeout_s <= 0:
+            raise ServiceError(
+                f"drain_timeout_s must be > 0, got {drain_timeout_s}"
+            )
+        self.state_dir = state_dir
+        self.socket_path = socket_path or os.path.join(state_dir, SOCKET_NAME)
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.lease_ttl_s = lease_ttl_s
+        self.default_deadline_s = default_deadline_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.supervised = supervised
+        self.job_runner = job_runner or execute_job
+        self.drain_timeout_s = drain_timeout_s
+
+        self.store: Optional[JobStore] = None
+        self.leases = LeaseManager(ttl_s=lease_ttl_s)
+        self._queue: Optional[queue.Queue] = None
+        #: Deferred retries: (eligible_at_monotonic, job_id), lock-guarded.
+        self._deferred: List[Tuple[float, str]] = []
+        self._deferred_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._clock = time.monotonic
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "KondoService":
+        """Open the store (recovering the queue), bind, spawn threads."""
+        if self.store is not None:
+            raise ServiceError("service already started")
+        self.store = JobStore.open(self.state_dir,
+                                   retries=self.retry_policy.retries)
+        backlog = [v.job_id for v in self.store.all_views()
+                   if v.state == QUEUED]
+        # The run queue is the admission bound plus whatever recovery
+        # found — a restart never REJECTED-BUSYs its own backlog.
+        self._queue = queue.Queue(maxsize=self.queue_limit + len(backlog))
+        for job_id in backlog:
+            self._queue.put(job_id, timeout=TICK_S)
+        if os.path.exists(self.socket_path):
+            os.remove(self.socket_path)
+        os.makedirs(os.path.dirname(self.socket_path) or ".", exist_ok=True)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(16)
+        self._spawn(self._serve_loop, "kondo-serve-accept")
+        self._spawn(self._sweep_loop, "kondo-serve-sweeper")
+        for i in range(self.workers):
+            self._spawn(lambda i=i: self._worker_loop(f"worker-{i}"),
+                        f"kondo-serve-worker-{i}")
+        return self
+
+    def _spawn(self, target, name: str) -> None:
+        t = threading.Thread(target=target, name=name, daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish leased jobs, seal.
+
+        Returns once the clean ``shutdown`` marker is journaled (or the
+        drain timeout expired with jobs still leased — those requeue on
+        the next start, exactly like a crash, which is the graceful
+        degradation the timeout buys).
+        """
+        self._draining.set()
+        deadline = self._clock() + self.drain_timeout_s
+        while self._clock() < deadline:
+            if self.leases.count == 0 and self._queue_empty():
+                break
+            self._drained.wait(timeout=TICK_S)
+        if self.store is not None and not self.store.clean_shutdown:
+            self.store.record_shutdown()
+        self._shutdown_threads()
+
+    def abort(self) -> None:
+        """Crash-style stop: no drain, no shutdown marker (chaos path)."""
+        self._draining.set()
+        self._shutdown_threads()
+
+    def _shutdown_threads(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        for t in self._threads:
+            t.join(timeout=max(5.0, self.drain_timeout_s))
+        self._threads = []
+        if os.path.exists(self.socket_path):
+            try:
+                os.remove(self.socket_path)
+            except OSError:
+                pass
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the daemon stops; True when it did."""
+        return self._stop.wait(timeout=timeout_s)
+
+    def _queue_empty(self) -> bool:
+        with self._deferred_lock:
+            deferred = len(self._deferred)
+        return self._queue is not None and self._queue.empty() \
+            and deferred == 0
+
+    # -- the socket front door ----------------------------------------------
+
+    def _serve_loop(self) -> None:
+        sock = self._sock
+        sock.settimeout(TICK_S)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed by shutdown
+            try:
+                self._handle(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            request = protocol.recv_message(conn, timeout_s=TICK_S * 50)
+        except ServiceProtocolError as exc:
+            self._respond(conn, protocol.error(protocol.BAD_REQUEST,
+                                               str(exc)))
+            return
+        try:
+            response = self._dispatch(request)
+        except JobRejectedError as exc:
+            response = protocol.error(exc.code, str(exc))
+        except KondoError as exc:
+            response = protocol.error(protocol.BAD_REQUEST, str(exc))
+        self._respond(conn, response)
+
+    @staticmethod
+    def _respond(conn: socket.socket, response: dict) -> None:
+        try:
+            protocol.send_message(conn, response)
+        except ServiceProtocolError:
+            pass  # peer went away; its request already took effect
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return protocol.ok(
+                draining=self._draining.is_set(),
+                outstanding=self.store.active_count(),
+                workers=self.workers,
+                queue_limit=self.queue_limit,
+            )
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return self._op_status(request)
+        if op == "cancel":
+            return self._op_cancel(request)
+        if op == "drain":
+            # Ack first; the drain itself runs on a dedicated thread so
+            # the requester is not held for the whole quiesce.
+            threading.Thread(target=self.drain, name="kondo-serve-drain",
+                             daemon=True).start()
+            return protocol.ok(draining=True)
+        raise JobRejectedError(f"unknown op {op!r}", code=protocol.BAD_REQUEST)
+
+    # -- operations ---------------------------------------------------------
+
+    def _op_submit(self, request: dict) -> dict:
+        if self._draining.is_set():
+            raise JobRejectedError(
+                "daemon is draining; not admitting new jobs",
+                code=protocol.DRAINING,
+            )
+        spec = JobSpec.from_json(request.get("spec"))
+        existing = self.store.view(spec.key)
+        if existing is not None and existing.state != CANCELLED:
+            # Dedupe: same (program, Θ, D) triple — serve what we have.
+            return protocol.ok(job=spec.key, state=existing.state,
+                               deduped=True, result=existing.result)
+        # Admission control *before* journaling: a rejected job was
+        # never accepted, so the never-lose-an-accepted-job guarantee
+        # only ever covers journaled submissions.
+        if self.store.active_count() >= self.queue_limit:
+            raise JobRejectedError(
+                f"queue is full ({self.queue_limit} outstanding jobs)",
+                code=protocol.REJECTED_BUSY,
+            )
+        view, fresh = self.store.submit(spec)
+        if fresh and view.state == QUEUED:
+            self._enqueue(view.job_id)
+        return protocol.ok(job=view.job_id, state=view.state, deduped=False,
+                           result=view.result)
+
+    def _op_status(self, request: dict) -> dict:
+        job_id = request.get("job")
+        if job_id is None:
+            return protocol.ok(jobs=[v.to_json()
+                                     for v in self.store.all_views()],
+                               draining=self._draining.is_set())
+        view = self.store.view(job_id)
+        if view is None:
+            raise JobRejectedError(f"unknown job {job_id}",
+                                   code=protocol.UNKNOWN_JOB)
+        out = view.to_json()
+        lease = self.leases.for_job(job_id)
+        out["child_pid"] = lease.child_pid if lease else None
+        return protocol.ok(**out)
+
+    def _op_cancel(self, request: dict) -> dict:
+        job_id = request.get("job")
+        view = self.store.view(job_id) if job_id else None
+        if view is None:
+            raise JobRejectedError(f"unknown job {job_id}",
+                                   code=protocol.UNKNOWN_JOB)
+        if view.state != QUEUED:
+            raise JobRejectedError(
+                f"job {job_id} is {view.state}; only queued jobs can be "
+                f"cancelled",
+                code=protocol.NOT_CANCELLABLE,
+            )
+        self.store.record_cancel(job_id)
+        return protocol.ok(job=job_id, state=view.state)
+
+    # -- workers ------------------------------------------------------------
+
+    def _enqueue(self, job_id: str) -> None:
+        self._queue.put(job_id, timeout=self.drain_timeout_s)
+
+    def _worker_loop(self, worker: str) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=TICK_S)
+            except queue.Empty:
+                continue
+            view = self.store.view(job_id)
+            if view is None or view.state != QUEUED:
+                continue  # cancelled (or completed elsewhere) meanwhile
+            self._execute(worker, view)
+
+    def _execute(self, worker: str, view: JobView) -> None:
+        job_id = view.job_id
+        try:
+            lease = self.leases.grant(job_id, worker)
+        except ServiceError:
+            return  # raced another worker; the winner runs it
+        try:
+            self.store.record_lease(job_id, lease.lease_id, worker)
+        except ServiceError:
+            # Cancelled (or otherwise moved on) between dequeue and
+            # lease — give the claim back and drop the work item.
+            self.leases.release(lease.lease_id)
+            return
+        deadline = view.spec.deadline_s or self.default_deadline_s
+        try:
+            result = self._run(view, lease, deadline)
+        except SupervisedRunError as exc:
+            self._fail(job_id, lease.lease_id, exc.verdict or "FAILED",
+                       str(exc))
+            return
+        except KondoError as exc:
+            self._fail(job_id, lease.lease_id, "EXCEPTION",
+                       f"{type(exc).__name__}: {exc}")
+            return
+        # kondo: allow[KND003] every unexpected runner failure is routed
+        # into the store's journaled failure/dead-letter taxonomy below
+        except Exception as exc:  # noqa: BLE001
+            self._fail(job_id, lease.lease_id, "EXCEPTION",
+                       f"{type(exc).__name__}: {exc}")
+            return
+        accepted = self.store.record_complete(job_id, lease.lease_id, result)
+        self.leases.release(lease.lease_id)
+        if not accepted:
+            # Stale lease: the job moved on while we ran; drop the result.
+            return
+
+    def _run(self, view: JobView, lease, deadline_s: float) -> dict:
+        spec_json = view.spec.to_json()
+        if not self.supervised:
+            self.leases.heartbeat(lease.lease_id)
+            return self.job_runner(spec_json)
+        supervisor = Supervisor(
+            timeout_s=deadline_s,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            grace_s=1.0,
+            on_spawn=lambda pid: self.leases.set_child_pid(
+                lease.lease_id, pid),
+            on_heartbeat=lambda: self.leases.heartbeat(lease.lease_id),
+        )
+        return supervisor.bind(self.job_runner)(spec_json)
+
+    def _fail(self, job_id: str, lease_id: str, verdict: str,
+              detail: str) -> None:
+        self.leases.release(lease_id)
+        self.store.record_failure(job_id, lease_id, verdict, detail)
+        view = self.store.view(job_id)
+        if view is None or view.state != QUEUED:
+            return  # dead-lettered (or gone); no retry
+        delay = backoff_delay_s(self.retry_policy, job_id, view.attempts)
+        with self._deferred_lock:
+            self._deferred.append((self._clock() + delay, job_id))
+
+    # -- the sweeper --------------------------------------------------------
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.is_set():
+            self._stop.wait(timeout=TICK_S)
+            # Expired leases: the worker (or its child) went silent.
+            for lease in self.leases.expired():
+                self.store.record_failure(
+                    lease.job_id, lease.lease_id, "LEASE-EXPIRED",
+                    f"lease {lease.lease_id} of worker {lease.worker} "
+                    f"expired after {self.lease_ttl_s}s without a "
+                    f"heartbeat",
+                )
+                view = self.store.view(lease.job_id)
+                if view is not None and view.state == QUEUED:
+                    delay = backoff_delay_s(self.retry_policy,
+                                            lease.job_id, view.attempts)
+                    with self._deferred_lock:
+                        self._deferred.append(
+                            (self._clock() + delay, lease.job_id))
+            # Deferred retries whose backoff elapsed.
+            now = self._clock()
+            with self._deferred_lock:
+                due = [j for t, j in self._deferred if t <= now]
+                self._deferred = [(t, j) for t, j in self._deferred
+                                  if t > now]
+            for job_id in due:
+                view = self.store.view(job_id)
+                if view is not None and view.state == QUEUED:
+                    self._enqueue(job_id)
+            if self._draining.is_set() and self.leases.count == 0 \
+                    and self._queue_empty():
+                self._drained.set()

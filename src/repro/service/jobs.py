@@ -1,0 +1,224 @@
+"""Job specs, content-addressed keys, and the job state machine.
+
+A debloat job is Kondo's (program, Θ, D) triple (paper Section IV): the
+program under audit, the fuzz-campaign configuration Θ, and the data
+identity D.  Jobs are *content-addressed* — :attr:`JobSpec.key` hashes
+the canonical JSON of all three — so a repeat submission of the same
+triple dedupes to the already-queued job or the cached completed result
+instead of re-fuzzing.  That key is also the job id the CLI shows.
+
+State machine (every transition is one journal record in the store)::
+
+    submit           lease            complete
+    ───────► QUEUED ───────► LEASED ───────────► DONE
+               ▲                │ failure (attempts <= retries)
+               │                ▼
+               └────────── (requeued)
+               │                │ failure (budget exhausted)
+    cancel     ▼                ▼
+          CANCELLED           DEAD
+
+``DONE``/``DEAD`` are terminal; ``CANCELLED`` may be resubmitted (a new
+``submit`` record for the same key resets the attempt counter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import JobRejectedError
+from repro.resilience.retry import RetryPolicy
+
+#: Job lifecycle states (journal-derived; see the module docstring).
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+DEAD = "dead"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, LEASED, DONE, DEAD, CANCELLED)
+
+#: States in which a job still occupies queue capacity.
+ACTIVE_STATES = (QUEUED, LEASED)
+
+#: Terminal states a resubmission cannot reopen (DONE serves its cached
+#: result; DEAD stays dead-lettered until an operator intervenes).
+STICKY_STATES = (DONE, DEAD)
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One debloat job: the (program, Θ, D) triple plus run limits.
+
+    Attributes:
+        program: workload name (``kondo programs``).
+        dims: array shape of ``D``.
+        seed: campaign RNG seed (part of Θ — it fixes the fuzz schedule).
+        max_iter: fuzz iteration budget override (``None`` = config
+            default; part of Θ).
+        budget_s: campaign wall-clock budget (part of Θ: it can stop the
+            campaign early, so two budgets are two different campaigns).
+        carver: ``"merge"`` or ``"simple"`` (part of Θ).
+        workers: debloat-test pool size for the execution.  *Not* part
+            of Θ — pooled and serial campaigns are seed-for-seed
+            identical, so they share a cache entry.
+        data_sha256: content hash of a real data file when one rides
+            along (the D identity); ``None`` means the synthetic array
+            the dims describe.
+        deadline_s: wall-clock budget for one execution *attempt*,
+            propagated into the supervised child's run timeout.  ``None``
+            uses the daemon default.
+    """
+
+    program: str
+    dims: Tuple[int, ...]
+    seed: int = 0
+    max_iter: Optional[int] = None
+    budget_s: Optional[float] = None
+    carver: str = "merge"
+    workers: int = 0
+    data_sha256: Optional[str] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.program:
+            raise JobRejectedError("job spec needs a program name")
+        dims = tuple(int(d) for d in self.dims)
+        if not dims or any(d <= 0 for d in dims):
+            raise JobRejectedError(f"bad dims {self.dims!r}")
+        object.__setattr__(self, "dims", dims)
+        if self.carver not in ("merge", "simple"):
+            raise JobRejectedError(f"unknown carver {self.carver!r}")
+        if self.max_iter is not None and self.max_iter <= 0:
+            raise JobRejectedError(f"max_iter must be > 0, got {self.max_iter}")
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise JobRejectedError(f"budget_s must be > 0, got {self.budget_s}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise JobRejectedError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.workers < 0:
+            raise JobRejectedError(f"workers must be >= 0, got {self.workers}")
+
+    # -- content addressing -------------------------------------------------
+
+    @property
+    def theta(self) -> dict:
+        """The Θ identity: everything that can change campaign output."""
+        return {
+            "seed": self.seed,
+            "max_iter": self.max_iter,
+            "budget_s": self.budget_s,
+            "carver": self.carver,
+        }
+
+    @property
+    def theta_hash(self) -> str:
+        return hashlib.sha256(_canonical(self.theta).encode()).hexdigest()
+
+    @property
+    def data_hash(self) -> str:
+        """The D identity: explicit content hash, or the synthetic dims."""
+        d = self.data_sha256 or {"synthetic_dims": list(self.dims)}
+        return hashlib.sha256(_canonical(d).encode()).hexdigest()
+
+    @property
+    def key(self) -> str:
+        """Content-addressed job id over (program, Θ-hash, D-hash)."""
+        triple = _canonical(
+            [self.program, self.theta_hash, self.data_hash]
+        )
+        return hashlib.sha256(triple.encode()).hexdigest()[:16]
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program,
+            "dims": list(self.dims),
+            "seed": self.seed,
+            "max_iter": self.max_iter,
+            "budget_s": self.budget_s,
+            "carver": self.carver,
+            "workers": self.workers,
+            "data_sha256": self.data_sha256,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "JobSpec":
+        if not isinstance(obj, dict):
+            raise JobRejectedError(f"job spec must be an object, got {obj!r}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(obj) - known
+        if unknown:
+            raise JobRejectedError(
+                f"unknown job spec field(s) {sorted(unknown)}"
+            )
+        if "program" not in obj or "dims" not in obj:
+            raise JobRejectedError("job spec needs 'program' and 'dims'")
+        try:
+            return cls(**{k: (tuple(v) if k == "dims" else v)
+                          for k, v in obj.items()})
+        except (TypeError, ValueError) as exc:
+            raise JobRejectedError(f"malformed job spec: {exc}") from exc
+
+
+@dataclass
+class JobView:
+    """Derived (in-memory) state of one job, folded from the journal."""
+
+    spec: JobSpec
+    state: str = QUEUED
+    attempts: int = 0
+    verdicts: List[str] = field(default_factory=list)
+    result: Optional[dict] = None
+    lease_id: Optional[str] = None
+    worker: Optional[str] = None
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.key
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    def to_json(self) -> dict:
+        return {
+            "job": self.job_id,
+            "program": self.spec.program,
+            "dims": list(self.spec.dims),
+            "state": self.state,
+            "attempts": self.attempts,
+            "verdicts": list(self.verdicts),
+            "result": self.result,
+            "lease": self.lease_id,
+            "worker": self.worker,
+        }
+
+
+def backoff_delay_s(policy: RetryPolicy, job_id: str, attempt: int) -> float:
+    """The requeue delay before retry ``attempt`` (1-based) of a job.
+
+    The jitter RNG is seeded from (job id, attempt), so every retry
+    schedule is replay-deterministic per job yet decorrelated across the
+    fleet — two dead workers never thunder back in lockstep.
+    """
+    if attempt < 1:
+        return 0.0
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    delays = list(policy.delays(rng=rng))
+    if not delays:
+        return 0.0
+    return delays[min(attempt, len(delays)) - 1]

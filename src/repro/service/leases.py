@@ -1,0 +1,119 @@
+"""Worker leases with heartbeats and clock-injected expiry.
+
+A lease is the daemon's in-memory claim ticket: worker W owns job J
+until ``expires_at``.  Heartbeats — forwarded from the supervised
+child's own heartbeat pipe, so they prove the *process doing the work*
+is alive, not just the thread that forked it — push the expiry forward.
+A worker that dies, hangs, or gets OOM-killed stops beating; the
+daemon's sweeper collects the expired lease and requeues the job.
+
+Leases are deliberately *not* journaled: they never outlive the daemon
+process (recovery requeues every leased job), and heartbeats at worker
+frequency would swamp the append-only log.  What *is* journaled is the
+lease id, stamped into the ``lease``/``complete``/``failure`` records so
+the store can refuse a completion from a lease that already expired.
+
+The clock is injectable (monotonic by default) so expiry is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one job."""
+
+    lease_id: str
+    job_id: str
+    worker: str
+    expires_at: float
+    beats: int = 0
+    #: PID of the supervised child executing the job, once forked —
+    #: what a chaos drill (or an operator) SIGKILLs to test requeue.
+    child_pid: Optional[int] = None
+
+
+class LeaseManager:
+    """Grant, refresh, and expire leases under one lock.
+
+    Args:
+        ttl_s: how long a lease lives without a heartbeat.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, ttl_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl_s <= 0:
+            raise ServiceError(f"lease ttl_s must be > 0, got {ttl_s}")
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._leases: Dict[str, Lease] = {}
+        self._by_job: Dict[str, str] = {}
+        self._granted = 0
+        self._lock = threading.Lock()
+
+    def grant(self, job_id: str, worker: str) -> Lease:
+        """Claim ``job_id`` for ``worker``; one live lease per job."""
+        with self._lock:
+            if job_id in self._by_job:
+                raise ServiceError(f"job {job_id} is already leased")
+            self._granted += 1
+            lease = Lease(
+                lease_id=f"L{self._granted:06d}",
+                job_id=job_id,
+                worker=worker,
+                expires_at=self._clock() + self.ttl_s,
+            )
+            self._leases[lease.lease_id] = lease
+            self._by_job[job_id] = lease.lease_id
+            return lease
+
+    def heartbeat(self, lease_id: str) -> bool:
+        """Refresh a lease; False if it already expired or was released."""
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return False
+            lease.beats += 1
+            lease.expires_at = self._clock() + self.ttl_s
+            return True
+
+    def set_child_pid(self, lease_id: str, pid: int) -> None:
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is not None:
+                lease.child_pid = pid
+
+    def release(self, lease_id: str) -> None:
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is not None:
+                self._by_job.pop(lease.job_id, None)
+
+    def for_job(self, job_id: str) -> Optional[Lease]:
+        with self._lock:
+            lease_id = self._by_job.get(job_id)
+            return self._leases.get(lease_id) if lease_id else None
+
+    def expired(self) -> List[Lease]:
+        """Pop and return every lease past its expiry."""
+        now = self._clock()
+        with self._lock:
+            dead = [l for l in self._leases.values() if l.expires_at <= now]
+            for lease in dead:
+                self._leases.pop(lease.lease_id, None)
+                self._by_job.pop(lease.job_id, None)
+            return dead
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._leases)

@@ -381,3 +381,55 @@ class TestKND009VectorizedAudit:
             ),
         }, select=["KND009"])
         assert findings == []
+
+
+class TestKND010BoundedService:
+    def test_unbounded_queues_and_waits_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/bad.py": (
+                "import queue\n\n\n"
+                "def build():\n"
+                "    q = queue.Queue()\n"
+                "    zero = queue.Queue(maxsize=0)\n"
+                "    simple = queue.SimpleQueue()\n"
+                "    return q, zero, simple\n\n\n"
+                "def pull(q):\n"
+                "    return q.get()\n\n\n"
+                "def front_door(sock):\n"
+                "    conn, _ = sock.accept()\n"
+                "    return conn.recv(4096)\n"
+            ),
+        }, select=["KND010"])
+        assert rule_ids(findings) == ["KND010"] * 6
+        messages = " ".join(f.message for f in findings)
+        assert "maxsize" in messages
+        assert "SimpleQueue" in messages
+        assert "settimeout" in messages
+
+    def test_bounded_ops_and_out_of_scope_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/good.py": (
+                "import queue\n\n\n"
+                "def build(limit):\n"
+                "    return queue.Queue(maxsize=limit)\n\n\n"
+                "def pull(q, tick):\n"
+                "    return q.get(timeout=tick)\n\n\n"
+                "def front_door(sock, tick):\n"
+                "    # The idiomatic socket pattern: bound the socket\n"
+                "    # once in this function, then loop on accept/recv.\n"
+                "    sock.settimeout(tick)\n"
+                "    conn, _ = sock.accept()\n"
+                "    return conn.recv(4096)\n\n\n"
+                "def lookup(table, key):\n"
+                "    # dict.get is not a blocking wait.\n"
+                "    return table.get(key, None)\n"
+            ),
+            # The same constructs outside repro.service: KND008's turf.
+            "repro/core/meh.py": (
+                "import queue\n\n\n"
+                "def anything_goes(sock):\n"
+                "    q = queue.Queue()\n"
+                "    return q, sock.accept()\n"
+            ),
+        }, select=["KND010"])
+        assert findings == []

@@ -33,7 +33,8 @@ class TestChaosDrills:
             "worker-killed", "crash-resume", "flaky-fetch", "heal",
             "corrupt-artifact", "corrupt-span-degrades",
             "torn-patch-recovers", "hung-run-times-out",
-            "leaky-run-contained",
+            "leaky-run-contained", "worker-killed-mid-job-requeues",
+            "serve-crash-recovers-queue",
         }
         # The registry (and `kondo chaos --list`) must match what ran.
         assert [c.name for c in report.checks] == list(DRILL_NAMES)

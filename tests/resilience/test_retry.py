@@ -1,5 +1,6 @@
 """Retry policy, backoff schedule, deadlines, and the circuit breaker."""
 
+import numpy as np
 import pytest
 
 from repro.errors import CircuitOpenError, FetchError, ResilienceConfigError
@@ -43,10 +44,67 @@ class TestRetryPolicy:
         {"backoff_s": -0.1},
         {"backoff_factor": 0.5},
         {"deadline_s": 0.0},
+        {"jitter": "half"},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ResilienceConfigError):
             RetryPolicy(**kwargs)
+
+
+class TestFullJitter:
+    POLICY = RetryPolicy(retries=6, backoff_s=0.1, backoff_factor=2.0,
+                         backoff_max_s=0.5, jitter="full")
+
+    def test_same_seed_same_schedule(self):
+        """Replay determinism: the schedule is a pure function of the
+        caller's seeded RNG, never of global random state."""
+        a = list(self.POLICY.delays(rng=np.random.default_rng(42)))
+        b = list(self.POLICY.delays(rng=np.random.default_rng(42)))
+        assert a == b
+
+    def test_different_seeds_decorrelate(self):
+        a = list(self.POLICY.delays(rng=np.random.default_rng(1)))
+        b = list(self.POLICY.delays(rng=np.random.default_rng(2)))
+        assert a != b
+
+    def test_jittered_delays_respect_the_exponential_cap(self):
+        """Full jitter draws from [0, capped]: each delay is bounded by
+        the deterministic ladder's value at that step, and the ladder's
+        own ceiling still applies."""
+        ladder = list(RetryPolicy(retries=6, backoff_s=0.1,
+                                  backoff_factor=2.0,
+                                  backoff_max_s=0.5).delays())
+        jittered = list(self.POLICY.delays(rng=np.random.default_rng(7)))
+        assert len(jittered) == len(ladder)
+        for delay, cap in zip(jittered, ladder):
+            assert 0.0 <= delay <= cap <= 0.5
+
+    def test_full_jitter_without_rng_is_a_config_error(self):
+        with pytest.raises(ResilienceConfigError, match="seeded RNG"):
+            list(self.POLICY.delays())
+
+    def test_jitter_none_ignores_rng(self):
+        policy = RetryPolicy(retries=2, backoff_s=0.1, backoff_factor=2.0)
+        assert list(policy.delays(rng=np.random.default_rng(0))) == \
+            list(policy.delays())
+
+    def test_retry_call_threads_the_rng_through(self):
+        clock = FakeClock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FetchError("transient")
+            return "ok"
+
+        result = retry_call(flaky, self.POLICY, clock=clock,
+                            sleep=clock.sleep,
+                            rng=np.random.default_rng(42))
+        assert result == "ok"
+        expected = list(self.POLICY.delays(
+            rng=np.random.default_rng(42)))[:2]
+        assert clock.now == pytest.approx(sum(expected))
 
 
 class TestRetryCall:

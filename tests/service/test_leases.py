@@ -1,0 +1,105 @@
+"""Lease grant/heartbeat/expiry with an injected clock — no sleeping."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import LeaseManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def leases(clock):
+    return LeaseManager(ttl_s=10.0, clock=clock)
+
+
+class TestGrant:
+    def test_grant_claims_a_job(self, leases):
+        lease = leases.grant("job-a", "w0")
+        assert lease.job_id == "job-a"
+        assert leases.for_job("job-a") is lease
+        assert leases.count == 1
+
+    def test_one_live_lease_per_job(self, leases):
+        leases.grant("job-a", "w0")
+        with pytest.raises(ServiceError, match="already leased"):
+            leases.grant("job-a", "w1")
+
+    def test_release_frees_the_job(self, leases):
+        lease = leases.grant("job-a", "w0")
+        leases.release(lease.lease_id)
+        assert leases.for_job("job-a") is None
+        leases.grant("job-a", "w1")  # re-claimable
+
+    def test_lease_ids_are_unique(self, leases):
+        a = leases.grant("job-a", "w0")
+        leases.release(a.lease_id)
+        b = leases.grant("job-a", "w0")
+        assert a.lease_id != b.lease_id
+
+
+class TestExpiry:
+    def test_unbeaten_lease_expires_after_ttl(self, leases, clock):
+        lease = leases.grant("job-a", "w0")
+        clock.now = 9.9
+        assert leases.expired() == []
+        clock.now = 10.0
+        assert leases.expired() == [lease]
+        assert leases.count == 0
+        assert leases.for_job("job-a") is None
+
+    def test_heartbeat_extends_the_lease(self, leases, clock):
+        lease = leases.grant("job-a", "w0")
+        clock.now = 8.0
+        assert leases.heartbeat(lease.lease_id)
+        clock.now = 17.9  # inside the refreshed window
+        assert leases.expired() == []
+        clock.now = 18.0
+        assert [l.lease_id for l in leases.expired()] == [lease.lease_id]
+
+    def test_heartbeat_after_expiry_reports_dead(self, leases, clock):
+        lease = leases.grant("job-a", "w0")
+        clock.now = 30.0
+        leases.expired()
+        assert not leases.heartbeat(lease.lease_id)
+
+    def test_expiry_only_collects_the_overdue(self, leases, clock):
+        old = leases.grant("job-a", "w0")
+        clock.now = 8.0
+        fresh = leases.grant("job-b", "w1")
+        clock.now = 12.0
+        assert leases.expired() == [old]
+        assert leases.for_job("job-b") is fresh
+
+    def test_beats_are_counted(self, leases):
+        lease = leases.grant("job-a", "w0")
+        for _ in range(3):
+            leases.heartbeat(lease.lease_id)
+        assert lease.beats == 3
+
+
+class TestChildPid:
+    def test_child_pid_pins_onto_the_lease(self, leases):
+        lease = leases.grant("job-a", "w0")
+        leases.set_child_pid(lease.lease_id, 4242)
+        assert leases.for_job("job-a").child_pid == 4242
+
+    def test_set_pid_on_dead_lease_is_a_noop(self, leases):
+        leases.set_child_pid("L999999", 4242)  # must not raise
+
+
+class TestValidation:
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ServiceError):
+            LeaseManager(ttl_s=0.0)

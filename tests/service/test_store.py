@@ -1,0 +1,271 @@
+"""The durable job store: dedupe, state machine, crash recovery.
+
+The hypothesis property at the bottom is the store's central promise:
+for a journal cut at ANY byte (a daemon killed mid-append), recovery
+yields exactly the fold of the records that fully landed — the state is
+always "old or new at a record boundary", never a hybrid, never a loss
+of an earlier record.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JobRejectedError, ServiceError
+from repro.resilience.durability.records import parse_log
+from repro.service import JobSpec, JobStore
+
+DIMS = (16, 16)
+
+
+def spec(seed=0, **kw):
+    return JobSpec(program="CS", dims=DIMS, seed=seed, max_iter=10, **kw)
+
+
+def open_store(tmp_path, retries=2):
+    return JobStore.open(str(tmp_path), retries=retries)
+
+
+class TestSubmitAndDedupe:
+    def test_submit_queues_and_journals(self, tmp_path):
+        store = open_store(tmp_path)
+        view, fresh = store.submit(spec())
+        assert fresh and view.state == "queued"
+        assert os.path.exists(store.log_path)
+
+    def test_same_triple_dedupes(self, tmp_path):
+        store = open_store(tmp_path)
+        first, fresh1 = store.submit(spec())
+        again, fresh2 = store.submit(spec())
+        assert fresh1 and not fresh2
+        assert again is first
+        assert len(store.records) == 1
+
+    def test_different_theta_is_a_different_job(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit(spec(seed=0))
+        view, fresh = store.submit(spec(seed=1))
+        assert fresh
+        assert len(store.jobs) == 2
+
+    def test_workers_not_part_of_identity(self, tmp_path):
+        # Pooled and serial campaigns are seed-for-seed identical, so
+        # they must share one cache entry.
+        assert spec(workers=0).key == spec(workers=4).key
+
+    def test_done_job_serves_cached_result(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        store.record_complete(view.job_id, "L1", {"answer": 42})
+        again, fresh = store.submit(spec())
+        assert not fresh
+        assert again.state == "done"
+        assert again.result == {"answer": 42}
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(JobRejectedError, match="unknown job spec"):
+            JobSpec.from_json({"program": "CS", "dims": [4], "bogus": 1})
+
+
+class TestLeaseAndComplete:
+    def test_complete_requires_owning_lease(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        assert store.record_complete(view.job_id, "L1", {"ok": 1})
+        assert view.state == "done"
+
+    def test_stale_lease_cannot_double_complete(self, tmp_path):
+        """The never-double-complete guarantee: a worker whose lease
+        expired (job requeued, re-leased, finished by someone else)
+        gets its late result dropped."""
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        store.record_failure(view.job_id, "L1", "LEASE-EXPIRED")
+        store.record_lease(view.job_id, "L2", "w1")
+        assert store.record_complete(view.job_id, "L2", {"winner": 2})
+        # The original worker finally reports in: rejected.
+        assert not store.record_complete(view.job_id, "L1", {"stale": 1})
+        assert view.result == {"winner": 2}
+        assert store.complete_count(view.job_id) == 1
+
+    def test_stale_failure_is_ignored(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        store.record_complete(view.job_id, "L1", {"ok": 1})
+        assert store.record_failure(view.job_id, "L1", "SIGNALED") == "done"
+        assert view.attempts == 0
+
+    def test_lease_requires_queued(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        with pytest.raises(ServiceError, match="cannot lease"):
+            store.record_lease(view.job_id, "L2", "w1")
+
+
+class TestRetryBudgetAndDeadLetter:
+    def test_failures_requeue_within_budget(self, tmp_path):
+        store = open_store(tmp_path, retries=2)
+        view, _ = store.submit(spec())
+        for attempt in (1, 2):
+            store.record_lease(view.job_id, f"L{attempt}", "w0")
+            state = store.record_failure(view.job_id, f"L{attempt}",
+                                         "TIMEOUT")
+            assert state == "queued"
+            assert view.attempts == attempt
+
+    def test_budget_exhaustion_dead_letters(self, tmp_path):
+        store = open_store(tmp_path, retries=1)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        assert store.record_failure(view.job_id, "L1", "OOM") == "queued"
+        store.record_lease(view.job_id, "L2", "w0")
+        assert store.record_failure(view.job_id, "L2", "OOM") == "dead"
+        assert view.verdicts == ["OOM", "OOM"]
+        # Dead is sticky: a resubmission serves the dead letter.
+        again, fresh = store.submit(spec())
+        assert not fresh and again.state == "dead"
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_cancel(view.job_id)
+        assert view.state == "cancelled"
+
+    def test_cancelled_key_reopens_with_fresh_budget(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        store.record_failure(view.job_id, "L1", "TIMEOUT")
+        store.record_cancel(view.job_id)
+        reopened, fresh = store.submit(spec())
+        assert fresh
+        assert reopened.state == "queued"
+        assert reopened.attempts == 0
+
+    def test_cannot_cancel_leased(self, tmp_path):
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        with pytest.raises(ServiceError, match="only queued"):
+            store.record_cancel(view.job_id)
+
+
+class TestRecovery:
+    def test_clean_shutdown_marker(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit(spec())
+        store.record_shutdown()
+        reopened = open_store(tmp_path)
+        assert reopened.clean_shutdown
+        # Any new activity clears the marker until the next drain.
+        reopened.submit(spec(seed=9))
+        assert not reopened.clean_shutdown
+
+    def test_missing_marker_reads_as_crash(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit(spec())
+        assert not open_store(tmp_path).clean_shutdown
+
+    def test_leased_jobs_requeue_on_recovery(self, tmp_path):
+        """A lease never survives the daemon that granted it."""
+        store = open_store(tmp_path)
+        view, _ = store.submit(spec())
+        store.record_lease(view.job_id, "L1", "w0")
+        recovered = open_store(tmp_path)
+        rv = recovered.view(view.job_id)
+        assert rv.state == "queued"
+        assert rv.lease_id is None
+        assert recovered.recovered_jobs == [view.job_id]
+
+    def test_terminal_states_survive_recovery(self, tmp_path):
+        store = open_store(tmp_path)
+        done, _ = store.submit(spec(seed=1))
+        store.record_lease(done.job_id, "L1", "w0")
+        store.record_complete(done.job_id, "L1", {"ok": 1})
+        cancelled, _ = store.submit(spec(seed=2))
+        store.record_cancel(cancelled.job_id)
+        recovered = open_store(tmp_path)
+        assert recovered.view(done.job_id).state == "done"
+        assert recovered.view(done.job_id).result == {"ok": 1}
+        assert recovered.view(cancelled.job_id).state == "cancelled"
+        assert recovered.recovered_jobs == []
+
+
+def _build_reference_journal(state_dir: str):
+    """A journal exercising every record type; returns its raw bytes
+    and the replayed record list."""
+    store = JobStore.open(state_dir, retries=1)
+    a, _ = store.submit(spec(seed=1))
+    b, _ = store.submit(spec(seed=2))
+    c, _ = store.submit(spec(seed=3))
+    store.record_lease(a.job_id, "L1", "w0")
+    store.record_complete(a.job_id, "L1", {"digest": "aaa"})
+    store.record_lease(b.job_id, "L2", "w1")
+    store.record_failure(b.job_id, "L2", "SIGNALED")       # requeue
+    store.record_lease(b.job_id, "L3", "w1")
+    store.record_failure(b.job_id, "L3", "TIMEOUT")        # dead-letter
+    store.record_cancel(c.job_id)
+    store.record_shutdown()
+    with open(store.log_path, "rb") as fh:
+        return fh.read(), list(store.records)
+
+
+class TestCrashPointProperty:
+    """Recovery from a journal cut at ANY byte yields old-or-new state."""
+
+    RAW = None
+    RECORDS = None
+
+    @classmethod
+    def _reference(cls):
+        if cls.RAW is None:
+            ref_dir = tempfile.mkdtemp(prefix="kondo-store-ref-")
+            try:
+                cls.RAW, cls.RECORDS = _build_reference_journal(ref_dir)
+            finally:
+                shutil.rmtree(ref_dir, ignore_errors=True)
+        return cls.RAW, cls.RECORDS
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_recovery_is_a_record_prefix(self, data):
+        raw, records = self._reference()
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw)),
+                        label="crash byte")
+        work = tempfile.mkdtemp(prefix="kondo-store-cut-")
+        try:
+            log_path = os.path.join(work, "jobs.log")
+            with open(log_path, "wb") as fh:
+                fh.write(raw[:cut])
+            store = JobStore.open(work, retries=1)
+            # Old-or-new at record granularity: the recovered journal is
+            # exactly the records whose sealed lines fully landed.
+            intact, _, _ = parse_log(raw[:cut])
+            assert store.records == intact
+            assert store.records == records[: len(store.records)]
+            # Recovery truncated the torn tail: a reopen is stable.
+            again = JobStore.open(work, retries=1)
+            assert again.records == store.records
+            assert {j: v.state for j, v in again.jobs.items()} == \
+                {j: v.state for j, v in store.jobs.items()}
+            # No LEASED state survives recovery, and every complete
+            # record that landed is never lost.
+            for view in store.jobs.values():
+                assert view.state != "leased"
+            for rec in intact:
+                if rec["op"] == "complete":
+                    assert store.view(rec["job"]).result == rec["result"]
+        finally:
+            shutil.rmtree(work, ignore_errors=True)

@@ -4,6 +4,7 @@ import os
 
 import pytest
 
+import repro.ioutil
 from repro.ioutil import atomic_write
 
 
@@ -56,3 +57,36 @@ class TestAtomicWrite:
         with atomic_write(path) as fh:
             fh.write(b"x")
         assert os.listdir(str(tmp_path)) == ["out.bin"]
+
+    def test_directory_is_fsynced_after_rename(self, tmp_path,
+                                               monkeypatch):
+        """Regression: without an fsync of the containing directory
+        after the rename, a crash can lose the *directory entry* even
+        though the file data was fsynced — leaving neither the old nor
+        the new version.  The fsync must come after the rename, i.e.
+        once the destination already holds the complete payload."""
+        path = str(tmp_path / "out.bin")
+        dir_syncs = []
+
+        real_fsync_dir = repro.ioutil.fsync_dir
+
+        def recording_fsync_dir(directory):
+            with open(path, "rb") as fh:
+                dir_syncs.append((directory, fh.read()))
+            real_fsync_dir(directory)
+
+        monkeypatch.setattr(repro.ioutil, "fsync_dir",
+                            recording_fsync_dir)
+        with atomic_write(path) as fh:
+            fh.write(b"durable payload")
+        assert dir_syncs == [(str(tmp_path), b"durable payload")]
+
+    def test_no_directory_fsync_when_writer_fails(self, tmp_path,
+                                                  monkeypatch):
+        dir_syncs = []
+        monkeypatch.setattr(repro.ioutil, "fsync_dir", dir_syncs.append)
+        with pytest.raises(RuntimeError):
+            with atomic_write(str(tmp_path / "out.bin")) as fh:
+                fh.write(b"partial")
+                raise RuntimeError("writer crashed")
+        assert dir_syncs == []
