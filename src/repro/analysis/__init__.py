@@ -9,21 +9,38 @@ a finding model with stable rule IDs, inline suppressions
 (``# kondo: allow[KND00X] reason``), a committed baseline for
 grandfathered findings, and text/JSON/SARIF reporters.
 
+On top of the per-file rules sits a **project-wide concurrency
+analysis**: per-function lockset/blocking/fork summaries
+(:mod:`repro.analysis.locks`), a name-resolution call graph with
+interprocedural fixpoints and a global lock-order graph
+(:mod:`repro.analysis.callgraph`), and the flow-aware rules
+KND011 (lock-order cycles), KND012 (blocking under a lock), and
+KND013 (fork safety).  The run is two-phase — per-file summaries,
+optionally parallel (``--jobs N``) and content-cached
+(``.kondo-cache/``), then deterministic linking and rule execution —
+so parallel runs are byte-identical to sequential ones.
+
 Run it as ``kondo check src/repro`` or ``python -m repro.analysis``;
 the rule catalog lives in :mod:`repro.analysis.rules`.
 """
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph, ConcurrencyContext
 from repro.analysis.engine import CheckResult, main, run_check
 from repro.analysis.imports import ImportEdge, ImportGraph
+from repro.analysis.locks import FileConcurrency, FuncSummary
 from repro.analysis.model import Finding, Severity
 from repro.analysis.project import Project, ProjectFile
 from repro.analysis.rulebase import Rule, all_rules, register
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "CheckResult",
+    "ConcurrencyContext",
+    "FileConcurrency",
     "Finding",
+    "FuncSummary",
     "ImportEdge",
     "ImportGraph",
     "Project",

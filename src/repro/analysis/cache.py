@@ -1,0 +1,70 @@
+"""Content-addressed per-file analysis cache under ``.kondo-cache/``.
+
+Each entry stores one pickled :class:`~repro.analysis.project.ProjectFile`
+— parse tree, suppression table, and concurrency summary — keyed by the
+SHA-256 of the file's *path and content* plus the cache format version
+and the interpreter's major.minor (pickled ASTs are not portable across
+Python versions).  Invalidation is automatic by construction: any edit
+changes the content hash, so the stale entry is simply never read again.
+A second ``kondo check`` over an unchanged tree (CI runs the blocking
+pass and the SARIF pass back to back) skips every parse.
+
+Corrupt, truncated, or version-skewed entries are treated as misses —
+the cache can be deleted (or disabled with ``--no-cache``) at any time
+without changing any result.  Writes go through
+:func:`repro.ioutil.atomic_write`, so a crashed run never leaves a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from typing import Optional
+
+from repro.ioutil import atomic_write
+
+#: Bump when the pickled payload shape changes (ProjectFile fields,
+#: FileConcurrency schema, ...) so stale caches self-invalidate.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".kondo-cache"
+
+
+def cache_key(path: str, source: str) -> str:
+    """Stable entry key for one (path, content) pair."""
+    h = hashlib.sha256()
+    h.update(f"kondo-cache|{CACHE_VERSION}|py{sys.version_info[0]}."
+             f"{sys.version_info[1]}|".encode("utf-8"))
+    h.update(path.encode("utf-8", "replace"))
+    h.update(b"\x00")
+    h.update(source.encode("utf-8", "replace"))
+    return h.hexdigest()
+
+
+def _entry_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"{key}.pkl")
+
+
+def load(cache_dir: str, key: str):
+    """The cached payload for ``key``, or ``None`` on any kind of miss."""
+    try:
+        with open(_entry_path(cache_dir, key), "rb") as fh:
+            return pickle.load(fh)
+    # kondo: allow[KND003] a corrupt/skewed cache entry is not a fault
+    # to classify — the contract is "any bad entry is a miss", and the
+    # caller falls back to a fresh parse with identical results
+    except Exception:  # noqa: BLE001
+        return None
+
+
+def store(cache_dir: str, key: str, payload) -> None:
+    """Persist ``payload`` for ``key``; failures never fail the check."""
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        with atomic_write(_entry_path(cache_dir, key), "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    except OSError:
+        pass  # a read-only or full disk degrades to cacheless operation

@@ -1,8 +1,20 @@
-"""The check runner: load -> run rules -> suppress -> baseline -> report.
+"""The check runner: load -> summarize -> run rules -> suppress -> report.
+
+The run is two-phase.  **Phase 1** (parallelizable, cacheable) parses
+every file and computes its per-file concurrency summary — with
+``--jobs N`` this fans out over a process pool, and with the
+``.kondo-cache`` enabled unchanged files skip the parse entirely.
+**Phase 2** (always sequential, always deterministic) links the
+interprocedural context on demand and runs the rules; because phase 1's
+results are order-normalized before phase 2 starts, ``--jobs 4`` output
+is byte-identical to a sequential run.
 
 Exit codes: 0 clean (every finding suppressed or baselined), 1 when new
-findings remain, 2 on usage errors.  ``kondo check`` and ``python -m
-repro.analysis`` are two doors into :func:`main`.
+findings remain, 2 when the analyzer itself fails (usage errors, an
+unreadable baseline, an internal crash).  A *rule* raising is not an
+analyzer failure: it becomes a KND000 internal-error finding and the run
+continues.  ``kondo check`` and ``python -m repro.analysis`` are two
+doors into :func:`main`.
 """
 
 from __future__ import annotations
@@ -12,11 +24,13 @@ import dataclasses
 import os
 import sys
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
-from repro.analysis.model import Finding
-from repro.analysis.project import Project
+from repro.analysis.cache import DEFAULT_CACHE_DIR
+from repro.analysis.model import FRAMEWORK_RULE_ID, Finding, Severity
+from repro.analysis.project import Project, discover_sources, load_file
 from repro.analysis.report import render_json, render_sarif, render_text
 from repro.analysis.rulebase import Rule, all_rules
 from repro.ioutil import atomic_write
@@ -37,28 +51,89 @@ class CheckResult:
         return 1 if self.new else 0
 
 
+def _load_project(paths: Sequence[str], jobs: int,
+                  cache_dir: Optional[str]) -> Project:
+    """Phase 1: parse + summarize every file, optionally in parallel."""
+    sources = discover_sources(paths)
+    loader = partial(load_file, cache_dir=cache_dir)
+    if jobs > 1 and len(sources) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        chunk = max(1, len(sources) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # ``map`` preserves input order, so assembly — and therefore
+            # every downstream report byte — matches the sequential run.
+            results = list(pool.map(loader, sources, chunksize=chunk))
+    else:
+        results = [loader(p) for p in sources]
+    return Project.assemble(results)
+
+
+def _crash_finding(rule: Rule, path: str, module: str,
+                   exc: Exception) -> Finding:
+    return Finding(
+        rule_id=FRAMEWORK_RULE_ID,
+        message=(f"rule {rule.rule_id} ({rule.name}) crashed: "
+                 f"{type(exc).__name__}: {exc} — results for this rule "
+                 f"may be incomplete"),
+        path=path, module=module, line=1,
+        severity=Severity.ERROR,
+    )
+
+
 def run_check(paths: Sequence[str],
               select: Optional[Sequence[str]] = None,
-              baseline: Optional[Baseline] = None) -> CheckResult:
+              baseline: Optional[Baseline] = None,
+              jobs: int = 1,
+              cache_dir: Optional[str] = None) -> CheckResult:
     """Run the selected rules over ``paths`` (no reporting/IO)."""
-    project = Project.load(paths)
+    project = _load_project(paths, jobs=jobs, cache_dir=cache_dir)
     rules = all_rules()
     if select:
         wanted = {s.upper() for s in select}
         rules = [r for r in rules if r.rule_id in wanted]
     findings: List[Finding] = list(project.load_findings)
     suppressed: List[Finding] = []
+
+    def admit(pf, f: Finding) -> None:
+        sup = pf.suppressions.match(f.rule_id, f.line)
+        if sup is not None:
+            suppressed.append(dataclasses.replace(
+                f, suppression_reason=sup.reason))
+        else:
+            findings.append(f)
+
     for pf in project.files:
         findings.extend(pf.suppressions.malformed_findings(
             pf.path, pf.module, pf.lines))
         for rule in rules:
-            for f in rule.check(pf, project):
-                sup = pf.suppressions.match(f.rule_id, f.line)
-                if sup is not None:
-                    suppressed.append(dataclasses.replace(
-                        f, suppression_reason=sup.reason))
-                else:
-                    findings.append(f)
+            try:
+                produced = list(rule.check(pf, project))
+            # kondo: allow[KND003] a crashing rule is converted into a
+            # visible KND000 finding on the file (exit 1), per the
+            # exit-code contract; aborting the run would hide every
+            # other rule's findings behind one rule bug
+            except Exception as exc:  # noqa: BLE001
+                findings.append(_crash_finding(rule, pf.path, pf.module,
+                                               exc))
+                continue
+            for f in produced:
+                admit(pf, f)
+    by_path = {pf.path: pf for pf in project.files}
+    for rule in rules:
+        try:
+            produced = list(rule.check_project(project))
+        # kondo: allow[KND003] same contract as the per-file pass: the
+        # crash surfaces as a KND000 finding instead of killing the run
+        except Exception as exc:  # noqa: BLE001
+            findings.append(_crash_finding(rule, "<project>", "<project>",
+                                           exc))
+            continue
+        for f in produced:
+            pf = by_path.get(f.path)
+            if pf is not None:
+                admit(pf, f)
+            else:
+                findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     if baseline is not None:
         new, old = baseline.split(findings)
@@ -91,6 +166,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "(e.g. KND001,KND004)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse/summarize files with N worker "
+                             "processes (output is byte-identical to "
+                             "--jobs 1; default 1)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="per-file analysis cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-file analysis cache")
 
 
 def build_arg_parser(prog: str = "kondo check"
@@ -119,7 +203,12 @@ def main(argv: Optional[Sequence[str]] = None,
 
 
 def run_from_args(args: argparse.Namespace) -> int:
-    """Execute a check described by parsed arguments; returns exit code."""
+    """Execute a check described by parsed arguments; returns exit code.
+
+    The exit-code contract: 0 clean, 1 findings (including a rule crash
+    surfaced as KND000), 2 analyzer failure (usage error, bad baseline,
+    internal crash).
+    """
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.name:18s} "
@@ -129,13 +218,27 @@ def run_from_args(args: argparse.Namespace) -> int:
         if not os.path.exists(p):
             print(f"error: no such path: {p}", file=sys.stderr)
             return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
     try:
         baseline, baseline_path = _resolve_baseline(args)
     except (ValueError, OSError) as exc:
         print(f"error: bad baseline: {exc}", file=sys.stderr)
         return 2
     select = (args.select.split(",") if args.select else None)
-    result = run_check(args.paths, select=select, baseline=baseline)
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        result = run_check(args.paths, select=select, baseline=baseline,
+                           jobs=args.jobs, cache_dir=cache_dir)
+    # kondo: allow[KND003] the CLI boundary: an internal analyzer crash
+    # must exit 2 (distinct from "findings" = 1) with a diagnostic, not
+    # a bare traceback — the failure is reported, not swallowed
+    except Exception as exc:  # noqa: BLE001
+        print(f"error: internal analyzer failure: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
     if args.write_baseline:
         target = args.baseline or baseline_path or DEFAULT_BASELINE
         Baseline.from_findings(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class Severity(Enum):
@@ -53,6 +53,11 @@ class Finding:
             per-finding).
         snippet: the stripped source line, used for fingerprinting and
             human context in reports.
+        witness: optional interprocedural evidence chain (call hops and
+            ``path:line`` sites) attached by the flow-aware concurrency
+            rules; purely informational — never part of the fingerprint,
+            so a refactor that reroutes the chain does not churn the
+            baseline.
     """
 
     rule_id: str
@@ -64,6 +69,7 @@ class Finding:
     severity: Severity = Severity.ERROR
     snippet: str = ""
     suppression_reason: Optional[str] = field(default=None, compare=False)
+    witness: Tuple[str, ...] = field(default=(), compare=False)
 
     def fingerprint(self) -> str:
         """Line-number-independent identity used by the baseline file."""

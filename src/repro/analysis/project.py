@@ -6,6 +6,16 @@ through every directory that contains an ``__init__.py``; the dotted path
 from the topmost package directory is the module name.  That makes the
 same loader work for ``src/repro`` and for the throwaway fixture trees
 the test suite builds under ``tmp_path``.
+
+Loading is split into picklable top-level pieces —
+:func:`discover_sources` and :func:`load_file` — so the engine's
+``--jobs`` process pool can parse and summarize files in parallel, and
+so the content-addressed ``.kondo-cache`` can persist one file's parse
+(:mod:`repro.analysis.cache`) independently of the rest of the project.
+``load_file`` also precomputes the file's concurrency summary
+(:func:`repro.analysis.locks.collect_file`): it rides along in the
+pickle, which is what makes the two-phase run — summaries in workers,
+interprocedural analysis and rules in the parent — add up.
 """
 
 from __future__ import annotations
@@ -13,10 +23,14 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.model import FRAMEWORK_RULE_ID, Finding, Severity
 from repro.analysis.suppress import SuppressionTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.callgraph import ConcurrencyContext
+    from repro.analysis.locks import FileConcurrency
 
 
 def infer_module(path: str) -> str:
@@ -42,6 +56,10 @@ class ProjectFile:
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
     suppressions: Optional[SuppressionTable] = None
+    #: Concurrency summary, precomputed by :func:`load_file` (and thus
+    #: by pool workers / the cache); ``build_context`` fills it lazily
+    #: for files constructed some other way.
+    summary: Optional["FileConcurrency"] = None
     #: child AST node -> parent, filled lazily by :meth:`parents`.
     _parents: Optional[Dict[int, ast.AST]] = None
 
@@ -71,54 +89,105 @@ class ProjectFile:
         )
 
 
+def discover_sources(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files or dirs), sorted walk."""
+    sources: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                sources.extend(
+                    os.path.join(root, n)
+                    for n in sorted(names) if n.endswith(".py")
+                )
+        elif p.endswith(".py"):
+            sources.append(p)
+    return sources
+
+
+def load_file(path: str,
+              cache_dir: Optional[str] = None
+              ) -> Union[ProjectFile, Finding]:
+    """Parse (or cache-restore) one source file.
+
+    Returns the parsed :class:`ProjectFile` — suppression table and
+    concurrency summary included — or a KND000 :class:`Finding` when the
+    file does not parse.  Top-level and argument-picklable on purpose:
+    this is the unit of work the ``--jobs`` process pool ships around.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    if cache_dir is not None:
+        from repro.analysis import cache
+        key = cache.cache_key(path, source)
+        hit = cache.load(cache_dir, key)
+        if hit is not None:
+            return hit
+    module = infer_module(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            rule_id=FRAMEWORK_RULE_ID,
+            message=f"could not parse: {exc.msg}",
+            path=path, module=module,
+            line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            severity=Severity.ERROR,
+        )
+    from repro.analysis.locks import collect_file
+    lines = source.splitlines()
+    pf = ProjectFile(path=path, module=module, source=source,
+                     tree=tree, lines=lines)
+    pf.suppressions = SuppressionTable.scan(lines)
+    pf.summary = collect_file(path, module, tree)
+    if cache_dir is not None:
+        from repro.analysis import cache
+        cache.store(cache_dir, key, pf)
+    return pf
+
+
 @dataclass
 class Project:
     """Every parsed file plus the findings produced while loading."""
 
     files: List[ProjectFile]
     load_findings: List[Finding]
+    _concurrency: Optional["ConcurrencyContext"] = None
 
     @property
     def modules(self) -> Dict[str, ProjectFile]:
         return {pf.module: pf for pf in self.files}
 
+    def concurrency(self) -> "ConcurrencyContext":
+        """The interprocedural call-graph/lockset context, built once.
+
+        Rules that need whole-program flow (KND011–KND013) call this;
+        per-file rules never pay for it.
+        """
+        if self._concurrency is None:
+            from repro.analysis.callgraph import build_context
+            self._concurrency = build_context(self.files)
+        return self._concurrency
+
     @classmethod
-    def load(cls, paths: Sequence[str]) -> "Project":
-        """Parse every ``.py`` file under ``paths`` (files or dirs)."""
-        sources: List[str] = []
-        for p in paths:
-            if os.path.isdir(p):
-                for root, dirs, names in os.walk(p):
-                    dirs[:] = sorted(
-                        d for d in dirs
-                        if d != "__pycache__" and not d.startswith(".")
-                    )
-                    sources.extend(
-                        os.path.join(root, n)
-                        for n in sorted(names) if n.endswith(".py")
-                    )
-            elif p.endswith(".py"):
-                sources.append(p)
+    def assemble(cls, results: Sequence[Union[ProjectFile, Finding]]
+                 ) -> "Project":
+        """Fold per-file load results (in input order) into a project."""
         files: List[ProjectFile] = []
         load_findings: List[Finding] = []
-        for path in sources:
-            with open(path, "r", encoding="utf-8") as fh:
-                source = fh.read()
-            module = infer_module(path)
-            try:
-                tree = ast.parse(source, filename=path)
-            except SyntaxError as exc:
-                load_findings.append(Finding(
-                    rule_id=FRAMEWORK_RULE_ID,
-                    message=f"could not parse: {exc.msg}",
-                    path=path, module=module,
-                    line=exc.lineno or 1, col=(exc.offset or 0) + 1,
-                    severity=Severity.ERROR,
-                ))
-                continue
-            lines = source.splitlines()
-            pf = ProjectFile(path=path, module=module, source=source,
-                             tree=tree, lines=lines)
-            pf.suppressions = SuppressionTable.scan(lines)
-            files.append(pf)
+        for item in results:
+            if isinstance(item, Finding):
+                load_findings.append(item)
+            else:
+                files.append(item)
         return cls(files=files, load_findings=load_findings)
+
+    @classmethod
+    def load(cls, paths: Sequence[str],
+             cache_dir: Optional[str] = None) -> "Project":
+        """Parse every ``.py`` file under ``paths`` (files or dirs)."""
+        return cls.assemble([load_file(p, cache_dir=cache_dir)
+                             for p in discover_sources(paths)])

@@ -30,6 +30,8 @@ def render_text(new: List[Finding], grandfathered: List[Finding],
         parts.append(f.format())
         if f.snippet:
             parts.append(f"    {f.snippet}")
+        for hop in f.witness:
+            parts.append(f"      via {hop}")
     by_sev = Counter(f.severity.value for f in new)
     sev_text = ", ".join(
         f"{by_sev[s]} {s}" for s in ("error", "warning", "note")
@@ -55,6 +57,7 @@ def render_json(new: List[Finding],
             "col": f.col,
             "message": f.message,
             "snippet": f.snippet,
+            "witness": list(f.witness),
             "fingerprint": f.fingerprint(),
         }
     return json.dumps({
@@ -74,7 +77,9 @@ def render_sarif(new: List[Finding], rules: Sequence[Rule]) -> str:
     results = [{
         "ruleId": f.rule_id,
         "level": f.severity.sarif_level,
-        "message": {"text": f.message},
+        "message": {"text": f.message if not f.witness else
+                    f.message + "\nwitness: "
+                    + " -> ".join(f.witness)},
         "partialFingerprints": {"kondoFingerprint/v1": f.fingerprint()},
         "locations": [{
             "physicalLocation": {

@@ -6,6 +6,21 @@ register themselves with :func:`register` at import time; the engine runs
 every registered (and selected) rule over every scanned file.  Adding a
 rule is: write the class in ``repro/analysis/rules/``, decorate it,
 import the module from ``rules/__init__``, add a fixture-pair test.
+
+Rules can also request **project-level context**:
+
+* ``project.concurrency()`` inside ``check`` hands a rule the
+  interprocedural call-graph/lockset context
+  (:mod:`repro.analysis.callgraph`), built once per run and shared;
+* overriding :meth:`Rule.check_project` lets a rule emit findings that
+  belong to the whole project rather than any single file — the engine
+  calls it exactly once, after the per-file pass, and still routes the
+  findings through inline suppressions and the baseline.
+
+A rule that raises does not abort the run: the engine converts the crash
+into a KND000 internal-error finding on the offending file (or project)
+and keeps going — the exit-code contract reserves ``2`` for the analyzer
+itself failing, not for a rule bug.
 """
 
 from __future__ import annotations
@@ -30,6 +45,10 @@ class Rule:
     def check(self, pf: ProjectFile, project: Project
               ) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Project-wide findings, emitted once per run (default: none)."""
+        return iter(())
 
     def finding(self, pf: ProjectFile, node, message: str) -> Finding:
         return pf.finding(self.rule_id, message, node,

@@ -25,6 +25,13 @@ Rule IDs are stable and append-only:
 * ``KND010`` bounded-service — ``repro.service`` queues carry a
   ``maxsize`` and its ``get``/``accept``/``recv`` calls carry a
   timeout (directly or via ``settimeout`` in the same function).
+* ``KND011`` lock-order — the project-wide acquired-while-holding
+  graph stays acyclic (potential-deadlock detection, interprocedural).
+* ``KND012`` blocking-under-lock — no fsync/recv/subprocess/sleep/
+  journal-append reachable while an ``audit``/``service``/
+  ``resilience`` lock is held.
+* ``KND013`` fork-safety — ``os.fork`` is never reachable with a lock
+  held, and no thread is created before a fork in one function body.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -39,17 +46,25 @@ from repro.analysis.rules.knd007_durable_writes import DurableWritesRule
 from repro.analysis.rules.knd008_bounded_waits import BoundedWaitsRule
 from repro.analysis.rules.knd009_vectorized_audit import VectorizedAuditRule
 from repro.analysis.rules.knd010_bounded_service import BoundedServiceRule
+from repro.analysis.rules.knd011_lock_order import LockOrderRule
+from repro.analysis.rules.knd012_blocking_under_lock import (
+    BlockingUnderLockRule,
+)
+from repro.analysis.rules.knd013_fork_safety import ForkSafetyRule
 
 __all__ = [
     "LAYERS",
     "AtomicWriteRule",
+    "BlockingUnderLockRule",
     "BoundedServiceRule",
     "BoundedWaitsRule",
     "DeterminismRule",
     "DurableWritesRule",
     "ErrorTaxonomyRule",
     "ExecutorPurityRule",
+    "ForkSafetyRule",
     "LayeringRule",
+    "LockOrderRule",
     "ResourceHygieneRule",
     "VectorizedAuditRule",
 ]

@@ -1,0 +1,64 @@
+"""KND011 — the project-wide lock-order graph must stay acyclic.
+
+Every lock acquisition observed while another lock is held — directly
+(``with a: with b:``) or through any chain of resolved calls (``with a:``
+then a call whose callee eventually takes ``b``) — contributes an edge
+``a -> b`` to one global lock-order graph (built by
+:mod:`repro.analysis.callgraph`).  A cycle in that graph means two code
+paths can take the same locks in opposite orders, which is the classic
+recipe for a deadlock that only fires under load: each thread holds one
+lock of the cycle and waits forever for the next.
+
+The rule is project-level, not per-file — the two halves of a deadlock
+are usually in different modules, and neither file looks wrong on its
+own.  Each cycle is reported once, anchored at its first witness site,
+with one witness line per edge so the report names *both* paths (the
+``a -> b`` acquisition and the ``b -> a`` one) rather than making the
+reader reconstruct half the cycle.  Lock identity is the qualified
+attribute path (``module:Class.attr``); see :mod:`repro.analysis.locks`
+for the abstraction and its documented conservatisms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+
+
+@register
+class LockOrderRule(Rule):
+    rule_id = "KND011"
+    name = "lock-order"
+    severity = Severity.ERROR
+    summary = ("lock acquisitions must follow one global order — a cycle "
+               "in the acquired-while-holding graph is a potential "
+               "deadlock")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        return iter(())  # project-level rule; see check_project
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        ctx = project.concurrency()
+        by_path = {pf.path: pf for pf in project.files}
+        for cycle in ctx.lock_cycles():
+            edges = list(zip(cycle, cycle[1:]))
+            witnesses = [(a, b, ctx.edge_witness(a, b)) for a, b in edges]
+            anchor = witnesses[0][2]
+            pf = by_path.get(anchor.path)
+            snippet = pf.line(anchor.lineno) if pf is not None else ""
+            yield Finding(
+                rule_id=self.rule_id,
+                message=(f"lock-order cycle {' -> '.join(cycle)}: these "
+                         f"locks are taken in opposite orders on "
+                         f"different paths, so two threads can deadlock "
+                         f"holding one each"),
+                path=anchor.path, module=anchor.func.split(":", 1)[0],
+                line=anchor.lineno, col=1,
+                severity=self.severity, snippet=snippet,
+                witness=tuple(w.describe(a, b) for a, b, w in witnesses),
+            )

@@ -1,0 +1,91 @@
+"""KND012 — no blocking operation is reachable while a lock is held.
+
+In the audit, service, and resilience layers a lock protects shared
+in-memory state that other threads — capture hot paths, the daemon's
+lease loop, watchdog timers — need at high frequency.  Blocking while
+holding one (an ``fsync``, a socket ``recv``, a ``subprocess`` spawn, a
+``sleep``, a durability-journal append) turns a microsecond critical
+section into a disk- or network-scale stall for every waiter, and is how
+"the daemon briefly paused" becomes "every worker missed its lease".
+
+The check is **interprocedural**: the per-function summaries of
+:mod:`repro.analysis.locks` record which locks are held at every call
+site, and the fixpoint of :mod:`repro.analysis.callgraph` knows which
+blocking primitives each callee can reach — so ``with self._lock:
+self._flush()`` is flagged when ``_flush`` (or anything it calls) ends
+in ``os.fsync``.  Findings carry the witness chain from the call site to
+the primitive.  Unknown callees contribute nothing (the documented
+conservative choice), so a finding here always has a concrete chain to a
+known blocking site.
+
+Some sites block under a lock *by design* — the job store's journal
+append intentionally serializes durability with state mutation so a
+reader can never observe un-journaled state.  Those carry inline
+``kondo: allow`` suppressions whose reasons document the invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+
+#: Packages whose locks must never be held across a blocking operation.
+SCOPED_PACKAGES = ("repro.audit", "repro.service", "repro.resilience")
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in SCOPED_PACKAGES)
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    rule_id = "KND012"
+    name = "blocking-under-lock"
+    severity = Severity.ERROR
+    summary = ("no fsync/recv/subprocess/sleep/journal-append may be "
+               "reachable while an audit/service/resilience lock is held")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        if not _in_scope(pf.module):
+            return
+        ctx = project.concurrency()
+        for fn in ctx.functions_in(pf.path):
+            direct_lines = set()
+            for b in fn.blocking:
+                if not b.held:
+                    continue
+                direct_lines.add(b.lineno)
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"{b.op} ({b.call}) while holding "
+                             f"{', '.join(b.held)}: every waiter stalls "
+                             f"for the full blocking operation"),
+                    path=pf.path, module=pf.module,
+                    line=b.lineno, col=b.col + 1,
+                    severity=self.severity, snippet=pf.line(b.lineno),
+                )
+            for call in ctx.resolved_calls(fn.qualname):
+                rec = call.rec
+                if not rec.held or rec.lineno in direct_lines:
+                    # direct_lines: a qualified blocking call is both a
+                    # direct site and a resolvable callee — report once.
+                    continue
+                blocked = ctx.blocking.get(call.callee)
+                if not blocked:
+                    continue
+                kind = min(blocked)
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"call to {call.callee} reaches {kind} "
+                             f"while holding {', '.join(rec.held)}"),
+                    path=pf.path, module=pf.module,
+                    line=rec.lineno, col=rec.col + 1,
+                    severity=self.severity, snippet=pf.line(rec.lineno),
+                    witness=(call.callee,) + blocked[kind],
+                )

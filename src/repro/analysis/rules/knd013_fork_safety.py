@@ -1,0 +1,88 @@
+"""KND013 — fork sites must be lock-free and thread-free.
+
+``os.fork`` clones exactly one thread but the *whole* address space —
+including every mutex, in whatever state it happens to be.  Two concrete
+hazards follow, both invisible until the child wedges in production:
+
+* **fork while holding a lock** — the child inherits the locked mutex
+  with no thread to ever release it; its next acquisition deadlocks.
+  The supervised-execution layer forks workers on purpose
+  (:mod:`repro.resilience.supervision`), which is exactly why its fork
+  sites must be provably lock-free — checked interprocedurally, so a
+  call that *reaches* a fork while a lock is held is flagged at the
+  call site with the witness chain.
+* **thread creation before fork in the same function** — any thread
+  alive at fork time may hold arbitrary library locks (logging, malloc
+  arenas) at the instant of the snapshot; the combination is undefined
+  behavior by POSIX and a classic source of rare child hangs.  The
+  intra-function ordering check catches the pattern where one function
+  both spawns threads and then forks.
+
+Lock knowledge comes from the same analyzer tables as KND011/KND012, so
+"any analyzer-known lock" means registered lock objects and lock-named
+attributes; see :mod:`repro.analysis.locks`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+
+
+@register
+class ForkSafetyRule(Rule):
+    rule_id = "KND013"
+    name = "fork-safety"
+    severity = Severity.ERROR
+    summary = ("os.fork must not be reachable while a lock is held, and "
+               "no thread may be created before a fork in one function")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        ctx = project.concurrency()
+        for fn in ctx.functions_in(pf.path):
+            first_thread = min((t.lineno for t in fn.threads),
+                               default=None)
+            for f in fn.forks:
+                if f.held:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(f"{f.call}() while holding "
+                                 f"{', '.join(f.held)}: the child "
+                                 f"inherits the locked mutex with no "
+                                 f"thread left to release it"),
+                        path=pf.path, module=pf.module,
+                        line=f.lineno, col=f.col + 1,
+                        severity=self.severity,
+                        snippet=pf.line(f.lineno),
+                    )
+                if first_thread is not None and f.lineno > first_thread:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(f"{f.call}() after creating a thread at "
+                                 f"line {first_thread}: a live thread at "
+                                 f"fork time may hold arbitrary library "
+                                 f"locks in the child's snapshot"),
+                        path=pf.path, module=pf.module,
+                        line=f.lineno, col=f.col + 1,
+                        severity=self.severity,
+                        snippet=pf.line(f.lineno),
+                    )
+            for call in ctx.resolved_calls(fn.qualname):
+                rec = call.rec
+                chain = ctx.fork.get(call.callee)
+                if chain is None or not rec.held:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"call to {call.callee} reaches os.fork "
+                             f"while holding {', '.join(rec.held)}"),
+                    path=pf.path, module=pf.module,
+                    line=rec.lineno, col=rec.col + 1,
+                    severity=self.severity, snippet=pf.line(rec.lineno),
+                    witness=(call.callee,) + chain,
+                )

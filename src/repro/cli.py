@@ -20,8 +20,12 @@ Subcommands:
 * ``kondo check`` — static AST invariant linter: replay determinism,
   atomic writes, error taxonomy, layering, executor purity, resource
   hygiene, durable writes, bounded waits, vectorized audit hot paths,
-  bounded service-layer queue/socket operations (rules KND001–KND010;
-  see ``kondo check --list-rules``).
+  bounded service-layer queue/socket operations, plus the
+  interprocedural concurrency rules — lock-order cycles, blocking
+  under a lock, fork safety (rules KND001–KND013; see ``kondo check
+  --list-rules``).  Parallel parse with ``--jobs N`` and an automatic
+  content-addressed cache under ``.kondo-cache/``; exits 0 clean, 1 on
+  findings, 2 on analyzer failure.
 * ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
   every payload span, extent-directory consistency, journal state.
   Exit 0 clean / 1 localized span damage / 2 structural damage.
@@ -626,7 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND010)")
+                       help="static AST invariant linter (KND001-KND013)")
     add_check_arguments(p)
 
     return parser

@@ -1,0 +1,148 @@
+"""Call-graph resolution units and the fixpoint's order-independence."""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.callgraph import build_context_from_trees
+
+
+def ctx_from(sources):
+    """Context from ``{(path, module): source}``."""
+    return build_context_from_trees(
+        [(path, module, ast.parse(src))
+         for (path, module), src in sources.items()])
+
+
+class TestResolution:
+    def test_self_call_resolves_to_method_not_module_function(self):
+        # Both a module-level ``sync`` and a method ``sync`` exist; the
+        # receiver decides which one the call edge lands on.
+        ctx = ctx_from({
+            ("pkg/a.py", "pkg.a"): (
+                "import os\n\n\n"
+                "def sync(fd):\n"
+                "    pass\n\n\n"
+                "class Writer:\n"
+                "    def flush(self, fd):\n"
+                "        self.sync(fd)\n\n"
+                "    def sync(self, fd):\n"
+                "        os.fsync(fd)\n\n\n"
+                "def drain(fd):\n"
+                "    sync(fd)\n"
+            ),
+        })
+        method_call = ctx.resolved_calls("pkg.a:Writer.flush")
+        assert [c.callee for c in method_call] == ["pkg.a:Writer.sync"]
+        module_call = ctx.resolved_calls("pkg.a:drain")
+        assert [c.callee for c in module_call] == ["pkg.a:sync"]
+        # Effects follow the right edge: only the method blocks.
+        assert "fsync" in ctx.blocking["pkg.a:Writer.flush"]
+        assert ctx.blocking["pkg.a:drain"] == {}
+
+    def test_qualified_call_resolves_across_modules(self):
+        ctx = ctx_from({
+            ("pkg/a.py", "pkg.a"): (
+                "from pkg import b\n\n\n"
+                "def top():\n"
+                "    b.mid()\n"
+            ),
+            ("pkg/b.py", "pkg.b"): (
+                "import os\n\n\n"
+                "def mid():\n"
+                "    os.fork()\n"
+            ),
+        })
+        assert [c.callee for c in ctx.resolved_calls("pkg.a:top")] \
+            == ["pkg.b:mid"]
+        # Fork reachability propagates through the resolved edge, with
+        # the witness chain ending at the primitive's site.
+        chain = ctx.fork["pkg.a:top"]
+        assert chain is not None
+        assert chain[0] == "pkg.b:mid"
+        assert "os.fork()" in chain[-1]
+
+    def test_base_class_method_resolution(self):
+        ctx = ctx_from({
+            ("pkg/a.py", "pkg.a"): (
+                "import os\n\n\n"
+                "class Base:\n"
+                "    def sync(self, fd):\n"
+                "        os.fsync(fd)\n\n\n"
+                "class Child(Base):\n"
+                "    def flush(self, fd):\n"
+                "        self.sync(fd)\n"
+            ),
+        })
+        assert [c.callee for c in ctx.resolved_calls("pkg.a:Child.flush")] \
+            == ["pkg.a:Base.sync"]
+
+    def test_unknown_callee_contributes_nothing(self):
+        # ``handle.sync()`` could block for all we know, but the
+        # receiver is opaque: conservatively it adds no effects, so the
+        # rules never report a finding without a concrete witness.
+        ctx = ctx_from({
+            ("pkg/a.py", "pkg.a"): (
+                "import threading\n\n"
+                "gate = threading.Lock()\n\n\n"
+                "def process(handle):\n"
+                "    with gate:\n"
+                "        handle.sync()\n"
+            ),
+        })
+        assert ctx.resolved_calls("pkg.a:process") == []
+        assert ctx.blocking["pkg.a:process"] == {}
+        assert ctx.fork["pkg.a:process"] is None
+        # The direct acquisition is still seen.
+        assert "pkg.a:gate" in ctx.may_acquire["pkg.a:process"]
+
+
+#: A three-hop project: a -> b -> c with locks at both ends, so the
+#: fixpoint has real interprocedural work to do in every ordering.
+CHAIN_SOURCES = {
+    ("pkg/a.py", "pkg.a"): (
+        "import threading\n"
+        "from pkg import b\n\n"
+        "la = threading.Lock()\n\n\n"
+        "def outer():\n"
+        "    with la:\n"
+        "        b.mid()\n"
+    ),
+    ("pkg/b.py", "pkg.b"): (
+        "from pkg import c\n\n\n"
+        "def mid():\n"
+        "    c.inner()\n"
+    ),
+    ("pkg/c.py", "pkg.c"): (
+        "import os\n"
+        "import threading\n\n"
+        "lc = threading.Lock()\n\n\n"
+        "def inner():\n"
+        "    with lc:\n"
+        "        pass\n"
+        "    os.fsync(0)\n"
+    ),
+}
+
+
+def fingerprint(ctx):
+    return (ctx.may_acquire, ctx.blocking, ctx.fork,
+            dict(ctx.lock_edges))
+
+
+class TestFixpointOrderIndependence:
+    def test_chain_effects_propagate(self):
+        ctx = ctx_from(CHAIN_SOURCES)
+        assert "pkg.c:lc" in ctx.may_acquire["pkg.a:outer"]
+        assert "fsync" in ctx.blocking["pkg.a:outer"]
+        assert ("pkg.a:la", "pkg.c:lc") in ctx.lock_edges
+
+    @settings(max_examples=30, deadline=None)
+    @given(order=st.permutations(sorted(CHAIN_SOURCES)))
+    def test_shuffled_module_order_is_identical(self, order):
+        entries = [(path, module, ast.parse(CHAIN_SOURCES[(path, module)]))
+                   for path, module in order]
+        shuffled = build_context_from_trees(entries)
+        reference = ctx_from(CHAIN_SOURCES)
+        assert fingerprint(shuffled) == fingerprint(reference)

@@ -433,3 +433,166 @@ class TestKND010BoundedService:
             ),
         }, select=["KND010"])
         assert findings == []
+
+
+class TestKND011LockOrder:
+    def test_interprocedural_ab_ba_cycle_fires(self, tmp_path):
+        # The acceptance fixture: the two halves of the deadlock are in
+        # different functions and each takes the second lock through a
+        # call, so only the interprocedural lock-order graph sees it.
+        findings = check_tree(tmp_path, {
+            "repro/audit/ab.py": (
+                "import threading\n\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n\n\n"
+                "def forward():\n"
+                "    with a:\n"
+                "        take_b()\n\n\n"
+                "def take_b():\n"
+                "    with b:\n"
+                "        pass\n\n\n"
+                "def backward():\n"
+                "    with b:\n"
+                "        take_a()\n\n\n"
+                "def take_a():\n"
+                "    with a:\n"
+                "        pass\n"
+            ),
+        }, select=["KND011"])
+        assert rule_ids(findings) == ["KND011"]
+        f = findings[0]
+        assert "lock-order cycle" in f.message
+        assert "repro.audit.ab:a" in f.message
+        assert "repro.audit.ab:b" in f.message
+        # One witness line per edge: both paths are named.
+        assert len(f.witness) == 2
+        joined = " ".join(f.witness)
+        assert "forward" in joined and "backward" in joined
+
+    def test_consistent_order_and_reentry_are_clean(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/ordered.py": (
+                "import threading\n\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n\n\n"
+                "def one():\n"
+                "    with a:\n"
+                "        with b:\n"
+                "            pass\n\n\n"
+                "def two():\n"
+                "    with a:\n"
+                "        grab_b()\n\n\n"
+                "def grab_b():\n"
+                "    with b:\n"
+                "        pass\n"
+            ),
+        }, select=["KND011"])
+        assert findings == []
+
+
+class TestKND012BlockingUnderLock:
+    def test_direct_and_interprocedural_blocking_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/buf.py": (
+                "import os\n"
+                "import threading\n\n\n"
+                "class Buf:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n\n"
+                "    def flush_direct(self, fd):\n"
+                "        with self._lock:\n"
+                "            os.fsync(fd)\n\n"
+                "    def flush_via_call(self, fd):\n"
+                "        with self._lock:\n"
+                "            self._sync(fd)\n\n"
+                "    def _sync(self, fd):\n"
+                "        os.fsync(fd)\n"
+            ),
+        }, select=["KND012"])
+        assert rule_ids(findings) == ["KND012", "KND012"]
+        direct, via = findings
+        assert "fsync" in direct.message
+        assert "repro.audit.buf:Buf._lock" in direct.message
+        # The interprocedural finding carries the chain to the primitive.
+        assert "repro.audit.buf:Buf._sync" in via.message
+        assert any("os.fsync" in hop for hop in via.witness)
+
+    def test_blocking_outside_lock_and_out_of_scope_are_clean(
+            self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/audit/ok.py": (
+                "import os\n"
+                "import threading\n\n\n"
+                "class Buf:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.dirty = []\n\n"
+                "    def flush(self, fd):\n"
+                "        with self._lock:\n"
+                "            batch = list(self.dirty)\n"
+                "        os.fsync(fd)\n"
+                "        return batch\n"
+            ),
+            # Same pattern outside audit/service/resilience: not this
+            # rule's contract.
+            "repro/fuzzing/meh.py": (
+                "import os\n"
+                "import threading\n\n"
+                "gate = threading.Lock()\n\n\n"
+                "def flush(fd):\n"
+                "    with gate:\n"
+                "        os.fsync(fd)\n"
+            ),
+        }, select=["KND012"])
+        assert findings == []
+
+
+class TestKND013ForkSafety:
+    def test_fork_under_lock_and_thread_before_fork_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/resilience/forks.py": (
+                "import os\n"
+                "import threading\n\n"
+                "gate = threading.Lock()\n\n\n"
+                "def fork_locked():\n"
+                "    with gate:\n"
+                "        return os.fork()\n\n\n"
+                "def fork_via_call():\n"
+                "    with gate:\n"
+                "        return spawn()\n\n\n"
+                "def spawn():\n"
+                "    return os.fork()\n\n\n"
+                "def thread_then_fork(work):\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+                "    return os.fork()\n"
+            ),
+        }, select=["KND013"])
+        assert rule_ids(findings) == ["KND013"] * 3
+        direct, via, threaded = findings
+        assert "locked mutex" in direct.message
+        assert "repro.resilience.forks:spawn" in via.message
+        assert any("os.fork" in hop for hop in via.witness)
+        assert "after creating a thread" in threaded.message
+
+    def test_lock_free_fork_and_fork_before_thread_are_clean(
+            self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/resilience/ok.py": (
+                "import os\n"
+                "import threading\n\n"
+                "gate = threading.Lock()\n\n\n"
+                "def fork_clean():\n"
+                "    with gate:\n"
+                "        pid = 0\n"
+                "    return os.fork()\n\n\n"
+                "def fork_then_thread(work):\n"
+                "    pid = os.fork()\n"
+                "    if pid == 0:\n"
+                "        return 0\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+                "    return pid\n"
+            ),
+        }, select=["KND013"])
+        assert findings == []
