@@ -32,6 +32,9 @@ Rule IDs are stable and append-only:
   ``resilience`` lock is held.
 * ``KND013`` fork-safety — ``os.fork`` is never reachable with a lock
   held, and no thread is created before a fork in one function body.
+* ``KND014`` shard-merge-determinism — shard planners read no global
+  RNG or wall clock, and merge loops fold shard results in sorted
+  order, never dict-completion order.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -51,6 +54,7 @@ from repro.analysis.rules.knd012_blocking_under_lock import (
     BlockingUnderLockRule,
 )
 from repro.analysis.rules.knd013_fork_safety import ForkSafetyRule
+from repro.analysis.rules.knd014_shard_merge import ShardMergeRule
 
 __all__ = [
     "LAYERS",
@@ -66,5 +70,6 @@ __all__ = [
     "LayeringRule",
     "LockOrderRule",
     "ResourceHygieneRule",
+    "ShardMergeRule",
     "VectorizedAuditRule",
 ]

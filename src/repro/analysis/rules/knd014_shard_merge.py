@@ -1,0 +1,118 @@
+"""KND014 — shard-merge determinism in the sharded-campaign modules.
+
+The whole sharded-campaign contract (PR 9) is that the merged result is
+bit-identical to the unsharded run for every shard count, every crash
+point, and every hedging outcome.  Two silent ways to break it:
+
+* a shard planner (or slice executor) reading the **global RNG or the
+  wall clock** — slice seeds must derive from the job key and nothing
+  else, or replanning after a crash yields different slices;
+* a merge folding shard results in **dict-iteration order** — Python
+  dicts preserve insertion order, which for shard results is
+  *completion* order: deterministic per run, different across runs.
+  Merge loops over a dict's ``.items()``/``.keys()``/``.values()``
+  must wrap the view in ``sorted(...)``.
+
+Scope: modules under ``repro.service`` whose name mentions shards.
+Monotonic interval clocks (``time.perf_counter``, ``time.monotonic``)
+stay permitted, exactly as in KND001 — budgets are part of Θ.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+from repro.analysis.scopes import AliasTable
+
+#: Wall-clock and RNG entry points a shard planner may never call.
+NONDETERMINISM = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Dict-view iterators whose order is insertion (= completion) order.
+DICT_VIEWS = ("items", "keys", "values")
+
+
+def in_shard_scope(module: str) -> bool:
+    """True for ``repro.service`` modules that implement sharding."""
+    if not (module == "repro.service"
+            or module.startswith("repro.service.")):
+        return False
+    return "shard" in module.rsplit(".", 1)[-1]
+
+
+def _is_bare_dict_view(node: ast.expr) -> bool:
+    """True for an unsorted ``<expr>.items()/.keys()/.values()`` iteration."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DICT_VIEWS
+            and not node.args and not node.keywords)
+
+
+@register
+class ShardMergeRule(Rule):
+    rule_id = "KND014"
+    name = "shard-merge-determinism"
+    severity = Severity.ERROR
+    summary = ("shard planners may not read the global RNG or the wall "
+               "clock, and merge loops must fold shard results in "
+               "sorted order, never dict-completion order")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        if not in_shard_scope(pf.module):
+            return
+        aliases = AliasTable.scan(pf.tree)
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.Call):
+                qname = aliases.qualify(node.func)
+                if qname is None:
+                    continue
+                if qname in NONDETERMINISM:
+                    yield self.finding(
+                        pf, node,
+                        f"wall-clock read {qname}() in a shard module: "
+                        f"replanning after a crash must reproduce the "
+                        f"same slices, so plans may depend only on the "
+                        f"job spec (interval clocks like "
+                        f"time.monotonic are fine for budgets)",
+                    )
+                elif (qname.startswith("numpy.random.")
+                        or qname == "random" or qname.startswith("random.")):
+                    yield self.finding(
+                        pf, node,
+                        f"RNG call {qname}() in a shard module: slice "
+                        f"seeds must derive from the job key "
+                        f"(sha256(job_key, index)), never from global "
+                        f"or OS randomness",
+                    )
+            elif isinstance(node, ast.FunctionDef):
+                if "merge" not in node.name:
+                    continue
+                for loop in ast.walk(node):
+                    if not isinstance(loop, (ast.For, ast.comprehension)):
+                        continue
+                    it = loop.iter
+                    if _is_bare_dict_view(it):
+                        yield self.finding(
+                            pf, it,
+                            f"merge loop in {node.name}() iterates a "
+                            f"dict view in insertion (= shard "
+                            f"completion) order; wrap it in "
+                            f"sorted(...) so the fold is identical "
+                            f"for every execution history",
+                        )

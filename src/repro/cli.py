@@ -22,8 +22,9 @@ Subcommands:
   hygiene, durable writes, bounded waits, vectorized audit hot paths,
   bounded service-layer queue/socket operations, plus the
   interprocedural concurrency rules — lock-order cycles, blocking
-  under a lock, fork safety (rules KND001–KND013; see ``kondo check
-  --list-rules``).  Parallel parse with ``--jobs N`` and an automatic
+  under a lock, fork safety — and shard-merge determinism (rules
+  KND001–KND014; see ``kondo check --list-rules``).  Parallel parse
+  with ``--jobs N`` and an automatic
   content-addressed cache under ``.kondo-cache/``; exits 0 clean, 1 on
   findings, 2 on analyzer failure.
 * ``kondo fsck`` — deep-verify a KND/KNDS file: header envelope,
@@ -35,9 +36,13 @@ Subcommands:
   (as a new generation, so history stays append-only).
 * ``kondo serve`` — run the campaign-orchestrator daemon: a durable
   job queue over a unix socket, worker leases with heartbeats, retry
-  budgets with dead-lettering, and graceful drain on SIGTERM.
+  budgets with dead-lettering, sharded campaigns with lost-shard
+  recovery and straggler hedging (``--hedge-after``), and graceful
+  drain on SIGTERM.
 * ``kondo submit`` / ``kondo status`` / ``kondo cancel`` /
-  ``kondo drain`` — client commands against a running ``kondo serve``.
+  ``kondo drain`` — client commands against a running ``kondo serve``
+  (``submit --shards N`` shards a campaign; ``status --follow``
+  streams its progress events live).
 """
 
 from __future__ import annotations
@@ -330,6 +335,8 @@ def cmd_serve(args) -> int:
         lease_ttl_s=args.lease_ttl,
         default_deadline_s=args.deadline,
         supervised=not args.unsupervised,
+        hedge_after_s=args.hedge_after,
+        compact_on_start=args.compact,
     )
     service.start()
 
@@ -375,6 +382,7 @@ def cmd_submit(args) -> int:
         budget_s=args.budget,
         carver=args.carver,
         workers=args.workers,
+        shards=args.shards,
         deadline_s=args.deadline,
     )
     client = _service_client(args)
@@ -390,7 +398,23 @@ def cmd_submit(args) -> int:
 def cmd_status(args) -> int:
     import json as _json
 
-    response = _service_client(args).status(args.job)
+    client = _service_client(args)
+    if args.follow:
+        if not args.job:
+            print("error: --follow needs a job id", file=sys.stderr)
+            return 1
+        final_state = None
+        for event in client.follow(args.job, timeout_s=args.timeout):
+            if event.get("kind") == "keepalive":
+                continue
+            if event.get("kind") == "end":
+                final_state = event.get("state")
+                print(_json.dumps(event, sort_keys=True))
+                break
+            print(_json.dumps(event, sort_keys=True))
+            sys.stdout.flush()
+        return 0 if final_state == "done" else 1
+    response = client.status(args.job)
     print(_json.dumps(response, indent=2, sort_keys=True))
     return 0
 
@@ -580,6 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unsupervised", action="store_true",
                    help="run jobs inline on worker threads instead of "
                         "in supervised child processes (testing only)")
+    p.add_argument("--hedge-after", type=float,
+                   help="straggler threshold in seconds: a shard still "
+                        "on its first lease after this long gets a "
+                        "speculative hedged duplicate (default off)")
+    p.add_argument("--compact", action="store_true",
+                   help="after a clean-shutdown recovery, drop DONE "
+                        "jobs' journal records (results persist in the "
+                        "on-disk result cache)")
 
     def _client_args(p):
         p.add_argument("--socket", required=True,
@@ -602,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="merge")
     p.add_argument("--workers", type=int, default=0,
                    help="debloat-test pool size inside the job")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard the campaign into N leasable units with "
+                        "independent retry/hedging; the merged result "
+                        "is bit-identical for every N (default 0 = "
+                        "unsharded)")
     p.add_argument("--deadline", type=float,
                    help="per-attempt wall budget, propagated into the "
                         "supervised run timeout")
@@ -614,6 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
     _client_args(p)
     p.add_argument("job", nargs="?",
                    help="job id (omit for the full table)")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's progress events as JSON lines "
+                        "until it reaches a terminal state (exit 0 iff "
+                        "done)")
 
     p = sub.add_parser("cancel", help="cancel a queued job")
     _client_args(p)
@@ -630,7 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND013)")
+                       help="static AST invariant linter (KND001-KND014)")
     add_check_arguments(p)
 
     return parser

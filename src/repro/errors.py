@@ -133,6 +133,16 @@ class ServiceProtocolError(ServiceError):
     """A socket request/response could not be framed, parsed, or bounded."""
 
 
+class ServiceUnavailableError(ServiceProtocolError):
+    """No daemon is listening at the socket (connection refused/absent).
+
+    The typed form of the client's connect failure, so callers can
+    distinguish "service down — retry or start it" from a genuinely
+    malformed exchange.  Subclasses :class:`ServiceProtocolError` so
+    pre-existing ``except ServiceProtocolError`` handlers still catch it.
+    """
+
+
 class JobRejectedError(ServiceError):
     """The daemon refused a job submission.
 

@@ -1,7 +1,7 @@
 """End-to-end chaos drills: run the pipeline with faults armed, verify
 the resilience layer heals every one of them.
 
-Eleven drills, one per failure class the resilience layer covers:
+Thirteen drills, one per failure class the resilience layer covers:
 
 1. **worker-killed** — debloat tests run on a pool with the first
    ``kill_workers`` evaluations failing; worker recovery must replay
@@ -43,6 +43,17 @@ Eleven drills, one per failure class the resilience layer covers:
     journal torn mid-append; a restarted daemon must discard the torn
     record, requeue every accepted job, and complete each exactly once
     — no lost jobs, no duplicates.
+12. **shard-worker-killed-requeues-only-lost-shards** — one shard of a
+    sharded campaign is SIGKILLed mid-attempt; the daemon must requeue
+    *only that shard* (every other shard keeps its single clean
+    attempt), and the merged result must be bit-identical to the
+    no-fault sharded reference.
+13. **straggler-hedge-first-completion-wins** — one shard's primary
+    attempt is parked as a straggler; the hedging sweeper must launch a
+    speculative duplicate, the duplicate's completion must win, the
+    parked loser's lease must be revoked without burning the shard's
+    retry budget, and the merged result must be bit-identical to the
+    no-fault run.
 
 Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
 """
@@ -95,6 +106,8 @@ DRILL_NAMES = (
     "leaky-run-contained",
     "worker-killed-mid-job-requeues",
     "serve-crash-recovers-queue",
+    "shard-worker-killed-requeues-only-lost-shards",
+    "straggler-hedge-first-completion-wins",
 )
 
 #: Wall budget for one supervised run in the hang drill (seconds).
@@ -214,6 +227,12 @@ def run_chaos(
         )
         report.checks.append(
             _drill_serve_crash_recovers(program, dims, seed, workdir)
+        )
+        report.checks.append(
+            _drill_shard_worker_killed(program, dims, seed, workdir)
+        )
+        report.checks.append(
+            _drill_straggler_hedge(program, dims, seed, workdir)
         )
     finally:
         if own_workdir:
@@ -659,7 +678,8 @@ def _drill_torn_patch_recovers(dims, seed: int, workdir: str) -> ChaosCheck:
 _SERVE_DRILL_ITER = 40
 
 
-def _serve_drill_service(state_dir: str, workers: int, job_runner=None):
+def _serve_drill_service(state_dir: str, workers: int, job_runner=None,
+                         shard_runner=None, hedge_after_s=None):
     """A ``KondoService`` tuned for drill speed (fast ticks, real forks)."""
     from repro.resilience.retry import RetryPolicy
     from repro.service import KondoService
@@ -676,6 +696,8 @@ def _serve_drill_service(state_dir: str, workers: int, job_runner=None):
         heartbeat_interval_s=0.05,
         supervised=True,
         job_runner=job_runner,
+        shard_runner=shard_runner,
+        hedge_after_s=hedge_after_s,
     ).start()
 
 
@@ -810,3 +832,163 @@ def _drill_serve_crash_recovers(program, dims, seed: int,
               f"journal tail; each completed exactly once after restart, "
               f"drain sealed the log")
     return ChaosCheck(name, ok, detail)
+
+
+def _drill_shard_worker_killed(program, dims, seed: int,
+                               workdir: str) -> ChaosCheck:
+    """SIGKILL one shard of a sharded campaign mid-attempt; the daemon
+    must requeue only that shard, and the merged result must be
+    bit-identical to the no-fault sharded reference."""
+    import signal
+    import time
+
+    from repro.service import JobSpec, ServiceClient, run_sharded_reference
+    from repro.service.shards import execute_shard
+
+    name = "shard-worker-killed-requeues-only-lost-shards"
+    state_dir = os.path.join(workdir, "serve-shard-kill")
+    spec = JobSpec(program=program.name, dims=dims, seed=seed,
+                   max_iter=_SERVE_DRILL_ITER, shards=4)
+    reference = run_sharded_reference(spec)
+
+    marker = os.path.join(workdir, "first-shard-attempt.marker")
+
+    def first_shard_attempt_hangs(spec_json: dict, shard: int) -> dict:
+        # Fork-safe one-shot switch: the first shard attempt to claim
+        # the marker parks until the drill SIGKILLs it; every later
+        # attempt (including the retry of the killed shard) runs real.
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return execute_shard(spec_json, shard)
+        time.sleep(120)  # parked: the drill kills this process
+        return execute_shard(spec_json, shard)
+
+    # One worker: shard 0's primary parks first, the rest queue behind
+    # it — so exactly one shard is ever lost to the kill.
+    service = _serve_drill_service(state_dir, workers=1,
+                                   shard_runner=first_shard_attempt_hangs)
+    try:
+        client = ServiceClient(service.socket_path, timeout_s=5.0)
+        job_id = client.submit(spec)["job"]
+        # Find the parked shard's supervised child.  Wait for the
+        # marker first: killing the child before it claims the marker
+        # would silently move the park switch onto the *next* shard's
+        # attempt, which would then stall to a TIMEOUT instead.
+        killed_shard = child_pid = None
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if not os.path.exists(marker):
+                time.sleep(0.02)
+                continue
+            shards = client.status(job_id).get("shards", [])
+            live = [(s["shard"], s["child_pid"]) for s in shards
+                    if s.get("child_pid")]
+            if live:
+                killed_shard, child_pid = live[0]
+                break
+            time.sleep(0.05)
+        if not child_pid:
+            return ChaosCheck(name, False,
+                              "no shard ever exposed a child pid")
+        os.kill(child_pid, signal.SIGKILL)
+        final = client.wait_for(job_id, timeout_s=180.0)
+        problems = []
+        if final["state"] != "done":
+            problems.append(f"final state {final['state']}")
+        if final["result"] != reference:
+            problems.append("merged result DIVERGED from no-fault run")
+        for entry in final.get("shards", []):
+            idx = entry["shard"]
+            n_done = service.store.shard_done_count(job_id, idx)
+            if n_done != 1:
+                problems.append(f"shard {idx}: {n_done} sdone records")
+            if idx == killed_shard:
+                if entry["verdicts"] != ["SIGNALED"]:
+                    problems.append(
+                        f"killed shard verdicts {entry['verdicts']!r}")
+            elif entry["verdicts"]:
+                problems.append(
+                    f"untouched shard {idx} was retried: "
+                    f"{entry['verdicts']!r}")
+        ok = not problems
+        detail = ("; ".join(problems) if problems else
+                  f"shard {killed_shard} (child {child_pid}) SIGKILLed: "
+                  f"only that shard requeued, merge bit-identical to the "
+                  f"no-fault sharded reference, one sdone per shard")
+        return ChaosCheck(name, ok, detail)
+    finally:
+        service.drain()
+
+
+def _drill_straggler_hedge(program, dims, seed: int,
+                           workdir: str) -> ChaosCheck:
+    """Park one shard's primary attempt as a straggler; the hedging
+    sweeper must race a speculative duplicate, the duplicate must win,
+    the loser's lease must be revoked without burning the retry budget,
+    and the merged result must be bit-identical to the no-fault run."""
+    import time
+
+    from repro.service import JobSpec, ServiceClient, run_sharded_reference
+    from repro.service.shards import execute_shard
+
+    name = "straggler-hedge-first-completion-wins"
+    state_dir = os.path.join(workdir, "serve-hedge")
+    spec = JobSpec(program=program.name, dims=dims, seed=seed,
+                   max_iter=_SERVE_DRILL_ITER, shards=2)
+    reference = run_sharded_reference(spec)
+
+    marker = os.path.join(workdir, "straggler.marker")
+
+    def shard0_primary_straggles(spec_json: dict, shard: int) -> dict:
+        # Only shard 0's *first* attempt parks; its hedged duplicate
+        # (and every other shard) runs the real campaign.
+        if shard == 0:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                time.sleep(120)  # parked straggler; revocation kills us
+            except FileExistsError:
+                pass
+        return execute_shard(spec_json, shard)
+
+    # Two workers so the hedge can run while the straggler is parked.
+    service = _serve_drill_service(state_dir, workers=2,
+                                   shard_runner=shard0_primary_straggles,
+                                   hedge_after_s=0.3)
+    try:
+        client = ServiceClient(service.socket_path, timeout_s=5.0)
+        job_id = client.submit(spec)["job"]
+        final = client.wait_for(job_id, timeout_s=180.0)
+        problems = []
+        if final["state"] != "done":
+            problems.append(f"final state {final['state']}")
+        if final["result"] != reference:
+            problems.append("merged result DIVERGED from no-fault run")
+        hedged = any(r["op"] == "slease" and r.get("job") == job_id
+                     and r.get("shard") == 0 and r.get("hedge")
+                     for r in service.store.records)
+        if not hedged:
+            problems.append("no hedged slease was ever journaled")
+        n_done = service.store.shard_done_count(job_id, 0)
+        if n_done != 1:
+            problems.append(
+                f"shard 0: {n_done} sdone records (first-completion-wins "
+                f"violated)")
+        shard0 = next((s for s in final.get("shards", [])
+                       if s["shard"] == 0), None)
+        if shard0 is None:
+            problems.append("shard 0 missing from the final status")
+        elif shard0["verdicts"]:
+            problems.append(
+                f"revoked straggler burned the retry budget: "
+                f"{shard0['verdicts']!r}")
+        ok = not problems
+        detail = ("; ".join(problems) if problems else
+                  "straggler hedged, duplicate completed first, loser "
+                  "revoked without burning retries, merge bit-identical "
+                  "to the no-fault run")
+        return ChaosCheck(name, ok, detail)
+    finally:
+        service.drain()

@@ -4,14 +4,30 @@ A local daemon accepting debloat jobs over a unix-socket API, backed by
 a durable CRC-sealed journal (accepted jobs survive crashes), worker
 leases with heartbeats (dead workers' jobs requeue), bounded admission
 (overload degrades to explicit ``REJECTED-BUSY``), and graceful drain.
-See DESIGN.md "Campaign orchestrator".
+Sharded campaigns (``--shards N``) partition a job's fuzz budget into
+seed-keyed shards with shard-granular leases (a crashed worker requeues
+only its lost shards), straggler hedging, a deterministic merge that is
+bit-identical to the unsharded run, and streamed progress
+(``kondo status --follow``).  See DESIGN.md "Campaign orchestrator" and
+"Sharded campaigns".
 """
 
+from repro.service.bundles import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.daemon import KondoService
-from repro.service.jobs import JobSpec, JobView, backoff_delay_s
+from repro.service.jobs import JobSpec, JobView, ShardView, backoff_delay_s
 from repro.service.leases import Lease, LeaseManager
 from repro.service.runner import execute_job, result_digest
+from repro.service.shards import (
+    ShardPlan,
+    ShardPlanner,
+    ShardSlice,
+    execute_shard,
+    merge_shard_results,
+    missing_theta_manifest,
+    plan_shards,
+    run_sharded_reference,
+)
 from repro.service.store import JobStore
 
 __all__ = [
@@ -21,8 +37,18 @@ __all__ = [
     "KondoService",
     "Lease",
     "LeaseManager",
+    "ResultCache",
     "ServiceClient",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardSlice",
+    "ShardView",
     "backoff_delay_s",
     "execute_job",
+    "execute_shard",
+    "merge_shard_results",
+    "missing_theta_manifest",
+    "plan_shards",
     "result_digest",
+    "run_sharded_reference",
 ]

@@ -1,0 +1,75 @@
+"""Content-addressed on-disk result bundles: the dedupe cache's spill.
+
+The journal is the source of truth while a job lives, but completed
+results also land here — one CRC-sealed file per content-addressed job
+key — so the (program, Θ, D-hash) dedupe cache survives journal
+compaction and daemon restarts.  The integrity contract is the same as
+every other durable artifact in this tree:
+
+* entries are written atomically (:func:`repro.ioutil.atomic_write`),
+  so a crash mid-spill leaves either the old entry or none;
+* every entry carries a CRC32 seal
+  (:func:`repro.resilience.durability.records.seal_record`); a corrupt
+  or truncated entry reads back as a **cache miss**, never as a wrong
+  result — the job simply re-runs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional
+
+from repro.ioutil import atomic_write
+from repro.resilience.durability.records import check_record, seal_record
+
+#: Cache keys are the hex job keys; anything else is refused before it
+#: can become a path component.
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+class ResultCache:
+    """One directory of sealed ``<job-key>.json`` result entries."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+
+    def _path(self, key: str) -> str:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"bad result-cache key {key!r}")
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def put(self, key: str, result: dict) -> str:
+        """Spill one completed result; returns the entry path."""
+        path = self._path(key)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        with atomic_write(path, "wb") as fh:
+            fh.write(seal_record({"job": key, "result": result}))
+        return path
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result for ``key``, or ``None`` on any doubt.
+
+        A missing file, a failed CRC, or a key mismatch all degrade to
+        a miss — the caller re-runs the campaign instead of ever being
+        served a wrong result.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        rec = check_record(raw.rstrip(b"\n"))
+        if rec is None or rec.get("job") != key:
+            return None
+        result = rec.get("result")
+        return result if isinstance(result, dict) else None
+
+    def keys(self) -> List[str]:
+        """Every key with an entry on disk (unverified; ``get`` checks)."""
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names
+                      if n.endswith(".json") and _KEY_RE.match(n[:-5]))

@@ -1,20 +1,32 @@
 """Client for the ``kondo serve`` socket API.
 
 One connection per request (the protocol is strictly
-request/response), every socket operation bounded by ``timeout_s``, and
-``{"ok": false}`` responses surfaced as typed
-:class:`~repro.errors.JobRejectedError` carrying the daemon's rejection
-code — so callers branch on ``exc.code`` (``REJECTED-BUSY`` vs
-``DRAINING`` deserve different reactions), not on message strings.
+request/response — except ``follow``, which streams), every socket
+operation bounded by ``timeout_s``, and ``{"ok": false}`` responses
+surfaced as typed :class:`~repro.errors.JobRejectedError` carrying the
+daemon's rejection code — so callers branch on ``exc.code``
+(``REJECTED-BUSY`` vs ``DRAINING`` deserve different reactions), not on
+message strings.  A connect failure is the typed
+:class:`~repro.errors.ServiceUnavailableError` — "service down" is a
+different condition than "service misbehaving".
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import socket
 import time
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
-from repro.errors import JobRejectedError, ServiceError, ServiceProtocolError
+import numpy as np
+
+from repro.errors import (
+    JobRejectedError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailableError,
+)
 from repro.service import protocol
 from repro.service.jobs import JobSpec
 
@@ -34,18 +46,23 @@ class ServiceClient:
         self.socket_path = socket_path
         self.timeout_s = timeout_s
 
+    def _connect(self, timeout_s: float) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout_s)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceUnavailableError(
+                f"cannot reach kondo serve at {self.socket_path}: {exc}"
+            ) from exc
+        return sock
+
     def request(self, op: str, **payload) -> dict:
         """One request/response exchange; raises on ``ok: false``."""
         message = dict(payload, op=op)
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout_s)
+        sock = self._connect(self.timeout_s)
         try:
-            try:
-                sock.connect(self.socket_path)
-            except OSError as exc:
-                raise ServiceProtocolError(
-                    f"cannot reach kondo serve at {self.socket_path}: {exc}"
-                ) from exc
             protocol.send_message(sock, message, timeout_s=self.timeout_s)
             response = protocol.recv_message(sock, timeout_s=self.timeout_s)
         finally:
@@ -57,7 +74,7 @@ class ServiceClient:
             )
         return response
 
-    # -- the five operations -------------------------------------------------
+    # -- the operations ------------------------------------------------------
 
     def ping(self) -> dict:
         return self.request("ping")
@@ -76,6 +93,70 @@ class ServiceClient:
     def drain(self) -> dict:
         return self.request("drain")
 
+    def follow(self, job_id: str,
+               timeout_s: Optional[float] = None) -> Iterator[dict]:
+        """Stream a job's progress events until it reaches a terminal state.
+
+        Yields each event dict (``{"kind": ..., "seq": ...}``) as the
+        daemon publishes it, then one final ``{"kind": "end", "state":
+        <terminal state>}``.  ``timeout_s`` bounds each *read*, not the
+        whole stream — the daemon sends keepalive events while the job
+        is merely slow, so a hung daemon (no bytes at all) still trips
+        the bound.
+        """
+        read_timeout = self.timeout_s if timeout_s is None else timeout_s
+        sock = self._connect(read_timeout)
+        sock.settimeout(read_timeout)
+        try:
+            protocol.send_message(sock, {"op": "follow", "job": job_id},
+                                  timeout_s=read_timeout)
+            buf = b""
+            header_seen = False
+            while True:
+                nl = buf.find(b"\n")
+                while nl < 0:
+                    try:
+                        chunk = sock.recv(65536)
+                    except socket.timeout as exc:
+                        raise ServiceProtocolError(
+                            f"follow stream for {job_id} stalled past "
+                            f"{read_timeout}s"
+                        ) from exc
+                    if not chunk:
+                        raise ServiceProtocolError(
+                            f"follow stream for {job_id} closed mid-job"
+                        )
+                    buf += chunk
+                    if len(buf) > protocol.MAX_MESSAGE_BYTES:
+                        raise ServiceProtocolError(
+                            "follow stream line exceeds "
+                            f"{protocol.MAX_MESSAGE_BYTES} bytes"
+                        )
+                    nl = buf.find(b"\n")
+                line, buf = buf[:nl], buf[nl + 1:]
+                try:
+                    msg = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError) as exc:
+                    raise ServiceProtocolError(
+                        f"undecodable follow stream line: {exc}"
+                    ) from exc
+                if not header_seen:
+                    header_seen = True
+                    if not msg.get("ok"):
+                        raise JobRejectedError(
+                            msg.get("detail", "follow rejected"),
+                            code=msg.get("error", protocol.BAD_REQUEST),
+                        )
+                    continue
+                if "end" in msg:
+                    yield {"kind": "end", "state": msg["end"]}
+                    return
+                event = msg.get("event")
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            sock.close()
+
     # -- convenience ---------------------------------------------------------
 
     def wait_for(self, job_id: str, timeout_s: float = 60.0,
@@ -83,18 +164,33 @@ class ServiceClient:
                  sleep: Callable[[float], None] = time.sleep) -> dict:
         """Poll until ``job_id`` reaches a terminal state; bounded.
 
+        Polls with full-jitter exponential backoff: attempt *k* sleeps
+        ``uniform(0, min(poll_s * 2**k, 2.0))``, clamped so the final
+        sleep never overshoots the hard deadline.  The jitter RNG is
+        seeded from the job id, so a test can replay the exact schedule
+        while a fleet of waiters stays decorrelated.
+
         Returns the final status payload; raises :class:`ServiceError`
         when the bound expires first (the job keeps running — waiting is
         the client's budget, not the job's).
         """
+        digest = hashlib.sha256(f"wait:{job_id}".encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
         deadline = time.monotonic() + timeout_s
+        attempt = 0
         while True:
             status = self.status(job_id)
-            if status["state"] in ("done", "dead", "cancelled"):
+            if status["state"] in ("done", "partial", "dead", "cancelled"):
                 return status
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {status['state']} after "
                     f"{timeout_s}s"
                 )
-            sleep(poll_s)
+            # Clamp the exponent: 2.0 ** attempt overflows a float past
+            # ~1024 attempts, and the cap saturates at 2.0 long before.
+            cap = min(poll_s * (2.0 ** min(attempt, 16)), 2.0)
+            delay = min(float(rng.uniform(0.0, cap)), deadline - now)
+            attempt += 1
+            sleep(delay)

@@ -1,6 +1,6 @@
 """``kondo serve``: the fault-tolerant campaign orchestrator daemon.
 
-One :class:`KondoService` owns four cooperating pieces:
+One :class:`KondoService` owns five cooperating pieces:
 
 * the **durable job store** (:mod:`repro.service.store`) — every
   accepted job is journaled before it is acknowledged, so a daemon
@@ -8,33 +8,51 @@ One :class:`KondoService` owns four cooperating pieces:
 * a **bounded run queue** with admission control — a submission beyond
   ``queue_limit`` outstanding jobs is answered ``REJECTED-BUSY``
   instead of growing without bound;
-* a **worker pool** claiming jobs through **leases with heartbeats**
-  (:mod:`repro.service.leases`) — each job runs in a supervised forked
+* a **worker pool** claiming work through **leases with heartbeats**
+  (:mod:`repro.service.leases`) — each unit runs in a supervised forked
   child whose heartbeats refresh the lease and whose verdict taxonomy
   (TIMEOUT / OOM / SIGNALED / LOST-HEARTBEAT, PR 5) classifies every
-  way a worker can die;
-* a **sweeper** that expires silent leases, requeues their jobs under
-  the per-job retry budget (exponential backoff + full jitter from a
-  job-seeded RNG), and releases deferred retries when due.
+  way a worker can die.  A sharded job (``spec.shards > 0``) is planned
+  into shard work items (:mod:`repro.service.shards`); each shard
+  leases, fails, retries, and dead-letters independently, and a final
+  merge stage unions the per-shard clouds and re-carves — bit-identical
+  to the unsharded run for every shard count;
+* a **sweeper** that expires silent leases, requeues their work under
+  the per-item retry budget (exponential backoff + full jitter from a
+  seeded RNG), releases deferred retries when due, and — when
+  ``hedge_after_s`` is set — hedges straggling shards with a
+  speculative duplicate (first completion wins; the loser's lease is
+  revoked and its child killed);
+* a **progress bus**: every state transition and (unsupervised) fuzz
+  iteration publishes an event into a bounded per-job ring; ``follow``
+  connections stream those events (``kondo status --follow``) through
+  bounded per-follower queues with drop-oldest backpressure, so a slow
+  or stuck client can never stall a worker.
 
 Graceful degradation is the contract: SIGTERM (or the ``drain`` op)
-stops admission, lets leased jobs finish, journals a clean ``shutdown``
+stops admission, lets leased work finish, journals a clean ``shutdown``
 marker, and only then exits.  ``abort()`` is the crash path the chaos
-drills use — no marker, recovery does the work on the next start.
+drills use — no marker, recovery does the work on the next start.  A
+shard that exhausts its retries dead-letters with a typed verdict and
+the campaign completes as an explicitly-marked PARTIAL result carrying
+the missing-Θ-region manifest, instead of hanging or failing outright.
 
 Deadlines propagate: a job's ``deadline_s`` (or the daemon default)
-becomes the supervised child's wall-clock budget, so no single job can
-hold a worker past its promise.
+becomes the supervised child's wall-clock budget, so no single work
+item can hold a worker past its promise.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import queue
+import signal
 import socket
 import threading
 import time
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import (
     JobRejectedError,
@@ -48,13 +66,25 @@ from repro.resilience.supervision.runner import Supervisor
 from repro.service import protocol
 from repro.service.jobs import (
     CANCELLED,
+    DEAD,
+    DONE,
+    LEASED,
     QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
     JobSpec,
     JobView,
     backoff_delay_s,
 )
 from repro.service.leases import LeaseManager
 from repro.service.runner import execute_job
+from repro.service.shards import (
+    DEFAULT_SLICES,
+    execute_shard,
+    merge_shard_results,
+    missing_theta_manifest,
+    plan_shards,
+)
 from repro.service.store import JobStore
 
 SOCKET_NAME = "kondo.sock"
@@ -67,11 +97,25 @@ TICK_S = 0.1
 #: overrides it: generous for a campaign, but never unbounded.
 DEFAULT_DEADLINE_S = 600.0
 
+#: Concurrent connection handlers (each ``follow`` holds one for the
+#: life of its stream); beyond this, connections get REJECTED-BUSY.
+MAX_CONNECTIONS = 32
+
+#: A ``follow`` stream with nothing to say sends a keepalive this often
+#: so the client's read timeout distinguishes "slow job" from "dead
+#: daemon".
+KEEPALIVE_S = 1.0
+
 #: Default backoff between retry attempts (full jitter, per-job RNG).
 DEFAULT_RETRY_POLICY = RetryPolicy(
     retries=2, backoff_s=0.25, backoff_factor=2.0, backoff_max_s=5.0,
     jitter="full",
 )
+
+#: Work items on the run queue: ("job", id) — legacy whole-campaign
+#: execution; ("shard", id, index, hedge) — one shard attempt;
+#: ("merge", id) — the deterministic merge stage.
+WorkItem = Tuple
 
 
 class KondoService:
@@ -80,25 +124,40 @@ class KondoService:
     Args:
         state_dir: durable state directory (job journal + default socket).
         socket_path: unix socket path (default ``state_dir/kondo.sock``).
-        workers: worker threads executing jobs (``0`` = accept-only,
-            useful for staging submissions before a fleet attaches).
-        queue_limit: admission bound on outstanding (queued + leased)
+        workers: worker threads executing work items (``0`` =
+            accept-only, useful for staging submissions before a fleet
+            attaches).
+        queue_limit: admission bound on outstanding (queued + running)
             jobs; beyond it submissions get ``REJECTED-BUSY``.
-        retry_policy: per-job retry budget and backoff shape.
+        retry_policy: per-item retry budget and backoff shape.
         lease_ttl_s: how long a worker lease survives without a
-            heartbeat before the sweeper requeues its job.
+            heartbeat before the sweeper requeues its work.
         default_deadline_s: per-attempt wall budget for jobs that do not
             carry their own ``deadline_s``.
         heartbeat_interval_s: supervised-child heartbeat period (also
             refreshes the lease); ``None`` disables child heartbeats
             (the lease then refreshes only between attempts).
-        supervised: run each job in a forked, watched child (the
-            production mode).  ``False`` runs jobs inline on the worker
-            thread — faster for unit tests, no isolation.
-        job_runner: override the execution function (chaos drills inject
-            faulty runners); defaults to
+        supervised: run each work item in a forked, watched child (the
+            production mode).  ``False`` runs inline on the worker
+            thread — faster for unit tests, no isolation, and the only
+            mode with per-iteration progress events (a callback cannot
+            cross the fork boundary).
+        job_runner: override the whole-job execution function (chaos
+            drills inject faulty runners); defaults to
             :func:`repro.service.runner.execute_job`.
-        drain_timeout_s: bound on waiting for leased jobs during drain.
+        shard_runner: override shard execution; defaults to
+            :func:`repro.service.shards.execute_shard`.  On the
+            unsupervised path it is called with a ``progress=``
+            keyword, so injected runners must accept it.
+        hedge_after_s: straggler threshold — a shard still on its first
+            lease after this long gets a speculative hedged duplicate
+            (first completion wins).  ``None`` disables hedging.
+        event_buffer: bound on both the per-job event ring and each
+            follower's stream queue; overflow drops oldest events.
+        compact_on_start: after a clean-shutdown recovery, drop DONE
+            jobs' journal records (their results persist in the
+            content-addressed result cache).
+        drain_timeout_s: bound on waiting for leased work during drain.
     """
 
     def __init__(
@@ -113,6 +172,10 @@ class KondoService:
         heartbeat_interval_s: Optional[float] = 1.0,
         supervised: bool = True,
         job_runner: Optional[Callable[[dict], dict]] = None,
+        shard_runner: Optional[Callable[..., dict]] = None,
+        hedge_after_s: Optional[float] = None,
+        event_buffer: int = 256,
+        compact_on_start: bool = False,
         drain_timeout_s: float = 60.0,
     ):
         if workers < 0:
@@ -127,6 +190,14 @@ class KondoService:
             raise ServiceError(
                 f"drain_timeout_s must be > 0, got {drain_timeout_s}"
             )
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ServiceError(
+                f"hedge_after_s must be > 0, got {hedge_after_s}"
+            )
+        if event_buffer < 1:
+            raise ServiceError(
+                f"event_buffer must be >= 1, got {event_buffer}"
+            )
         self.state_dir = state_dir
         self.socket_path = socket_path or os.path.join(state_dir, SOCKET_NAME)
         self.workers = workers
@@ -137,14 +208,29 @@ class KondoService:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.supervised = supervised
         self.job_runner = job_runner or execute_job
+        self.shard_runner = shard_runner or execute_shard
+        self.hedge_after_s = hedge_after_s
+        self.event_buffer = event_buffer
+        self.compact_on_start = compact_on_start
         self.drain_timeout_s = drain_timeout_s
 
         self.store: Optional[JobStore] = None
         self.leases = LeaseManager(ttl_s=lease_ttl_s)
         self._queue: Optional[queue.Queue] = None
-        #: Deferred retries: (eligible_at_monotonic, job_id), lock-guarded.
-        self._deferred: List[Tuple[float, str]] = []
+        #: Deferred retries: (eligible_at_monotonic, item), lock-guarded.
+        self._deferred: List[Tuple[float, WorkItem]] = []
         self._deferred_lock = threading.Lock()
+        #: Shards already hedged this lease generation (debounce).
+        self._hedged: set = set()
+        self._hedged_lock = threading.Lock()
+        #: Progress bus state: per-job event ring + seq, plus each live
+        #: follower's bounded queue — all under one lock, and every
+        #: operation under it is non-blocking (drop-oldest on overflow).
+        self._events: Dict[str, Deque[dict]] = {}
+        self._event_seq: Dict[str, int] = {}
+        self._followers: Dict[str, List[queue.Queue]] = {}
+        self._event_lock = threading.Lock()
+        self._conn_slots = threading.BoundedSemaphore(MAX_CONNECTIONS)
         self._threads: List[threading.Thread] = []
         self._sock: Optional[socket.socket] = None
         self._stop = threading.Event()
@@ -160,13 +246,18 @@ class KondoService:
             raise ServiceError("service already started")
         self.store = JobStore.open(self.state_dir,
                                    retries=self.retry_policy.retries)
-        backlog = [v.job_id for v in self.store.all_views()
-                   if v.state == QUEUED]
+        if self.compact_on_start and self.store.clean_shutdown:
+            self.store.compact()
+        backlog = self._recovered_items()
         # The run queue is the admission bound plus whatever recovery
-        # found — a restart never REJECTED-BUSYs its own backlog.
-        self._queue = queue.Queue(maxsize=self.queue_limit + len(backlog))
-        for job_id in backlog:
-            self._queue.put(job_id, timeout=TICK_S)
+        # found — a restart never REJECTED-BUSYs its own backlog.  Each
+        # admitted job can expand into at most one item per shard plus
+        # hedges and a merge, hence the per-job fan-out factor.
+        fanout = 2 * DEFAULT_SLICES + 2
+        self._queue = queue.Queue(
+            maxsize=(self.queue_limit + len(backlog)) * fanout)
+        for item in backlog:
+            self._queue.put(item, timeout=TICK_S)
         if os.path.exists(self.socket_path):
             os.remove(self.socket_path)
         os.makedirs(os.path.dirname(self.socket_path) or ".", exist_ok=True)
@@ -180,16 +271,39 @@ class KondoService:
                         f"kondo-serve-worker-{i}")
         return self
 
+    def _recovered_items(self) -> List[WorkItem]:
+        """The work items recovery owes: lost jobs, shards, and merges."""
+        items: List[WorkItem] = []
+        for v in self.store.all_views():
+            if v.spec.shards:
+                if v.state not in (QUEUED, RUNNING):
+                    continue
+                plan = plan_shards(v.spec)
+                pending = [
+                    i for i in range(plan.n_shards)
+                    if v.shards.get(i) is None
+                    or v.shards[i].state == QUEUED
+                ]
+                items.extend(("shard", v.job_id, i, False) for i in pending)
+                if not pending and v.shards and all(
+                        sv.state in (DONE, DEAD)
+                        for sv in v.shards.values()):
+                    # Crashed after the last shard but before the merge.
+                    items.append(("merge", v.job_id))
+            elif v.state == QUEUED:
+                items.append(("job", v.job_id))
+        return items
+
     def _spawn(self, target, name: str) -> None:
         t = threading.Thread(target=target, name=name, daemon=True)
         t.start()
         self._threads.append(t)
 
     def drain(self) -> None:
-        """Graceful shutdown: stop admitting, finish leased jobs, seal.
+        """Graceful shutdown: stop admitting, finish leased work, seal.
 
         Returns once the clean ``shutdown`` marker is journaled (or the
-        drain timeout expired with jobs still leased — those requeue on
+        drain timeout expired with work still leased — that requeues on
         the next start, exactly like a crash, which is the graceful
         degradation the timeout buys).
         """
@@ -235,6 +349,61 @@ class KondoService:
         return self._queue is not None and self._queue.empty() \
             and deferred == 0
 
+    # -- the progress bus ----------------------------------------------------
+
+    def _publish(self, job_id: str, kind: str, **fields) -> None:
+        """Emit one progress event; never blocks the publisher.
+
+        The event lands in the job's bounded ring (for ``follow``
+        backlogs) and is offered to every live follower queue with
+        drop-oldest semantics — a stalled client loses old events, the
+        worker thread loses nothing.
+        """
+        with self._event_lock:
+            seq = self._event_seq.get(job_id, 0) + 1
+            self._event_seq[job_id] = seq
+            event = dict(fields, kind=kind, job=job_id, seq=seq)
+            ring = self._events.get(job_id)
+            if ring is None:
+                ring = self._events[job_id] = deque(maxlen=self.event_buffer)
+            ring.append(event)
+            for follower in self._followers.get(job_id, []):
+                self._offer(follower, event)
+
+    @staticmethod
+    def _offer(follower: "queue.Queue", event: dict) -> None:
+        """Non-blocking enqueue: on overflow, drop the oldest event."""
+        try:
+            follower.put_nowait(event)
+        except queue.Full:
+            try:
+                follower.get_nowait()
+            except queue.Empty:
+                pass
+            try:
+                follower.put_nowait(event)
+            except queue.Full:
+                pass
+
+    def _subscribe(self, job_id: str) -> Tuple["queue.Queue", List[dict]]:
+        """Register a follower; returns (its queue, the event backlog)."""
+        follower: queue.Queue = queue.Queue(maxsize=self.event_buffer)
+        with self._event_lock:
+            backlog = list(self._events.get(job_id, ()))
+            self._followers.setdefault(job_id, []).append(follower)
+        return follower, backlog
+
+    def _unsubscribe(self, job_id: str, follower: "queue.Queue") -> None:
+        with self._event_lock:
+            followers = self._followers.get(job_id)
+            if followers is not None:
+                try:
+                    followers.remove(follower)
+                except ValueError:
+                    pass
+                if not followers:
+                    self._followers.pop(job_id, None)
+
     # -- the socket front door ----------------------------------------------
 
     def _serve_loop(self) -> None:
@@ -247,13 +416,30 @@ class KondoService:
                 continue
             except OSError:
                 return  # socket closed by shutdown
-            try:
-                self._handle(conn)
-            finally:
+            if not self._conn_slots.acquire(timeout=TICK_S):
+                self._respond(conn, protocol.error(
+                    protocol.REJECTED_BUSY,
+                    f"daemon at its {MAX_CONNECTIONS}-connection bound",
+                ))
                 try:
                     conn.close()
                 except OSError:
                     pass
+                continue
+            # Handlers run on their own threads so one long-lived
+            # ``follow`` stream never blocks the accept loop.
+            threading.Thread(target=self._handle_conn, args=(conn,),
+                             name="kondo-serve-conn", daemon=True).start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            self._handle(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._conn_slots.release()
 
     def _handle(self, conn: socket.socket) -> None:
         try:
@@ -261,6 +447,9 @@ class KondoService:
         except ServiceProtocolError as exc:
             self._respond(conn, protocol.error(protocol.BAD_REQUEST,
                                                str(exc)))
+            return
+        if request.get("op") == "follow":
+            self._op_follow(conn, request)
             return
         try:
             response = self._dispatch(request)
@@ -314,6 +503,13 @@ class KondoService:
             # Dedupe: same (program, Θ, D) triple — serve what we have.
             return protocol.ok(job=spec.key, state=existing.state,
                                deduped=True, result=existing.result)
+        if existing is None:
+            # The journal may have been compacted since this key
+            # completed; the content-addressed result cache survives.
+            cached = self.store.cached_result(spec.key)
+            if cached is not None:
+                return protocol.ok(job=spec.key, state=DONE, deduped=True,
+                                   cached=True, result=cached)
         # Admission control *before* journaling: a rejected job was
         # never accepted, so the never-lose-an-accepted-job guarantee
         # only ever covers journaled submissions.
@@ -324,7 +520,14 @@ class KondoService:
             )
         view, fresh = self.store.submit(spec)
         if fresh and view.state == QUEUED:
-            self._enqueue(view.job_id)
+            self._publish(view.job_id, "submitted",
+                          shards=spec.shards or None)
+            if spec.shards:
+                plan = plan_shards(spec)
+                for i in range(plan.n_shards):
+                    self._enqueue(("shard", view.job_id, i, False))
+            else:
+                self._enqueue(("job", view.job_id))
         return protocol.ok(job=view.job_id, state=view.state, deduped=False,
                            result=view.result)
 
@@ -341,6 +544,13 @@ class KondoService:
         out = view.to_json()
         lease = self.leases.for_job(job_id)
         out["child_pid"] = lease.child_pid if lease else None
+        if view.spec.shards:
+            for entry in out.get("shards", []):
+                live = self.leases.for_task(job_id, entry["shard"])
+                entry["child_pid"] = next(
+                    (l.child_pid for l in live if not l.hedge), None)
+                entry["hedge_child_pid"] = next(
+                    (l.child_pid for l in live if l.hedge), None)
         return protocol.ok(**out)
 
     def _op_cancel(self, request: dict) -> dict:
@@ -356,23 +566,90 @@ class KondoService:
                 code=protocol.NOT_CANCELLABLE,
             )
         self.store.record_cancel(job_id)
+        self._publish(job_id, "cancelled")
         return protocol.ok(job=job_id, state=view.state)
+
+    def _op_follow(self, conn: socket.socket, request: dict) -> None:
+        """Stream a job's progress events until it reaches a terminal state.
+
+        The stream reads only from this follower's bounded queue —
+        workers publish through :meth:`_offer`, which drops oldest
+        instead of blocking, so however slow this socket drains, no
+        worker ever waits on it.
+        """
+        job_id = request.get("job")
+        view = self.store.view(job_id) if job_id else None
+        if view is None:
+            self._respond(conn, protocol.error(protocol.UNKNOWN_JOB,
+                                               f"unknown job {job_id}"))
+            return
+        follower, backlog = self._subscribe(job_id)
+        try:
+            self._respond(conn, protocol.ok(job=job_id, state=view.state))
+            last_seq = 0
+            last_io = self._clock()
+            for event in backlog:
+                self._send_line(conn, {"event": event})
+                last_seq = event["seq"]
+                last_io = self._clock()
+            while not self._stop.is_set():
+                try:
+                    event = follower.get(timeout=TICK_S)
+                except queue.Empty:
+                    event = None
+                if event is not None:
+                    # The backlog snapshot and the live queue can both
+                    # hold the same event; seq ordering dedupes.
+                    if event["seq"] > last_seq:
+                        self._send_line(conn, {"event": event})
+                        last_seq = event["seq"]
+                        last_io = self._clock()
+                    continue
+                state = getattr(self.store.view(job_id), "state", None)
+                if state in TERMINAL_STATES and follower.empty():
+                    self._send_line(conn, {"end": state})
+                    return
+                if self._clock() - last_io >= KEEPALIVE_S:
+                    self._send_line(
+                        conn, {"event": {"kind": "keepalive",
+                                         "job": job_id, "seq": last_seq}})
+                    last_io = self._clock()
+            state = getattr(self.store.view(job_id), "state", None)
+            self._send_line(conn, {"end": state})
+        except (OSError, ServiceProtocolError):
+            return  # follower went away; nothing owed
+        finally:
+            self._unsubscribe(job_id, follower)
+
+    @staticmethod
+    def _send_line(conn: socket.socket, obj: dict) -> None:
+        data = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        conn.settimeout(protocol.DEFAULT_TIMEOUT_S)
+        conn.sendall(data)
 
     # -- workers ------------------------------------------------------------
 
-    def _enqueue(self, job_id: str) -> None:
-        self._queue.put(job_id, timeout=self.drain_timeout_s)
+    def _enqueue(self, item: WorkItem) -> None:
+        self._queue.put(item, timeout=self.drain_timeout_s)
 
     def _worker_loop(self, worker: str) -> None:
         while not self._stop.is_set():
             try:
-                job_id = self._queue.get(timeout=TICK_S)
+                item = self._queue.get(timeout=TICK_S)
             except queue.Empty:
                 continue
-            view = self.store.view(job_id)
-            if view is None or view.state != QUEUED:
-                continue  # cancelled (or completed elsewhere) meanwhile
-            self._execute(worker, view)
+            kind = item[0]
+            if kind == "job":
+                view = self.store.view(item[1])
+                if view is None or view.state != QUEUED:
+                    continue  # cancelled (or completed elsewhere) meanwhile
+                self._execute(worker, view)
+            elif kind == "shard":
+                self._execute_shard(worker, item[1], item[2], item[3])
+            elif kind == "merge":
+                self._merge(item[1])
+
+    # -- legacy whole-job execution -----------------------------------------
 
     def _execute(self, worker: str, view: JobView) -> None:
         job_id = view.job_id
@@ -387,6 +664,7 @@ class KondoService:
             # lease — give the claim back and drop the work item.
             self.leases.release(lease.lease_id)
             return
+        self._publish(job_id, "leased", worker=worker)
         deadline = view.spec.deadline_s or self.default_deadline_s
         try:
             result = self._run(view, lease, deadline)
@@ -409,6 +687,7 @@ class KondoService:
         if not accepted:
             # Stale lease: the job moved on while we ran; drop the result.
             return
+        self._publish(job_id, "done")
 
     def _run(self, view: JobView, lease, deadline_s: float) -> dict:
         spec_json = view.spec.to_json()
@@ -429,12 +708,194 @@ class KondoService:
               detail: str) -> None:
         self.leases.release(lease_id)
         self.store.record_failure(job_id, lease_id, verdict, detail)
+        self._publish(job_id, "failed", verdict=verdict)
         view = self.store.view(job_id)
         if view is None or view.state != QUEUED:
+            if view is not None and view.state == DEAD:
+                self._publish(job_id, "dead", verdict=verdict)
             return  # dead-lettered (or gone); no retry
         delay = backoff_delay_s(self.retry_policy, job_id, view.attempts)
         with self._deferred_lock:
-            self._deferred.append((self._clock() + delay, job_id))
+            self._deferred.append((self._clock() + delay, ("job", job_id)))
+
+    # -- sharded execution ---------------------------------------------------
+
+    def _execute_shard(self, worker: str, job_id: str, shard: int,
+                       hedge: bool) -> None:
+        view = self.store.view(job_id)
+        if view is None or view.state not in (QUEUED, RUNNING):
+            return  # cancelled / sealed meanwhile
+        sv = view.shards.get(shard)
+        if hedge:
+            if sv is None or sv.state != LEASED:
+                return  # the straggler finished (or died) already
+        elif sv is not None and sv.state != QUEUED:
+            return  # shard already owned or sealed
+        try:
+            lease = self.leases.grant(job_id, worker, shard=shard,
+                                      hedge=hedge)
+        except ServiceError:
+            return  # raced another worker (or the hedge is moot)
+        try:
+            self.store.record_shard_lease(job_id, shard, lease.lease_id,
+                                          worker, hedge=hedge)
+        except ServiceError:
+            self.leases.release(lease.lease_id)
+            return
+        self._publish(job_id, "shard-leased", shard=shard, worker=worker,
+                      hedge=hedge)
+        deadline = view.spec.deadline_s or self.default_deadline_s
+        try:
+            result = self._run_shard(view, lease, deadline, shard)
+        except SupervisedRunError as exc:
+            self._fail_shard(job_id, shard, lease.lease_id,
+                             exc.verdict or "FAILED", str(exc))
+            return
+        except KondoError as exc:
+            self._fail_shard(job_id, shard, lease.lease_id, "EXCEPTION",
+                             f"{type(exc).__name__}: {exc}")
+            return
+        # kondo: allow[KND003] same journaled-verdict routing as the
+        # whole-job path: no shard failure escapes the taxonomy
+        except Exception as exc:  # noqa: BLE001
+            self._fail_shard(job_id, shard, lease.lease_id, "EXCEPTION",
+                             f"{type(exc).__name__}: {exc}")
+            return
+        accepted = self.store.record_shard_done(job_id, shard,
+                                                lease.lease_id, result)
+        self.leases.release(lease.lease_id)
+        self._unhedge(job_id, shard)
+        if not accepted:
+            return  # the other of the primary/hedge pair won the race
+        self._publish(job_id, "shard-done", shard=shard, hedge=hedge,
+                      n_indices=result.get("n_indices"))
+        self._revoke_losers(job_id, shard)
+        self._maybe_merge(job_id)
+
+    def _run_shard(self, view: JobView, lease, deadline_s: float,
+                   shard: int) -> dict:
+        spec_json = view.spec.to_json()
+        job_id = view.job_id
+        if not self.supervised:
+            self.leases.heartbeat(lease.lease_id)
+
+            def progress(ev: dict) -> None:
+                fields = dict(ev)
+                kind = fields.pop("kind", "progress")
+                fields.setdefault("shard", shard)
+                self.leases.heartbeat(lease.lease_id)
+                self._publish(job_id, kind, **fields)
+
+            return self.shard_runner(spec_json, shard, progress=progress)
+        supervisor = Supervisor(
+            timeout_s=deadline_s,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            grace_s=1.0,
+            on_spawn=lambda pid: self.leases.set_child_pid(
+                lease.lease_id, pid),
+            # Per-iteration callbacks cannot cross the fork boundary;
+            # the child's heartbeats double as liveness progress events.
+            on_heartbeat=lambda: (
+                self.leases.heartbeat(lease.lease_id),
+                self._publish(job_id, "shard-alive", shard=shard),
+            ),
+        )
+        return supervisor.bind(self.shard_runner)(spec_json, shard)
+
+    def _fail_shard(self, job_id: str, shard: int, lease_id: str,
+                    verdict: str, detail: str) -> None:
+        self.leases.release(lease_id)
+        state = self.store.record_shard_failure(job_id, shard, lease_id,
+                                                verdict, detail)
+        self._publish(job_id, "shard-failed", shard=shard, verdict=verdict)
+        if state != LEASED:
+            # The shard's lease generation ended; a future straggler
+            # scan may hedge the next one.
+            self._unhedge(job_id, shard)
+        if state == QUEUED:
+            view = self.store.view(job_id)
+            sv = view.shards.get(shard) if view is not None else None
+            attempts = sv.attempts if sv is not None else 1
+            delay = backoff_delay_s(self.retry_policy,
+                                    f"{job_id}/s{shard}", attempts)
+            with self._deferred_lock:
+                self._deferred.append(
+                    (self._clock() + delay,
+                     ("shard", job_id, shard, False)))
+        elif state == DEAD:
+            self._publish(job_id, "shard-dead", shard=shard, verdict=verdict)
+            self._maybe_merge(job_id)
+        # state == "leased": the other of the primary/hedge pair is
+        # still running the shard — no requeue, nothing more to do.
+
+    def _revoke_losers(self, job_id: str, shard: int) -> None:
+        """Kill the leases (and children) still racing a sealed shard.
+
+        Release-before-kill ordering matters: once the loser's lease is
+        gone, its SIGKILL-induced failure is stale-ignored by the store,
+        so a revoked hedge never burns the shard's retry budget.
+        """
+        for loser in self.leases.for_task(job_id, shard):
+            self.leases.release(loser.lease_id)
+            if loser.child_pid:
+                try:
+                    os.kill(loser.child_pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+        self._unhedge(job_id, shard)
+
+    def _unhedge(self, job_id: str, shard: int) -> None:
+        with self._hedged_lock:
+            self._hedged.discard((job_id, shard))
+
+    def _maybe_merge(self, job_id: str) -> None:
+        """Enqueue the merge once every shard is sealed (DONE or DEAD).
+
+        Duplicate merge items are benign: the store's terminal-seal
+        guard accepts only the first, and the merge is deterministic.
+        """
+        view = self.store.view(job_id)
+        if view is None or view.state != RUNNING:
+            return
+        plan = plan_shards(view.spec)
+        for i in range(plan.n_shards):
+            sv = view.shards.get(i)
+            if sv is None or sv.state not in (DONE, DEAD):
+                return
+        self._enqueue(("merge", job_id))
+
+    def _merge(self, job_id: str) -> None:
+        """The deterministic merge stage: union clouds, re-carve, seal."""
+        view = self.store.view(job_id)
+        if view is None or view.state != RUNNING:
+            return  # already sealed by an earlier merge item
+        plan = plan_shards(view.spec)
+        done = {i: sv.result for i, sv in view.shards.items()
+                if sv.state == DONE and sv.result is not None}
+        dead = sorted(i for i, sv in view.shards.items()
+                      if sv.state == DEAD)
+        if not done:
+            if self.store.record_job_dead(job_id, "ALL-SHARDS-DEAD"):
+                self._publish(job_id, "dead", verdict="ALL-SHARDS-DEAD")
+            return
+        try:
+            if dead:
+                missing = missing_theta_manifest(plan, dead)
+                result = merge_shard_results(view.spec, done,
+                                             missing=missing)
+                if self.store.record_partial(job_id, result):
+                    self._publish(job_id, "partial", missing_shards=dead)
+            else:
+                result = merge_shard_results(view.spec, done)
+                if self.store.record_merge(job_id, result):
+                    self._publish(job_id, "done",
+                                  n_shards=plan.n_shards)
+        # kondo: allow[KND003] a merge failure dead-letters the job with
+        # a typed verdict instead of wedging it in RUNNING forever
+        except Exception as exc:  # noqa: BLE001
+            if self.store.record_job_dead(job_id, "MERGE-FAILED"):
+                self._publish(job_id, "dead", verdict="MERGE-FAILED",
+                              detail=f"{type(exc).__name__}: {exc}")
 
     # -- the sweeper --------------------------------------------------------
 
@@ -443,29 +904,64 @@ class KondoService:
             self._stop.wait(timeout=TICK_S)
             # Expired leases: the worker (or its child) went silent.
             for lease in self.leases.expired():
-                self.store.record_failure(
-                    lease.job_id, lease.lease_id, "LEASE-EXPIRED",
+                detail = (
                     f"lease {lease.lease_id} of worker {lease.worker} "
                     f"expired after {self.lease_ttl_s}s without a "
-                    f"heartbeat",
+                    f"heartbeat"
                 )
+                if lease.shard is not None:
+                    self._fail_shard(lease.job_id, lease.shard,
+                                     lease.lease_id, "LEASE-EXPIRED",
+                                     detail)
+                    continue
+                self.store.record_failure(lease.job_id, lease.lease_id,
+                                          "LEASE-EXPIRED", detail)
+                self._publish(lease.job_id, "failed",
+                              verdict="LEASE-EXPIRED")
                 view = self.store.view(lease.job_id)
                 if view is not None and view.state == QUEUED:
                     delay = backoff_delay_s(self.retry_policy,
                                             lease.job_id, view.attempts)
                     with self._deferred_lock:
                         self._deferred.append(
-                            (self._clock() + delay, lease.job_id))
+                            (self._clock() + delay,
+                             ("job", lease.job_id)))
+            self._sweep_stragglers()
             # Deferred retries whose backoff elapsed.
             now = self._clock()
             with self._deferred_lock:
-                due = [j for t, j in self._deferred if t <= now]
-                self._deferred = [(t, j) for t, j in self._deferred
+                due = [item for t, item in self._deferred if t <= now]
+                self._deferred = [(t, item) for t, item in self._deferred
                                   if t > now]
-            for job_id in due:
-                view = self.store.view(job_id)
-                if view is not None and view.state == QUEUED:
-                    self._enqueue(job_id)
+            for item in due:
+                self._enqueue(item)
             if self._draining.is_set() and self.leases.count == 0 \
                     and self._queue_empty():
                 self._drained.set()
+
+    def _sweep_stragglers(self) -> None:
+        """Hedge shards still on their first lease past ``hedge_after_s``.
+
+        One hedge per lease generation (the ``_hedged`` debounce clears
+        when the shard's leases end), and only when exactly one
+        non-hedge lease holds the shard — a shard already racing its
+        hedge is left alone.
+        """
+        if self.hedge_after_s is None or self._draining.is_set():
+            return
+        now = self._clock()
+        for lease in self.leases.snapshot():
+            if lease.shard is None or lease.hedge:
+                continue
+            if now - lease.granted_at < self.hedge_after_s:
+                continue
+            if len(self.leases.for_task(lease.job_id, lease.shard)) != 1:
+                continue
+            key = (lease.job_id, lease.shard)
+            with self._hedged_lock:
+                if key in self._hedged:
+                    continue
+                self._hedged.add(key)
+            self._publish(lease.job_id, "shard-hedged", shard=lease.shard,
+                          straggler_worker=lease.worker)
+            self._enqueue(("shard", lease.job_id, lease.shard, True))

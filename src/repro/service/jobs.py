@@ -20,6 +20,14 @@ State machine (every transition is one journal record in the store)::
 
 ``DONE``/``DEAD`` are terminal; ``CANCELLED`` may be resubmitted (a new
 ``submit`` record for the same key resets the attempt counter).
+
+Sharded jobs (``spec.shards > 0``) add a second level: the job enters
+``RUNNING`` when its first shard is leased, and each shard runs the
+same QUEUED → LEASED → DONE/DEAD machine with shard-granular journal
+records (``slease``/``sfailure``/``sdone``/``sdead``) — so a crashed
+worker requeues *only its lost shards*.  The merge stage seals the job
+``DONE`` when every shard completed, ``PARTIAL`` (with a missing-Θ
+manifest) when some shards dead-lettered, or ``DEAD`` when all did.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,18 +45,26 @@ from repro.resilience.retry import RetryPolicy
 #: Job lifecycle states (journal-derived; see the module docstring).
 QUEUED = "queued"
 LEASED = "leased"
+RUNNING = "running"
 DONE = "done"
+PARTIAL = "partial"
 DEAD = "dead"
 CANCELLED = "cancelled"
 
-STATES = (QUEUED, LEASED, DONE, DEAD, CANCELLED)
+STATES = (QUEUED, LEASED, RUNNING, DONE, PARTIAL, DEAD, CANCELLED)
 
-#: States in which a job still occupies queue capacity.
-ACTIVE_STATES = (QUEUED, LEASED)
+#: States in which a job still occupies queue capacity (``RUNNING`` is
+#: the sharded analogue of ``LEASED``: shards are in flight).
+ACTIVE_STATES = (QUEUED, LEASED, RUNNING)
 
 #: Terminal states a resubmission cannot reopen (DONE serves its cached
-#: result; DEAD stays dead-lettered until an operator intervenes).
-STICKY_STATES = (DONE, DEAD)
+#: result; PARTIAL serves its explicitly-marked partial result with the
+#: missing-Θ manifest; DEAD stays dead-lettered until an operator
+#: intervenes).
+STICKY_STATES = (DONE, PARTIAL, DEAD)
+
+#: States from which no further transition is possible.
+TERMINAL_STATES = (DONE, PARTIAL, DEAD, CANCELLED)
 
 
 def _canonical(obj) -> str:
@@ -71,6 +87,12 @@ class JobSpec:
         workers: debloat-test pool size for the execution.  *Not* part
             of Θ — pooled and serial campaigns are seed-for-seed
             identical, so they share a cache entry.
+        shards: shard the campaign into this many leasable units
+            (``0`` = the legacy single-campaign path).  *Whether* a job
+            is sharded is part of Θ (the sharded decomposition is a
+            different campaign), but the shard *count* is not: the
+            slice set is count-invariant, so every N produces the
+            bit-identical merged result and shares one cache entry.
         data_sha256: content hash of a real data file when one rides
             along (the D identity); ``None`` means the synthetic array
             the dims describe.
@@ -86,6 +108,7 @@ class JobSpec:
     budget_s: Optional[float] = None
     carver: str = "merge"
     workers: int = 0
+    shards: int = 0
     data_sha256: Optional[str] = None
     deadline_s: Optional[float] = None
 
@@ -108,18 +131,31 @@ class JobSpec:
             )
         if self.workers < 0:
             raise JobRejectedError(f"workers must be >= 0, got {self.workers}")
+        if not 0 <= self.shards <= 64:
+            raise JobRejectedError(
+                f"shards must be in [0, 64], got {self.shards}"
+            )
 
     # -- content addressing -------------------------------------------------
 
     @property
     def theta(self) -> dict:
-        """The Θ identity: everything that can change campaign output."""
-        return {
+        """The Θ identity: everything that can change campaign output.
+
+        ``sharded`` joins Θ only when set: the sharded slice
+        decomposition is a different campaign than the single-schedule
+        run, but the shard *count* is output-invariant, so it stays out
+        — and unsharded specs keep their pre-sharding keys.
+        """
+        theta = {
             "seed": self.seed,
             "max_iter": self.max_iter,
             "budget_s": self.budget_s,
             "carver": self.carver,
         }
+        if self.shards:
+            theta["sharded"] = True
+        return theta
 
     @property
     def theta_hash(self) -> str:
@@ -150,6 +186,7 @@ class JobSpec:
             "budget_s": self.budget_s,
             "carver": self.carver,
             "workers": self.workers,
+            "shards": self.shards,
             "data_sha256": self.data_sha256,
             "deadline_s": self.deadline_s,
         }
@@ -174,6 +211,33 @@ class JobSpec:
 
 
 @dataclass
+class ShardView:
+    """Derived (in-memory) state of one shard of a sharded job."""
+
+    index: int
+    state: str = QUEUED
+    attempts: int = 0
+    verdicts: List[str] = field(default_factory=list)
+    result: Optional[dict] = None
+    #: Primary lease, and (while a hedged duplicate races it) the hedge.
+    lease_id: Optional[str] = None
+    hedge_lease_id: Optional[str] = None
+    worker: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "shard": self.index,
+            "state": self.state,
+            "attempts": self.attempts,
+            "verdicts": list(self.verdicts),
+            "n_indices": (self.result or {}).get("n_indices"),
+            "lease": self.lease_id,
+            "hedge_lease": self.hedge_lease_id,
+            "worker": self.worker,
+        }
+
+
+@dataclass
 class JobView:
     """Derived (in-memory) state of one job, folded from the journal."""
 
@@ -184,6 +248,9 @@ class JobView:
     result: Optional[dict] = None
     lease_id: Optional[str] = None
     worker: Optional[str] = None
+    #: Per-shard state, keyed by shard index (sharded jobs only; a
+    #: shard appears once its first lease is journaled).
+    shards: Dict[int, ShardView] = field(default_factory=dict)
 
     @property
     def job_id(self) -> str:
@@ -194,7 +261,7 @@ class JobView:
         return self.state in ACTIVE_STATES
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "job": self.job_id,
             "program": self.spec.program,
             "dims": list(self.spec.dims),
@@ -205,6 +272,10 @@ class JobView:
             "lease": self.lease_id,
             "worker": self.worker,
         }
+        if self.spec.shards:
+            out["shards"] = [self.shards[i].to_json()
+                             for i in sorted(self.shards)]
+        return out
 
 
 def backoff_delay_s(policy: RetryPolicy, job_id: str, attempt: int) -> float:

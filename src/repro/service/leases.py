@@ -1,17 +1,24 @@
 """Worker leases with heartbeats and clock-injected expiry.
 
 A lease is the daemon's in-memory claim ticket: worker W owns job J
-until ``expires_at``.  Heartbeats — forwarded from the supervised
-child's own heartbeat pipe, so they prove the *process doing the work*
-is alive, not just the thread that forked it — push the expiry forward.
-A worker that dies, hangs, or gets OOM-killed stops beating; the
-daemon's sweeper collects the expired lease and requeues the job.
+(or one shard of it) until ``expires_at``.  Heartbeats — forwarded
+from the supervised child's own heartbeat pipe, so they prove the
+*process doing the work* is alive, not just the thread that forked it —
+push the expiry forward.  A worker that dies, hangs, or gets OOM-killed
+stops beating; the daemon's sweeper collects the expired lease and
+requeues the job (or only that shard).
+
+Sharded jobs lease at shard granularity: the task key is
+``(job_id, shard)`` and up to *two* leases may race on one shard — the
+primary and, once the straggler detector fires, a speculative hedge.
+First completion wins; the store's ``sdone`` guard drops the loser.
 
 Leases are deliberately *not* journaled: they never outlive the daemon
 process (recovery requeues every leased job), and heartbeats at worker
 frequency would swamp the append-only log.  What *is* journaled is the
-lease id, stamped into the ``lease``/``complete``/``failure`` records so
-the store can refuse a completion from a lease that already expired.
+lease id, stamped into the ``lease``/``complete``/``failure`` (and
+``slease``/``sdone``/``sfailure``) records so the store can refuse a
+completion from a lease that already expired.
 
 The clock is injectable (monotonic by default) so expiry is unit-testable
 without sleeping.
@@ -22,23 +29,35 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 
 
 @dataclass
 class Lease:
-    """One worker's claim on one job."""
+    """One worker's claim on one job (or one shard of a sharded job)."""
 
     lease_id: str
     job_id: str
     worker: str
     expires_at: float
+    #: Shard index for shard-granular leases; ``None`` on the legacy
+    #: whole-job path.
+    shard: Optional[int] = None
+    #: True for a speculative (straggler-hedge) duplicate lease.
+    hedge: bool = False
+    #: Grant time on the injected clock — what the straggler detector
+    #: compares against ``hedge_after_s``.
+    granted_at: float = 0.0
     beats: int = 0
     #: PID of the supervised child executing the job, once forked —
     #: what a chaos drill (or an operator) SIGKILLs to test requeue.
     child_pid: Optional[int] = None
+
+
+#: A lease's task key: (job id, shard index or None).
+TaskKey = Tuple[str, Optional[int]]
 
 
 class LeaseManager:
@@ -56,24 +75,46 @@ class LeaseManager:
         self.ttl_s = ttl_s
         self._clock = clock
         self._leases: Dict[str, Lease] = {}
-        self._by_job: Dict[str, str] = {}
+        self._by_task: Dict[TaskKey, List[str]] = {}
         self._granted = 0
         self._lock = threading.Lock()
 
-    def grant(self, job_id: str, worker: str) -> Lease:
-        """Claim ``job_id`` for ``worker``; one live lease per job."""
+    def grant(self, job_id: str, worker: str, shard: Optional[int] = None,
+              hedge: bool = False) -> Lease:
+        """Claim a task for ``worker``.
+
+        Whole jobs and shard primaries allow one live lease per task;
+        a hedge is the one sanctioned exception — it requires exactly
+        one existing (primary) lease to race against.
+        """
         with self._lock:
-            if job_id in self._by_job:
-                raise ServiceError(f"job {job_id} is already leased")
+            key: TaskKey = (job_id, shard)
+            holders = self._by_task.get(key, [])
+            if hedge:
+                if shard is None:
+                    raise ServiceError("only shards can be hedged")
+                if len(holders) != 1:
+                    raise ServiceError(
+                        f"shard {shard} of {job_id} has {len(holders)} "
+                        f"lease(s); a hedge needs exactly one primary"
+                    )
+            elif holders:
+                raise ServiceError(
+                    f"task {key} is already leased"
+                )
             self._granted += 1
+            now = self._clock()
             lease = Lease(
                 lease_id=f"L{self._granted:06d}",
                 job_id=job_id,
                 worker=worker,
-                expires_at=self._clock() + self.ttl_s,
+                expires_at=now + self.ttl_s,
+                shard=shard,
+                hedge=hedge,
+                granted_at=now,
             )
             self._leases[lease.lease_id] = lease
-            self._by_job[job_id] = lease.lease_id
+            self._by_task.setdefault(key, []).append(lease.lease_id)
             return lease
 
     def heartbeat(self, lease_id: str) -> bool:
@@ -94,14 +135,42 @@ class LeaseManager:
 
     def release(self, lease_id: str) -> None:
         with self._lock:
-            lease = self._leases.pop(lease_id, None)
-            if lease is not None:
-                self._by_job.pop(lease.job_id, None)
+            self._purge(lease_id)
+
+    def _purge(self, lease_id: str) -> None:
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return
+        key: TaskKey = (lease.job_id, lease.shard)
+        holders = self._by_task.get(key)
+        if holders is not None:
+            try:
+                holders.remove(lease_id)
+            except ValueError:
+                pass
+            if not holders:
+                self._by_task.pop(key, None)
 
     def for_job(self, job_id: str) -> Optional[Lease]:
+        """The whole-job lease for ``job_id`` (legacy path), if live."""
         with self._lock:
-            lease_id = self._by_job.get(job_id)
-            return self._leases.get(lease_id) if lease_id else None
+            holders = self._by_task.get((job_id, None), [])
+            return self._leases.get(holders[0]) if holders else None
+
+    def for_task(self, job_id: str, shard: Optional[int]) -> List[Lease]:
+        """Every live lease on one task (primary first, then hedge)."""
+        with self._lock:
+            holders = self._by_task.get((job_id, shard), [])
+            return [self._leases[h] for h in holders if h in self._leases]
+
+    def get(self, lease_id: str) -> Optional[Lease]:
+        with self._lock:
+            return self._leases.get(lease_id)
+
+    def snapshot(self) -> List[Lease]:
+        """Every live lease (for the straggler detector's scan)."""
+        with self._lock:
+            return list(self._leases.values())
 
     def expired(self) -> List[Lease]:
         """Pop and return every lease past its expiry."""
@@ -109,8 +178,7 @@ class LeaseManager:
         with self._lock:
             dead = [l for l in self._leases.values() if l.expires_at <= now]
             for lease in dead:
-                self._leases.pop(lease.lease_id, None)
-                self._by_job.pop(lease.job_id, None)
+                self._purge(lease.lease_id)
             return dead
 
     @property

@@ -25,10 +25,32 @@ Record vocabulary (``op`` field)::
     cancel    {job}                         operator cancelled a queued job
     shutdown  {}                            clean drain marker
 
-A ``lease`` with no matching terminal record means the owning daemon
-died mid-job: recovery folds the job back to QUEUED (the lease holder is
-gone with the process).  Monotonic ``seq`` numbers — never wall-clock
-timestamps — order the log, so recovery replays identically anywhere.
+Sharded jobs add shard-granular records (``shard`` is the shard index;
+exactly-once completion holds *per shard*)::
+
+    slease    {job, shard, lease, worker, hedge}   shard claimed
+                                            (``hedge`` marks a
+                                            speculative duplicate)
+    sfailure  {job, shard, lease, verdict, detail} shard attempt failed
+    sdone     {job, shard, lease, result}   shard sealed; ``result``
+                                            carries the run-length
+                                            encoded point cloud, so the
+                                            merge is always recoverable
+                                            from the journal alone
+    sdead     {job, shard, verdict}         shard retries exhausted
+    partial   {job, result}                 merged PARTIAL result with
+                                            the missing-Θ manifest
+
+A ``lease``/``slease`` with no matching terminal record means the
+owning daemon died mid-job: recovery folds the job (or only that shard)
+back to QUEUED — the lease holder is gone with the process.  Monotonic
+``seq`` numbers — never wall-clock timestamps — order the log, so
+recovery replays identically anywhere.
+
+Completed results also spill into the content-addressed
+:class:`~repro.service.bundles.ResultCache`, which is what lets
+:meth:`JobStore.compact` drop terminal jobs' records from the journal
+without losing the dedupe cache.
 """
 
 from __future__ import annotations
@@ -38,23 +60,29 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FileFormatError, ServiceError
-from repro.ioutil import durable_append, fsync_dir
+from repro.ioutil import atomic_write, durable_append, fsync_dir
 from repro.resilience.durability.records import parse_log, seal_record
+from repro.service.bundles import ResultCache
 from repro.service.jobs import (
     CANCELLED,
     DEAD,
     DONE,
     LEASED,
+    PARTIAL,
     QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
     JobSpec,
     JobView,
+    ShardView,
 )
 
 LOG_NAME = "jobs.log"
+RESULTS_DIR = "results"
 
 #: Record operations, the full journal vocabulary.
 OPS = ("submit", "lease", "failure", "dead", "complete", "cancel",
-       "shutdown")
+       "shutdown", "slease", "sfailure", "sdone", "sdead", "partial")
 
 
 class JobStore:
@@ -76,6 +104,9 @@ class JobStore:
         self.state_dir = state_dir
         self.log_path = os.path.join(state_dir, LOG_NAME)
         self.retries = retries
+        #: Content-addressed spill of completed results — the dedupe
+        #: cache that survives journal compaction and restarts.
+        self.results = ResultCache(os.path.join(state_dir, RESULTS_DIR))
         self.jobs: Dict[str, JobView] = {}
         self.records: List[dict] = []
         #: True when the last intact record is a clean ``shutdown``
@@ -115,12 +146,23 @@ class JobStore:
             store._fold(rec)
         store.records = records
         store.clean_shutdown = bool(records) and records[-1]["op"] == "shutdown"
-        # Leases never survive the process that granted them: requeue.
+        # Leases never survive the process that granted them: requeue —
+        # and for sharded jobs, requeue *only the lost shards*.
         for job_id, view in store.jobs.items():
             if view.state == LEASED:
                 view.state = QUEUED
                 view.lease_id = None
                 view.worker = None
+                store.recovered_jobs.append(job_id)
+            lost_shards = False
+            for sv in view.shards.values():
+                if sv.state == LEASED:
+                    sv.state = QUEUED
+                    sv.lease_id = None
+                    sv.hedge_lease_id = None
+                    sv.worker = None
+                    lost_shards = True
+            if lost_shards:
                 store.recovered_jobs.append(job_id)
         return store
 
@@ -156,6 +198,13 @@ class JobStore:
             view.state = DEAD
             view.lease_id = None
             view.worker = None
+            # Surface a job-level dead-letter verdict (ALL-SHARDS-DEAD,
+            # MERGE-FAILED); the legacy failure+dead pair already folded
+            # it, so skip when it is the most recent entry.
+            verdict = rec.get("verdict")
+            if verdict and (not view.verdicts
+                            or view.verdicts[-1] != verdict):
+                view.verdicts.append(verdict)
         elif op == "complete":
             view.state = DONE
             view.result = rec["result"]
@@ -165,8 +214,52 @@ class JobStore:
             view.state = CANCELLED
             view.lease_id = None
             view.worker = None
+        elif op == "partial":
+            view.state = PARTIAL
+            view.result = rec["result"]
+            view.lease_id = None
+            view.worker = None
+        elif op in ("slease", "sfailure", "sdone", "sdead"):
+            self._fold_shard(op, rec, view)
         else:
             raise FileFormatError(f"job journal corrupt: unknown op {op!r}")
+
+    def _fold_shard(self, op: str, rec: dict, view: JobView) -> None:
+        """Apply one shard-granular record to its job view."""
+        idx = rec["shard"]
+        sv = view.shards.get(idx)
+        if sv is None:
+            sv = view.shards[idx] = ShardView(index=idx)
+        if op == "slease":
+            if rec.get("hedge"):
+                sv.hedge_lease_id = rec["lease"]
+            else:
+                sv.lease_id = rec["lease"]
+            sv.state = LEASED
+            sv.worker = rec["worker"]
+            view.state = RUNNING
+        elif op == "sfailure":
+            if sv.lease_id == rec["lease"]:
+                sv.lease_id = None
+            elif sv.hedge_lease_id == rec["lease"]:
+                sv.hedge_lease_id = None
+            sv.attempts += 1
+            sv.verdicts.append(rec["verdict"])
+            view.verdicts.append(f"shard{idx}:{rec['verdict']}")
+            if sv.lease_id is None and sv.hedge_lease_id is None:
+                sv.state = QUEUED
+                sv.worker = None
+        elif op == "sdone":
+            sv.state = DONE
+            sv.result = rec["result"]
+            sv.lease_id = None
+            sv.hedge_lease_id = None
+            sv.worker = None
+        elif op == "sdead":
+            sv.state = DEAD
+            sv.lease_id = None
+            sv.hedge_lease_id = None
+            sv.worker = None
 
     def _append(self, rec: dict) -> None:
         rec = dict(rec, seq=len(self.records) + 1)
@@ -251,6 +344,7 @@ class JobStore:
             # completions — dropping the lock first reopens the race
             self._append({"op": "complete", "job": job_id,
                           "lease": lease_id, "result": result})
+            self.results.put(job_id, result)
             return True
 
     def record_failure(self, job_id: str, lease_id: Optional[str],
@@ -293,6 +387,185 @@ class JobStore:
             # queued-state check and the durable cancel must be atomic
             # or a concurrent lease can resurrect a cancelled job
             self._append({"op": "cancel", "job": job_id})
+
+    # -- shard transitions --------------------------------------------------
+
+    def record_shard_lease(self, job_id: str, shard: int, lease_id: str,
+                           worker: str, hedge: bool = False) -> JobView:
+        """Journal a shard claim (or a speculative hedged duplicate).
+
+        A primary lease needs the shard QUEUED (or never yet leased);
+        a hedge needs a live primary and no hedge already racing it.
+        """
+        with self._lock:
+            view = self._require(job_id)
+            if view.state not in (QUEUED, RUNNING):
+                raise ServiceError(
+                    f"job {job_id} is {view.state}; cannot lease shard "
+                    f"{shard}"
+                )
+            sv = view.shards.get(shard)
+            if hedge:
+                if (sv is None or sv.state != LEASED
+                        or sv.lease_id is None
+                        or sv.hedge_lease_id is not None):
+                    raise ServiceError(
+                        f"shard {shard} of {job_id} is not hedgeable"
+                    )
+            elif sv is not None and sv.state != QUEUED:
+                raise ServiceError(
+                    f"shard {shard} of {job_id} is {sv.state}, not "
+                    f"queued; cannot lease"
+                )
+            # kondo: allow[KND012] journal-before-mutate by design: an
+            # un-journaled shard lease would double-dispatch the shard
+            # after a crash, exactly like the whole-job lease path
+            self._append({"op": "slease", "job": job_id, "shard": shard,
+                          "lease": lease_id, "worker": worker,
+                          "hedge": hedge})
+            return view
+
+    def record_shard_done(self, job_id: str, shard: int, lease_id: str,
+                          result: dict) -> bool:
+        """Seal one shard's success; returns False for a stale lease.
+
+        First-completion-wins: the sdone is accepted from whichever of
+        the primary/hedge leases lands first; the loser (or any expired
+        lease) sees the shard already DONE and gets ``False``.
+        """
+        with self._lock:
+            view = self._require(job_id)
+            sv = view.shards.get(shard)
+            if (sv is None or sv.state != LEASED
+                    or lease_id not in (sv.lease_id, sv.hedge_lease_id)):
+                return False
+            # kondo: allow[KND012] journal-before-mutate by design: the
+            # exactly-once-per-shard guarantee needs the lease check and
+            # the durable sdone to be atomic against the racing hedge
+            self._append({"op": "sdone", "job": job_id, "shard": shard,
+                          "lease": lease_id, "result": result})
+            return True
+
+    def record_shard_failure(self, job_id: str, shard: int,
+                             lease_id: Optional[str], verdict: str,
+                             detail: str = "") -> str:
+        """Record one shard attempt's failure; returns the shard state.
+
+        Only the failing lease is removed: while the other of the
+        primary/hedge pair is still alive the shard stays LEASED (no
+        requeue).  Once both are gone the shard requeues, or — past the
+        retry budget — dead-letters with a typed ``sdead`` verdict.
+        A stale lease's failure is ignored.
+        """
+        with self._lock:
+            view = self._require(job_id)
+            sv = view.shards.get(shard)
+            if (sv is None or sv.state != LEASED or lease_id is None
+                    or lease_id not in (sv.lease_id, sv.hedge_lease_id)):
+                return sv.state if sv is not None else QUEUED
+            # kondo: allow[KND012] journal-before-mutate by design: the
+            # failure record and the requeue/dead-letter decision must
+            # commit together or a crash double-counts the attempt
+            self._append({"op": "sfailure", "job": job_id, "shard": shard,
+                          "lease": lease_id, "verdict": verdict,
+                          "detail": detail})
+            if sv.state == QUEUED and sv.attempts > self.retries:
+                # kondo: allow[KND012] journal-before-mutate by design:
+                # same atomic failure+dead-letter transition as above
+                self._append({"op": "sdead", "job": job_id,
+                              "shard": shard, "verdict": verdict})
+            return sv.state
+
+    def record_merge(self, job_id: str, result: dict) -> bool:
+        """Seal a sharded job's merged success; False if already sealed.
+
+        Duplicate merge attempts are benign: the merge is deterministic,
+        so the second attempt computes the identical result and is
+        simply dropped here.
+        """
+        with self._lock:
+            view = self._require(job_id)
+            if view.state != RUNNING:
+                return False
+            # kondo: allow[KND012] journal-before-mutate by design: the
+            # merged result is the job's terminal record; the state
+            # check and the append must be one critical section
+            self._append({"op": "complete", "job": job_id,
+                          "lease": None, "result": result})
+            self.results.put(job_id, result)
+            return True
+
+    def record_partial(self, job_id: str, result: dict) -> bool:
+        """Seal a sharded job as explicitly PARTIAL; False if sealed.
+
+        The result carries the missing-Θ-region manifest.  PARTIAL
+        results are *not* spilled to the dedupe cache — a resubmission
+        of the same key after the dead shards' cause is fixed should
+        re-run, not be served the hole-y result forever.
+        """
+        with self._lock:
+            view = self._require(job_id)
+            if view.state != RUNNING:
+                return False
+            # kondo: allow[KND012] journal-before-mutate by design: same
+            # atomic terminal-seal discipline as record_merge
+            self._append({"op": "partial", "job": job_id,
+                          "result": result})
+            return True
+
+    def record_job_dead(self, job_id: str, verdict: str) -> bool:
+        """Dead-letter a sharded job whose every shard died."""
+        with self._lock:
+            view = self._require(job_id)
+            if view.state != RUNNING:
+                return False
+            # kondo: allow[KND012] journal-before-mutate by design: same
+            # atomic terminal-seal discipline as record_merge
+            self._append({"op": "dead", "job": job_id, "verdict": verdict})
+            return True
+
+    def shard_done_count(self, job_id: str, shard: int) -> int:
+        """How many ``sdone`` records the log holds for one shard."""
+        return sum(1 for r in self.records
+                   if r["op"] == "sdone" and r.get("job") == job_id
+                   and r.get("shard") == shard)
+
+    # -- dedupe cache / compaction ------------------------------------------
+
+    def cached_result(self, job_id: str) -> Optional[dict]:
+        """The spilled result for a key the journal no longer holds."""
+        return self.results.get(job_id)
+
+    def compact(self) -> int:
+        """Drop terminal DONE jobs' records from the journal.
+
+        Their results live on in the :class:`ResultCache` spill (written
+        here first if somehow absent), so the dedupe cache survives.
+        Non-DONE jobs — including PARTIAL and DEAD, which an operator
+        may still want to inspect — keep their full histories.  Returns
+        the number of records dropped.
+        """
+        with self._lock:
+            drop: set = set()
+            for job_id, view in self.jobs.items():
+                if view.state == DONE and view.result is not None:
+                    if self.results.get(job_id) is None:
+                        self.results.put(job_id, view.result)
+                    drop.add(job_id)
+            if not drop:
+                return 0
+            kept = [r for r in self.records if r.get("job") not in drop]
+            dropped = len(self.records) - len(kept)
+            # kondo: allow[KND012] compaction rewrites the journal under
+            # the store lock: the atomic_write publishes the filtered log
+            # all-or-nothing, and the in-memory view updates with it
+            with atomic_write(self.log_path, "wb") as fh:
+                for rec in kept:
+                    fh.write(seal_record(rec))
+            self.records = kept
+            for job_id in drop:
+                del self.jobs[job_id]
+            return dropped
 
     def record_shutdown(self) -> None:
         """Journal the clean-drain marker (the last record on disk)."""

@@ -596,3 +596,57 @@ class TestKND013ForkSafety:
             ),
         }, select=["KND013"])
         assert findings == []
+
+
+class TestKND014ShardMergeDeterminism:
+    def test_rng_wall_clock_and_unsorted_merge_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/shard_bad.py": (
+                "import random\n"
+                "import time\n"
+                "import numpy as np\n\n\n"
+                "def plan_slices(n):\n"
+                "    jitter = random.random()\n"
+                "    stamp = time.time()\n"
+                "    seeds = np.random.rand(n)\n"
+                "    return jitter, stamp, seeds\n\n\n"
+                "def merge_results(results):\n"
+                "    clouds = []\n"
+                "    for idx, res in results.items():\n"
+                "        clouds.append(res)\n"
+                "    return clouds\n"
+            ),
+        }, select=["KND014"])
+        assert rule_ids(findings) == ["KND014"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "wall-clock" in messages
+        assert "RNG call" in messages
+        assert "completion) order" in messages
+
+    def test_keyed_seeds_sorted_merge_and_out_of_scope_are_clean(
+            self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/shard_good.py": (
+                "import hashlib\n"
+                "import time\n\n\n"
+                "def derive_seed(job_key, index):\n"
+                "    digest = hashlib.sha256(\n"
+                "        f'{job_key}:{index}'.encode()).digest()\n"
+                "    return int.from_bytes(digest[:8], 'little')\n\n\n"
+                "def merge_results(results, budget_s):\n"
+                "    start = time.monotonic()\n"
+                "    clouds = [results[i] for i in sorted(results)]\n"
+                "    for idx in sorted(results.keys()):\n"
+                "        clouds.append(results[idx])\n"
+                "    return clouds, start\n"
+            ),
+            # Same hazards outside the shard modules: other rules' turf.
+            "repro/service/daemon2.py": (
+                "import time\n\n\n"
+                "def tick():\n"
+                "    return time.time()\n\n\n"
+                "def merge_views(views):\n"
+                "    return [v for _, v in views.items()]\n"
+            ),
+        }, select=["KND014"])
+        assert findings == []

@@ -35,6 +35,8 @@ class TestChaosDrills:
             "torn-patch-recovers", "hung-run-times-out",
             "leaky-run-contained", "worker-killed-mid-job-requeues",
             "serve-crash-recovers-queue",
+            "shard-worker-killed-requeues-only-lost-shards",
+            "straggler-hedge-first-completion-wins",
         }
         # The registry (and `kondo chaos --list`) must match what ran.
         assert [c.name for c in report.checks] == list(DRILL_NAMES)

@@ -1,0 +1,116 @@
+"""Result-bundle cache: CRC seals, compaction survival, dedupe-after-restart."""
+
+import os
+
+import pytest
+
+from repro.service import JobSpec, JobStore, KondoService, ServiceClient
+from repro.service.bundles import ResultCache
+
+DIMS = (16, 16)
+
+
+def spec(seed=0, **kw):
+    return JobSpec(program="CS", dims=DIMS, seed=seed, max_iter=10, **kw)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "results"))
+        key = "ab12cd34"
+        cache.put(key, {"observed": 7})
+        assert cache.get(key) == {"observed": 7}
+        assert cache.keys() == [key]
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "results"))
+        assert cache.get("ab12cd34") is None
+        assert cache.keys() == []
+
+    def test_corrupt_entry_is_a_miss_never_a_wrong_result(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "results"))
+        key = "ab12cd34"
+        path = cache.put(key, {"observed": 7})
+        raw = open(path, "rb").read()
+        # Flip one payload byte: the CRC seal must catch it.
+        with open(path, "wb") as fh:
+            fh.write(raw[:20] + bytes([raw[20] ^ 0xFF]) + raw[21:])
+        assert cache.get(key) is None
+        # Truncation degrades the same way.
+        with open(path, "wb") as fh:
+            fh.write(raw[: len(raw) // 2])
+        assert cache.get(key) is None
+
+    def test_entry_keyed_to_the_wrong_job_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "results"))
+        src = cache.put("ab12cd34", {"observed": 7})
+        os.rename(src, os.path.join(cache.cache_dir, "ee99ff00.json"))
+        assert cache.get("ee99ff00") is None
+
+    def test_bad_keys_never_become_paths(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "results"))
+        for bad in ("../escape", "UPPER00", "", "xyz"):
+            with pytest.raises(ValueError, match="bad result-cache key"):
+                cache.put(bad, {})
+
+
+class TestCompaction:
+    def test_compact_drops_done_jobs_and_keeps_live_ones(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        done, _ = store.submit(spec(seed=1))
+        store.record_lease(done.job_id, "L1", "w0")
+        store.record_complete(done.job_id, "L1", {"observed": 3})
+        live, _ = store.submit(spec(seed=2))
+        before = os.path.getsize(store.log_path)
+        dropped = store.compact()
+        assert dropped > 0
+        assert os.path.getsize(store.log_path) < before
+        assert done.job_id not in store.jobs
+        assert store.view(live.job_id).state == "queued"
+        # The dropped job's result survives in the bundle store.
+        assert store.cached_result(done.job_id) == {"observed": 3}
+
+    def test_compacted_journal_reopens_cleanly(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        done, _ = store.submit(spec(seed=1))
+        store.record_lease(done.job_id, "L1", "w0")
+        store.record_complete(done.job_id, "L1", {"observed": 3})
+        store.compact()
+        again = JobStore.open(str(tmp_path))
+        assert done.job_id not in again.jobs
+        assert again.cached_result(done.job_id) == {"observed": 3}
+
+    def test_dedupe_survives_compaction_and_restart(self, tmp_path):
+        # End to end: run a job, compact its journal away, restart the
+        # daemon, resubmit the identical spec — served from the bundle
+        # store without re-running.
+        ran = []
+
+        def runner(sj):
+            ran.append(sj["seed"])
+            return {"seed": sj["seed"]}
+
+        svc = KondoService(str(tmp_path), supervised=False,
+                           job_runner=runner, workers=1).start()
+        job = None
+        try:
+            client = ServiceClient(svc.socket_path, timeout_s=5.0)
+            job = client.submit(spec(seed=5))["job"]
+            first = client.wait_for(job, timeout_s=30.0)
+            assert first["state"] == "done"
+        finally:
+            svc.drain()  # graceful: compact_on_start needs a clean seal
+
+        svc2 = KondoService(str(tmp_path), supervised=False,
+                            job_runner=runner, workers=1,
+                            compact_on_start=True).start()
+        try:
+            assert job not in svc2.store.jobs  # compacted away
+            client = ServiceClient(svc2.socket_path, timeout_s=5.0)
+            again = client.submit(spec(seed=5))
+            assert again["deduped"]
+            assert again["cached"]
+            assert again["result"] == {"seed": 5}
+            assert ran == [5]  # the campaign ran exactly once
+        finally:
+            svc2.abort()

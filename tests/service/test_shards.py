@@ -1,0 +1,384 @@
+"""Sharded campaigns: planner determinism, N-invariance, shard journal.
+
+The hypothesis properties here pin the tentpole contract: the sharded
+campaign's merged output equals the shard-count-1 run bit-identically
+for *arbitrary* shard counts, the merge is order-free, and a shard
+journal cut at ANY byte recovers to old-or-new state with every landed
+``sdone`` preserved (lost shards — and only lost shards — requeue).
+"""
+
+import os
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.resilience.durability.records import parse_log
+from repro.service import JobSpec, JobStore
+from repro.service.shards import (
+    DEFAULT_SLICES,
+    ShardPlanner,
+    decode_runs,
+    derive_slice_seed,
+    encode_runs,
+    execute_shard,
+    merge_shard_results,
+    missing_theta_manifest,
+    plan_shards,
+    run_sharded_reference,
+)
+
+DIMS = (16, 16)
+MAX_ITER = 12
+
+
+def spec(shards=4, seed=3, **kw):
+    return JobSpec(program="CS", dims=DIMS, seed=seed, max_iter=MAX_ITER,
+                   shards=shards, **kw)
+
+
+class TestShardPlanner:
+    def test_plan_is_deterministic(self):
+        a = ShardPlanner().plan(spec())
+        b = ShardPlanner().plan(spec())
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_slice_grid_is_shard_count_invariant(self):
+        # The slice set depends only on the spec's Θ, never on N —
+        # the property that makes the merged result N-invariant.
+        grids = {n: plan_shards(spec(shards=n)).slices
+                 for n in (1, 2, 5, 16, 64)}
+        reference = grids.pop(1)
+        assert all(g == reference for g in grids.values())
+
+    def test_slices_partition_the_iteration_budget(self):
+        plan = plan_shards(spec())
+        assert sum(s.max_iter for s in plan.slices) == MAX_ITER
+        assert all(s.max_iter >= 1 for s in plan.slices)
+        # Strided grouping: every slice belongs to exactly one shard.
+        owned = [s.index for i in range(plan.n_shards)
+                 for s in plan.shard_slices(i)]
+        assert sorted(owned) == [s.index for s in plan.slices]
+
+    def test_slice_seeds_derive_from_the_job_key(self):
+        plan = plan_shards(spec())
+        for s in plan.slices:
+            assert s.seed == derive_slice_seed(plan.job_key, s.index)
+        # A different Θ is a different key, hence different seeds.
+        other = plan_shards(spec(seed=4))
+        assert other.slices[0].seed != plan.slices[0].seed
+
+    def test_shard_count_clamped_to_slice_count(self):
+        tiny = JobSpec(program="CS", dims=DIMS, max_iter=3, shards=64)
+        plan = plan_shards(tiny)
+        assert len(plan.slices) == 3
+        assert plan.n_shards == 3
+
+    def test_slice_count_capped(self):
+        big = JobSpec(program="CS", dims=DIMS, max_iter=500, shards=2)
+        assert len(plan_shards(big).slices) == DEFAULT_SLICES
+
+    def test_shard_index_bounds_checked(self):
+        plan = plan_shards(spec(shards=2))
+        with pytest.raises(ServiceError, match="out of range"):
+            plan.shard_slices(2)
+
+    def test_sharded_is_part_of_theta_but_count_is_not(self):
+        unsharded = JobSpec(program="CS", dims=DIMS, max_iter=MAX_ITER)
+        assert spec(shards=2).key == spec(shards=7).key
+        assert spec(shards=2).key != unsharded.key
+
+    def test_shards_out_of_range_rejected(self):
+        from repro.errors import JobRejectedError
+
+        with pytest.raises(JobRejectedError, match="shards"):
+            JobSpec(program="CS", dims=DIMS, shards=65)
+
+
+class TestRunCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2000),
+                    max_size=200))
+    def test_roundtrip_is_sorted_unique_identity(self, offsets):
+        runs = encode_runs(np.asarray(offsets, dtype=np.int64))
+        back = decode_runs(runs)
+        assert np.array_equal(back, np.unique(offsets).astype(np.int64))
+
+    def test_canonical_encoding(self):
+        # Same offset *set*, any order/duplication → same encoding.
+        assert encode_runs([5, 1, 2, 3, 5]) == encode_runs([1, 2, 3, 5])
+        assert encode_runs([0, 1, 2, 7]) == [[0, 3], [7, 1]]
+        assert encode_runs([]) == []
+        assert decode_runs([]).size == 0
+
+
+class _Reference:
+    """The no-fault sharded run, computed once for the whole module."""
+
+    RESULT = None
+    SHARDS = None
+
+    @classmethod
+    def get(cls):
+        if cls.RESULT is None:
+            s = spec(shards=1)
+            cls.RESULT = run_sharded_reference(s)
+            plan = plan_shards(spec(shards=4))
+            cls.SHARDS = {
+                i: execute_shard(spec(shards=4).to_json(), i)
+                for i in range(plan.n_shards)
+            }
+        return cls.RESULT, cls.SHARDS
+
+
+class TestNInvariance:
+    """sharded(N) output == sharded(1) output bit-identically, any N."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=MAX_ITER))
+    def test_any_shard_count_is_bit_identical(self, n):
+        reference, _ = _Reference.get()
+        assert run_sharded_reference(spec(shards=n)) == reference
+
+    def test_retried_shard_is_bit_identical(self):
+        # The recovery guarantee rests on re-execution determinism.
+        _, shards = _Reference.get()
+        again = execute_shard(spec(shards=4).to_json(), 2)
+        assert again == shards[2]
+
+    def test_merge_is_order_free(self):
+        reference, shards = _Reference.get()
+        shuffled = {i: shards[i] for i in (3, 0, 2, 1)}
+        assert merge_shard_results(spec(shards=4), shuffled) == reference
+
+    def test_merged_result_carries_no_timings(self):
+        reference, shards = _Reference.get()
+        assert "elapsed" not in reference
+        assert all("elapsed" not in r for r in shards.values())
+
+
+class TestPartialManifest:
+    def test_manifest_names_exactly_the_dead_shards_slices(self):
+        s = spec(shards=4)
+        plan = plan_shards(s)
+        manifest = missing_theta_manifest(plan, [3, 1])
+        assert [m["shard"] for m in manifest] == [1, 3]
+        for m in manifest:
+            want = [sl.to_json() for sl in plan.shard_slices(m["shard"])]
+            assert m["slices"] == want
+
+    def test_partial_merge_marks_itself_and_unions_the_rest(self):
+        reference, shards = _Reference.get()
+        s = spec(shards=4)
+        plan = plan_shards(s)
+        done = {i: shards[i] for i in (0, 1, 3)}
+        missing = missing_theta_manifest(plan, [2])
+        partial = merge_shard_results(s, done, missing=missing)
+        assert partial["partial"] is True
+        assert [m["shard"] for m in partial["missing"]] == [2]
+        # The partial cloud is a subset of the full union.
+        assert partial["observed"] <= reference["observed"]
+
+
+def shard_spec(**kw):
+    return spec(shards=3, **kw)
+
+
+class TestShardStore:
+    def test_shard_lease_and_done(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        assert view.state == "running"
+        assert view.shards[0].state == "leased"
+        assert store.record_shard_done(job, 0, "L1", {"n_indices": 5})
+        assert view.shards[0].state == "done"
+        assert store.shard_done_count(job, 0) == 1
+
+    def test_first_completion_wins(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        store.record_shard_lease(job, 0, "L2", "w1", hedge=True)
+        assert store.record_shard_done(job, 0, "L2", {"winner": "hedge"})
+        # The straggling primary reports in late: dropped.
+        assert not store.record_shard_done(job, 0, "L1", {"loser": 1})
+        assert view.shards[0].result == {"winner": "hedge"}
+        assert store.shard_done_count(job, 0) == 1
+
+    def test_hedge_requires_a_live_primary(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        with pytest.raises(ServiceError, match="not hedgeable"):
+            store.record_shard_lease(view.job_id, 0, "L1", "w0",
+                                     hedge=True)
+
+    def test_one_lease_failure_keeps_shard_leased(self, tmp_path):
+        # Losing one of the primary/hedge pair is not a requeue: the
+        # other lease is still running the shard.
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        store.record_shard_lease(job, 0, "L2", "w1", hedge=True)
+        state = store.record_shard_failure(job, 0, "L1", "SIGNALED")
+        assert state == "leased"
+        assert view.shards[0].hedge_lease_id == "L2"
+        # Now the hedge dies too → requeue.
+        state = store.record_shard_failure(job, 0, "L2", "SIGNALED")
+        assert state == "queued"
+
+    def test_stale_shard_failure_is_ignored(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        store.record_shard_done(job, 0, "L1", {"ok": 1})
+        # A revoked loser's failure arrives after the shard sealed.
+        state = store.record_shard_failure(job, 0, "L1", "SIGNALED")
+        assert state == "done"
+        assert view.shards[0].verdicts == []
+
+    def test_retry_budget_dead_letters_the_shard(self, tmp_path):
+        store = JobStore.open(str(tmp_path), retries=1)
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        assert store.record_shard_failure(job, 0, "L1", "TIMEOUT") \
+            == "queued"
+        store.record_shard_lease(job, 0, "L2", "w0")
+        assert store.record_shard_failure(job, 0, "L2", "TIMEOUT") \
+            == "dead"
+        assert view.shards[0].state == "dead"
+        # Other shards are untouched by one shard's death.
+        store.record_shard_lease(job, 1, "L3", "w0")
+        assert view.shards[1].state == "leased"
+
+    def test_partial_seal_and_no_cache_spill(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        assert store.record_partial(job, {"partial": True})
+        assert view.state == "partial"
+        # PARTIAL results must not populate the dedupe cache.
+        assert store.cached_result(job) is None
+        # The seal is sticky: a second terminal write is refused.
+        assert not store.record_merge(job, {"late": 1})
+
+    def test_merge_seal_spills_to_cache(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        store.record_shard_done(job, 0, "L1", {"ok": 1})
+        assert store.record_merge(job, {"merged": True})
+        assert view.state == "done"
+        assert store.cached_result(job) == {"merged": True}
+
+    def test_recovery_requeues_only_lost_shards(self, tmp_path):
+        store = JobStore.open(str(tmp_path))
+        view, _ = store.submit(shard_spec())
+        job = view.job_id
+        store.record_shard_lease(job, 0, "L1", "w0")
+        store.record_shard_done(job, 0, "L1", {"ok": 1})
+        store.record_shard_lease(job, 1, "L2", "w0")
+        # Daemon dies here: shard 1 leased, shard 0 done, shard 2 untouched.
+        again = JobStore.open(str(tmp_path))
+        v = again.view(job)
+        assert v.shards[0].state == "done"
+        assert v.shards[0].result == {"ok": 1}
+        assert v.shards[1].state == "queued"
+        assert v.shards[1].lease_id is None
+        assert job in again.recovered_jobs
+
+
+def _build_sharded_journal(state_dir) -> tuple:
+    """A representative sharded journal: leases, a hedge race, a
+    failure, a dead-letter, a done shard, and a merged seal."""
+    store = JobStore.open(state_dir, retries=1)
+    a, _ = store.submit(shard_spec(seed=3))
+    store.record_shard_lease(a.job_id, 0, "L1", "w0")
+    store.record_shard_lease(a.job_id, 1, "L2", "w1")
+    store.record_shard_lease(a.job_id, 1, "L3", "w0", hedge=True)
+    store.record_shard_done(a.job_id, 1, "L3", {"cloud": [[0, 4]],
+                                                "n_indices": 4})
+    store.record_shard_failure(a.job_id, 0, "L1", "SIGNALED")
+    store.record_shard_lease(a.job_id, 0, "L4", "w1")
+    store.record_shard_done(a.job_id, 0, "L4", {"cloud": [[9, 2]],
+                                                "n_indices": 2})
+    store.record_shard_lease(a.job_id, 2, "L5", "w0")
+    store.record_shard_failure(a.job_id, 2, "L5", "TIMEOUT")
+    store.record_shard_lease(a.job_id, 2, "L6", "w0")
+    store.record_shard_failure(a.job_id, 2, "L6", "TIMEOUT")  # -> dead
+    store.record_partial(a.job_id, {"partial": True, "observed": 6})
+    b, _ = store.submit(shard_spec(seed=4))
+    store.record_shard_lease(b.job_id, 0, "L7", "w0")
+    with open(store.log_path, "rb") as fh:
+        raw = fh.read()
+    return raw, store.records
+
+
+class TestShardCrashPointProperty:
+    """A shard journal cut at ANY byte recovers old-or-new, exactly-once."""
+
+    RAW = None
+    RECORDS = None
+
+    @classmethod
+    def _reference(cls):
+        if cls.RAW is None:
+            ref_dir = tempfile.mkdtemp(prefix="kondo-shard-ref-")
+            try:
+                cls.RAW, cls.RECORDS = _build_sharded_journal(ref_dir)
+            finally:
+                shutil.rmtree(ref_dir, ignore_errors=True)
+        return cls.RAW, cls.RECORDS
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_recovery_is_a_record_prefix(self, data):
+        raw, records = self._reference()
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw)),
+                        label="crash byte")
+        work = tempfile.mkdtemp(prefix="kondo-shard-cut-")
+        try:
+            with open(os.path.join(work, "jobs.log"), "wb") as fh:
+                fh.write(raw[:cut])
+            store = JobStore.open(work, retries=1)
+            intact, _, _ = parse_log(raw[:cut])
+            assert store.records == intact
+            assert store.records == records[: len(store.records)]
+            # Reopen is stable, shard-for-shard.
+            again = JobStore.open(work, retries=1)
+            assert {(j, i): sv.state
+                    for j, v in again.jobs.items()
+                    for i, sv in v.shards.items()} == \
+                   {(j, i): sv.state
+                    for j, v in store.jobs.items()
+                    for i, sv in v.shards.items()}
+            for view in store.jobs.values():
+                # No lease survives the crash — at job or shard level.
+                assert view.state != "leased"
+                for sv in view.shards.values():
+                    assert sv.state != "leased"
+                    assert sv.lease_id is None
+                    assert sv.hedge_lease_id is None
+            # Every landed sdone is never lost, exactly-once per shard.
+            for rec in intact:
+                if rec["op"] == "sdone":
+                    sv = store.view(rec["job"]).shards[rec["shard"]]
+                    assert sv.state == "done"
+                    assert sv.result == rec["result"]
+                    assert store.shard_done_count(
+                        rec["job"], rec["shard"]) == 1
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
