@@ -35,6 +35,10 @@ Rule IDs are stable and append-only:
 * ``KND014`` shard-merge-determinism — shard planners read no global
   RNG or wall clock, and merge loops fold shard results in sorted
   order, never dict-completion order.
+* ``KND015`` fenced-store-writes — ``repro.service.fleet`` modules
+  write the shared store only through the token-stamping fencing
+  helpers, never via raw ``atomic_write``/``durable_append``/
+  ``os.open``/``open``.
 
 (``KND000`` is reserved for framework diagnostics.)
 """
@@ -55,6 +59,7 @@ from repro.analysis.rules.knd012_blocking_under_lock import (
 )
 from repro.analysis.rules.knd013_fork_safety import ForkSafetyRule
 from repro.analysis.rules.knd014_shard_merge import ShardMergeRule
+from repro.analysis.rules.knd015_fenced_store import FencedStoreRule
 
 __all__ = [
     "LAYERS",
@@ -66,6 +71,7 @@ __all__ = [
     "DurableWritesRule",
     "ErrorTaxonomyRule",
     "ExecutorPurityRule",
+    "FencedStoreRule",
     "ForkSafetyRule",
     "LayeringRule",
     "LockOrderRule",

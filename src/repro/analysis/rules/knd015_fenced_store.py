@@ -1,0 +1,132 @@
+"""KND015 — fleet shared-store writes go through the fencing helpers.
+
+The multi-host fleet's whole correctness argument (PR 10) is that every
+byte landing in the shared store is CRC-sealed **and token-stamped**:
+a record either carries the fencing token that was current when its
+writer held the shard, or it does not exist.  One raw write — an
+``atomic_write`` that replaces a lease without re-checking the token,
+a ``durable_append`` to an event trail with no stamp, an ``os.open``
+that truncates a completion record — reintroduces exactly the
+split-brain the tokens exist to prevent: a fenced-out worker's bytes
+mixed with a live worker's bookkeeping.
+
+So the write surface is centralized: ``repro.service.fleet.fencing``
+owns the raw primitives (``publish_sealed``, ``create_sealed_exclusive``,
+``append_sealed``), and every other module under ``repro.service.fleet``
+must call those helpers — never ``atomic_write``, ``durable_append``,
+a writable ``os.open``, or a writable builtin ``open`` directly.
+Reads (``open(path, 'rb')``) stay permitted; degrading a torn record
+to "absent" is the reader's job, not the writer's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.model import Finding, Severity
+from repro.analysis.project import Project, ProjectFile
+from repro.analysis.rulebase import Rule, register
+from repro.analysis.scopes import AliasTable
+
+#: The raw write primitives only the fencing helper may touch.
+RAW_WRITERS = {
+    "repro.ioutil.atomic_write",
+    "repro.ioutil.durable_append",
+}
+
+#: ``os.open`` flag names that make the descriptor writable.
+WRITE_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_EXCL", "O_APPEND",
+               "O_TRUNC"}
+
+#: The one module allowed to hold the primitives.
+FENCING_MODULE = "repro.service.fleet.fencing"
+
+
+def in_fleet_scope(module: str) -> bool:
+    """True for ``repro.service.fleet`` modules other than the helper."""
+    if not (module == "repro.service.fleet"
+            or module.startswith("repro.service.fleet.")):
+        return False
+    return module != FENCING_MODULE
+
+
+def _os_open_writes(call: ast.Call) -> bool:
+    """True when an ``os.open`` call's flags can write (or are opaque)."""
+    flags = call.args[1] if len(call.args) >= 2 else None
+    if flags is None:
+        for kw in call.keywords:
+            if kw.arg == "flags":
+                flags = kw.value
+    if flags is None:
+        return True  # flags we cannot see are flags we cannot trust
+    names = {node.attr for node in ast.walk(flags)
+             if isinstance(node, ast.Attribute)}
+    names |= {node.id for node in ast.walk(flags)
+              if isinstance(node, ast.Name)}
+    return bool(names & WRITE_FLAGS) or not names
+
+
+def _writable_mode(call: ast.Call) -> Optional[bool]:
+    """Whether a builtin ``open`` mode writes; None for a read mode."""
+    mode: Optional[ast.expr] = call.args[1] if len(call.args) >= 2 else None
+    if mode is None:
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+    if mode is None:
+        return None  # bare open(path) reads text — permitted
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(ch in mode.value for ch in "wax+") or None
+    return True  # dynamic mode: not reviewable as a read
+
+
+@register
+class FencedStoreRule(Rule):
+    rule_id = "KND015"
+    name = "fenced-store-writes"
+    severity = Severity.ERROR
+    summary = ("repro.service.fleet modules write the shared store only "
+               "through the token-stamping fencing helpers, never via "
+               "raw atomic_write/durable_append/os.open/open")
+    rationale = __doc__ or ""
+
+    def check(self, pf: ProjectFile, project: Project
+              ) -> Iterator[Finding]:
+        if not in_fleet_scope(pf.module):
+            return
+        aliases = AliasTable.scan(pf.tree)
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = aliases.qualify(node.func)
+            if qname in RAW_WRITERS:
+                helper = ("append_sealed"
+                          if qname.endswith("durable_append")
+                          else "publish_sealed")
+                yield self.finding(
+                    pf, node,
+                    f"raw {qname.rsplit('.', 1)[-1]}() in a fleet "
+                    f"module: shared-store records must be CRC-sealed "
+                    f"and token-stamped, so route this write through "
+                    f"repro.service.fleet.fencing.{helper}",
+                )
+            elif qname == "os.open" and _os_open_writes(node):
+                yield self.finding(
+                    pf, node,
+                    "writable os.open() in a fleet module: exclusive "
+                    "creates belong to repro.service.fleet.fencing."
+                    "create_sealed_exclusive, which seals and stamps "
+                    "the record it lands",
+                )
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                    and _writable_mode(node)):
+                yield self.finding(
+                    pf, node,
+                    "writable open() in a fleet module: every byte in "
+                    "the shared store carries a CRC seal and a fencing "
+                    "token, so writes flow through the "
+                    "repro.service.fleet.fencing helpers (reads like "
+                    "open(path, 'rb') are fine)",
+                )

@@ -22,8 +22,9 @@ Subcommands:
   hygiene, durable writes, bounded waits, vectorized audit hot paths,
   bounded service-layer queue/socket operations, plus the
   interprocedural concurrency rules — lock-order cycles, blocking
-  under a lock, fork safety — and shard-merge determinism (rules
-  KND001–KND014; see ``kondo check --list-rules``).  Parallel parse
+  under a lock, fork safety — shard-merge determinism, and fenced
+  fleet-store writes (rules
+  KND001–KND015; see ``kondo check --list-rules``).  Parallel parse
   with ``--jobs N`` and an automatic
   content-addressed cache under ``.kondo-cache/``; exits 0 clean, 1 on
   findings, 2 on analyzer failure.
@@ -327,6 +328,8 @@ def cmd_serve(args) -> int:
 
     from repro.service import KondoService
 
+    if args.fleet:
+        return _serve_fleet(args, _signal)
     service = KondoService(
         args.state_dir,
         socket_path=args.socket,
@@ -359,6 +362,40 @@ def cmd_serve(args) -> int:
     while not service.wait(timeout_s=1.0):
         pass
     print("kondo serve: drained")
+    return 0
+
+
+def _serve_fleet(args, _signal) -> int:
+    """``kondo serve --fleet <shared-dir>``: join a multi-host fleet."""
+    from repro.service import FleetService
+
+    service = FleetService(
+        args.fleet,
+        args.state_dir,
+        worker=args.worker_id,
+        socket_path=args.socket,
+        workers=args.workers,
+        lease_ttl_s=args.lease_ttl,
+        registry_ttl_s=args.registry_ttl,
+        hedge_after_s=args.hedge_after,
+    )
+    service.start()
+
+    def _on_signal(_signum, _frame):
+        import threading as _threading
+
+        _threading.Thread(target=service.drain, name="kondo-fleet-drain",
+                          daemon=True).start()
+
+    _signal.signal(_signal.SIGTERM, _on_signal)
+    _signal.signal(_signal.SIGINT, _on_signal)
+    print(f"kondo serve: fleet member {service.worker} "
+          f"(epoch {service.store.epoch}) on {service.socket_path}, "
+          f"shared store {args.fleet}")
+    sys.stdout.flush()
+    while not service.wait(timeout_s=1.0):
+        pass
+    print("kondo serve: left the fleet")
     return 0
 
 
@@ -415,6 +452,12 @@ def cmd_status(args) -> int:
             sys.stdout.flush()
         return 0 if final_state == "done" else 1
     response = client.status(args.job)
+    if response.get("partitioned"):
+        # Fleet daemon in degraded mode: what follows is its last good
+        # local snapshot, not live shared-store state.
+        print(f"warning: fleet daemon {response.get('worker', '?')} is "
+              f"PARTITIONED from its shared store; status below is the "
+              f"read-only local snapshot", file=sys.stderr)
     print(_json.dumps(response, indent=2, sort_keys=True))
     return 0
 
@@ -612,6 +655,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="after a clean-shutdown recovery, drop DONE "
                         "jobs' journal records (results persist in the "
                         "on-disk result cache)")
+    p.add_argument("--fleet", metavar="SHARED_DIR",
+                   help="join the multi-host fleet coordinating over "
+                        "this shared directory (fenced shard leases, "
+                        "worker registry, cross-host hedging); "
+                        "STATE_DIR stays per-daemon")
+    p.add_argument("--worker-id",
+                   help="fleet worker id, unique across hosts "
+                        "(default: generated)")
+    p.add_argument("--registry-ttl", type=float, default=10.0,
+                   help="seconds without a heartbeat before fleet "
+                        "peers treat this daemon as dead and reclaim "
+                        "its shards (default 10)")
 
     def _client_args(p):
         p.add_argument("--socket", required=True,
@@ -671,7 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.engine import add_arguments as add_check_arguments
 
     p = sub.add_parser("check",
-                       help="static AST invariant linter (KND001-KND014)")
+                       help="static AST invariant linter (KND001-KND015)")
     add_check_arguments(p)
 
     return parser

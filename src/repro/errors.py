@@ -143,6 +143,44 @@ class ServiceUnavailableError(ServiceProtocolError):
     """
 
 
+class FleetError(ServiceError):
+    """A multi-host fleet operation failed or was misused."""
+
+
+class StaleTokenError(FleetError):
+    """A fleet-store write carried a superseded fencing token.
+
+    Raised when a worker that lost its shard lease — because it paused,
+    was partitioned away, or simply straggled past the lease deadline —
+    tries to publish a completion (or renew its lease) after a newer
+    owner already claimed a higher token.  The write is rejected whole:
+    the shared store holds old-or-new records, never a hybrid.
+
+    Attributes:
+        token: the stale token the writer presented.
+        current: the highest token granted for the shard at check time.
+    """
+
+    def __init__(self, message: str, token: int = 0, current: int = 0):
+        super().__init__(message)
+        self.token = token
+        self.current = current
+
+
+class FleetPartitionedError(FleetError):
+    """The daemon has lost its shared fleet store and is read-only.
+
+    The typed form of a fleet daemon's degraded partition mode: it can
+    still answer local status reads from its last-known snapshot, but
+    cannot admit work, claim shards, or publish results until its
+    rejoin probe reaches the store again.  Carries ``code`` so callers
+    branching on :class:`JobRejectedError`-style rejection codes keep
+    working.
+    """
+
+    code = "PARTITIONED"
+
+
 class JobRejectedError(ServiceError):
     """The daemon refused a job submission.
 

@@ -1,7 +1,7 @@
 """End-to-end chaos drills: run the pipeline with faults armed, verify
 the resilience layer heals every one of them.
 
-Thirteen drills, one per failure class the resilience layer covers:
+Fifteen drills, one per failure class the resilience layer covers:
 
 1. **worker-killed** — debloat tests run on a pool with the first
    ``kill_workers`` evaluations failing; worker recovery must replay
@@ -54,6 +54,17 @@ Thirteen drills, one per failure class the resilience layer covers:
     parked loser's lease must be revoked without burning the shard's
     retry budget, and the merged result must be bit-identical to the
     no-fault run.
+14. **fleet-partition-heals** — one of two fleet daemons loses the
+    shared store mid-fleet; it must degrade to typed read-only
+    partition mode (``PARTITIONED`` rejections, degraded status) while
+    the survivor completes the campaign bit-identically, then heal,
+    rejoin under a bumped registry epoch, and serve the finished
+    result.
+15. **stale-worker-fenced-out** — a fleet worker pauses past its shard
+    lease; a peer reclaims the shard under a higher fencing token and
+    finishes the campaign, and the stale worker's late completion must
+    be rejected whole (``StaleTokenError``) — one completion per
+    shard, merge bit-identical, token audit clean.
 
 Used by ``kondo chaos`` and the ``pytest -m chaos`` suite.
 """
@@ -108,6 +119,8 @@ DRILL_NAMES = (
     "serve-crash-recovers-queue",
     "shard-worker-killed-requeues-only-lost-shards",
     "straggler-hedge-first-completion-wins",
+    "fleet-partition-heals",
+    "stale-worker-fenced-out",
 )
 
 #: Wall budget for one supervised run in the hang drill (seconds).
@@ -233,6 +246,12 @@ def run_chaos(
         )
         report.checks.append(
             _drill_straggler_hedge(program, dims, seed, workdir)
+        )
+        report.checks.append(
+            _drill_fleet_partition_heals(program, dims, seed, workdir)
+        )
+        report.checks.append(
+            _drill_stale_worker_fenced_out(program, dims, seed, workdir)
         )
     finally:
         if own_workdir:
@@ -992,3 +1011,152 @@ def _drill_straggler_hedge(program, dims, seed: int,
         return ChaosCheck(name, ok, detail)
     finally:
         service.drain()
+
+
+def _drill_fleet_partition_heals(program, dims, seed: int,
+                                 workdir: str) -> ChaosCheck:
+    """Partition one of two fleet daemons away from the shared store; it
+    must degrade to typed read-only mode while the survivor completes
+    the campaign bit-identically, then heal, rejoin under a bumped
+    epoch, and serve the finished result."""
+    import time
+
+    from repro.errors import FleetPartitionedError
+    from repro.resilience.faults import PartitionGate
+    from repro.service import JobSpec, ServiceClient, run_sharded_reference
+    from repro.service.fleet import FleetService
+
+    name = "fleet-partition-heals"
+    shared = os.path.join(workdir, "fleet-shared")
+    spec = JobSpec(program=program.name, dims=dims, seed=seed,
+                   max_iter=_SERVE_DRILL_ITER, shards=2)
+    reference = run_sharded_reference(spec)
+
+    gate = PartitionGate()
+    alpha = FleetService(shared, os.path.join(workdir, "fleet-a"),
+                         worker="drill-alpha", workers=1,
+                         heartbeat_interval_s=0.05,
+                         rejoin_base_s=0.02, rejoin_max_s=0.2).start()
+    beta = FleetService(shared, os.path.join(workdir, "fleet-b"),
+                        worker="drill-beta", workers=1,
+                        heartbeat_interval_s=0.05,
+                        rejoin_base_s=0.02, rejoin_max_s=0.2,
+                        fault_gate=gate).start()
+    try:
+        problems = []
+        gate.begin()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not beta.partitioned:
+            time.sleep(0.02)
+        if not beta.partitioned:
+            return ChaosCheck(name, False,
+                              "beta never noticed the partition")
+        beta_client = ServiceClient(beta.socket_path, timeout_s=5.0)
+        try:
+            beta_client.submit(spec)
+            problems.append("partitioned daemon accepted a submission")
+        except FleetPartitionedError:
+            pass
+        if not beta_client.status().get("partitioned"):
+            problems.append("partitioned status not rendered degraded")
+        alpha_client = ServiceClient(alpha.socket_path, timeout_s=5.0)
+        job_id = alpha_client.submit(spec)["job"]
+        final = alpha_client.wait_for(job_id, timeout_s=180.0)
+        if final["state"] != "done":
+            problems.append(f"survivor finished as {final['state']}")
+        elif final["result"]["carved_sha256"] != reference["carved_sha256"]:
+            problems.append("survivor result DIVERGED from reference")
+        gate.heal()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and beta.partitioned:
+            time.sleep(0.02)
+        if beta.partitioned:
+            problems.append("beta never rejoined after the heal")
+        elif beta.store.epoch < 2:
+            problems.append(
+                f"rejoin kept epoch {beta.store.epoch}; expected a bump")
+        else:
+            healed = beta_client.status(job_id)
+            if healed.get("state") != "done":
+                problems.append(
+                    f"rejoined daemon serves state {healed.get('state')!r}")
+        audit = alpha.store.token_audit(job_id)
+        if not audit["ok"]:
+            problems.append(f"token audit failed: {audit['shards']}")
+        ok = not problems
+        detail = ("; ".join(problems) if problems else
+                  "partitioned daemon degraded to typed read-only mode, "
+                  "survivor completed bit-identically, heal rejoined "
+                  "under a bumped epoch with a clean token audit")
+        return ChaosCheck(name, ok, detail)
+    finally:
+        alpha.drain()
+        gate.heal()
+        beta.drain()
+
+
+def _drill_stale_worker_fenced_out(program, dims, seed: int,
+                                   workdir: str) -> ChaosCheck:
+    """Pause a fleet worker past its lease, let a peer reclaim and finish
+    its shard under a higher fencing token, then have the stale worker
+    publish: the write must be rejected whole, with one completion per
+    shard and the reference digest."""
+    from repro.errors import StaleTokenError
+    from repro.service import JobSpec, run_sharded_reference
+    from repro.service.fleet import FakeClock, FleetStore, WorkerRegistry
+    from repro.service.shards import execute_shard, merge_shard_results
+
+    name = "stale-worker-fenced-out"
+    shared = os.path.join(workdir, "fleet-fencing")
+    spec = JobSpec(program=program.name, dims=dims, seed=seed,
+                   max_iter=_SERVE_DRILL_ITER, shards=2)
+    reference = run_sharded_reference(spec)
+
+    # Deterministic stores on one hand-cranked clock: "pausing" the
+    # stale worker is just advancing time past its lease while only the
+    # healthy peer keeps heartbeating.
+    clock = FakeClock()
+    stale = FleetStore(shared, "drill-stale", clock,
+                       registry=WorkerRegistry(shared, clock, ttl_s=2.0),
+                       lease_ttl_s=2.0)
+    peer = FleetStore(shared, "drill-peer", clock,
+                      registry=WorkerRegistry(shared, clock, ttl_s=2.0),
+                      lease_ttl_s=2.0)
+    stale.enlist()
+    peer.enlist()
+    stale.submit(spec)
+    job = spec.key
+    problems = []
+    paused = stale.claim_shard(job)  # shard 0, token 1 — then "pauses"
+    clock.advance(60.0)
+    peer.heartbeat()
+    reclaimed = peer.claim_shard(job)
+    if reclaimed is None or reclaimed.shard != paused.shard \
+            or reclaimed.token <= paused.token:
+        return ChaosCheck(name, False,
+                          f"peer failed to reclaim the paused shard "
+                          f"({reclaimed!r})")
+    peer.publish_done(reclaimed,
+                      execute_shard(spec.to_json(), reclaimed.shard))
+    other = peer.claim_shard(job)
+    peer.publish_done(other, execute_shard(spec.to_json(), other.shard))
+    # The stale worker wakes up and tries to publish its completion.
+    try:
+        stale.publish_done(paused, execute_shard(spec.to_json(),
+                                                 paused.shard))
+        problems.append("stale-token completion was ACCEPTED")
+    except StaleTokenError as exc:
+        if exc.token >= exc.current:
+            problems.append(f"fencing rejected a non-stale token: {exc}")
+    done = peer.shards_done(job)
+    merged = merge_shard_results(spec, done)
+    if merged["carved_sha256"] != reference["carved_sha256"]:
+        problems.append("merged result DIVERGED from reference")
+    audit = peer.token_audit(job)
+    if not audit["ok"]:
+        problems.append(f"token audit failed: {audit['shards']}")
+    ok = not problems
+    detail = ("; ".join(problems) if problems else
+              "paused worker's stale-token publish rejected whole; peer's "
+              "completions stand, merge bit-identical, token audit clean")
+    return ChaosCheck(name, ok, detail)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -431,6 +432,81 @@ class CrashAt:
                 f"injected campaign crash at call {self.calls}"
             )
         return self.fn(*args, **kwargs)
+
+
+class PartitionGate:
+    """Simulate a fleet daemon losing (and regaining) its shared store.
+
+    Passed as ``fault_gate`` to :class:`repro.service.fleet.FleetStore`,
+    which invokes the gate at the top of every shared-store operation.
+    While the partition is armed every operation raises :class:`OSError`
+    — exactly what an unreachable network mount produces — so the
+    daemon's partition detector, read-only degradation, and jittered
+    rejoin probing all exercise against the real code path.
+
+    ``heal_after`` (optional) auto-heals the partition once that many
+    operations have been blocked, letting a drill run the full
+    down-degrade-probe-rejoin arc without a second thread timing the
+    heal.
+    """
+
+    def __init__(self, heal_after: Optional[int] = None):
+        if heal_after is not None and heal_after < 1:
+            raise ResilienceConfigError(
+                f"heal_after must be >= 1, got {heal_after}"
+            )
+        self.heal_after = heal_after
+        self.blocked_calls = 0
+        self._down = threading.Event()
+
+    def begin(self) -> None:
+        """Arm the partition: store operations fail from now on."""
+        self._down.set()
+
+    def heal(self) -> None:
+        """Heal the partition: store operations succeed again."""
+        self._down.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._down.is_set()
+
+    def __call__(self) -> None:
+        if not self._down.is_set():
+            return
+        self.blocked_calls += 1
+        if self.heal_after is not None \
+                and self.blocked_calls >= self.heal_after:
+            self._down.clear()
+            return
+        raise OSError("injected partition: shared fleet store unreachable")
+
+
+class GateCrashPoint:
+    """Crash a fleet worker at exactly the n-th shared-store operation.
+
+    Also a ``fault_gate``: counts every store operation and raises
+    :class:`InjectedFault` on the chosen one (1-based), one-shot.  The
+    crash-point replay suite sweeps ``crash_on_op`` across every
+    operation a campaign performs and asserts a surviving worker always
+    completes with the reference digest — a crash between *any* two
+    store writes leaves the protocol recoverable.
+    """
+
+    def __init__(self, crash_on_op: int):
+        if crash_on_op < 1:
+            raise ResilienceConfigError(
+                f"crash_on_op must be >= 1, got {crash_on_op}"
+            )
+        self.crash_on_op = crash_on_op
+        self.calls = 0
+
+    def __call__(self) -> None:
+        self.calls += 1
+        if self.calls == self.crash_on_op:
+            raise InjectedFault(
+                f"injected store crash at operation {self.calls}"
+            )
 
 
 @dataclass

@@ -8,13 +8,25 @@ Sharded campaigns (``--shards N``) partition a job's fuzz budget into
 seed-keyed shards with shard-granular leases (a crashed worker requeues
 only its lost shards), straggler hedging, a deterministic merge that is
 bit-identical to the unsharded run, and streamed progress
-(``kondo status --follow``).  See DESIGN.md "Campaign orchestrator" and
-"Sharded campaigns".
+(``kondo status --follow``).  Multi-host fleets (``--fleet <dir>``)
+coordinate any number of daemons over a shared store with fencing
+tokens, an epoch-numbered worker registry, and partition-tolerant
+hedging (:mod:`repro.service.fleet`).  See DESIGN.md "Campaign
+orchestrator", "Sharded campaigns", and "Multi-host fleet".
 """
 
 from repro.service.bundles import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.daemon import KondoService
+from repro.service.fleet import (
+    ClockSource,
+    FakeClock,
+    FleetService,
+    FleetStore,
+    ShardClaim,
+    SkewedClock,
+    WorkerRegistry,
+)
 from repro.service.jobs import JobSpec, JobView, ShardView, backoff_delay_s
 from repro.service.leases import Lease, LeaseManager
 from repro.service.runner import execute_job, result_digest
@@ -31,12 +43,19 @@ from repro.service.shards import (
 from repro.service.store import JobStore
 
 __all__ = [
+    "ClockSource",
+    "FakeClock",
+    "FleetService",
+    "FleetStore",
     "JobSpec",
     "JobView",
     "JobStore",
     "KondoService",
     "Lease",
     "LeaseManager",
+    "ShardClaim",
+    "SkewedClock",
+    "WorkerRegistry",
     "ResultCache",
     "ServiceClient",
     "ShardPlan",

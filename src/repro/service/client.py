@@ -8,7 +8,9 @@ daemon's rejection code — so callers branch on ``exc.code``
 (``REJECTED-BUSY`` vs ``DRAINING`` deserve different reactions), not on
 message strings.  A connect failure is the typed
 :class:`~repro.errors.ServiceUnavailableError` — "service down" is a
-different condition than "service misbehaving".
+different condition than "service misbehaving" — and a fleet daemon
+reporting read-only partition mode is the typed
+:class:`~repro.errors.FleetPartitionedError` — up, degraded, healing.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import Callable, Iterator, Optional
 import numpy as np
 
 from repro.errors import (
+    FleetPartitionedError,
     JobRejectedError,
     ServiceError,
     ServiceProtocolError,
@@ -68,10 +71,15 @@ class ServiceClient:
         finally:
             sock.close()
         if not response.get("ok"):
-            raise JobRejectedError(
-                response.get("detail", "request rejected"),
-                code=response.get("error", protocol.BAD_REQUEST),
-            )
+            code = response.get("error", protocol.BAD_REQUEST)
+            detail = response.get("detail", "request rejected")
+            if code == protocol.PARTITIONED:
+                # A fleet daemon that lost its shared store is a
+                # distinct condition from "down" or "rejecting": it is
+                # up, read-only, and will heal — callers back off and
+                # retry rather than resubmitting elsewhere.
+                raise FleetPartitionedError(detail)
+            raise JobRejectedError(detail, code=code)
         return response
 
     # -- the operations ------------------------------------------------------

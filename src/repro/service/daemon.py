@@ -50,7 +50,6 @@ import queue
 import signal
 import socket
 import threading
-import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -64,6 +63,7 @@ from repro.errors import (
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervision.runner import Supervisor
 from repro.service import protocol
+from repro.service.fleet.clock import ClockSource
 from repro.service.jobs import (
     CANCELLED,
     DEAD,
@@ -158,6 +158,13 @@ class KondoService:
             jobs' journal records (their results persist in the
             content-addressed result cache).
         drain_timeout_s: bound on waiting for leased work during drain.
+        clock: injected time source
+            (:class:`repro.service.fleet.clock.ClockSource`).  Every
+            piece of expiry math — lease TTLs, deferred-retry
+            eligibility, straggler detection, the drain deadline —
+            reads the *monotonic* side of this one source, so expiry
+            never jumps with NTP slews and tests drive it with
+            ``FakeClock`` instead of sleeping.
     """
 
     def __init__(
@@ -177,6 +184,7 @@ class KondoService:
         event_buffer: int = 256,
         compact_on_start: bool = False,
         drain_timeout_s: float = 60.0,
+        clock: Optional[ClockSource] = None,
     ):
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -214,8 +222,10 @@ class KondoService:
         self.compact_on_start = compact_on_start
         self.drain_timeout_s = drain_timeout_s
 
+        self.clock = clock or ClockSource()
         self.store: Optional[JobStore] = None
-        self.leases = LeaseManager(ttl_s=lease_ttl_s)
+        self.leases = LeaseManager(ttl_s=lease_ttl_s,
+                                   clock=self.clock.monotonic)
         self._queue: Optional[queue.Queue] = None
         #: Deferred retries: (eligible_at_monotonic, item), lock-guarded.
         self._deferred: List[Tuple[float, WorkItem]] = []
@@ -236,7 +246,7 @@ class KondoService:
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._drained = threading.Event()
-        self._clock = time.monotonic
+        self._clock = self.clock.monotonic
 
     # -- lifecycle ----------------------------------------------------------
 

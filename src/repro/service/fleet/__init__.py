@@ -1,0 +1,57 @@
+"""Multi-host campaign fleet: fenced leases over a shared store.
+
+Any number of ``kondo serve --fleet <dir>`` daemons cooperate through
+one shared filesystem directory — no leader, no peer connections.  The
+protocol is three ideas stacked:
+
+* **fencing tokens** (:mod:`.store`): shard ownership is a
+  monotonically increasing token claimed by exclusive create; every
+  write is token-stamped and stale tokens are rejected whole, so a
+  worker back from the dead can never clobber a newer owner's result;
+* an **epoch-numbered registry** (:mod:`.registry`): heartbeat expiry
+  lets survivors reclaim a vanished host's shards, and re-registration
+  bumps the epoch to fence out the old incarnation's in-flight writes;
+* **two kinds of time** (:mod:`.clock`): monotonic for host-local
+  intervals, wall + bounded skew allowance for anything compared
+  across hosts.
+
+The merged campaign result is bit-identical to the single-host
+unsharded run for every fleet size, crash, partition, and hedge
+outcome — fencing protects the bookkeeping, PR 9's deterministic shard
+execution protects the output.
+"""
+
+from repro.service.fleet.clock import (
+    DEFAULT_SKEW_ALLOWANCE_S,
+    ClockSource,
+    FakeClock,
+    SkewedClock,
+)
+from repro.service.fleet.daemon import FLEET_SOCKET_NAME, FleetService
+from repro.service.fleet.fencing import (
+    append_sealed,
+    create_sealed_exclusive,
+    publish_sealed,
+    read_sealed,
+    stamp,
+)
+from repro.service.fleet.registry import WorkerRecord, WorkerRegistry
+from repro.service.fleet.store import FleetStore, ShardClaim
+
+__all__ = [
+    "DEFAULT_SKEW_ALLOWANCE_S",
+    "ClockSource",
+    "FakeClock",
+    "SkewedClock",
+    "FLEET_SOCKET_NAME",
+    "FleetService",
+    "FleetStore",
+    "ShardClaim",
+    "WorkerRecord",
+    "WorkerRegistry",
+    "append_sealed",
+    "create_sealed_exclusive",
+    "publish_sealed",
+    "read_sealed",
+    "stamp",
+]

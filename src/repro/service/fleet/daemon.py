@@ -1,0 +1,556 @@
+"""``kondo serve --fleet``: one member of a multi-host campaign fleet.
+
+A :class:`FleetService` is a deliberately thin daemon: all coordination
+state lives in the shared store (:mod:`repro.service.fleet.store`), so
+any number of these — on any number of hosts — cooperate with no leader
+and no peer connections.  Each member runs:
+
+* a **socket front door** (same bounded JSON-line protocol as the
+  single-host daemon) answering ``ping``/``submit``/``status``/
+  ``audit``/``drain``;
+* a **heartbeat loop** keeping this worker's registry record live —
+  and doubling as the **partition detector**: the first failed store
+  operation flips the daemon into read-only partitioned mode, and this
+  loop then probes for the store's return with seeded full-jitter
+  backoff, re-registering (epoch bump) on success;
+* **claim loops** that scan admitted jobs, claim runnable shards under
+  fencing tokens, execute them (deterministic PR 9 shard execution),
+  and publish token-stamped completions.  When nothing is claimable
+  they look for a possible merge, then for straggling shards to hedge
+  (claim-on-completion, so a hedge never fences out a healthy primary).
+
+**Partition semantics.**  While partitioned, the daemon serves local
+status from its last good snapshot (marked ``partitioned: true``),
+rejects submissions with the typed ``PARTITIONED`` code, and *parks*
+any completion it could not publish.  On rejoin it replays the parked
+completions through the store, where the (job, shard, token) dedupe
+and the staleness check decide their fate — landed once, deduped, or
+fenced; never double-counted.  Shards the fleet reclaimed meanwhile
+were re-executed deterministically, so whichever completion landed is
+bit-identical to the one that was parked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+import threading
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    FleetError,
+    JobRejectedError,
+    KondoError,
+    ServiceProtocolError,
+    StaleTokenError,
+)
+from repro.service import protocol
+from repro.service.fleet.clock import ClockSource
+from repro.service.fleet.registry import WorkerRegistry
+from repro.service.fleet.store import FleetStore, ShardClaim
+from repro.service.jobs import JobSpec
+from repro.service.shards import (
+    execute_shard,
+    merge_shard_results,
+    plan_shards,
+)
+
+FLEET_SOCKET_NAME = "kondo-fleet.sock"
+
+#: Loop reaction latency (mirrors the single-host daemon's tick; not
+#: imported from it — the single-host daemon imports fleet timekeeping,
+#: and this module must not import back).
+TICK_S = 0.1
+
+#: Concurrent connection handlers, same bound as the single-host front.
+MAX_CONNECTIONS = 32
+
+
+def _jitter_delay_s(worker: str, attempt: int, base_s: float,
+                    max_s: float) -> float:
+    """Full-jitter rejoin backoff, deterministic per (worker, attempt)."""
+    cap = min(max_s, base_s * (2.0 ** min(attempt, 16)))
+    digest = hashlib.sha256(f"{worker}:rejoin:{attempt}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    return float(cap * rng.random())
+
+
+class FleetService:
+    """One fleet member: shared-store coordination, local socket front.
+
+    Args:
+        shared_dir: the fleet's shared store (same path on every host).
+        state_dir: this daemon's local directory (socket default).
+        worker: worker id unique across the fleet (default: generated).
+        socket_path: unix socket path (default
+            ``state_dir/kondo-fleet.sock``).
+        workers: concurrent claim/execute threads.
+        lease_ttl_s: shard lease lifetime in the shared store.
+        registry_ttl_s: heartbeat TTL before peers evict this worker.
+        heartbeat_interval_s: registry heartbeat period.
+        hedge_after_s: hedge a peer's shard still leased this long past
+            its grant (``None`` disables cross-host hedging).
+        clock: injected time source (tests pass ``FakeClock``).
+        shard_runner: override shard execution (chaos drills inject
+            slow or crashing runners).
+        fault_gate: store-level partition injector (see FleetStore).
+        rejoin_base_s / rejoin_max_s: full-jitter backoff shape for the
+            partition-rejoin probe.
+    """
+
+    def __init__(
+        self,
+        shared_dir: str,
+        state_dir: str,
+        worker: Optional[str] = None,
+        socket_path: Optional[str] = None,
+        workers: int = 1,
+        lease_ttl_s: float = 10.0,
+        registry_ttl_s: float = 10.0,
+        heartbeat_interval_s: float = 1.0,
+        hedge_after_s: Optional[float] = None,
+        clock: Optional[ClockSource] = None,
+        shard_runner=None,
+        fault_gate=None,
+        rejoin_base_s: float = 0.05,
+        rejoin_max_s: float = 2.0,
+    ):
+        if workers < 1:
+            raise FleetError(f"fleet workers must be >= 1, got {workers}")
+        if heartbeat_interval_s <= 0:
+            raise FleetError(
+                f"heartbeat_interval_s must be > 0, got "
+                f"{heartbeat_interval_s}"
+            )
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise FleetError(
+                f"hedge_after_s must be > 0, got {hedge_after_s}"
+            )
+        self.shared_dir = shared_dir
+        self.state_dir = state_dir
+        self.worker = worker or f"w-{uuid.uuid4().hex[:8]}"
+        self.socket_path = socket_path or os.path.join(state_dir,
+                                                       FLEET_SOCKET_NAME)
+        self.workers = workers
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.hedge_after_s = hedge_after_s
+        self.lease_ttl_s = lease_ttl_s
+        self.clock = clock or ClockSource()
+        self.shard_runner = shard_runner or execute_shard
+        self.rejoin_base_s = rejoin_base_s
+        self.rejoin_max_s = rejoin_max_s
+        self.registry = WorkerRegistry(shared_dir, self.clock,
+                                       ttl_s=registry_ttl_s)
+        self.store = FleetStore(shared_dir, self.worker, self.clock,
+                                registry=self.registry,
+                                lease_ttl_s=lease_ttl_s,
+                                fault_gate=fault_gate)
+
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._partitioned = threading.Event()
+        #: Completions that hit a partition mid-publish, replayed on
+        #: rejoin: [(claim, result)], lock-guarded (drain under the
+        #: lock, store writes outside it).
+        self._parked: List[Tuple[ShardClaim, dict]] = []
+        self._parked_lock = threading.Lock()
+        #: Last good per-job status snapshot, served read-only while
+        #: partitioned.  Guarded by its own lock; only dict swaps
+        #: happen under it.
+        self._snapshot: Dict[str, dict] = {}
+        self._snapshot_lock = threading.Lock()
+        #: (job, shard, token) hedges already raced (debounce).
+        self._hedged: set = set()
+        self._hedged_lock = threading.Lock()
+        self._conn_slots = threading.BoundedSemaphore(MAX_CONNECTIONS)
+        self._threads: List[threading.Thread] = []
+        self._sock: Optional[socket.socket] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "FleetService":
+        """Join the fleet, bind the local socket, spawn the loops."""
+        if self._sock is not None:
+            raise FleetError("fleet service already started")
+        os.makedirs(self.shared_dir, exist_ok=True)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.store.enlist()
+        if os.path.exists(self.socket_path):
+            os.remove(self.socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(16)
+        self._spawn(self._serve_loop, "kondo-fleet-accept")
+        self._spawn(self._heartbeat_loop, "kondo-fleet-heartbeat")
+        for i in range(self.workers):
+            self._spawn(self._claim_loop, f"kondo-fleet-claim-{i}")
+        return self
+
+    def _spawn(self, target, name: str) -> None:
+        t = threading.Thread(target=target, name=name, daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    def drain(self) -> None:
+        """Stop claiming, close the socket, leave the registry record.
+
+        The record simply expires: peers reclaim any shard this daemon
+        still leases, exactly as they would after a crash — one code
+        path for both exits.
+        """
+        self._draining.set()
+        self._shutdown()
+
+    def abort(self) -> None:
+        """Crash-style stop (chaos path): identical to drain by design,
+        because the fleet makes no distinction — only the heartbeat's
+        silence matters."""
+        self._draining.set()
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        for t in self._threads:
+            t.join(timeout=10.0)
+        self._threads = []
+        if os.path.exists(self.socket_path):
+            try:
+                os.remove(self.socket_path)
+            except OSError:
+                pass
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        return self._stop.wait(timeout=timeout_s)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    # -- partition handling -------------------------------------------------
+
+    def _enter_partition(self) -> None:
+        self._partitioned.set()
+
+    def _try_rejoin(self) -> bool:
+        """One rejoin probe: re-register (epoch bump) and replay parked
+        completions through the store's dedupe/fencing checks."""
+        try:
+            self.store.enlist()
+        except OSError:
+            return False
+        self._partitioned.clear()
+        with self._parked_lock:
+            parked, self._parked = self._parked, []
+        for claim, result in parked:
+            try:
+                self.store.publish_done(claim, result)
+            except StaleTokenError:
+                pass  # a newer owner took over while we were away
+            except OSError:
+                with self._parked_lock:
+                    self._parked.append((claim, result))
+                self._enter_partition()
+                return False
+        return True
+
+    def _heartbeat_loop(self) -> None:
+        attempt = 0
+        while not self._stop.is_set():
+            if self._partitioned.is_set():
+                delay = _jitter_delay_s(self.worker, attempt,
+                                        self.rejoin_base_s,
+                                        self.rejoin_max_s)
+                attempt += 1
+                if self._stop.wait(timeout=max(delay, 0.01)):
+                    return
+                if self._try_rejoin():
+                    attempt = 0
+                continue
+            try:
+                self.store.heartbeat()
+            except OSError:
+                self._enter_partition()
+                continue
+            self._stop.wait(timeout=self.heartbeat_interval_s)
+
+    # -- claim / execute ----------------------------------------------------
+
+    def _claim_loop(self) -> None:
+        while not self._stop.is_set():
+            if self._partitioned.is_set() or self._draining.is_set():
+                self._stop.wait(timeout=TICK_S)
+                continue
+            try:
+                worked = self._claim_once()
+            except OSError:
+                self._enter_partition()
+                continue
+            if not worked:
+                self._stop.wait(timeout=TICK_S)
+
+    def _claim_once(self) -> bool:
+        """One scheduling decision: claim, merge, or hedge.  True when
+        any work was done (the loop then rescans immediately)."""
+        for job in self.store.jobs():
+            self._refresh_snapshot(job)
+            if self.store.read_result(job) is not None:
+                continue
+            claim = self.store.claim_shard(job)
+            if claim is not None:
+                self._run_claim(claim)
+                return True
+            if self._maybe_merge(job):
+                return True
+            if self._maybe_hedge(job):
+                return True
+        return False
+
+    def _run_claim(self, claim: ShardClaim) -> None:
+        spec = self.store.load_spec(claim.job)
+        if spec is None:
+            return
+        try:
+            result = self.shard_runner(spec.to_json(), claim.shard)
+        except KondoError:
+            return  # lease expires; any survivor reclaims the shard
+        try:
+            claim = self.store.renew(claim)
+            self.store.publish_done(claim, result)
+        except StaleTokenError:
+            return  # fenced: a newer owner holds the shard now
+        except OSError:
+            with self._parked_lock:
+                self._parked.append((claim, result))
+            self._enter_partition()
+
+    def _maybe_merge(self, job: str) -> bool:
+        """Merge and publish once every shard's completion landed."""
+        spec = self.store.load_spec(job)
+        if spec is None:
+            return False
+        n_shards = plan_shards(spec).n_shards
+        done = self.store.shards_done(job)
+        if len(done) < n_shards:
+            return False
+        merged = merge_shard_results(spec, done)
+        token = max(int(rec.get("token", 1)) for rec in done.values())
+        return self.store.publish_result(job, merged, token)
+
+    def _maybe_hedge(self, job: str) -> bool:
+        """Race one straggling peer-owned shard (claim-on-completion).
+
+        A shard counts as straggling when its lease is older than
+        ``hedge_after_s`` but not yet reclaimable (the owner is alive
+        and renewing — just slow).  The hedge executes speculatively
+        and only claims a token at publish time, so a healthy primary
+        is never fenced mid-run; whoever lands first wins, and the
+        loser's write is deduped or fenced.
+        """
+        if self.hedge_after_s is None:
+            return False
+        spec = self.store.load_spec(job)
+        if spec is None:
+            return False
+        for shard in range(plan_shards(spec).n_shards):
+            if self.store.read_done(job, shard) is not None:
+                continue
+            token = self.store.current_token(job, shard)
+            if token == 0:
+                continue
+            lease = self.store.read_lease(job, shard)
+            if lease is None or str(lease.get("worker")) == self.worker:
+                continue
+            granted_wall = (float(lease.get("deadline_wall", 0.0))
+                            - self.lease_ttl_s)
+            if self.clock.wall() - granted_wall < self.hedge_after_s:
+                continue
+            key = (job, shard, token)
+            with self._hedged_lock:
+                if key in self._hedged:
+                    continue
+                self._hedged.add(key)
+            try:
+                result = self.shard_runner(spec.to_json(), shard)
+            except KondoError:
+                return True
+            self.store.hedge_publish(job, shard, result)
+            return True
+        return False
+
+    # -- status -------------------------------------------------------------
+
+    def _refresh_snapshot(self, job: str) -> None:
+        spec = self.store.load_spec(job)
+        if spec is None:
+            return
+        n_shards = plan_shards(spec).n_shards
+        done = self.store.shards_done(job)
+        result = self.store.read_result(job)
+        entry = {
+            "job": job,
+            "program": spec.program,
+            "n_shards": n_shards,
+            "shards_done": len(done),
+            "state": "done" if result is not None else "running",
+            "result": result,
+        }
+        with self._snapshot_lock:
+            self._snapshot[job] = entry
+
+    def _status(self, job: Optional[str]) -> dict:
+        base = {
+            "fleet": True,
+            "worker": self.worker,
+            "epoch": self.store.epoch,
+            "partitioned": self.partitioned,
+            "draining": self._draining.is_set(),
+        }
+        if not self.partitioned:
+            try:
+                for j in ([job] if job else self.store.jobs()):
+                    self._refresh_snapshot(j)
+            except OSError:
+                self._enter_partition()
+                base["partitioned"] = True
+        with self._snapshot_lock:
+            snapshot = {j: dict(e) for j, e in self._snapshot.items()}
+        if job is not None:
+            if job not in snapshot:
+                raise JobRejectedError(f"unknown job {job}",
+                                       code=protocol.UNKNOWN_JOB)
+            return protocol.ok(**base, **snapshot[job])
+        return protocol.ok(**base, jobs=[snapshot[j]
+                                         for j in sorted(snapshot)])
+
+    # -- the socket front door ----------------------------------------------
+
+    def _serve_loop(self) -> None:
+        sock = self._sock
+        sock.settimeout(TICK_S)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # closed by shutdown
+            if not self._conn_slots.acquire(timeout=TICK_S):
+                self._respond(conn, protocol.error(
+                    protocol.REJECTED_BUSY,
+                    f"daemon at its {MAX_CONNECTIONS}-connection bound",
+                ))
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            threading.Thread(target=self._handle_conn, args=(conn,),
+                             name="kondo-fleet-conn", daemon=True).start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            self._handle(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._conn_slots.release()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            request = protocol.recv_message(conn, timeout_s=TICK_S * 50)
+        except ServiceProtocolError as exc:
+            self._respond(conn, protocol.error(protocol.BAD_REQUEST,
+                                               str(exc)))
+            return
+        try:
+            response = self._dispatch(request)
+        except JobRejectedError as exc:
+            response = protocol.error(exc.code, str(exc))
+        except OSError:
+            self._enter_partition()
+            response = protocol.error(
+                protocol.PARTITIONED,
+                "shared fleet store unreachable; serving read-only",
+            )
+        except KondoError as exc:
+            response = protocol.error(protocol.BAD_REQUEST, str(exc))
+        self._respond(conn, response)
+
+    @staticmethod
+    def _respond(conn: socket.socket, response: dict) -> None:
+        try:
+            protocol.send_message(conn, response)
+        except ServiceProtocolError:
+            pass
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return protocol.ok(
+                fleet=True, worker=self.worker, epoch=self.store.epoch,
+                partitioned=self.partitioned,
+                draining=self._draining.is_set(),
+                members=(None if self.partitioned
+                         else self.registry.live_map()),
+            )
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return self._status(request.get("job"))
+        if op == "audit":
+            return self._op_audit(request)
+        if op == "drain":
+            threading.Thread(target=self.drain, name="kondo-fleet-drain",
+                             daemon=True).start()
+            return protocol.ok(draining=True)
+        raise JobRejectedError(f"unknown op {op!r}",
+                               code=protocol.BAD_REQUEST)
+
+    def _op_submit(self, request: dict) -> dict:
+        if self._draining.is_set():
+            raise JobRejectedError(
+                "daemon is draining; not admitting new jobs",
+                code=protocol.DRAINING,
+            )
+        if self.partitioned:
+            raise JobRejectedError(
+                "shared fleet store unreachable; daemon is read-only "
+                "until it rejoins",
+                code=protocol.PARTITIONED,
+            )
+        spec = JobSpec.from_json(request.get("spec"))
+        if not spec.shards:
+            raise JobRejectedError(
+                "fleet campaigns must be sharded (set shards >= 1)",
+                code=protocol.BAD_REQUEST,
+            )
+        fresh = self.store.submit(spec)
+        result = self.store.read_result(spec.key)
+        return protocol.ok(job=spec.key, deduped=not fresh,
+                           state="done" if result is not None else "queued",
+                           result=result)
+
+    def _op_audit(self, request: dict) -> dict:
+        job = request.get("job")
+        if not job:
+            raise JobRejectedError("audit needs a job key",
+                                   code=protocol.BAD_REQUEST)
+        if self.partitioned:
+            raise JobRejectedError(
+                "shared fleet store unreachable; audit needs the store",
+                code=protocol.PARTITIONED,
+            )
+        audit = self.store.token_audit(job)
+        return protocol.ok(job=job, **audit)

@@ -1,0 +1,110 @@
+"""Token-stamped, CRC-sealed writes to the shared fleet store.
+
+Every byte the fleet ever puts into the shared directory flows through
+this module (KND015 enforces that statically).  Three primitives cover
+the whole protocol, each built on a different atomicity guarantee of a
+POSIX filesystem:
+
+* :func:`publish_sealed` — ``atomic_write`` (temp file + fsync +
+  same-directory rename): the record lands whole or not at all, and a
+  reader concurrently opening the path sees the old record or the new
+  one, never a hybrid.  Used for re-writable records (lease renewals,
+  heartbeats, registration).
+* :func:`create_sealed_exclusive` — ``O_CREAT|O_EXCL``: exactly one of
+  any number of racing writers wins the path.  This is the fleet's
+  compare-and-swap — fencing-token claims, shard completions, and the
+  merged result are all first-writer-wins records, so a partitioned
+  worker coming back from the dead can *race* but never *clobber*.
+* :func:`append_sealed` — ``durable_append``: the per-daemon audit
+  trail of fenced events, torn-tail-tolerant like every journal in this
+  tree.
+
+Records are sealed with the same CRC32 line discipline as the PR 4
+bundle journal and the PR 7 job store
+(:mod:`repro.resilience.durability.records`); :func:`read_sealed`
+degrades a missing, torn, or corrupt record to ``None`` — absent, never
+wrong.  :func:`stamp` is the token-stamping half of the contract: every
+record that mutates shard state carries ``(job, shard, token, worker,
+epoch)``, which is exactly the tuple the dedupe and audit layers key
+on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import FleetError
+from repro.ioutil import atomic_write, durable_append, fsync_dir
+from repro.resilience.durability.records import check_record, seal_record
+
+
+def stamp(record: dict, *, job: str, shard: Optional[int], token: int,
+          worker: str, epoch: int) -> dict:
+    """Stamp a record with its full fencing identity.
+
+    The ``(job, shard, token)`` triple is the store's dedupe key and
+    the token audit's subject; ``(worker, epoch)`` names who held the
+    token, so a fenced-out write is attributable after the fact.
+    """
+    if token < 1:
+        raise FleetError(f"fencing tokens start at 1, got {token}")
+    stamped = dict(record)
+    stamped.update(job=job, shard=shard, token=token, worker=worker,
+                   epoch=epoch)
+    return stamped
+
+
+def publish_sealed(path: str, record: dict) -> None:
+    """Atomically (re)write one sealed record at ``path``.
+
+    Old-or-new by construction: the rename either happened or it did
+    not, so no reader ever sees a torn record.
+    """
+    with atomic_write(path, "wb") as fh:
+        fh.write(seal_record(record))
+
+
+def create_sealed_exclusive(path: str, record: dict) -> bool:
+    """First-writer-wins: create ``path`` with a sealed record.
+
+    Returns ``True`` when this call created the file, ``False`` when it
+    already existed (some racer won).  The write itself is still
+    crash-safe — the bytes are fsynced before the exclusive name is
+    made durable by the directory fsync, and a reader finding a torn
+    record (daemon died mid-write) reads it back as absent via
+    :func:`read_sealed`.
+    """
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, seal_record(record))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    fsync_dir(os.path.dirname(path) or ".")
+    return True
+
+
+def append_sealed(path: str, record: dict) -> int:
+    """Durably append one sealed record (the fenced-event audit trail)."""
+    return durable_append(path, seal_record(record))
+
+
+def read_sealed(path: str) -> Optional[dict]:
+    """The sealed record at ``path``, or ``None`` on any doubt.
+
+    A missing file, a torn write, or a failed CRC all read as absent —
+    the fleet re-derives state rather than trusting a damaged record.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return None
+    line = raw.rstrip(b"\n")
+    if not line:
+        return None
+    return check_record(line)

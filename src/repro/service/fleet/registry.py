@@ -1,0 +1,176 @@
+"""The fleet worker registry: epoch-numbered membership with heartbeats.
+
+Every ``kondo serve --fleet`` daemon registers itself in the shared
+store before it may claim work.  Registration is **epoch-numbered**:
+each (re-)registration of a worker id writes a record whose ``epoch``
+is one past the previous registration's, claimed through the same
+exclusive-create token discipline the shard leases use — so two daemons
+racing to register the same id cannot both own one epoch, and a daemon
+that was partitioned away and rejoins gets a *new* epoch while its
+pre-partition identity stays fenced out (a lease or completion stamped
+with the old epoch is no longer valid).
+
+Liveness is a heartbeat file per worker, atomically rewritten with a
+wall-clock stamp (cross-host, so monotonic time cannot work — see
+:mod:`repro.service.fleet.clock`).  A worker whose stamp has outlived
+the registry TTL *plus the skew allowance* is expired: any surviving
+daemon treats its shard leases as reclaimable, which is how a vanished
+host's work comes back without an operator.
+
+Layout under ``<shared>/workers/``::
+
+    <worker>.e<epoch>   epoch claim marker (exclusive-create, sealed)
+    <worker>.reg        current registration record (atomic rename)
+    <worker>.hb         heartbeat record (atomic rename, wall stamp)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FleetError
+from repro.service.fleet.clock import ClockSource
+from repro.service.fleet.fencing import (
+    create_sealed_exclusive,
+    publish_sealed,
+    read_sealed,
+)
+
+WORKERS_DIR = "workers"
+
+#: Worker ids become path components; keep them boring.
+_WORKER_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Epoch claim markers: ``<worker>.e<epoch>``.
+_EPOCH_RE = re.compile(r"^(?P<worker>.+)\.e(?P<epoch>\d{6})$")
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """One registered fleet member, as the shared store knows it."""
+
+    worker: str
+    epoch: int
+    pid: int
+    registered_wall: float
+
+
+class WorkerRegistry:
+    """Membership, heartbeats, and expiry over one shared directory.
+
+    Args:
+        shared_dir: the fleet's shared store root.
+        clock: the injected time source (wall reads + skew allowance).
+        ttl_s: how long a heartbeat stamp stays proof of life.
+    """
+
+    def __init__(self, shared_dir: str, clock: ClockSource,
+                 ttl_s: float = 10.0):
+        if ttl_s <= 0:
+            raise FleetError(f"registry ttl_s must be > 0, got {ttl_s}")
+        self.shared_dir = shared_dir
+        self.workers_dir = os.path.join(shared_dir, WORKERS_DIR)
+        self.clock = clock
+        self.ttl_s = ttl_s
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, worker: str, pid: Optional[int] = None) -> WorkerRecord:
+        """Join (or rejoin) the fleet; returns the new epoch's record.
+
+        The epoch is claimed with an exclusive-create marker, so a
+        re-registration — a daemon restarting, or rejoining after a
+        partition — always bumps past every epoch ever granted for the
+        id, and the bumped epoch fences the old incarnation's in-flight
+        records out.
+        """
+        if not _WORKER_RE.match(worker):
+            raise FleetError(f"bad worker id {worker!r}")
+        os.makedirs(self.workers_dir, exist_ok=True)
+        pid = os.getpid() if pid is None else pid
+        while True:
+            epoch = self._max_epoch(worker) + 1
+            marker = os.path.join(self.workers_dir,
+                                  f"{worker}.e{epoch:06d}")
+            if create_sealed_exclusive(marker, {
+                "worker": worker, "epoch": epoch, "pid": pid,
+                "wall": self.clock.wall(),
+            }):
+                break
+            # A racer claimed this epoch between the scan and the
+            # create; re-scan and take the next one.
+        record = WorkerRecord(worker=worker, epoch=epoch, pid=pid,
+                              registered_wall=self.clock.wall())
+        publish_sealed(os.path.join(self.workers_dir, f"{worker}.reg"), {
+            "worker": worker, "epoch": epoch, "pid": pid,
+            "registered_wall": record.registered_wall,
+        })
+        self.heartbeat(worker, epoch)
+        return record
+
+    def _max_epoch(self, worker: str) -> int:
+        try:
+            names = os.listdir(self.workers_dir)
+        except OSError:
+            return 0
+        best = 0
+        prefix = f"{worker}.e"
+        for name in names:
+            if not name.startswith(prefix):
+                continue
+            m = _EPOCH_RE.match(name)
+            if m is not None and m.group("worker") == worker:
+                best = max(best, int(m.group("epoch")))
+        return best
+
+    def current_epoch(self, worker: str) -> int:
+        """The worker's registered epoch (0 = never registered)."""
+        rec = read_sealed(os.path.join(self.workers_dir, f"{worker}.reg"))
+        if rec is None:
+            return 0
+        return int(rec.get("epoch", 0))
+
+    # -- liveness ------------------------------------------------------------
+
+    def heartbeat(self, worker: str, epoch: int) -> None:
+        """Refresh the worker's proof of life (wall-clock stamped)."""
+        publish_sealed(os.path.join(self.workers_dir, f"{worker}.hb"), {
+            "worker": worker, "epoch": epoch, "wall": self.clock.wall(),
+        })
+
+    def is_live(self, worker: str) -> bool:
+        """Whether the worker's heartbeat is within TTL (+ skew)."""
+        rec = read_sealed(os.path.join(self.workers_dir, f"{worker}.hb"))
+        if rec is None:
+            return False
+        return not self.clock.wall_stale(float(rec.get("wall", 0.0)),
+                                         self.ttl_s)
+
+    # -- enumeration ---------------------------------------------------------
+
+    def members(self) -> List[WorkerRecord]:
+        """Every registered worker, live or not, sorted by id."""
+        try:
+            names = os.listdir(self.workers_dir)
+        except OSError:
+            return []
+        out = []
+        for name in sorted(names):
+            if not name.endswith(".reg"):
+                continue
+            rec = read_sealed(os.path.join(self.workers_dir, name))
+            if rec is None:
+                continue
+            out.append(WorkerRecord(
+                worker=rec["worker"], epoch=int(rec["epoch"]),
+                pid=int(rec.get("pid", 0)),
+                registered_wall=float(rec.get("registered_wall", 0.0)),
+            ))
+        return out
+
+    def live_map(self) -> Dict[str, bool]:
+        """``{worker id: heartbeat live?}`` for every member."""
+        return {m.worker: self.is_live(m.worker) for m in self.members()}

@@ -1,0 +1,494 @@
+"""The shared fleet store: fenced shard leases over a plain filesystem.
+
+Any number of ``kondo serve --fleet <dir>`` daemons coordinate through
+one shared directory with **no server in the middle** — every mutation
+is either an atomic rename (rewritable records) or an exclusive create
+(first-writer-wins records), both via :mod:`repro.service.fleet.fencing`.
+
+Layout, per job ``<key>`` under ``<shared>/jobs/<key>/``::
+
+    spec.json            the submitted JobSpec (exclusive create = dedupe)
+    tokens/s<i>.t<N>     fencing-token claim markers (exclusive create)
+    leases/s<i>.rec      current lease record (atomic rename)
+    done/s<i>.rec        shard completion (exclusive create — at most one)
+    result.rec           merged campaign result (exclusive create)
+
+plus ``<shared>/workers/`` (the registry) and
+``<shared>/events/<worker>.events`` — each daemon's token-stamped,
+append-only trail of fenced operations, which is what the token audit
+and the double-execution check read back.
+
+**The fencing-token protocol.**  The current token of a shard is the
+highest ``N`` among its claim markers; claiming the shard means winning
+the exclusive create of marker ``N+1`` and then renaming a lease record
+carrying that token into place.  Three consequences do all the work:
+
+* two daemons racing a reclaim cannot both win — the marker create is
+  the compare-and-swap;
+* a daemon that dies between claiming the marker and writing the lease
+  leaves an *orphaned claim* (marker > lease token), which every other
+  daemon treats as immediately reclaimable — no TTL wait;
+* a completion is only accepted while its token is still the current
+  one (:class:`repro.errors.StaleTokenError` otherwise), and lands via
+  exclusive create — so a paused or partitioned worker coming back
+  from the dead can never clobber a newer owner's result.  There is a
+  benign check-then-create window (a newer token can be claimed between
+  the staleness check and the create); the exclusive create still
+  admits exactly one completion, and shard execution is deterministic
+  (PR 9), so whichever completion lands is bit-identical to the one it
+  beat.  Fencing protects the bookkeeping; determinism protects the
+  output.
+
+Partition injection for tests and chaos drills goes through
+``fault_gate``: a callable invoked at the top of every store operation
+which raises :class:`OSError` while the "network" is down — the daemon
+reacts exactly as it would to a real unreachable mount.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FleetError, StaleTokenError
+from repro.resilience.durability.records import parse_log
+from repro.service.fleet.clock import ClockSource
+from repro.service.fleet.fencing import (
+    append_sealed,
+    create_sealed_exclusive,
+    publish_sealed,
+    read_sealed,
+    stamp,
+)
+from repro.service.fleet.registry import WorkerRegistry
+from repro.service.jobs import JobSpec
+from repro.service.shards import plan_shards
+
+JOBS_DIR = "jobs"
+EVENTS_DIR = "events"
+
+#: Token claim markers: ``s<shard>.t<token>``.
+_TOKEN_RE = re.compile(r"^s(?P<shard>\d{3})\.t(?P<token>\d{6})$")
+
+#: Job keys are hex prefixes of SHA-256 (see JobSpec.key).
+_JOB_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+@dataclass(frozen=True)
+class ShardClaim:
+    """A granted shard lease: who may run it, under which token."""
+
+    job: str
+    shard: int
+    token: int
+    worker: str
+    epoch: int
+    deadline_wall: float
+
+
+class FleetStore:
+    """One daemon's handle on the shared fleet directory.
+
+    Args:
+        shared_dir: the fleet's shared store root.
+        worker: this daemon's worker id (stamps every write).
+        clock: injected time source; all expiry math flows through it.
+        registry: the worker registry (dead-owner reclaim consults it).
+        lease_ttl_s: shard lease lifetime; renewals push the deadline.
+        fault_gate: optional callable raising :class:`OSError` to
+            simulate the shared store becoming unreachable.
+    """
+
+    def __init__(self, shared_dir: str, worker: str, clock: ClockSource,
+                 registry: Optional[WorkerRegistry] = None,
+                 lease_ttl_s: float = 10.0,
+                 fault_gate: Optional[Callable[[], None]] = None):
+        if lease_ttl_s <= 0:
+            raise FleetError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
+        self.shared_dir = shared_dir
+        self.worker = worker
+        self.clock = clock
+        self.registry = registry
+        self.lease_ttl_s = lease_ttl_s
+        self._fault_gate = fault_gate
+        self.epoch = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _gate(self) -> None:
+        if self._fault_gate is not None:
+            self._fault_gate()
+
+    def _job_dir(self, job: str) -> str:
+        if not _JOB_RE.match(job):
+            raise FleetError(f"bad job key {job!r}")
+        return os.path.join(self.shared_dir, JOBS_DIR, job)
+
+    def _tokens_dir(self, job: str) -> str:
+        return os.path.join(self._job_dir(job), "tokens")
+
+    def _lease_path(self, job: str, shard: int) -> str:
+        return os.path.join(self._job_dir(job), "leases", f"s{shard:03d}.rec")
+
+    def _done_path(self, job: str, shard: int) -> str:
+        return os.path.join(self._job_dir(job), "done", f"s{shard:03d}.rec")
+
+    def _events_path(self) -> str:
+        return os.path.join(self.shared_dir, EVENTS_DIR,
+                            f"{self.worker}.events")
+
+    def _event(self, op: str, job: str, shard: Optional[int],
+               token: int) -> None:
+        """One token-stamped line in this daemon's fenced-event trail."""
+        append_sealed(self._events_path(), stamp(
+            {"op": op, "wall": self.clock.wall()},
+            job=job, shard=shard, token=token,
+            worker=self.worker, epoch=self.epoch,
+        ))
+
+    # -- membership ----------------------------------------------------------
+
+    def enlist(self) -> int:
+        """Register (or re-register) with the fleet; returns the epoch.
+
+        Re-joining after a partition bumps the epoch, which fences out
+        any completion the pre-partition incarnation still has in
+        flight (the claim path compares lease epochs against the
+        registry's current one).
+        """
+        self._gate()
+        if self.registry is None:
+            raise FleetError("store has no registry to enlist with")
+        os.makedirs(os.path.join(self.shared_dir, EVENTS_DIR), exist_ok=True)
+        self.epoch = self.registry.register(self.worker).epoch
+        return self.epoch
+
+    def heartbeat(self) -> None:
+        self._gate()
+        if self.registry is not None:
+            self.registry.heartbeat(self.worker, self.epoch)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> bool:
+        """Admit a job to the fleet; ``False`` when already submitted.
+
+        The spec record is first-writer-wins on the content-addressed
+        key, so every daemon a client might reach admits the same job
+        exactly once — resubmission anywhere is a dedupe, not a fork.
+        """
+        self._gate()
+        if not spec.shards:
+            raise FleetError("fleet jobs must be sharded (spec.shards >= 1)")
+        job = spec.key
+        jdir = self._job_dir(job)
+        for sub in ("tokens", "leases", "done"):
+            os.makedirs(os.path.join(jdir, sub), exist_ok=True)
+        created = create_sealed_exclusive(
+            os.path.join(jdir, "spec.json"), {"spec": spec.to_json()})
+        if created:
+            self._event("submit", job, None, 1)
+        return created
+
+    def load_spec(self, job: str) -> Optional[JobSpec]:
+        self._gate()
+        rec = read_sealed(os.path.join(self._job_dir(job), "spec.json"))
+        if rec is None:
+            return None
+        return JobSpec.from_json(rec["spec"])
+
+    def jobs(self) -> List[str]:
+        """Every admitted job key, sorted."""
+        self._gate()
+        try:
+            names = os.listdir(os.path.join(self.shared_dir, JOBS_DIR))
+        except OSError:
+            return []
+        return sorted(n for n in names if _JOB_RE.match(n))
+
+    # -- fencing tokens ------------------------------------------------------
+
+    def current_token(self, job: str, shard: int) -> int:
+        """The highest token ever granted for the shard (0 = none)."""
+        self._gate()
+        try:
+            names = os.listdir(self._tokens_dir(job))
+        except OSError:
+            return 0
+        best = 0
+        for name in names:
+            m = _TOKEN_RE.match(name)
+            if m is not None and int(m.group("shard")) == shard:
+                best = max(best, int(m.group("token")))
+        return best
+
+    def _claim_token(self, job: str, shard: int) -> Optional[int]:
+        """Win the next fencing token, or ``None`` if a racer did."""
+        token = self.current_token(job, shard) + 1
+        marker = os.path.join(self._tokens_dir(job),
+                              f"s{shard:03d}.t{token:06d}")
+        won = create_sealed_exclusive(marker, stamp(
+            {"op": "token"}, job=job, shard=shard, token=token,
+            worker=self.worker, epoch=self.epoch,
+        ))
+        return token if won else None
+
+    def granted_tokens(self, job: str, shard: int) -> List[int]:
+        """Every token ever granted for the shard, ascending."""
+        self._gate()
+        try:
+            names = os.listdir(self._tokens_dir(job))
+        except OSError:
+            return []
+        out = [int(m.group("token")) for m in map(_TOKEN_RE.match, names)
+               if m is not None and int(m.group("shard")) == shard]
+        return sorted(out)
+
+    # -- shard leases --------------------------------------------------------
+
+    def _claimable(self, job: str, shard: int) -> bool:
+        """Whether the shard is up for (re)claim right now.
+
+        Claimable when never claimed, when the last claim is orphaned
+        (marker without a matching lease record — the claimant died
+        mid-claim), when the lease deadline is safely past (skew
+        allowance absorbed), when the owner's heartbeat has expired, or
+        when the owner re-registered under a newer epoch (its old
+        incarnation is fenced out by definition).
+        """
+        token = self.current_token(job, shard)
+        if token == 0:
+            return True
+        lease = read_sealed(self._lease_path(job, shard))
+        if lease is None or int(lease.get("token", 0)) != token:
+            return True  # orphaned claim: marker won, lease never landed
+        if self.clock.wall_expired(float(lease.get("deadline_wall", 0.0))):
+            return True
+        owner = str(lease.get("worker", ""))
+        if self.registry is not None and owner != self.worker:
+            if not self.registry.is_live(owner):
+                return True
+            if int(lease.get("epoch", 0)) < self.registry.current_epoch(owner):
+                return True
+        return False
+
+    def claim_shard(self, job: str) -> Optional[ShardClaim]:
+        """Claim one runnable shard of the job, or ``None`` if none.
+
+        Scans shards in index order; for each not-yet-done, claimable
+        shard, races for the next fencing token and — on winning —
+        publishes the lease record carrying it.
+        """
+        self._gate()
+        spec = self.load_spec(job)
+        if spec is None:
+            return None
+        n_shards = plan_shards(spec).n_shards
+        for shard in range(n_shards):
+            if read_sealed(self._done_path(job, shard)) is not None:
+                continue
+            if not self._claimable(job, shard):
+                continue
+            token = self._claim_token(job, shard)
+            if token is None:
+                continue  # racer won this shard; try the next one
+            claim = ShardClaim(
+                job=job, shard=shard, token=token, worker=self.worker,
+                epoch=self.epoch,
+                deadline_wall=self.clock.wall() + self.lease_ttl_s,
+            )
+            self._publish_lease(claim)
+            self._event("claim", job, shard, token)
+            return claim
+        return None
+
+    def _publish_lease(self, claim: ShardClaim) -> None:
+        publish_sealed(self._lease_path(claim.job, claim.shard), stamp(
+            {"deadline_wall": claim.deadline_wall},
+            job=claim.job, shard=claim.shard, token=claim.token,
+            worker=claim.worker, epoch=claim.epoch,
+        ))
+
+    def read_lease(self, job: str, shard: int) -> Optional[dict]:
+        """The shard's current lease record (hedging scans read this)."""
+        self._gate()
+        return read_sealed(self._lease_path(job, shard))
+
+    def renew(self, claim: ShardClaim) -> ShardClaim:
+        """Push the lease deadline out; stale tokens are rejected whole."""
+        self._gate()
+        current = self.current_token(claim.job, claim.shard)
+        if claim.token < current:
+            raise StaleTokenError(
+                f"lease renew for {claim.job} shard {claim.shard} carries "
+                f"token {claim.token}, current is {current}",
+                token=claim.token, current=current,
+            )
+        renewed = ShardClaim(
+            job=claim.job, shard=claim.shard, token=claim.token,
+            worker=claim.worker, epoch=claim.epoch,
+            deadline_wall=self.clock.wall() + self.lease_ttl_s,
+        )
+        self._publish_lease(renewed)
+        return renewed
+
+    # -- completions ---------------------------------------------------------
+
+    def publish_done(self, claim: ShardClaim, result: dict) -> bool:
+        """Land a shard completion under the claim's fencing token.
+
+        Returns ``True`` when this call's record is the one that landed,
+        ``False`` when a completion already exists (the (job, shard,
+        token) dedupe: a rejoining worker re-publishing after a
+        partition is a no-op, not a duplicate).  A superseded token is
+        rejected whole with :class:`StaleTokenError` — old-or-new,
+        never hybrid.
+        """
+        self._gate()
+        done_path = self._done_path(claim.job, claim.shard)
+        existing = read_sealed(done_path)
+        if existing is not None and existing.get("token") == claim.token:
+            # Same (job, shard, token) already landed: this is a replay
+            # of our own completion (e.g. after a partition heal), not a
+            # conflict — absorb it.  A completion under a *different*
+            # token is not a dedupe; fall through to the fencing check.
+            self._event("done-dedup", claim.job, claim.shard, claim.token)
+            return False
+        current = self.current_token(claim.job, claim.shard)
+        if claim.token < current:
+            self._event("done-fenced", claim.job, claim.shard, claim.token)
+            raise StaleTokenError(
+                f"completion for {claim.job} shard {claim.shard} carries "
+                f"token {claim.token}, current is {current}",
+                token=claim.token, current=current,
+            )
+        landed = create_sealed_exclusive(done_path, stamp(
+            dict(result), job=claim.job, shard=claim.shard,
+            token=claim.token, worker=claim.worker, epoch=claim.epoch,
+        ))
+        self._event("done" if landed else "done-lost",
+                    claim.job, claim.shard, claim.token)
+        return landed
+
+    def hedge_publish(self, job: str, shard: int,
+                      result: dict) -> Optional[ShardClaim]:
+        """Publish a speculatively-executed (hedged) shard result.
+
+        Cross-host hedging claims **on completion**, not on start — a
+        hedge that claimed its token up front would fence out a healthy
+        primary mid-run.  The hedger executes without any claim, then
+        races for the next token only when it has a result in hand; if
+        a completion landed meanwhile, the hedge simply loses.
+        """
+        self._gate()
+        if read_sealed(self._done_path(job, shard)) is not None:
+            return None
+        token = self._claim_token(job, shard)
+        if token is None:
+            return None
+        claim = ShardClaim(
+            job=job, shard=shard, token=token, worker=self.worker,
+            epoch=self.epoch,
+            deadline_wall=self.clock.wall() + self.lease_ttl_s,
+        )
+        self._event("hedge", job, shard, token)
+        return claim if self.publish_done(claim, result) else None
+
+    def read_done(self, job: str, shard: int) -> Optional[dict]:
+        self._gate()
+        return read_sealed(self._done_path(job, shard))
+
+    def shards_done(self, job: str) -> Dict[int, dict]:
+        """All landed completions, keyed by shard index."""
+        self._gate()
+        spec = self.load_spec(job)
+        if spec is None:
+            return {}
+        out: Dict[int, dict] = {}
+        for shard in range(plan_shards(spec).n_shards):
+            rec = read_sealed(self._done_path(job, shard))
+            if rec is not None:
+                out[shard] = rec
+        return out
+
+    # -- merged result -------------------------------------------------------
+
+    def publish_result(self, job: str, merged: dict, token: int) -> bool:
+        """Land the merged campaign result (first merger wins)."""
+        self._gate()
+        landed = create_sealed_exclusive(
+            os.path.join(self._job_dir(job), "result.rec"), stamp(
+                {"result": merged}, job=job, shard=None, token=token,
+                worker=self.worker, epoch=self.epoch,
+            ))
+        self._event("result" if landed else "result-lost", job, None, token)
+        return landed
+
+    def read_result(self, job: str) -> Optional[dict]:
+        self._gate()
+        rec = read_sealed(os.path.join(self._job_dir(job), "result.rec"))
+        if rec is None:
+            return None
+        return rec["result"]
+
+    # -- audit ---------------------------------------------------------------
+
+    def fenced_events(self) -> List[dict]:
+        """Every daemon's fenced-event trail, merged (audit input)."""
+        self._gate()
+        events_dir = os.path.join(self.shared_dir, EVENTS_DIR)
+        try:
+            names = sorted(os.listdir(events_dir))
+        except OSError:
+            return []
+        out: List[dict] = []
+        for name in names:
+            if not name.endswith(".events"):
+                continue
+            try:
+                with open(os.path.join(events_dir, name), "rb") as fh:
+                    raw = fh.read()
+            except OSError:
+                continue
+            records, _, _ = parse_log(raw)
+            out.extend(records)
+        return out
+
+    def token_audit(self, job: str) -> dict:
+        """Prove the fencing invariant held for one finished job.
+
+        Per shard: exactly one completion record landed, its token is
+        among the granted tokens, and — across every daemon's event
+        trail — exactly one ``done`` event landed (zero double-executed
+        shards).  Returns ``{"ok": bool, "shards": [...]}``; each entry
+        carries the evidence so a failed audit is debuggable.
+        """
+        self._gate()
+        spec = self.load_spec(job)
+        if spec is None:
+            return {"ok": False, "shards": [], "error": "unknown job"}
+        landed: Dict[int, int] = {}
+        for ev in self.fenced_events():
+            if ev.get("op") == "done" and ev.get("job") == job:
+                landed[int(ev["shard"])] = landed.get(int(ev["shard"]), 0) + 1
+        shards = []
+        ok = True
+        for shard in range(plan_shards(spec).n_shards):
+            granted = self.granted_tokens(job, shard)
+            done = read_sealed(self._done_path(job, shard))
+            done_token = None if done is None else int(done.get("token", 0))
+            entry_ok = (
+                done is not None
+                and done_token in granted
+                and landed.get(shard, 0) == 1
+            )
+            ok = ok and entry_ok
+            shards.append({
+                "shard": shard, "ok": entry_ok, "granted": granted,
+                "done_token": done_token,
+                "done_worker": None if done is None else done.get("worker"),
+                "landed_events": landed.get(shard, 0),
+            })
+        return {"ok": ok, "shards": shards}

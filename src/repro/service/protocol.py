@@ -40,6 +40,9 @@ DRAINING = "DRAINING"
 BAD_REQUEST = "BAD-REQUEST"
 UNKNOWN_JOB = "UNKNOWN-JOB"
 NOT_CANCELLABLE = "NOT-CANCELLABLE"
+#: A fleet daemon has lost its shared store and is read-only until its
+#: rejoin probe succeeds (see :mod:`repro.service.fleet.daemon`).
+PARTITIONED = "PARTITIONED"
 
 
 def send_message(sock: socket.socket, obj: dict,

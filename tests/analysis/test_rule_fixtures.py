@@ -650,3 +650,66 @@ class TestKND014ShardMergeDeterminism:
             ),
         }, select=["KND014"])
         assert findings == []
+
+
+class TestKND015FencedStoreWrites:
+    def test_raw_primitives_in_fleet_modules_fire(self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/fleet/bad_store.py": (
+                "import os\n"
+                "from repro.ioutil import atomic_write, durable_append\n\n\n"
+                "def publish(path, data):\n"
+                "    with atomic_write(path, 'wb') as fh:\n"
+                "        fh.write(data)\n"
+                "    durable_append(path + '.events', data)\n"
+                "    fd = os.open(path, os.O_CREAT | os.O_EXCL | "
+                "os.O_WRONLY)\n"
+                "    os.close(fd)\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write('x')\n"
+            ),
+        }, select=["KND015"])
+        assert rule_ids(findings) == ["KND015"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "publish_sealed" in messages
+        assert "append_sealed" in messages
+        assert "create_sealed_exclusive" in messages
+        assert "token" in messages
+
+    def test_fencing_helpers_reads_and_out_of_scope_are_clean(
+            self, tmp_path):
+        findings = check_tree(tmp_path, {
+            "repro/service/fleet/good_store.py": (
+                "from repro.service.fleet.fencing import (\n"
+                "    append_sealed, create_sealed_exclusive,\n"
+                "    publish_sealed, read_sealed)\n\n\n"
+                "def roundtrip(path, record):\n"
+                "    publish_sealed(path, record)\n"
+                "    create_sealed_exclusive(path + '.done', record)\n"
+                "    append_sealed(path + '.events', record)\n"
+                "    with open(path, 'rb') as fh:\n"
+                "        fh.read()\n"
+                "    return read_sealed(path)\n"
+            ),
+            # The helper module itself owns the raw primitives.
+            "repro/service/fleet/fencing.py": (
+                "import os\n"
+                "from repro.ioutil import atomic_write\n\n\n"
+                "def publish_sealed(path, record):\n"
+                "    with atomic_write(path, 'wb') as fh:\n"
+                "        fh.write(record)\n\n\n"
+                "def create_sealed_exclusive(path, record):\n"
+                "    fd = os.open(path, os.O_CREAT | os.O_EXCL | "
+                "os.O_WRONLY)\n"
+                "    os.close(fd)\n"
+            ),
+            # Same primitives outside the fleet package: other rules'
+            # turf (KND002/KND007), not this one's.
+            "repro/service/elsewhere.py": (
+                "from repro.ioutil import atomic_write\n\n\n"
+                "def save(path, data):\n"
+                "    with atomic_write(path, 'wb') as fh:\n"
+                "        fh.write(data)\n"
+            ),
+        }, select=["KND015"])
+        assert findings == []

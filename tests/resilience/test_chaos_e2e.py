@@ -37,6 +37,7 @@ class TestChaosDrills:
             "serve-crash-recovers-queue",
             "shard-worker-killed-requeues-only-lost-shards",
             "straggler-hedge-first-completion-wins",
+            "fleet-partition-heals", "stale-worker-fenced-out",
         }
         # The registry (and `kondo chaos --list`) must match what ran.
         assert [c.name for c in report.checks] == list(DRILL_NAMES)
