@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.errors import (
     FleetError,
+    InjectedFault,
     JobRejectedError,
     KondoError,
     ServiceProtocolError,
@@ -294,6 +295,16 @@ class FleetService:
                 worked = self._claim_once()
             except OSError:
                 self._enter_partition()
+                continue
+            except InjectedFault:
+                raise  # a simulated crash must actually crash (chaos)
+            except KondoError:
+                # Backstop: no typed error may silently kill a claim
+                # loop — the daemon would keep heartbeating as healthy
+                # while never claiming again, and a whole fleet of such
+                # zombies would stall a campaign forever.  Treat it
+                # like an empty scan and retry after a tick.
+                self._stop.wait(timeout=TICK_S)
                 continue
             if not worked:
                 self._stop.wait(timeout=TICK_S)

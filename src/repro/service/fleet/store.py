@@ -9,9 +9,14 @@ Layout, per job ``<key>`` under ``<shared>/jobs/<key>/``::
 
     spec.json            the submitted JobSpec (exclusive create = dedupe)
     tokens/s<i>.t<N>     fencing-token claim markers (exclusive create)
-    leases/s<i>.rec      current lease record (atomic rename)
+    leases/s<i>.t<N>.rec lease record for token N (atomic rename)
     done/s<i>.rec        shard completion (exclusive create — at most one)
     result.rec           merged campaign result (exclusive create)
+
+Lease records are **per token**: a renewal rewrites only its own
+token's path, so a worker whose renew lost a race to a newer claimant
+can never clobber the newer owner's lease — different tokens touch
+different files, and the staleness check makes the loser fail whole.
 
 plus ``<shared>/workers/`` (the registry) and
 ``<shared>/events/<worker>.events`` — each daemon's token-stamped,
@@ -129,8 +134,9 @@ class FleetStore:
     def _tokens_dir(self, job: str) -> str:
         return os.path.join(self._job_dir(job), "tokens")
 
-    def _lease_path(self, job: str, shard: int) -> str:
-        return os.path.join(self._job_dir(job), "leases", f"s{shard:03d}.rec")
+    def _lease_path(self, job: str, shard: int, token: int) -> str:
+        return os.path.join(self._job_dir(job), "leases",
+                            f"s{shard:03d}.t{token:06d}.rec")
 
     def _done_path(self, job: str, shard: int) -> str:
         return os.path.join(self._job_dir(job), "done", f"s{shard:03d}.rec")
@@ -211,11 +217,18 @@ class FleetStore:
     # -- fencing tokens ------------------------------------------------------
 
     def current_token(self, job: str, shard: int) -> int:
-        """The highest token ever granted for the shard (0 = none)."""
+        """The highest token ever granted for the shard (0 = none).
+
+        Only a verifiably absent tokens directory reads as "no tokens";
+        any other :class:`OSError` propagates — under a partial store
+        failure (reads fail, writes still land) a silent 0 here would
+        make ``renew``/``publish_done`` skip the staleness check and
+        let a fenced-out worker write as if no newer token existed.
+        """
         self._gate()
         try:
             names = os.listdir(self._tokens_dir(job))
-        except OSError:
+        except FileNotFoundError:
             return 0
         best = 0
         for name in names:
@@ -240,7 +253,7 @@ class FleetStore:
         self._gate()
         try:
             names = os.listdir(self._tokens_dir(job))
-        except OSError:
+        except FileNotFoundError:
             return []
         out = [int(m.group("token")) for m in map(_TOKEN_RE.match, names)
                if m is not None and int(m.group("shard")) == shard]
@@ -261,7 +274,7 @@ class FleetStore:
         token = self.current_token(job, shard)
         if token == 0:
             return True
-        lease = read_sealed(self._lease_path(job, shard))
+        lease = read_sealed(self._lease_path(job, shard, token))
         if lease is None or int(lease.get("token", 0)) != token:
             return True  # orphaned claim: marker won, lease never landed
         if self.clock.wall_expired(float(lease.get("deadline_wall", 0.0))):
@@ -305,16 +318,29 @@ class FleetStore:
         return None
 
     def _publish_lease(self, claim: ShardClaim) -> None:
-        publish_sealed(self._lease_path(claim.job, claim.shard), stamp(
-            {"deadline_wall": claim.deadline_wall},
-            job=claim.job, shard=claim.shard, token=claim.token,
-            worker=claim.worker, epoch=claim.epoch,
-        ))
+        """Land the claim's lease at its own token's path.
+
+        Per-token paths make lease publication race-free across tokens:
+        a renewer that lost the shard writes only to its superseded
+        token's file, so it can never clobber the newer owner's lease
+        (last-writer-wins applies only among writes of one token, and a
+        token has exactly one holder).
+        """
+        publish_sealed(
+            self._lease_path(claim.job, claim.shard, claim.token), stamp(
+                {"deadline_wall": claim.deadline_wall},
+                job=claim.job, shard=claim.shard, token=claim.token,
+                worker=claim.worker, epoch=claim.epoch,
+            ))
 
     def read_lease(self, job: str, shard: int) -> Optional[dict]:
-        """The shard's current lease record (hedging scans read this)."""
+        """The lease record under the shard's current token (hedging
+        scans read this); ``None`` when unclaimed or orphaned."""
         self._gate()
-        return read_sealed(self._lease_path(job, shard))
+        token = self.current_token(job, shard)
+        if token == 0:
+            return None
+        return read_sealed(self._lease_path(job, shard, token))
 
     def renew(self, claim: ShardClaim) -> ShardClaim:
         """Push the lease deadline out; stale tokens are rejected whole."""
@@ -381,6 +407,15 @@ class FleetStore:
         primary mid-run.  The hedger executes without any claim, then
         races for the next token only when it has a result in hand; if
         a completion landed meanwhile, the hedge simply loses.
+
+        On winning the token the hedge immediately publishes a lease
+        under it, so peers scanning between the token claim and the
+        done create see an ordinary live lease — not an orphaned
+        marker they would instantly reclaim (which would fence this
+        hedge and waste a re-execution).  Losing the token race anyway
+        (a reclaim squeezed into the marker→lease window) is a normal
+        hedge outcome, not an error: the :class:`StaleTokenError` is
+        absorbed and the hedge returns ``None``.
         """
         self._gate()
         if read_sealed(self._done_path(job, shard)) is not None:
@@ -393,8 +428,12 @@ class FleetStore:
             epoch=self.epoch,
             deadline_wall=self.clock.wall() + self.lease_ttl_s,
         )
+        self._publish_lease(claim)
         self._event("hedge", job, shard, token)
-        return claim if self.publish_done(claim, result) else None
+        try:
+            return claim if self.publish_done(claim, result) else None
+        except StaleTokenError:
+            return None  # a reclaimer outpaced the hedge: hedge lost
 
     def read_done(self, job: str, shard: int) -> Optional[dict]:
         self._gate()
@@ -462,33 +501,55 @@ class FleetStore:
         Per shard: exactly one completion record landed, its token is
         among the granted tokens, and — across every daemon's event
         trail — exactly one ``done`` event landed (zero double-executed
-        shards).  Returns ``{"ok": bool, "shards": [...]}``; each entry
-        carries the evidence so a failed audit is debuggable.
+        shards).  One crash window is forgiven: a worker that died
+        between landing the done record and appending its ``done``
+        event leaves zero ``done`` events forever, but its post-rejoin
+        replay logs ``done-dedup`` under the same ``(token, worker)``
+        as the landed record — that attestation satisfies the
+        exactly-one-done invariant (only the token's holder can ever
+        take the dedupe path, so it is just as exclusive).  Returns
+        ``{"ok": bool, "shards": [...]}``; each entry carries the
+        evidence so a failed audit is debuggable.
         """
         self._gate()
         spec = self.load_spec(job)
         if spec is None:
             return {"ok": False, "shards": [], "error": "unknown job"}
         landed: Dict[int, int] = {}
+        dedups: Dict[int, set] = {}
         for ev in self.fenced_events():
-            if ev.get("op") == "done" and ev.get("job") == job:
-                landed[int(ev["shard"])] = landed.get(int(ev["shard"]), 0) + 1
+            if ev.get("job") != job or ev.get("shard") is None:
+                continue
+            shard = int(ev["shard"])
+            if ev.get("op") == "done":
+                landed[shard] = landed.get(shard, 0) + 1
+            elif ev.get("op") == "done-dedup":
+                dedups.setdefault(shard, set()).add(
+                    (int(ev.get("token", 0)), str(ev.get("worker", ""))))
         shards = []
         ok = True
         for shard in range(plan_shards(spec).n_shards):
             granted = self.granted_tokens(job, shard)
             done = read_sealed(self._done_path(job, shard))
             done_token = None if done is None else int(done.get("token", 0))
+            events = landed.get(shard, 0)
+            attested = (
+                events == 0
+                and done is not None
+                and (done_token, str(done.get("worker", "")))
+                in dedups.get(shard, set())
+            )
             entry_ok = (
                 done is not None
                 and done_token in granted
-                and landed.get(shard, 0) == 1
+                and (events == 1 or attested)
             )
             ok = ok and entry_ok
             shards.append({
                 "shard": shard, "ok": entry_ok, "granted": granted,
                 "done_token": done_token,
                 "done_worker": None if done is None else done.get("worker"),
-                "landed_events": landed.get(shard, 0),
+                "landed_events": events,
+                "dedup_attested": attested,
             })
         return {"ok": ok, "shards": shards}

@@ -218,6 +218,37 @@ class TestCrossHostHedging:
             beta.drain()
 
 
+class TestClaimLoopResilience:
+    def test_claim_loop_survives_typed_errors(self, tmp_path):
+        """A typed KondoError escaping a store call must not silently
+        kill the claim loop — the daemon would keep heartbeating as
+        healthy while never claiming again, stalling the campaign
+        forever.  Three injected failures, then the campaign must
+        still complete."""
+        reference = run_sharded_reference(spec(shards=2))
+        alpha = make_daemon(tmp_path, "alpha")
+        real_claim = alpha.store.claim_shard
+        injected = {"left": 3}
+
+        def flaky_claim(job):
+            if injected["left"] > 0:
+                injected["left"] -= 1
+                raise FleetError("transient typed failure")
+            return real_claim(job)
+
+        alpha.store.claim_shard = flaky_claim
+        alpha.start()
+        try:
+            job = client_of(alpha).submit(spec(shards=2))["job"]
+            final = client_of(alpha).wait_for(job, timeout_s=120.0)
+            assert final["state"] == "done"
+            assert final["result"]["carved_sha256"] \
+                == reference["carved_sha256"]
+        finally:
+            alpha.drain()
+        assert injected["left"] == 0
+
+
 class TestFleetServiceValidation:
     def test_rejects_bad_configuration(self, tmp_path):
         for kw in ({"workers": 0}, {"heartbeat_interval_s": 0.0},

@@ -270,6 +270,63 @@ class TestFleetStoreProtocol:
         with pytest.raises(StaleTokenError):
             store.renew(renewed)
 
+    def test_stale_renew_cannot_clobber_newer_lease(self, tmp_path):
+        """A renewer that loses the token race after its staleness
+        check passed writes only to its own token's lease path — the
+        newer owner's lease survives and no third worker sees a
+        spuriously orphaned shard."""
+        clock = FakeClock()
+        stale = make_store(tmp_path, "stale", clock, ttl=2.0)
+        owner = make_store(tmp_path, "owner", clock, ttl=2.0)
+        peer = make_store(tmp_path, "peer", clock, ttl=2.0)
+        for s in (stale, owner, peer):
+            s.enlist()
+        stale.submit(spec(shards=1))
+        job = spec(shards=1).key
+        old = stale.claim_shard(job)
+        clock.advance(60.0)
+        owner.heartbeat(), peer.heartbeat()
+        new = owner.claim_shard(job)
+        assert new.token > old.token
+        # Simulate the lost interleaving: the stale renewer's write
+        # lands *after* the new owner's lease.  Per-token paths mean it
+        # cannot touch the newer record.
+        stale._publish_lease(old)
+        lease = peer.read_lease(job, 0)
+        assert lease["token"] == new.token and lease["worker"] == "owner"
+        assert peer.claim_shard(job) is None  # owner not spuriously fenced
+
+    def test_unknown_job_reads_as_token_zero(self, tmp_path):
+        clock = FakeClock()
+        store = make_store(tmp_path, "a", clock)
+        assert store.current_token("deadbeef", 0) == 0
+        assert store.granted_tokens("deadbeef", 0) == []
+
+    def test_partial_store_failure_propagates_from_token_reads(
+            self, tmp_path, monkeypatch):
+        """Reads failing while writes still land must NOT read as
+        'token zero' — that would skip the staleness check and let a
+        fenced-out worker renew or publish as if no newer token
+        existed.  The OSError propagates and the daemon partitions."""
+        clock = FakeClock()
+        store = make_store(tmp_path, "a", clock)
+        store.enlist()
+        store.submit(spec(shards=1))
+        job = spec(shards=1).key
+        claim = store.claim_shard(job)
+        real_listdir = os.listdir
+
+        def failing(path):
+            if "tokens" in str(path):
+                raise OSError("injected I/O error")
+            return real_listdir(path)
+
+        monkeypatch.setattr(os, "listdir", failing)
+        with pytest.raises(OSError):
+            store.renew(claim)
+        with pytest.raises(OSError):
+            store.publish_done(claim, _shard_result(spec(shards=1)))
+
     def test_hedge_publish_loses_to_landed_completion(self, tmp_path):
         clock = FakeClock()
         a = make_store(tmp_path, "a", clock)
@@ -295,6 +352,55 @@ class TestFleetStoreProtocol:
         assert hedged is not None and hedged.worker == "b"
         assert b.read_done(job, 0)["worker"] == "b"
 
+    def test_mid_hedge_shard_is_not_an_orphaned_claim(self, tmp_path,
+                                                      monkeypatch):
+        """Between the hedge's token claim and its done create, peers
+        must see an ordinary live lease — not an orphaned marker they
+        would instantly reclaim (fencing the hedge for nothing)."""
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", clock)
+        b = make_store(tmp_path, "b", clock)
+        c = make_store(tmp_path, "c", clock)
+        for s in (a, b, c):
+            s.enlist()
+        a.submit(spec(shards=1))
+        job = spec(shards=1).key
+        a.claim_shard(job)  # healthy primary, mid-run
+        result = _shard_result(spec(shards=1))
+        observed = {}
+        real_publish_done = b.publish_done
+
+        def peer_scans_mid_hedge(claim, res):
+            observed["peer_claim"] = c.claim_shard(job)
+            return real_publish_done(claim, res)
+
+        monkeypatch.setattr(b, "publish_done", peer_scans_mid_hedge)
+        hedged = b.hedge_publish(job, 0, result)
+        assert observed["peer_claim"] is None
+        assert hedged is not None and hedged.worker == "b"
+
+    def test_hedge_losing_the_token_race_is_a_loss_not_an_error(
+            self, tmp_path, monkeypatch):
+        """A reclaim squeezed into the hedge's marker-to-done window
+        fences the hedge; that is a normal 'hedge lost' outcome and
+        must not escape as StaleTokenError (it would kill the caller's
+        claim loop)."""
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", clock)
+        b = make_store(tmp_path, "b", clock)
+        a.enlist(), b.enlist()
+        a.submit(spec(shards=1))
+        job = spec(shards=1).key
+        a.claim_shard(job)
+        result = _shard_result(spec(shards=1))
+
+        def fenced(claim, res):
+            raise StaleTokenError("fenced mid-hedge", token=claim.token,
+                                  current=claim.token + 1)
+
+        monkeypatch.setattr(b, "publish_done", fenced)
+        assert b.hedge_publish(job, 0, result) is None
+
     def test_result_is_first_merger_wins(self, tmp_path):
         clock = FakeClock()
         a = make_store(tmp_path, "a", clock)
@@ -317,6 +423,35 @@ class TestFleetStoreProtocol:
         audit = store.token_audit(job_spec.key)
         assert audit["ok"], audit
         assert all(s["landed_events"] == 1 for s in audit["shards"])
+
+    def test_audit_forgives_crash_between_done_record_and_event(
+            self, tmp_path, monkeypatch):
+        """A worker dying between landing the done record and appending
+        its 'done' event leaves zero 'done' events forever; its rejoin
+        replay logs 'done-dedup' under the same (token, worker), which
+        the audit accepts as the exactly-one-done attestation."""
+        clock = FakeClock()
+        store = make_store(tmp_path, "a", clock)
+        store.enlist()
+        store.submit(spec(shards=1))
+        job = spec(shards=1).key
+        claim = store.claim_shard(job)
+        result = _shard_result(spec(shards=1))
+        real_event = store._event
+
+        def crashed_before_event(op, jb, shard, token):
+            if op == "done":
+                return  # died between the create and the append
+            real_event(op, jb, shard, token)
+
+        monkeypatch.setattr(store, "_event", crashed_before_event)
+        assert store.publish_done(claim, result)
+        monkeypatch.undo()
+        assert not store.publish_done(claim, result)  # the rejoin replay
+        audit = store.token_audit(job)
+        assert audit["ok"], audit
+        assert audit["shards"][0]["landed_events"] == 0
+        assert audit["shards"][0]["dedup_attested"] is True
 
     def test_bad_job_keys_and_unsharded_specs_rejected(self, tmp_path):
         clock = FakeClock()
